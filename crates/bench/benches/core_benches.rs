@@ -1,0 +1,190 @@
+//! Criterion microbenchmarks for the RiskRoute core operations.
+//!
+//! One group per pipeline stage: graph algorithms on the real Level3-scale
+//! topology, KDE evaluation, bit-risk routing queries, the aggregate ratio
+//! sweep, provisioning candidate scoring, the merged interdomain build, and
+//! advisory parsing. These are the per-operation costs behind every
+//! table/figure regeneration.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use riskroute::prelude::*;
+use riskroute::provisioning::{best_additional_link, candidate_links};
+use riskroute::replay::replay_storm;
+use riskroute_bench::ExperimentContext;
+use riskroute_forecast::{advisories_for, ForecastRisk};
+use riskroute_graph::centrality::{articulation_points, betweenness};
+use riskroute_graph::dijkstra;
+use riskroute_hazard::events::sample_events;
+use riskroute_hazard::EventKind;
+use riskroute_stats::GeoKde;
+use riskroute_topology::Network;
+use std::hint::black_box;
+
+fn ctx() -> ExperimentContext {
+    ExperimentContext::reduced()
+}
+
+fn bench_graph(c: &mut Criterion) {
+    let context = ctx();
+    let level3 = context.corpus.network("Level3").unwrap();
+    let g = level3.distance_graph();
+    let mut group = c.benchmark_group("graph");
+    group.bench_function("dijkstra_sssp_level3", |b| {
+        b.iter(|| black_box(dijkstra::sssp(&g, black_box(0))))
+    });
+    group.bench_function("dijkstra_point_to_point_level3", |b| {
+        b.iter(|| black_box(dijkstra::shortest_path(&g, black_box(0), black_box(200))))
+    });
+    group.finish();
+}
+
+fn bench_kde(c: &mut Criterion) {
+    let events: Vec<_> = sample_events(EventKind::FemaHurricane, 2_000, 42)
+        .into_iter()
+        .map(|e| e.location)
+        .collect();
+    let kde = GeoKde::fit(events, 71.56);
+    let q = riskroute_geo::GeoPoint::new(29.95, -90.07).unwrap();
+    let mut group = c.benchmark_group("kde");
+    group.bench_function("density_2k_events", |b| {
+        b.iter(|| black_box(kde.density(black_box(q))))
+    });
+    group.bench_function("log_density_2k_events", |b| {
+        b.iter(|| black_box(kde.log_density(black_box(q))))
+    });
+    group.finish();
+}
+
+fn bench_routing(c: &mut Criterion) {
+    let context = ctx();
+    let level3 = context.corpus.network("Level3").unwrap();
+    let planner = context.planner_for(level3, RiskWeights::historical_only(1e5));
+    let sprint = context.corpus.network("Sprint").unwrap();
+    let sprint_planner = context.planner_for(sprint, RiskWeights::historical_only(1e5));
+    let mut group = c.benchmark_group("routing");
+    group.bench_function("risk_route_level3_pair", |b| {
+        b.iter(|| black_box(planner.risk_route(black_box(3), black_box(180))))
+    });
+    group.bench_function("ratio_report_sprint_all_pairs", |b| {
+        b.iter(|| black_box(sprint_planner.ratio_report()))
+    });
+    group.finish();
+}
+
+fn bench_provisioning(c: &mut Criterion) {
+    let context = ctx();
+    let sprint = context.corpus.network("Sprint").unwrap();
+    let planner = context.planner_for(sprint, RiskWeights::historical_only(1e5));
+    let mut group = c.benchmark_group("provisioning");
+    group.bench_function("candidate_links_sprint", |b| {
+        b.iter(|| black_box(candidate_links(sprint, &planner)))
+    });
+    group.bench_function("best_additional_link_sprint", |b| {
+        b.iter(|| black_box(best_additional_link(sprint, &planner)))
+    });
+    group.finish();
+}
+
+fn bench_interdomain(c: &mut Criterion) {
+    let context = ctx();
+    let networks: Vec<&Network> = context.corpus.all_networks().collect();
+    let mut group = c.benchmark_group("interdomain");
+    group.sample_size(10);
+    group.bench_function("merge_23_networks", |b| {
+        b.iter(|| {
+            black_box(riskroute::interdomain::InterdomainTopology::merge(
+                black_box(&networks),
+                &context.corpus.peering,
+                30.0,
+            ))
+        })
+    });
+    group.finish();
+}
+
+fn bench_analysis(c: &mut Criterion) {
+    let context = ctx();
+    let sprint = context.corpus.network("Sprint").unwrap();
+    let g = sprint.distance_graph();
+    let mut group = c.benchmark_group("analysis");
+    group.bench_function("betweenness_sprint", |b| {
+        b.iter(|| black_box(betweenness(&g)))
+    });
+    group.bench_function("articulation_points_sprint", |b| {
+        b.iter(|| black_box(articulation_points(&g)))
+    });
+    group.bench_function("corridor_risks_sprint", |b| {
+        b.iter(|| {
+            black_box(riskroute::corridor::corridor_risks(
+                sprint,
+                &context.hazards,
+            ))
+        })
+    });
+    group.finish();
+}
+
+fn bench_backup(c: &mut Criterion) {
+    let context = ctx();
+    let sprint = context.corpus.network("Sprint").unwrap();
+    let planner = context.planner_for(sprint, RiskWeights::historical_only(1e5));
+    let mut group = c.benchmark_group("backup");
+    group.bench_function("backup_paths_k3_sprint", |b| {
+        b.iter(|| {
+            black_box(riskroute::backup::backup_paths(
+                &planner,
+                sprint,
+                black_box(0),
+                black_box(9),
+                3,
+            ))
+        })
+    });
+    group.bench_function("lfa_next_hops_sprint", |b| {
+        b.iter(|| {
+            black_box(riskroute::backup::lfa_next_hops(
+                &planner,
+                sprint,
+                black_box(9),
+            ))
+        })
+    });
+    group.finish();
+}
+
+fn bench_forecast(c: &mut Criterion) {
+    let advisories = advisories_for(Storm::Sandy);
+    let text = advisories[40].to_text();
+    let context = ctx();
+    let dt = context.corpus.network("Deutsche Telekom").unwrap();
+    let planner = context.planner_for(dt, RiskWeights::PAPER);
+    let mut group = c.benchmark_group("forecast");
+    group.bench_function("parse_advisory_text", |b| {
+        b.iter(|| black_box(ForecastRisk::from_advisory_text(black_box(&text))))
+    });
+    group.bench_function("replay_sandy_dt_stride8", |b| {
+        b.iter_batched(
+            || planner.clone(),
+            |p| black_box(replay_storm(&p, dt, Storm::Sandy, 8)),
+            BatchSize::SmallInput,
+        )
+    });
+    let pair = &advisories[40..42];
+    group.bench_function("project_24h", |b| {
+        b.iter(|| black_box(riskroute_forecast::project(&pair[0], &pair[1], 24.0)))
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_graph,
+    bench_kde,
+    bench_routing,
+    bench_provisioning,
+    bench_interdomain,
+    bench_analysis,
+    bench_backup,
+    bench_forecast
+);
+criterion_main!(benches);

@@ -1,0 +1,131 @@
+//! The table/figure regeneration harness.
+//!
+//! ```text
+//! cargo run --release -p riskroute-bench --bin experiments -- all
+//! cargo run --release -p riskroute-bench --bin experiments -- table2 fig7
+//! ```
+//!
+//! Outputs are echoed and written under `results/`. Every experiment is
+//! deterministic under the harness master seed.
+
+use riskroute_bench::experiments::*;
+use riskroute_bench::ExperimentContext;
+use std::time::Instant;
+
+const USAGE: &str = "\
+usage: experiments <id>...
+
+ids:
+  table1      Table 1  - trained KDE bandwidths
+  table2      Table 2  - Tier-1 risk/distance ratios
+  table3      Table 3  - characteristic regression (R^2)
+  fig1        Figure 1 - network data sets
+  fig2        Figure 2 - AS connectivity
+  fig3        Figure 3 - population density + NN assignment
+  fig4        Figure 4 - KDE risk surfaces
+  fig5        Figure 5 - Irene forecast snapshots
+  fig6        Figure 6 - storm swaths
+  fig7        Figure 7 - Level3 Houston->Boston routes
+  fig8        Figure 8 - regional interdomain scatter
+  fig9        Figure 9 - ten best additional links
+  fig10       Figure 10 - bit-risk decay with added links
+  fig11       Figure 11 - best new peering per regional network
+  fig12       Figure 12 - Tier-1 hurricane replay
+  fig13       Figure 13 - regional hurricane replay
+  ablation1   impact-scaling ablation
+  ablation2   risk-component ablation
+  ablation3   shortcut-threshold ablation
+  ablation4   forecast lead-time ablation (proactive vs reactive)
+  ablation5   risk-aware OSPF weights vs exact RiskRoute
+  tables      table1 table2 table3
+  figures     fig1..fig13
+  ablations   ablation1..ablation5
+  all         everything above
+";
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.is_empty() || args.iter().any(|a| a == "-h" || a == "--help") {
+        eprint!("{USAGE}");
+        std::process::exit(if args.is_empty() { 2 } else { 0 });
+    }
+    let mut ids: Vec<&str> = Vec::new();
+    for a in &args {
+        match a.as_str() {
+            "tables" => ids.extend(["table1", "table2", "table3"]),
+            "figures" => ids.extend([
+                "fig1", "fig2", "fig3", "fig4", "fig5", "fig6", "fig7", "fig8", "fig9", "fig10",
+                "fig11", "fig12", "fig13",
+            ]),
+            "ablations" => ids.extend([
+                "ablation1",
+                "ablation2",
+                "ablation3",
+                "ablation4",
+                "ablation5",
+            ]),
+            "all" => ids.extend([
+                "table1",
+                "table2",
+                "table3",
+                "fig1",
+                "fig2",
+                "fig3",
+                "fig4",
+                "fig5",
+                "fig6",
+                "fig7",
+                "fig8",
+                "fig9",
+                "fig10",
+                "fig11",
+                "fig12",
+                "fig13",
+                "ablation1",
+                "ablation2",
+                "ablation3",
+                "ablation4",
+                "ablation5",
+            ]),
+            other => ids.push(other),
+        }
+    }
+
+    let t0 = Instant::now();
+    eprintln!("building experiment context (corpus, census, hazards)…");
+    let ctx = ExperimentContext::standard();
+    eprintln!("context ready in {:.1?}", t0.elapsed());
+
+    for id in ids {
+        let t = Instant::now();
+        match id {
+            "table1" => table1_bandwidths::run(&ctx),
+            "table2" => table2_tier1::run(&ctx),
+            "table3" => table3_regression::run(&ctx),
+            "fig1" => figs_maps::run_fig1(&ctx),
+            "fig2" => figs_maps::run_fig2(&ctx),
+            "fig3" => figs_maps::run_fig3(&ctx),
+            "fig4" => figs_maps::run_fig4(&ctx),
+            "fig5" => figs_forecast::run_fig5(&ctx),
+            "fig6" => figs_forecast::run_fig6(&ctx),
+            "fig7" => fig07_routes::run(&ctx),
+            "fig8" => fig08_regional_scatter::run(&ctx),
+            "fig9" => figs_provisioning::run_fig9(&ctx),
+            "fig10" => figs_provisioning::run_fig10(&ctx),
+            "fig11" => fig11_peering::run(&ctx),
+            "fig12" => fig12_tier1_replay::run(&ctx),
+            "fig13" => fig13_regional_replay::run(&ctx),
+            "ablation1" => ablations::run_impact(&ctx),
+            "ablation2" => ablations::run_forecast_components(&ctx),
+            "ablation3" => ablations::run_filter_threshold(&ctx),
+            "ablation4" => ablation_leadtime::run(&ctx),
+            "ablation5" => ablation_ospf::run(&ctx),
+            unknown => {
+                eprintln!("unknown experiment id {unknown:?}\n{USAGE}");
+                std::process::exit(2);
+            }
+        }
+        eprintln!("[{id}] finished in {:.1?}", t.elapsed());
+    }
+    eprintln!("total: {:.1?}", t0.elapsed());
+}

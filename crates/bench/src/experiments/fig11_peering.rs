@@ -1,0 +1,104 @@
+//! Figure 11 — the best additional peering relationship for each regional
+//! network (§6.3): candidate peers are co-located, un-peered networks; the
+//! winner minimizes the lower-bound bit-risk miles of the regional
+//! network's interdomain RiskRoute paths.
+
+use crate::table::TextTable;
+use crate::{emit, ExperimentContext};
+use riskroute::interdomain::InterdomainAnalysis;
+use riskroute::peering::score_peerings;
+use riskroute::prelude::*;
+use riskroute_topology::colocation::DEFAULT_COLOCATION_MILES;
+use riskroute_topology::Network;
+use std::collections::HashMap;
+
+/// Run the Figure-11 experiment.
+pub fn run(ctx: &ExperimentContext) {
+    let networks: Vec<&Network> = ctx.corpus.all_networks().collect();
+    let analysis = InterdomainAnalysis::new(
+        &networks,
+        &ctx.corpus.peering,
+        &ctx.population,
+        &ctx.hazards,
+        RiskWeights::historical_only(1e5),
+    );
+    let regional_names: Vec<&str> = ctx.corpus.regional.iter().map(|n| n.name()).collect();
+    let mut dests = Vec::new();
+    for name in &regional_names {
+        dests.extend(
+            analysis
+                .topology()
+                .pops_of(name)
+                .expect("regional in merged topology"),
+        );
+    }
+
+    let mut t = TextTable::new(&[
+        "Regional network",
+        "Best new peer",
+        "Hand-off sites",
+        "Runner-up",
+    ]);
+    let mut winners: HashMap<String, usize> = HashMap::new();
+    for regional in &ctx.corpus.regional {
+        let sources = analysis
+            .topology()
+            .pops_of(regional.name())
+            .expect("regional in merged topology");
+        let scored = score_peerings(
+            &analysis,
+            regional,
+            &networks,
+            &ctx.corpus.peering,
+            DEFAULT_COLOCATION_MILES,
+            &sources,
+            &dests,
+        );
+        match scored.first() {
+            Some(best) => {
+                *winners.entry(best.peer.clone()).or_default() += 1;
+                t.row(&[
+                    regional.name().to_string(),
+                    best.peer.clone(),
+                    best.handoff_count.to_string(),
+                    scored.get(1).map_or("-".to_string(), |s| s.peer.clone()),
+                ]);
+            }
+            None => {
+                t.row(&[
+                    regional.name().to_string(),
+                    "(no candidate)".to_string(),
+                    "0".to_string(),
+                    "-".to_string(),
+                ]);
+            }
+        }
+    }
+    let mut out =
+        String::from("Figure 11: best additional peering relationship per regional network\n\n");
+    out.push_str(&t.render());
+    let mut tally: Vec<(&String, &usize)> = winners.iter().collect();
+    tally.sort_by(|a, b| b.1.cmp(a.1).then(a.0.cmp(b.0)));
+    out.push_str("\nWinner tally: ");
+    out.push_str(
+        &tally
+            .iter()
+            .map(|(n, c)| format!("{n} x{c}"))
+            .collect::<Vec<_>>()
+            .join(", "),
+    );
+    out.push_str(
+        "\n\nShape check (paper): a majority of regional networks pick one of a \
+         small set of well-placed Tier-1s (AT&T / Tinet in the paper).\n",
+    );
+    let tier1_wins: usize = tally
+        .iter()
+        .filter(|(n, _)| riskroute_topology::peering::TIER1_NAMES.contains(&n.as_str()))
+        .map(|(_, c)| *c)
+        .sum();
+    out.push_str(&format!(
+        "Tier-1 networks win {tier1_wins} of {} decided recommendations\n",
+        tally.iter().map(|(_, c)| *c).sum::<usize>()
+    ));
+    emit("fig11_best_peering", &out);
+}

@@ -1,0 +1,151 @@
+//! Figures 1–4 — the data-set figures: network maps, AS connectivity,
+//! population density / nearest-neighbour assignment, and the five KDE risk
+//! surfaces.
+
+use crate::table::{f, TextTable};
+use crate::{emit, ExperimentContext, MASTER_SEED};
+use riskroute_geo::bbox::CONUS;
+use riskroute_geo::GeoGrid;
+use riskroute_hazard::events::sample_events;
+use riskroute_hazard::RiskSurface;
+use riskroute_population::PopShares;
+
+/// Figure 1 — Tier-1 and regional infrastructure summary (the map data).
+pub fn run_fig1(ctx: &ExperimentContext) {
+    let mut t = TextTable::new(&[
+        "Network",
+        "Kind",
+        "PoPs",
+        "Links",
+        "Footprint (mi)",
+        "Mean link (mi)",
+    ]);
+    let mut tier1_pops = 0;
+    let mut regional_pops = 0;
+    for net in ctx.corpus.all_networks() {
+        let kind = format!("{:?}", net.kind());
+        match net.kind() {
+            riskroute_topology::NetworkKind::Tier1 => tier1_pops += net.pop_count(),
+            riskroute_topology::NetworkKind::Regional => regional_pops += net.pop_count(),
+        }
+        let mean_link = if net.link_count() > 0 {
+            net.total_link_miles() / net.link_count() as f64
+        } else {
+            0.0
+        };
+        t.row(&[
+            net.name().to_string(),
+            kind,
+            net.pop_count().to_string(),
+            net.link_count().to_string(),
+            f(net.footprint_miles(), 0),
+            f(mean_link, 0),
+        ]);
+    }
+    let mut out = String::from("Figure 1: network data sets (synthesized corpus)\n\n");
+    out.push_str(&t.render());
+    out.push_str(&format!(
+        "\nTier-1 PoPs: {tier1_pops} (paper: 354); regional PoPs: {regional_pops} (paper: 455)\n"
+    ));
+    // ASCII map of all Tier-1 PoPs.
+    let mut grid = GeoGrid::new(CONUS, 18, 60).expect("valid grid");
+    for net in &ctx.corpus.tier1 {
+        for p in net.pops() {
+            if let Some((r, c)) = grid.cell_of(p.location) {
+                grid.add(r, c, 1.0);
+            }
+        }
+    }
+    out.push_str("\nTier-1 PoP density map:\n");
+    out.push_str(&grid.ascii_heatmap());
+    emit("fig01_networks", &out);
+}
+
+/// Figure 2 — AS-level connectivity between the 23 networks.
+pub fn run_fig2(ctx: &ExperimentContext) {
+    let peering = &ctx.corpus.peering;
+    let mut out = String::from("Figure 2: AS connectivity between all networks\n\n");
+    let mut t = TextTable::new(&["Network", "Peers", "Peer list"]);
+    for name in peering.networks() {
+        let peers = peering.peers_of(name);
+        t.row(&[name.to_string(), peers.len().to_string(), peers.join(", ")]);
+    }
+    out.push_str(&t.render());
+    out.push_str(&format!(
+        "\nTotal peering edges: {}\n",
+        peering.edge_count()
+    ));
+    emit("fig02_as_connectivity", &out);
+}
+
+/// Figure 3 — population density and the Teliasonera nearest-neighbour
+/// assignment.
+pub fn run_fig3(ctx: &ExperimentContext) {
+    let mut out = String::from(
+        "Figure 3: population density (left) and Teliasonera NN assignment (right)\n\n",
+    );
+    out.push_str(&format!(
+        "Census blocks: {} (paper: 215,932); total population: {:.0}\n\n",
+        ctx.population.block_count(),
+        ctx.population.total_population()
+    ));
+    let grid = ctx.population.density_grid(18, 60);
+    out.push_str("Population heat map:\n");
+    out.push_str(&grid.ascii_heatmap());
+
+    let telia = ctx.corpus.network("Teliasonera").expect("corpus member");
+    let shares = PopShares::assign(&ctx.population, telia, None);
+    let mut t = TextTable::new(&["Teliasonera PoP", "Population share"]);
+    let mut rows: Vec<(String, f64)> = telia
+        .pops()
+        .iter()
+        .zip(shares.shares())
+        .map(|(p, &s)| (p.name.clone(), s))
+        .collect();
+    rows.sort_by(|a, b| b.1.partial_cmp(&a.1).expect("finite"));
+    for (name, s) in rows {
+        t.row(&[name, f(s, 4)]);
+    }
+    out.push('\n');
+    out.push_str(&t.render());
+    let sum: f64 = shares.shares().iter().sum();
+    out.push_str(&format!("\nShares sum to {sum:.6} (must be 1)\n"));
+    emit("fig03_population", &out);
+}
+
+/// Figure 4 — bandwidth-optimized KDE surfaces for the five corpora.
+///
+/// Events are capped per kind to keep grid evaluation tractable; the modal
+/// regions (the shape the paper's panels show) are insensitive to the cap.
+pub fn run_fig4(_ctx: &ExperimentContext) {
+    let mut out =
+        String::from("Figure 4: kernel density risk surfaces (ASCII, darker = likelier)\n");
+    let expectations = [
+        ("Gulf/Atlantic coasts", (25.0, -90.0), (45.0, -110.0)),
+        ("Tornado Alley", (36.0, -97.5), (40.0, -120.0)),
+        ("central plains", (39.0, -95.0), (40.0, -120.0)),
+        ("west coast", (36.0, -119.0), (35.0, -85.0)),
+        ("eastern two-thirds", (38.0, -95.0), (43.0, -115.0)),
+    ];
+    for (kind, (label, hot, cold)) in riskroute_hazard::ALL_EVENT_KINDS.iter().zip(expectations) {
+        let n = kind.paper_count().min(8_000);
+        let events = sample_events(*kind, n, MASTER_SEED);
+        let surface = RiskSurface::fit(*kind, &events, kind.paper_bandwidth_miles());
+        let grid = surface.likelihood_grid(GeoGrid::new(CONUS, 16, 50).expect("valid grid"));
+        out.push_str(&format!(
+            "\n{} (bandwidth {:.2} mi, {} of {} events):\n",
+            kind.label(),
+            surface.bandwidth_miles(),
+            n,
+            kind.paper_count()
+        ));
+        out.push_str(&grid.ascii_heatmap());
+        let hot_p = riskroute_geo::GeoPoint::new(hot.0, hot.1).expect("valid");
+        let cold_p = riskroute_geo::GeoPoint::new(cold.0, cold.1).expect("valid");
+        let ratio = surface.likelihood(hot_p) / surface.likelihood(cold_p).max(1e-300);
+        out.push_str(&format!(
+            "modal region: {label}; hot/cold likelihood ratio {ratio:.1e}\n"
+        ));
+    }
+    emit("fig04_risk_surfaces", &out);
+}

@@ -1,0 +1,120 @@
+//! Figures 9 and 10 — link provisioning: the ten best additional links for
+//! three Tier-1 networks, and the bit-risk decay as up to eight links are
+//! added to each Tier-1 network.
+
+use crate::table::{f, TextTable};
+use crate::{emit, ExperimentContext};
+use riskroute::prelude::*;
+use riskroute::provisioning::{greedy_links, GreedyLinks};
+use riskroute_population::PopShares;
+use riskroute_topology::Network;
+
+fn greedy_for(ctx: &ExperimentContext, net: &Network, k: usize) -> GreedyLinks {
+    let planner = ctx.planner_for(net, RiskWeights::historical_only(1e5));
+    // PoP positions never change during augmentation, so risk vectors and
+    // shares are reused verbatim by the rebuild hook.
+    let risk = planner.risk().clone();
+    let shares = PopShares::from_shares(planner.shares().shares().to_vec());
+    let weights = planner.weights();
+    greedy_links(net, &planner, k, move |augmented| {
+        Planner::new(augmented, risk.clone(), shares.clone(), weights)
+    })
+}
+
+/// Figure 9 — the ten best additional links for Level3, AT&T, and Tinet.
+pub fn run_fig9(ctx: &ExperimentContext) {
+    let mut out = String::from(
+        "Figure 9: ten best additional links per network (greedy, Eq. 4). The \
+         Filter column shows the footnote-3 shortcut threshold each link \
+         passed; well-meshed maps relax below the paper's 50% when no \
+         stretch-2 pair exists.\n",
+    );
+    for name in ["Level3", "AT&T", "Tinet"] {
+        let net = ctx.corpus.network(name).expect("corpus member");
+        let result = greedy_for(ctx, net, 10);
+        out.push_str(&format!(
+            "\n{name} (original total bit-risk: {:.3e}):\n",
+            result.original_bit_risk
+        ));
+        let mut t = TextTable::new(&[
+            "#",
+            "Link",
+            "Length (mi)",
+            "Total bit-risk after",
+            "Fraction of original",
+            "Filter",
+        ]);
+        for (i, link) in result.added.iter().enumerate() {
+            t.row(&[
+                (i + 1).to_string(),
+                format!(
+                    "{} <-> {}",
+                    net.pops()[link.a].name,
+                    net.pops()[link.b].name
+                ),
+                f(link.miles, 0),
+                format!("{:.3e}", link.total_bit_risk),
+                f(link.total_bit_risk / result.original_bit_risk, 4),
+                format!(">{:.0}%", 100.0 * link.shortcut_threshold),
+            ]);
+        }
+        if t.is_empty() {
+            out.push_str("  (no candidate links at any ladder threshold)\n");
+        } else {
+            out.push_str(&t.render());
+        }
+    }
+    emit("fig09_best_links", &out);
+}
+
+/// Figure 10 — fraction of original bit-risk miles vs number of added
+/// links, for all seven Tier-1 networks.
+pub fn run_fig10(ctx: &ExperimentContext) {
+    const K: usize = 8;
+    let mut out = String::from(
+        "Figure 10: estimated risk reduction with added links \
+         (fraction of original bit-risk miles)\n\n",
+    );
+    let mut header: Vec<String> = vec!["Network".to_string()];
+    header.extend((1..=K).map(|i| format!("+{i}")));
+    let header_refs: Vec<&str> = header.iter().map(String::as_str).collect();
+    let mut t = TextTable::new(&header_refs);
+    let mut series_per_net = Vec::new();
+    for net in &ctx.corpus.tier1 {
+        let result = greedy_for(ctx, net, K);
+        let series = result.fraction_series();
+        let mut cells = vec![net.name().to_string()];
+        for i in 0..K {
+            cells.push(series.get(i).map_or("-".to_string(), |v| f(*v, 4)));
+        }
+        t.row(&cells);
+        series_per_net.push((net.name().to_string(), series));
+    }
+    out.push_str(&t.render());
+    out.push_str("\nShape checks:\n");
+    for (name, series) in &series_per_net {
+        let monotone = series.windows(2).all(|w| w[1] <= w[0] + 1e-12);
+        out.push_str(&format!(
+            "  {name}: monotone non-increasing: {monotone}; final fraction: {}\n",
+            series.last().map_or("-".to_string(), |v| f(*v, 4))
+        ));
+    }
+    let level3_final = series_per_net
+        .iter()
+        .find(|(n, _)| n == "Level3")
+        .and_then(|(_, s)| s.last().copied())
+        .unwrap_or(1.0);
+    let best_other = series_per_net
+        .iter()
+        .filter(|(n, _)| n != "Level3")
+        .filter_map(|(_, s)| s.last().copied())
+        .fold(1.0_f64, f64::min);
+    out.push_str(&format!(
+        "  Level3 improves least (paper attributes this to its high existing \
+         connectivity; here its stub-dominated access tier leaves little for \
+         single links to fix): final {} vs best other {}\n",
+        f(level3_final, 4),
+        f(best_other, 4)
+    ));
+    emit("fig10_link_decay", &out);
+}

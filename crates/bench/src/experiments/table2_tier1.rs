@@ -1,0 +1,73 @@
+//! Table 2 — Tier-1 risk-reduction / distance-increase ratios at
+//! λ_h ∈ {10⁵, 10⁶} (historical risk only, no forecast).
+
+use crate::table::{f, TextTable};
+use crate::{emit, ExperimentContext};
+use riskroute::prelude::*;
+
+/// Paper values for the side-by-side comparison:
+/// (network, rr@1e5, dr@1e5, rr@1e6, dr@1e6).
+pub const PAPER_TABLE2: &[(&str, f64, f64, f64, f64)] = &[
+    ("Level3", 0.075, 0.015, 0.258, 0.136),
+    ("AT&T", 0.207, 0.045, 0.340, 0.168),
+    ("Deutsche Telekom", 0.245, 0.130, 0.384, 0.446),
+    ("NTT", 0.187, 0.040, 0.295, 0.127),
+    ("Sprint", 0.222, 0.079, 0.352, 0.191),
+    ("Tinet", 0.177, 0.045, 0.347, 0.195),
+    ("Teliasonera", 0.223, 0.068, 0.336, 0.226),
+];
+
+/// Run the Table-2 experiment.
+pub fn run(ctx: &ExperimentContext) {
+    let mut t = TextTable::new(&[
+        "Network",
+        "PoPs",
+        "RR@1e5",
+        "DR@1e5",
+        "RR@1e6",
+        "DR@1e6",
+        "paper RR@1e5",
+        "paper RR@1e6",
+    ]);
+    let mut measured = Vec::new();
+    for net in &ctx.corpus.tier1 {
+        let mut cells = vec![net.name().to_string(), net.pop_count().to_string()];
+        let mut rrs = Vec::new();
+        // Shares and risk vectors are λ-independent: build once, reweight.
+        let mut planner = ctx.planner_for(net, RiskWeights::historical_only(1e5));
+        for lambda in [1e5, 1e6] {
+            planner.set_weights(RiskWeights::historical_only(lambda));
+            let r = planner.ratio_report();
+            cells.push(f(r.risk_reduction_ratio, 3));
+            cells.push(f(r.distance_increase_ratio, 3));
+            rrs.push(r.risk_reduction_ratio);
+        }
+        let paper = PAPER_TABLE2
+            .iter()
+            .find(|p| p.0 == net.name())
+            .expect("paper row exists");
+        cells.push(f(paper.1, 3));
+        cells.push(f(paper.3, 3));
+        t.row(&cells);
+        measured.push((net.name().to_string(), rrs[0], rrs[1]));
+    }
+
+    let mut out =
+        String::from("Table 2: Tier-1 bit-risk vs bit-mile trade-off (historical risk only)\n\n");
+    out.push_str(&t.render());
+    out.push_str("\nShape checks:\n");
+    let monotone = measured.iter().all(|(_, a, b)| b >= a);
+    out.push_str(&format!(
+        "  larger lambda_h -> larger risk reduction for every network: {monotone}\n"
+    ));
+    let level3 = measured.iter().find(|(n, _, _)| n == "Level3").unwrap().1;
+    let below = measured
+        .iter()
+        .filter(|(n, rr, _)| n != "Level3" && *rr < level3)
+        .count();
+    out.push_str(&format!(
+        "  Level3 (largest network) has the smallest/near-smallest RR@1e5: \
+         {below} of 6 others below it\n"
+    ));
+    emit("table2_tier1", &out);
+}

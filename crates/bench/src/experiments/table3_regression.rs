@@ -1,0 +1,109 @@
+//! Table 3 — coefficient of determination (R²) between regional-network
+//! characteristics and the Figure-8 interdomain ratios.
+
+use super::fig08_regional_scatter::regional_results;
+use crate::table::{f, TextTable};
+use crate::{emit, ExperimentContext};
+use riskroute::NodeRisk;
+use riskroute_stats::LinearFit;
+use riskroute_topology::metrics::characteristics;
+
+/// Paper values: (characteristic, R² vs risk ratio, R² vs distance ratio).
+pub const PAPER_TABLE3: &[(&str, f64, f64)] = &[
+    ("Geographic Footprint", 0.618, 0.243),
+    ("Average PoP Risk", 0.104, 0.064),
+    ("Average Outdegree", 0.116, 0.106),
+    ("Number of PoPs", 0.552, 0.405),
+    ("Number of Links", 0.531, 0.361),
+    ("Number of Peers", 0.155, 0.002),
+];
+
+/// Run the Table-3 experiment.
+pub fn run(ctx: &ExperimentContext) {
+    let results = regional_results(ctx);
+    // Assemble the six characteristics per regional network.
+    let mut footprint = Vec::new();
+    let mut avg_risk = Vec::new();
+    let mut outdegree = Vec::new();
+    let mut pops = Vec::new();
+    let mut links = Vec::new();
+    let mut peers = Vec::new();
+    let mut risk_ratio = Vec::new();
+    let mut dist_ratio = Vec::new();
+    for (net, (name, report)) in ctx.corpus.regional.iter().zip(&results.reports) {
+        assert_eq!(net.name(), name);
+        let c = characteristics(net, &ctx.corpus.peering);
+        let nr = NodeRisk::from_historical(net, &ctx.hazards);
+        footprint.push(c.footprint_miles);
+        avg_risk.push(nr.mean_historical());
+        outdegree.push(c.mean_outdegree);
+        pops.push(c.pop_count as f64);
+        links.push(c.link_count as f64);
+        peers.push(c.peer_count as f64);
+        risk_ratio.push(report.risk_reduction_ratio);
+        dist_ratio.push(report.distance_increase_ratio);
+    }
+
+    let rows: [(&str, &Vec<f64>); 6] = [
+        ("Geographic Footprint", &footprint),
+        ("Average PoP Risk", &avg_risk),
+        ("Average Outdegree", &outdegree),
+        ("Number of PoPs", &pops),
+        ("Number of Links", &links),
+        ("Number of Peers", &peers),
+    ];
+    let mut t = TextTable::new(&[
+        "Network Characteristic",
+        "Risk Ratio R2",
+        "Dist Ratio R2",
+        "paper Risk R2",
+        "paper Dist R2",
+    ]);
+    let mut measured = Vec::new();
+    for (name, xs) in rows {
+        let r2_risk = LinearFit::fit(xs, &risk_ratio).r_squared;
+        let r2_dist = LinearFit::fit(xs, &dist_ratio).r_squared;
+        let paper = PAPER_TABLE3.iter().find(|p| p.0 == name).expect("row");
+        t.row(&[
+            name.to_string(),
+            f(r2_risk, 3),
+            f(r2_dist, 3),
+            f(paper.1, 3),
+            f(paper.2, 3),
+        ]);
+        measured.push((name, r2_risk));
+    }
+    let mut out =
+        String::from("Table 3: regional network characteristics vs interdomain ratios (R2)\n\n");
+    out.push_str(&t.render());
+    out.push_str(
+        "\nShape checks (paper): geographic footprint is the strongest \
+         correlate of the risk ratio (0.618), while average outdegree and \
+         peer count carry almost no signal.\n",
+    );
+    let footprint_r2 = measured
+        .iter()
+        .find(|(n, _)| *n == "Geographic Footprint")
+        .map(|(_, r)| *r)
+        .expect("row exists");
+    let rank = measured.iter().filter(|(_, r)| *r > footprint_r2).count() + 1;
+    out.push_str(&format!(
+        "Footprint R2 = {footprint_r2:.3}, rank {rank} of 6 characteristics\n"
+    ));
+    let outdegree_r2 = measured
+        .iter()
+        .find(|(n, _)| *n == "Average Outdegree")
+        .map(|(_, r)| *r)
+        .expect("row exists");
+    out.push_str(&format!(
+        "Average outdegree stays weak: R2 = {outdegree_r2:.3} (paper 0.116)\n"
+    ));
+    out.push_str(
+        "Known deviation: on the synthetic corpus, average PoP risk carries \
+         more signal (and raw PoP/link counts less) than in the paper, \
+         because synthesized regional footprints are anchored to fixed state \
+         sets — size and geography are less entangled than in the real maps \
+         (see EXPERIMENTS.md).\n",
+    );
+    emit("table3_regression", &out);
+}

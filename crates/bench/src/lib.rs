@@ -1,0 +1,40 @@
+//! Experiment harness support for the RiskRoute reproduction.
+//!
+//! The `experiments` binary regenerates every table and figure of the
+//! paper's evaluation (see `DESIGN.md` for the index); this library holds
+//! the shared experiment context (corpus, population, hazards — all
+//! deterministic under [`MASTER_SEED`]), plain-text table rendering, and
+//! result-file plumbing.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod context;
+pub mod experiments;
+pub mod table;
+
+pub use context::{ExperimentContext, MASTER_SEED};
+pub use table::TextTable;
+
+use std::fs;
+use std::io::Write as _;
+use std::path::PathBuf;
+
+/// Directory experiment outputs are written to (repo-relative).
+pub const RESULTS_DIR: &str = "results";
+
+/// Write `content` to `results/<name>.txt` and echo it to stdout.
+///
+/// # Panics
+/// Panics on I/O errors — the harness has nothing sensible to do without
+/// its output directory.
+pub fn emit(name: &str, content: &str) {
+    let dir = PathBuf::from(RESULTS_DIR);
+    fs::create_dir_all(&dir).expect("create results directory");
+    let path = dir.join(format!("{name}.txt"));
+    let mut f = fs::File::create(&path).expect("create result file");
+    f.write_all(content.as_bytes()).expect("write result file");
+    println!("── {name} ──────────────────────────────────────────");
+    println!("{content}");
+    println!("(written to {})", path.display());
+}

@@ -1,0 +1,453 @@
+//! Argument parsing (hand-rolled; the CLI's surface is small and the
+//! workspace stays dependency-light).
+
+use riskroute::RiskWeights;
+use std::fmt;
+
+/// A parsed invocation.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Cli {
+    /// GraphML imports: `(path, network name)` pairs.
+    pub graphml: Vec<(String, String)>,
+    /// λ_h override (default 1e5).
+    pub lambda_h: f64,
+    /// λ_f override (default 1e3).
+    pub lambda_f: f64,
+    /// The subcommand.
+    pub command: Command,
+}
+
+impl Cli {
+    /// The risk weights this invocation runs under.
+    pub fn weights(&self) -> RiskWeights {
+        RiskWeights::new(self.lambda_h, self.lambda_f)
+    }
+}
+
+/// The subcommands.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Command {
+    /// List the corpus (and imported) networks.
+    Corpus,
+    /// Compare RiskRoute and shortest-path for a PoP pair.
+    Route {
+        /// Network name.
+        network: String,
+        /// Source PoP selector (index or name substring).
+        src: String,
+        /// Destination PoP selector.
+        dst: String,
+    },
+    /// Ranked backup paths for a PoP pair.
+    Backup {
+        /// Network name.
+        network: String,
+        /// Source PoP selector.
+        src: String,
+        /// Destination PoP selector.
+        dst: String,
+        /// Total paths to compute (primary + alternates).
+        k: usize,
+    },
+    /// Best additional links (greedy Eq. 4).
+    Provision {
+        /// Network name.
+        network: String,
+        /// Number of links to propose.
+        k: usize,
+    },
+    /// Replay a hurricane against a network.
+    Replay {
+        /// Network name.
+        network: String,
+        /// Storm name (katrina, irene, sandy).
+        storm: String,
+        /// Advisory stride.
+        stride: usize,
+    },
+    /// Risk-weighted criticality ranking of a network's PoPs.
+    Critical {
+        /// Network name.
+        network: String,
+    },
+    /// Link-corridor risk ranking and shared-risk link groups.
+    Corridors {
+        /// Network name.
+        network: String,
+    },
+    /// Risk-aware OSPF link weights plus a fidelity evaluation.
+    Ospf {
+        /// Network name.
+        network: String,
+    },
+    /// Storm failure injection.
+    Failure {
+        /// Network name.
+        network: String,
+        /// Storm name.
+        storm: String,
+    },
+    /// Dump a network's topology as JSON or GraphML.
+    Export {
+        /// Network name.
+        network: String,
+        /// Output format: "json" (default) or "graphml".
+        format: String,
+    },
+}
+
+/// Parse errors.
+#[derive(Debug, Clone, PartialEq)]
+pub enum CliError {
+    /// `--help` was requested; the payload is the usage text.
+    Help(String),
+    /// Anything else.
+    Bad(String),
+}
+
+impl fmt::Display for CliError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CliError::Help(u) => f.write_str(u),
+            CliError::Bad(m) => write!(f, "error: {m}\n\n{USAGE}"),
+        }
+    }
+}
+
+/// Usage text.
+pub const USAGE: &str = "\
+riskroute — bit-risk-mile routing and provisioning (CoNEXT'13 reproduction)
+
+USAGE:
+  riskroute [GLOBALS] <COMMAND> [ARGS]
+
+COMMANDS:
+  corpus                             list available networks
+  route <net> <src> <dst>            RiskRoute vs shortest path for a pair
+  backup <net> <src> <dst> [-k N]    ranked backup paths (default k = 3)
+  provision <net> [-k N]             best new links (default k = 5)
+  replay <net> <storm> [--stride N]  hurricane replay (default stride 8)
+  critical <net>                     risk-weighted PoP criticality ranking
+  corridors <net>                    link-corridor risk + shared-risk groups
+  ospf <net>                         risk-aware OSPF weights + fidelity
+  failure <net> <storm>              storm failure injection
+  export <net> [--format F]          topology on stdout (json | graphml)
+
+GLOBALS:
+  --graphml <file> --name <name>     import a Topology Zoo GraphML map
+                                     (repeatable; imported names shadow corpus)
+  --lambda-h <x>                     historical risk weight (default 1e5)
+  --lambda-f <x>                     forecast risk weight (default 1e3)
+  -h, --help                         this text
+
+PoP selectors are indices or unique case-insensitive name substrings.
+Storms: katrina, irene, sandy. Everything is deterministic (seed 42).
+";
+
+/// Parse a raw argument vector (without the program name).
+///
+/// # Errors
+/// [`CliError::Help`] for `-h`/`--help`, [`CliError::Bad`] otherwise.
+pub fn parse_args(args: &[String]) -> Result<Cli, CliError> {
+    let mut graphml = Vec::new();
+    let mut lambda_h = 1e5;
+    let mut lambda_f = 1e3;
+    let mut rest: Vec<String> = Vec::new();
+    let mut i = 0;
+    let bad = |m: String| CliError::Bad(m);
+    while i < args.len() {
+        match args[i].as_str() {
+            "-h" | "--help" => return Err(CliError::Help(USAGE.to_string())),
+            "--graphml" => {
+                let path = args
+                    .get(i + 1)
+                    .ok_or_else(|| bad("--graphml needs a file path".into()))?
+                    .clone();
+                if args.get(i + 2).map(String::as_str) != Some("--name") {
+                    return Err(bad(
+                        "--graphml <file> must be followed by --name <name>".into()
+                    ));
+                }
+                let name = args
+                    .get(i + 3)
+                    .ok_or_else(|| bad("--name needs a value".into()))?
+                    .clone();
+                graphml.push((path, name));
+                i += 4;
+            }
+            "--lambda-h" => {
+                lambda_h = parse_f64(args.get(i + 1), "--lambda-h")?;
+                i += 2;
+            }
+            "--lambda-f" => {
+                lambda_f = parse_f64(args.get(i + 1), "--lambda-f")?;
+                i += 2;
+            }
+            _ => {
+                rest.push(args[i].clone());
+                i += 1;
+            }
+        }
+    }
+    if !(lambda_h >= 0.0 && lambda_h.is_finite() && lambda_f >= 0.0 && lambda_f.is_finite()) {
+        return Err(bad("lambda values must be finite and non-negative".into()));
+    }
+
+    let command = parse_command(&rest)?;
+    Ok(Cli {
+        graphml,
+        lambda_h,
+        lambda_f,
+        command,
+    })
+}
+
+fn parse_f64(v: Option<&String>, flag: &str) -> Result<f64, CliError> {
+    v.ok_or_else(|| CliError::Bad(format!("{flag} needs a value")))?
+        .parse::<f64>()
+        .map_err(|_| CliError::Bad(format!("{flag} needs a number")))
+}
+
+fn parse_usize(v: Option<&String>, flag: &str) -> Result<usize, CliError> {
+    let n = v
+        .ok_or_else(|| CliError::Bad(format!("{flag} needs a value")))?
+        .parse::<usize>()
+        .map_err(|_| CliError::Bad(format!("{flag} needs a positive integer")))?;
+    if n == 0 {
+        return Err(CliError::Bad(format!("{flag} must be positive")));
+    }
+    Ok(n)
+}
+
+fn parse_command(rest: &[String]) -> Result<Command, CliError> {
+    let bad = |m: String| CliError::Bad(m);
+    let Some(cmd) = rest.first() else {
+        return Err(CliError::Help(USAGE.to_string()));
+    };
+    let positional: Vec<&String> = rest[1..]
+        .iter()
+        .take_while(|a| !a.starts_with('-'))
+        .collect();
+    let flag_of = |name: &str| -> Option<&String> {
+        rest.iter()
+            .position(|a| a == name)
+            .and_then(|p| rest.get(p + 1))
+    };
+    match cmd.as_str() {
+        "corpus" => Ok(Command::Corpus),
+        "route" | "backup" => {
+            let [network, src, dst] = positional.as_slice() else {
+                return Err(bad(format!("{cmd} needs <network> <src> <dst>")));
+            };
+            if cmd == "route" {
+                Ok(Command::Route {
+                    network: (*network).clone(),
+                    src: (*src).clone(),
+                    dst: (*dst).clone(),
+                })
+            } else {
+                Ok(Command::Backup {
+                    network: (*network).clone(),
+                    src: (*src).clone(),
+                    dst: (*dst).clone(),
+                    k: match flag_of("-k") {
+                        Some(v) => parse_usize(Some(v), "-k")?,
+                        None => 3,
+                    },
+                })
+            }
+        }
+        "provision" => {
+            let [network] = positional.as_slice() else {
+                return Err(bad("provision needs <network>".into()));
+            };
+            Ok(Command::Provision {
+                network: (*network).clone(),
+                k: match flag_of("-k") {
+                    Some(v) => parse_usize(Some(v), "-k")?,
+                    None => 5,
+                },
+            })
+        }
+        "replay" => {
+            let [network, storm] = positional.as_slice() else {
+                return Err(bad("replay needs <network> <storm>".into()));
+            };
+            Ok(Command::Replay {
+                network: (*network).clone(),
+                storm: (*storm).clone(),
+                stride: match flag_of("--stride") {
+                    Some(v) => parse_usize(Some(v), "--stride")?,
+                    None => 8,
+                },
+            })
+        }
+        "critical" => {
+            let [network] = positional.as_slice() else {
+                return Err(bad("critical needs <network>".into()));
+            };
+            Ok(Command::Critical {
+                network: (*network).clone(),
+            })
+        }
+        "corridors" => {
+            let [network] = positional.as_slice() else {
+                return Err(bad("corridors needs <network>".into()));
+            };
+            Ok(Command::Corridors {
+                network: (*network).clone(),
+            })
+        }
+        "ospf" => {
+            let [network] = positional.as_slice() else {
+                return Err(bad("ospf needs <network>".into()));
+            };
+            Ok(Command::Ospf {
+                network: (*network).clone(),
+            })
+        }
+        "failure" => {
+            let [network, storm] = positional.as_slice() else {
+                return Err(bad("failure needs <network> <storm>".into()));
+            };
+            Ok(Command::Failure {
+                network: (*network).clone(),
+                storm: (*storm).clone(),
+            })
+        }
+        "export" => {
+            let [network] = positional.as_slice() else {
+                return Err(bad("export needs <network>".into()));
+            };
+            let format = flag_of("--format")
+                .cloned()
+                .unwrap_or_else(|| "json".into());
+            if format != "json" && format != "graphml" {
+                return Err(bad(format!("unknown export format {format:?}")));
+            }
+            Ok(Command::Export {
+                network: (*network).clone(),
+                format,
+            })
+        }
+        other => Err(bad(format!("unknown command {other:?}"))),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn args(s: &str) -> Vec<String> {
+        s.split_whitespace().map(String::from).collect()
+    }
+
+    #[test]
+    fn parses_route() {
+        let cli = parse_args(&args("route Sprint 0 5")).unwrap();
+        assert_eq!(
+            cli.command,
+            Command::Route {
+                network: "Sprint".into(),
+                src: "0".into(),
+                dst: "5".into()
+            }
+        );
+        assert_eq!(cli.lambda_h, 1e5);
+        assert_eq!(cli.lambda_f, 1e3);
+    }
+
+    #[test]
+    fn parses_globals_anywhere() {
+        let cli = parse_args(&args("--lambda-h 1e6 route Sprint 0 5 --lambda-f 0")).unwrap();
+        assert_eq!(cli.lambda_h, 1e6);
+        assert_eq!(cli.lambda_f, 0.0);
+        assert!(matches!(cli.command, Command::Route { .. }));
+    }
+
+    #[test]
+    fn parses_k_flags() {
+        let cli = parse_args(&args("backup Sprint 0 5 -k 7")).unwrap();
+        assert_eq!(
+            cli.command,
+            Command::Backup {
+                network: "Sprint".into(),
+                src: "0".into(),
+                dst: "5".into(),
+                k: 7
+            }
+        );
+        let cli = parse_args(&args("provision Sprint")).unwrap();
+        assert!(matches!(cli.command, Command::Provision { k: 5, .. }));
+    }
+
+    #[test]
+    fn parses_graphml_imports() {
+        let cli = parse_args(&args("--graphml zoo.graphml --name Abilene corpus")).unwrap();
+        assert_eq!(cli.graphml, vec![("zoo.graphml".into(), "Abilene".into())]);
+        assert_eq!(cli.command, Command::Corpus);
+    }
+
+    #[test]
+    fn help_and_empty_return_usage() {
+        assert!(matches!(
+            parse_args(&args("--help")),
+            Err(CliError::Help(_))
+        ));
+        assert!(matches!(parse_args(&[]), Err(CliError::Help(_))));
+    }
+
+    #[test]
+    fn rejects_bad_input() {
+        assert!(matches!(
+            parse_args(&args("explode")),
+            Err(CliError::Bad(_))
+        ));
+        assert!(matches!(
+            parse_args(&args("route Sprint 0")),
+            Err(CliError::Bad(_))
+        ));
+        assert!(matches!(
+            parse_args(&args("--lambda-h banana corpus")),
+            Err(CliError::Bad(_))
+        ));
+        assert!(matches!(
+            parse_args(&args("backup Sprint 0 5 -k 0")),
+            Err(CliError::Bad(_))
+        ));
+        assert!(matches!(
+            parse_args(&args("--graphml x.graphml corpus")),
+            Err(CliError::Bad(_))
+        ));
+        assert!(matches!(
+            parse_args(&args("--lambda-h -5 corpus")),
+            Err(CliError::Bad(_))
+        ));
+    }
+
+    #[test]
+    fn export_format_parses_and_validates() {
+        let cli = parse_args(&args("export NTT")).unwrap();
+        assert_eq!(
+            cli.command,
+            Command::Export {
+                network: "NTT".into(),
+                format: "json".into()
+            }
+        );
+        let cli = parse_args(&args("export NTT --format graphml")).unwrap();
+        assert!(matches!(cli.command, Command::Export { ref format, .. } if format == "graphml"));
+        assert!(matches!(
+            parse_args(&args("export NTT --format yaml")),
+            Err(CliError::Bad(_))
+        ));
+    }
+
+    #[test]
+    fn replay_stride_default_and_override() {
+        let cli = parse_args(&args("replay Telepak katrina")).unwrap();
+        assert!(matches!(cli.command, Command::Replay { stride: 8, .. }));
+        let cli = parse_args(&args("replay Telepak katrina --stride 2")).unwrap();
+        assert!(matches!(cli.command, Command::Replay { stride: 2, .. }));
+    }
+}

@@ -1,0 +1,515 @@
+//! Subcommand implementations: pure functions to output strings.
+
+use crate::{resolve_pop, resolve_storm, CliContext};
+use riskroute::backup::backup_paths;
+use riskroute::failure::{criticality_ranking, storm_failure};
+use riskroute::prelude::*;
+use riskroute::provisioning::greedy_links;
+use riskroute::replay::replay_storm;
+use riskroute::{NodeRisk, RoutedPath};
+use riskroute_forecast::{ForecastRisk, StormSwath};
+use riskroute_population::PopShares;
+use riskroute_topology::Network;
+use std::fmt::Write as _;
+
+/// `riskroute corpus`
+pub fn corpus(ctx: &CliContext) -> String {
+    let mut out = String::from("Available networks (seed 42):\n\n");
+    let _ = writeln!(
+        out,
+        "{:<20} {:<10} {:>5} {:>6} {:>12} {:>7}",
+        "Network", "Kind", "PoPs", "Links", "Footprint mi", "Peers"
+    );
+    out.push_str(&"-".repeat(66));
+    out.push('\n');
+    for net in ctx.imported.iter().chain(ctx.corpus.all_networks()) {
+        let kind = if ctx.imported.iter().any(|n| n.name() == net.name()) {
+            "imported"
+        } else {
+            match net.kind() {
+                NetworkKind::Tier1 => "tier-1",
+                NetworkKind::Regional => "regional",
+            }
+        };
+        let _ = writeln!(
+            out,
+            "{:<20} {:<10} {:>5} {:>6} {:>12.0} {:>7}",
+            net.name(),
+            kind,
+            net.pop_count(),
+            net.link_count(),
+            net.footprint_miles(),
+            ctx.corpus.peering.peer_count(net.name()),
+        );
+    }
+    out
+}
+
+fn describe_route(net: &Network, label: &str, r: &RoutedPath) -> String {
+    let path: Vec<&str> = r
+        .nodes
+        .iter()
+        .map(|&n| net.pops()[n].name.as_str())
+        .collect();
+    format!(
+        "{label}: {:.0} bit-miles + {:.0} risk-miles = {:.0} bit-risk miles\n  {}\n",
+        r.bit_miles,
+        r.risk_miles,
+        r.bit_risk_miles,
+        path.join(" -> ")
+    )
+}
+
+/// `riskroute route <net> <src> <dst>`
+pub fn route(
+    ctx: &CliContext,
+    network: &str,
+    src: &str,
+    dst: &str,
+    weights: RiskWeights,
+) -> Result<String, String> {
+    let net = ctx.network(network)?;
+    let (s, d) = (resolve_pop(net, src)?, resolve_pop(net, dst)?);
+    let planner = ctx.planner(net, weights);
+    let sp = planner
+        .shortest_route(s, d)
+        .ok_or_else(|| format!("{} and {} are not connected", src, dst))?;
+    let rr = planner.risk_route(s, d).expect("reachable pair");
+    let mut out = format!(
+        "{}: {} -> {} (lambda_h {:.0e}, lambda_f {:.0e})\n\n",
+        net.name(),
+        net.pops()[s].name,
+        net.pops()[d].name,
+        weights.lambda_h,
+        weights.lambda_f
+    );
+    out.push_str(&describe_route(net, "shortest path", &sp));
+    out.push_str(&describe_route(net, "RiskRoute    ", &rr));
+    let _ = writeln!(
+        out,
+        "\nrisk reduction {:.1}% for {:.1}% extra distance",
+        100.0 * (1.0 - rr.bit_risk_miles / sp.bit_risk_miles),
+        100.0 * (rr.bit_miles / sp.bit_miles - 1.0)
+    );
+    Ok(out)
+}
+
+/// `riskroute backup <net> <src> <dst> -k N`
+pub fn backup(
+    ctx: &CliContext,
+    network: &str,
+    src: &str,
+    dst: &str,
+    k: usize,
+    weights: RiskWeights,
+) -> Result<String, String> {
+    let net = ctx.network(network)?;
+    let (s, d) = (resolve_pop(net, src)?, resolve_pop(net, dst)?);
+    let planner = ctx.planner(net, weights);
+    let plan = backup_paths(&planner, net, s, d, k)
+        .ok_or_else(|| format!("{src} and {dst} are not connected"))?;
+    let mut out = format!(
+        "{}: ranked paths {} -> {}\n\n",
+        net.name(),
+        net.pops()[s].name,
+        net.pops()[d].name
+    );
+    out.push_str(&describe_route(net, "primary ", &plan.primary));
+    for (i, alt) in plan.alternates.iter().enumerate() {
+        out.push_str(&describe_route(net, &format!("backup {}", i + 1), alt));
+    }
+    if plan.alternates.is_empty() {
+        out.push_str("(no loopless alternates exist)\n");
+    }
+    Ok(out)
+}
+
+/// `riskroute provision <net> -k N`
+pub fn provision(
+    ctx: &CliContext,
+    network: &str,
+    k: usize,
+    weights: RiskWeights,
+) -> Result<String, String> {
+    let net = ctx.network(network)?;
+    let planner = ctx.planner(net, weights);
+    let risk = planner.risk().clone();
+    let shares = PopShares::from_shares(planner.shares().shares().to_vec());
+    let result = greedy_links(net, &planner, k, move |aug| {
+        Planner::new(aug, risk.clone(), shares.clone(), weights)
+    });
+    let mut out = format!(
+        "{}: best additional links (greedy Eq. 4; original total bit-risk {:.3e})\n\n",
+        net.name(),
+        result.original_bit_risk
+    );
+    if result.added.is_empty() {
+        out.push_str("no candidate links at any shortcut threshold\n");
+    }
+    for (i, link) in result.added.iter().enumerate() {
+        let _ = writeln!(
+            out,
+            "{}. {} <-> {} ({:.0} mi, filter >{:.0}%): total falls to {:.2}% of original",
+            i + 1,
+            net.pops()[link.a].name,
+            net.pops()[link.b].name,
+            link.miles,
+            100.0 * link.shortcut_threshold,
+            100.0 * link.total_bit_risk / result.original_bit_risk
+        );
+    }
+    Ok(out)
+}
+
+/// `riskroute replay <net> <storm> --stride N`
+pub fn replay(
+    ctx: &CliContext,
+    network: &str,
+    storm: &str,
+    stride: usize,
+    weights: RiskWeights,
+) -> Result<String, String> {
+    let net = ctx.network(network)?;
+    let storm = resolve_storm(storm)?;
+    let planner = ctx.planner(net, weights);
+    let result = replay_storm(&planner, net, storm, stride);
+    let mut out = format!(
+        "{} under Hurricane {} (every {}th advisory)\n\n",
+        net.name(),
+        result.storm,
+        stride
+    );
+    for tick in &result.ticks {
+        let bar = "#".repeat(((tick.report.risk_reduction_ratio * 150.0).round() as usize).min(60));
+        let _ = writeln!(
+            out,
+            "{:<24} rr {:>6.3}  in-scope {:>3}  hurricane-winds {:>3}  {}",
+            tick.label,
+            tick.report.risk_reduction_ratio,
+            tick.pops_in_scope,
+            tick.pops_in_hurricane_winds,
+            bar
+        );
+    }
+    if let Some(peak) = result.peak() {
+        let _ = writeln!(
+            out,
+            "\npeak risk-reduction ratio {:.3} at {}",
+            peak.report.risk_reduction_ratio, peak.label
+        );
+    }
+    Ok(out)
+}
+
+/// `riskroute critical <net>`
+pub fn critical(ctx: &CliContext, network: &str) -> Result<String, String> {
+    let net = ctx.network(network)?;
+    let risk = NodeRisk::from_historical(net, &ctx.hazards);
+    let ranking = criticality_ranking(net, &risk);
+    let mut out = format!(
+        "{}: PoPs by risk-weighted criticality (betweenness x historical risk)\n\n",
+        net.name()
+    );
+    let _ = writeln!(
+        out,
+        "{:<28} {:>12} {:>10} {:>10}  {}",
+        "PoP", "Betweenness", "Risk", "Exposure", "SPOF"
+    );
+    out.push_str(&"-".repeat(72));
+    out.push('\n');
+    for c in ranking.iter().take(15) {
+        let _ = writeln!(
+            out,
+            "{:<28} {:>12.1} {:>10.4} {:>10.2} {}",
+            c.name,
+            c.betweenness,
+            c.historical_risk,
+            c.exposure,
+            if c.articulation { " YES" } else { "" }
+        );
+    }
+    let spofs = ranking.iter().filter(|c| c.articulation).count();
+    let _ = writeln!(
+        out,
+        "\n{} of {} PoPs are articulation points (structural single points of failure)",
+        spofs,
+        net.pop_count()
+    );
+    Ok(out)
+}
+
+/// `riskroute corridors <net>`
+pub fn corridors(ctx: &CliContext, network: &str) -> Result<String, String> {
+    let net = ctx.network(network)?;
+    let risks = riskroute::corridor::corridor_risks(net, &ctx.hazards);
+    let mut out = format!(
+        "{}: link corridors by integrated risk (risk-miles = mean o_h x length)\n\n",
+        net.name()
+    );
+    let _ = writeln!(
+        out,
+        "{:<44} {:>8} {:>10} {:>10} {:>11}",
+        "Link", "Miles", "Mean risk", "Peak risk", "Risk-miles"
+    );
+    out.push_str(&"-".repeat(88));
+    out.push('\n');
+    for r in risks.iter().take(15) {
+        let _ = writeln!(
+            out,
+            "{:<44} {:>8.0} {:>10.4} {:>10.4} {:>11.2}",
+            format!(
+                "{} <-> {}",
+                net.pops()[r.endpoints.0].name,
+                net.pops()[r.endpoints.1].name
+            ),
+            r.miles,
+            r.mean_risk,
+            r.peak_risk,
+            r.risk_miles
+        );
+    }
+    let mean_peak = risks.iter().map(|r| r.peak_risk).sum::<f64>() / risks.len().max(1) as f64;
+    let groups = riskroute::corridor::shared_risk_link_groups(net, &ctx.hazards, mean_peak, 250.0);
+    let _ = writeln!(
+        out,
+        "\nShared-risk link groups (peak > network mean {mean_peak:.3}, hot spots within 250 mi):"
+    );
+    for (i, g) in groups.iter().enumerate().take(6) {
+        let names: Vec<String> = g
+            .iter()
+            .map(|&l| {
+                let link = &net.links()[l];
+                format!("{}<->{}", net.pops()[link.a].name, net.pops()[link.b].name)
+            })
+            .collect();
+        let _ = writeln!(out, "  group {}: {}", i + 1, names.join(", "));
+    }
+    if groups.is_empty() {
+        out.push_str("  (none above threshold)\n");
+    }
+    Ok(out)
+}
+
+/// `riskroute ospf <net>`
+pub fn ospf(ctx: &CliContext, network: &str, weights: RiskWeights) -> Result<String, String> {
+    let net = ctx.network(network)?;
+    let planner = ctx.planner(net, weights);
+    let beta = riskroute::ospf::mean_impact(&planner);
+    let link_weights = riskroute::ospf::risk_aware_weights(net, &planner, beta);
+    let eval = riskroute::ospf::evaluate_ospf(net, &planner, &link_weights);
+    let exact = planner.ratio_report();
+    let mut out = format!(
+        "{}: risk-aware OSPF link weights (beta_ref = mean impact {:.4})\n\n",
+        net.name(),
+        beta
+    );
+    let _ = writeln!(out, "{:<44} {:>9} {:>12}", "Link", "Miles", "OSPF weight");
+    out.push_str(&"-".repeat(68));
+    out.push('\n');
+    for (l, w) in net.links().iter().zip(&link_weights).take(20) {
+        let _ = writeln!(
+            out,
+            "{:<44} {:>9.0} {:>12.0}",
+            format!("{} <-> {}", net.pops()[l.a].name, net.pops()[l.b].name),
+            l.miles,
+            w
+        );
+    }
+    if net.link_count() > 20 {
+        let _ = writeln!(out, "… and {} more links", net.link_count() - 20);
+    }
+    let _ = writeln!(
+        out,
+        "\nfidelity vs exact RiskRoute: {:.1}% of paths identical; \
+         mean excess bit-risk {:.2}%",
+        100.0 * eval.path_fidelity,
+        100.0 * eval.mean_excess_bit_risk
+    );
+    let captured = if exact.risk_reduction_ratio > 1e-9 {
+        eval.report.risk_reduction_ratio / exact.risk_reduction_ratio
+    } else {
+        1.0
+    };
+    let _ = writeln!(
+        out,
+        "risk reduction captured: {:.0}% ({:.3} of {:.3})",
+        100.0 * captured,
+        eval.report.risk_reduction_ratio,
+        exact.risk_reduction_ratio
+    );
+    Ok(out)
+}
+
+/// `riskroute failure <net> <storm>`
+pub fn failure(ctx: &CliContext, network: &str, storm: &str) -> Result<String, String> {
+    let net = ctx.network(network)?;
+    let storm = resolve_storm(storm)?;
+    let shares = PopShares::assign(&ctx.population, net, None);
+    let swath = StormSwath::new(
+        advisories_for(storm)
+            .iter()
+            .map(ForecastRisk::from_advisory)
+            .collect(),
+    );
+    let report = storm_failure(net, &shares, &swath);
+    let mut out = format!(
+        "{} under Hurricane {}: failure injection (hurricane-force winds destroy PoPs)\n\n",
+        net.name(),
+        storm.name()
+    );
+    let _ = writeln!(
+        out,
+        "failed PoPs: {} of {}",
+        report.failed_pops.len(),
+        net.pop_count()
+    );
+    for &p in report.failed_pops.iter().take(12) {
+        let _ = writeln!(out, "  - {}", net.pops()[p].name);
+    }
+    if report.failed_pops.len() > 12 {
+        let _ = writeln!(out, "  … and {} more", report.failed_pops.len() - 12);
+    }
+    let _ = writeln!(out, "links lost: {}", report.lost_links);
+    let _ = writeln!(out, "surviving components: {}", report.survivor_components);
+    let _ = writeln!(
+        out,
+        "disconnected survivor pairs: {}",
+        report.disconnected_pairs
+    );
+    let _ = writeln!(
+        out,
+        "population share affected: {:.1}% ({:.1}% on failed PoPs, {:.1}% isolated)",
+        100.0 * report.total_affected_share(),
+        100.0 * report.failed_population_share,
+        100.0 * report.isolated_population_share
+    );
+    Ok(out)
+}
+
+/// `riskroute export <net> [--format json|graphml]`
+pub fn export(ctx: &CliContext, network: &str, format: &str) -> Result<String, String> {
+    let net = ctx.network(network)?;
+    match format {
+        "json" => {
+            serde_json::to_string_pretty(net).map_err(|e| format!("serialization failed: {e}"))
+        }
+        "graphml" => Ok(riskroute_topology::import::network_to_graphml(net)),
+        other => Err(format!("unknown export format {other:?}")),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ctx() -> CliContext {
+        CliContext::build(&[]).unwrap()
+    }
+
+    #[test]
+    fn corpus_lists_everything() {
+        let out = corpus(&ctx());
+        assert!(out.contains("Level3"));
+        assert!(out.contains("Telepak"));
+        assert!(out.contains("tier-1"));
+        assert!(out.contains("regional"));
+    }
+
+    #[test]
+    fn route_compares_both_paths() {
+        let out = route(
+            &ctx(),
+            "Sprint",
+            "0",
+            "5",
+            RiskWeights::historical_only(1e5),
+        )
+        .unwrap();
+        assert!(out.contains("shortest path"));
+        assert!(out.contains("RiskRoute"));
+        assert!(out.contains("risk reduction"));
+    }
+
+    #[test]
+    fn route_rejects_unknown_network() {
+        let err = route(&ctx(), "Nope", "0", "1", RiskWeights::PAPER).unwrap_err();
+        assert!(err.contains("unknown network"));
+    }
+
+    #[test]
+    fn backup_lists_ranked_paths() {
+        let out = backup(
+            &ctx(),
+            "Sprint",
+            "0",
+            "5",
+            3,
+            RiskWeights::historical_only(1e5),
+        )
+        .unwrap();
+        assert!(out.contains("primary"));
+    }
+
+    #[test]
+    fn provision_reports_links_or_absence() {
+        let out = provision(&ctx(), "Sprint", 2, RiskWeights::historical_only(1e5)).unwrap();
+        assert!(out.contains("best additional links"));
+    }
+
+    #[test]
+    fn replay_renders_ticks() {
+        let out = replay(&ctx(), "Telepak", "katrina", 20, RiskWeights::PAPER).unwrap();
+        assert!(out.contains("KATRINA"));
+        assert!(out.contains("rr "));
+        assert!(out.contains("peak risk-reduction"));
+    }
+
+    #[test]
+    fn critical_flags_spofs() {
+        let out = critical(&ctx(), "Deutsche Telekom").unwrap();
+        assert!(out.contains("criticality"));
+        assert!(out.contains("articulation points"));
+    }
+
+    #[test]
+    fn ospf_reports_weights_and_fidelity() {
+        let out = ospf(&ctx(), "Sprint", RiskWeights::historical_only(1e5)).unwrap();
+        assert!(out.contains("OSPF weight"));
+        assert!(out.contains("risk reduction captured"));
+    }
+
+    #[test]
+    fn corridors_ranks_links() {
+        let out = corridors(&ctx(), "Telepak").unwrap();
+        assert!(out.contains("Risk-miles"));
+        assert!(out.contains("Shared-risk link groups"));
+    }
+
+    #[test]
+    fn failure_reports_damage() {
+        let out = failure(&ctx(), "Telepak", "katrina").unwrap();
+        assert!(out.contains("failed PoPs"));
+        assert!(out.contains("population share affected"));
+    }
+
+    #[test]
+    fn export_round_trips_through_json() {
+        let json = export(&ctx(), "NTT", "json").unwrap();
+        let back: Network = serde_json::from_str(&json).unwrap();
+        assert_eq!(back.name(), "NTT");
+        assert_eq!(back.pop_count(), 12);
+    }
+
+    #[test]
+    fn export_graphml_re_imports() {
+        let xml = export(&ctx(), "NTT", "graphml").unwrap();
+        let back = riskroute_topology::import::network_from_graphml(
+            &xml,
+            "NTT",
+            riskroute_topology::NetworkKind::Tier1,
+        )
+        .unwrap();
+        assert_eq!(back.pop_count(), 12);
+        assert!(export(&ctx(), "NTT", "yaml").is_err());
+    }
+}

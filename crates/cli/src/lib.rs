@@ -1,0 +1,206 @@
+//! Implementation of the `riskroute` command-line tool.
+//!
+//! Every subcommand is a pure function from parsed arguments to an output
+//! string, so the whole surface is unit-testable without spawning
+//! processes; `main.rs` only does I/O.
+//!
+//! ```text
+//! riskroute corpus                                # list the 23 networks
+//! riskroute route Sprint "Seattle" "Miami"        # bit-risk vs shortest
+//! riskroute backup Sprint "Seattle" "Miami" -k 3  # ranked alternates
+//! riskroute provision Sprint -k 5                 # best new links
+//! riskroute replay Telepak katrina                # advisory replay
+//! riskroute critical "Deutsche Telekom"           # criticality ranking
+//! riskroute failure Telepak katrina               # failure injection
+//! riskroute export Sprint                         # topology as JSON
+//! riskroute --graphml map.graphml --name MyNet route MyNet 0 5
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod args;
+pub mod commands;
+
+pub use args::{parse_args, Cli, CliError, Command};
+
+use riskroute::prelude::*;
+use riskroute_hazard::HistoricalRisk;
+use riskroute_topology::import::network_from_graphml;
+use riskroute_topology::{Network, NetworkKind};
+
+/// Seed and substrate sizes the CLI uses (documented in `--help`).
+pub const CLI_SEED: u64 = 42;
+const CLI_BLOCKS: usize = 20_000;
+const CLI_EVENT_CAP: usize = 3_000;
+
+/// Everything a command needs: corpus (plus any imported networks),
+/// population, and hazards.
+pub struct CliContext {
+    /// The standard 23-network corpus.
+    pub corpus: Corpus,
+    /// Networks imported from GraphML files.
+    pub imported: Vec<Network>,
+    /// Census model.
+    pub population: PopulationModel,
+    /// Hazard model.
+    pub hazards: HistoricalRisk,
+}
+
+impl CliContext {
+    /// Build the context, importing any GraphML files requested.
+    ///
+    /// # Errors
+    /// Propagates file and import errors as strings.
+    pub fn build(graphml: &[(String, String)]) -> Result<Self, String> {
+        let mut imported = Vec::new();
+        for (path, name) in graphml {
+            let xml =
+                std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+            let net = network_from_graphml(&xml, name, NetworkKind::Regional)
+                .map_err(|e| format!("cannot import {path}: {e}"))?;
+            imported.push(net);
+        }
+        Ok(CliContext {
+            corpus: Corpus::standard(CLI_SEED),
+            imported,
+            population: PopulationModel::synthesize(CLI_SEED, CLI_BLOCKS),
+            hazards: HistoricalRisk::standard(CLI_SEED, Some(CLI_EVENT_CAP)),
+        })
+    }
+
+    /// Look up a network by name: imported networks shadow corpus members.
+    pub fn network(&self, name: &str) -> Result<&Network, String> {
+        self.imported
+            .iter()
+            .find(|n| n.name() == name)
+            .or_else(|| self.corpus.network(name))
+            .ok_or_else(|| {
+                let mut names: Vec<&str> = self
+                    .imported
+                    .iter()
+                    .map(Network::name)
+                    .chain(self.corpus.all_networks().map(Network::name))
+                    .collect();
+                names.sort_unstable();
+                format!("unknown network {name:?}; available: {}", names.join(", "))
+            })
+    }
+
+    /// Planner for a network at the given weights.
+    pub fn planner(&self, net: &Network, weights: RiskWeights) -> Planner {
+        Planner::for_network(net, &self.population, &self.hazards, weights)
+    }
+}
+
+/// Resolve a PoP selector: an index (`"12"`) or a case-insensitive name
+/// substring (`"new orle"`); substring matches must be unique.
+pub fn resolve_pop(net: &Network, selector: &str) -> Result<usize, String> {
+    if let Ok(idx) = selector.parse::<usize>() {
+        return if idx < net.pop_count() {
+            Ok(idx)
+        } else {
+            Err(format!(
+                "PoP index {idx} out of range ({} has {} PoPs)",
+                net.name(),
+                net.pop_count()
+            ))
+        };
+    }
+    let needle = selector.to_lowercase();
+    let matches: Vec<usize> = net
+        .pops()
+        .iter()
+        .enumerate()
+        .filter(|(_, p)| p.name.to_lowercase().contains(&needle))
+        .map(|(i, _)| i)
+        .collect();
+    match matches.as_slice() {
+        [one] => Ok(*one),
+        [] => Err(format!("no PoP of {} matches {selector:?}", net.name())),
+        many => Err(format!(
+            "{selector:?} is ambiguous in {}: {}",
+            net.name(),
+            many.iter()
+                .map(|&i| net.pops()[i].name.as_str())
+                .collect::<Vec<_>>()
+                .join(", ")
+        )),
+    }
+}
+
+/// Parse a storm name.
+pub fn resolve_storm(name: &str) -> Result<Storm, String> {
+    match name.to_lowercase().as_str() {
+        "katrina" => Ok(Storm::Katrina),
+        "irene" => Ok(Storm::Irene),
+        "sandy" => Ok(Storm::Sandy),
+        other => Err(format!(
+            "unknown storm {other:?}; expected katrina, irene, or sandy"
+        )),
+    }
+}
+
+/// Run a parsed CLI invocation to an output string.
+///
+/// # Errors
+/// Returns a user-facing error message.
+pub fn run(cli: &Cli) -> Result<String, String> {
+    let ctx = CliContext::build(&cli.graphml)?;
+    match &cli.command {
+        Command::Corpus => Ok(commands::corpus(&ctx)),
+        Command::Route { network, src, dst } => {
+            commands::route(&ctx, network, src, dst, cli.weights())
+        }
+        Command::Backup {
+            network,
+            src,
+            dst,
+            k,
+        } => commands::backup(&ctx, network, src, dst, *k, cli.weights()),
+        Command::Provision { network, k } => commands::provision(&ctx, network, *k, cli.weights()),
+        Command::Replay {
+            network,
+            storm,
+            stride,
+        } => commands::replay(&ctx, network, storm, *stride, cli.weights()),
+        Command::Critical { network } => commands::critical(&ctx, network),
+        Command::Corridors { network } => commands::corridors(&ctx, network),
+        Command::Ospf { network } => commands::ospf(&ctx, network, cli.weights()),
+        Command::Failure { network, storm } => commands::failure(&ctx, network, storm),
+        Command::Export { network, format } => commands::export(&ctx, network, format),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn resolve_pop_by_index_and_name() {
+        let ctx = CliContext::build(&[]).unwrap();
+        let net = ctx.network("Deutsche Telekom").unwrap();
+        assert_eq!(resolve_pop(net, "0").unwrap(), 0);
+        assert!(resolve_pop(net, "999").is_err());
+        // Every PoP resolves by its own full name.
+        for (i, p) in net.pops().iter().enumerate() {
+            assert_eq!(resolve_pop(net, &p.name).unwrap(), i, "{}", p.name);
+        }
+        assert!(resolve_pop(net, "zzz-nowhere").is_err());
+    }
+
+    #[test]
+    fn resolve_storm_accepts_any_case() {
+        assert_eq!(resolve_storm("Katrina").unwrap(), Storm::Katrina);
+        assert_eq!(resolve_storm("SANDY").unwrap(), Storm::Sandy);
+        assert!(resolve_storm("bob").is_err());
+    }
+
+    #[test]
+    fn unknown_network_lists_alternatives() {
+        let ctx = CliContext::build(&[]).unwrap();
+        let err = ctx.network("Nope").unwrap_err();
+        assert!(err.contains("Level3"));
+        assert!(err.contains("Telepak"));
+    }
+}

@@ -1,0 +1,39 @@
+//! The `riskroute` binary: argument I/O around the testable library.
+
+use riskroute_cli::{parse_args, run, CliError};
+use std::io::Write;
+
+/// Write to stdout, exiting quietly when the consumer (e.g. `head`) closed
+/// the pipe — standard CLI hygiene.
+fn emit(text: &str) {
+    let mut stdout = std::io::stdout().lock();
+    if let Err(e) = writeln!(stdout, "{text}") {
+        if e.kind() == std::io::ErrorKind::BrokenPipe {
+            std::process::exit(0);
+        }
+        eprintln!("error writing output: {e}");
+        std::process::exit(1);
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let cli = match parse_args(&args) {
+        Ok(cli) => cli,
+        Err(CliError::Help(usage)) => {
+            emit(usage.trim_end());
+            return;
+        }
+        Err(err @ CliError::Bad(_)) => {
+            eprintln!("{err}");
+            std::process::exit(2);
+        }
+    };
+    match run(&cli) {
+        Ok(output) => emit(output.trim_end()),
+        Err(msg) => {
+            eprintln!("error: {msg}");
+            std::process::exit(1);
+        }
+    }
+}

@@ -1,0 +1,38 @@
+//! Preview of Table 2: Tier-1 risk-reduction and distance-increase ratios.
+//! Run with `cargo run --release -p riskroute --example table2_preview`.
+
+use riskroute::prelude::*;
+use std::time::Instant;
+
+fn main() {
+    let t0 = Instant::now();
+    let corpus = Corpus::standard(42);
+    let population = PopulationModel::synthesize(42, 30_000);
+    let hazards = HistoricalRisk::standard(42, Some(6_000));
+    println!("setup: {:.1?}", t0.elapsed());
+
+    println!(
+        "{:<18} {:>6} | {:>10} {:>10} | {:>10} {:>10}",
+        "Network", "PoPs", "rr(1e5)", "dr(1e5)", "rr(1e6)", "dr(1e6)"
+    );
+    for net in &corpus.tier1 {
+        let mut row = format!("{:<18} {:>6} |", net.name(), net.pop_count());
+        for lambda in [1e5, 1e6] {
+            let t = Instant::now();
+            let planner = Planner::for_network(
+                net,
+                &population,
+                &hazards,
+                RiskWeights::historical_only(lambda),
+            );
+            let r = planner.ratio_report();
+            row += &format!(
+                " {:>10.3} {:>10.3}",
+                r.risk_reduction_ratio, r.distance_increase_ratio
+            );
+            eprintln!("  {} λ={lambda:.0e}: {:.1?}", net.name(), t.elapsed());
+        }
+        println!("{row} |");
+    }
+    println!("total: {:.1?}", t0.elapsed());
+}

@@ -1,0 +1,193 @@
+//! Composite SLA / risk objectives — the §6.4 extension.
+//!
+//! "The RiskRoute framework could easily be expanded to include multiple
+//! objective functions that would balance risk and SLA-related issues such
+//! as latency in route calculations." This module provides that expansion:
+//! a convex blend between the pure-latency objective (bit-miles, a direct
+//! proxy for propagation delay) and the bit-risk objective, plus a sweep
+//! helper exposing the Pareto trade-off curve.
+
+use crate::intradomain::Planner;
+use crate::metric::RiskWeights;
+use crate::routing::RoutedPath;
+use serde::{Deserialize, Serialize};
+
+/// A convex latency/risk blend: `α = 0` is pure shortest-path (SLA-only),
+/// `α = 1` is full RiskRoute at the base weights.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct CompositeObjective {
+    /// Blend factor in `[0, 1]`.
+    pub alpha: f64,
+    /// The full-risk-aversion weights blended toward.
+    pub base: RiskWeights,
+}
+
+impl CompositeObjective {
+    /// Construct a blend.
+    ///
+    /// # Panics
+    /// Panics when `alpha` is outside `[0, 1]` or not finite.
+    pub fn new(alpha: f64, base: RiskWeights) -> Self {
+        assert!(
+            alpha.is_finite() && (0.0..=1.0).contains(&alpha),
+            "alpha must be in [0, 1]"
+        );
+        CompositeObjective { alpha, base }
+    }
+
+    /// The effective λ weights of the blend. Risk terms scale linearly with
+    /// λ, so blending the objective is exactly blending the weights.
+    pub fn weights(&self) -> RiskWeights {
+        RiskWeights::new(
+            self.alpha * self.base.lambda_h,
+            self.alpha * self.base.lambda_f,
+        )
+    }
+}
+
+/// One point on the latency/risk trade-off curve.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TradeoffPoint {
+    /// The blend factor that produced this point.
+    pub alpha: f64,
+    /// The route found under the blended objective.
+    pub route: RoutedPath,
+    /// The route's *unblended* bit-risk miles (evaluated at the base
+    /// weights), so points are comparable.
+    pub full_bit_risk_miles: f64,
+}
+
+/// Sweep the trade-off curve for one PoP pair: route under each `alpha`,
+/// re-evaluating every route at the base weights. Returns one point per
+/// alpha (skipping none — the pair must be reachable).
+///
+/// # Panics
+/// Panics when the pair is unreachable or `alphas` is empty.
+pub fn tradeoff_sweep(
+    base_planner: &Planner,
+    i: usize,
+    j: usize,
+    alphas: &[f64],
+) -> Vec<TradeoffPoint> {
+    assert!(!alphas.is_empty(), "need at least one alpha");
+    let base = base_planner.weights();
+    let mut out = Vec::with_capacity(alphas.len());
+    for &alpha in alphas {
+        let obj = CompositeObjective::new(alpha, base);
+        let mut planner = base_planner.clone();
+        planner.set_weights(obj.weights());
+        let route = planner
+            .risk_route(i, j)
+            .expect("pair must be reachable for a tradeoff sweep");
+        // Re-evaluate the same node sequence at full weights.
+        let full = {
+            let mut full_planner = base_planner.clone();
+            full_planner.set_weights(base);
+            // Evaluate by re-routing along the fixed node sequence: walk the
+            // route's decomposition under base weights.
+            let beta = full_planner.impact(i, j);
+            let risk: f64 = route.nodes[1..]
+                .iter()
+                .map(|&v| beta * full_planner.risk().scaled(v, base))
+                .sum();
+            route.bit_miles + risk
+        };
+        out.push(TradeoffPoint {
+            alpha,
+            route,
+            full_bit_risk_miles: full,
+        });
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metric::NodeRisk;
+    use riskroute_geo::GeoPoint;
+    use riskroute_population::PopShares;
+    use riskroute_topology::{Network, NetworkKind, Pop};
+
+    fn pop(name: &str, lat: f64, lon: f64) -> Pop {
+        Pop {
+            name: name.into(),
+            location: GeoPoint::new(lat, lon).unwrap(),
+        }
+    }
+
+    fn diamond_planner() -> Planner {
+        let net = Network::new(
+            "diamond",
+            NetworkKind::Regional,
+            vec![
+                pop("W", 35.0, -100.0),
+                pop("N", 37.5, -97.0),
+                pop("S", 35.0, -97.0),
+                pop("E", 35.0, -94.0),
+            ],
+            vec![(0, 1), (1, 3), (0, 2), (2, 3)],
+        )
+        .unwrap();
+        let risk = NodeRisk::new(vec![0.0, 0.0, 1e-3, 0.0], vec![0.0; 4]);
+        Planner::new(
+            &net,
+            risk,
+            PopShares::from_shares(vec![0.25; 4]),
+            RiskWeights::historical_only(1e5),
+        )
+    }
+
+    #[test]
+    fn alpha_zero_is_shortest_path() {
+        let p = diamond_planner();
+        let sweep = tradeoff_sweep(&p, 0, 3, &[0.0]);
+        let sp = p.shortest_route(0, 3).unwrap();
+        assert_eq!(sweep[0].route.nodes, sp.nodes);
+    }
+
+    #[test]
+    fn alpha_one_is_full_riskroute() {
+        let p = diamond_planner();
+        let sweep = tradeoff_sweep(&p, 0, 3, &[1.0]);
+        let rr = p.risk_route(0, 3).unwrap();
+        assert_eq!(sweep[0].route.nodes, rr.nodes);
+        assert!((sweep[0].full_bit_risk_miles - rr.bit_risk_miles).abs() < 1e-9);
+    }
+
+    #[test]
+    fn sweep_is_monotone_in_both_objectives() {
+        let p = diamond_planner();
+        let alphas = [0.0, 0.25, 0.5, 0.75, 1.0];
+        let sweep = tradeoff_sweep(&p, 0, 3, &alphas);
+        for w in sweep.windows(2) {
+            // More risk-aversion: bit-miles weakly increase, full bit-risk
+            // weakly decreases.
+            assert!(w[1].route.bit_miles >= w[0].route.bit_miles - 1e-9);
+            assert!(w[1].full_bit_risk_miles <= w[0].full_bit_risk_miles + 1e-9);
+        }
+    }
+
+    #[test]
+    fn weights_blend_linearly() {
+        let base = RiskWeights::new(1e5, 1e3);
+        let half = CompositeObjective::new(0.5, base).weights();
+        assert_eq!(half.lambda_h, 5e4);
+        assert_eq!(half.lambda_f, 5e2);
+        let zero = CompositeObjective::new(0.0, base).weights();
+        assert_eq!(zero.lambda_h, 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "alpha must be in [0, 1]")]
+    fn out_of_range_alpha_panics() {
+        let _ = CompositeObjective::new(1.5, RiskWeights::PAPER);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one alpha")]
+    fn empty_alphas_panic() {
+        let p = diamond_planner();
+        let _ = tradeoff_sweep(&p, 0, 3, &[]);
+    }
+}

@@ -1,0 +1,402 @@
+//! Intradomain RiskRoute (§6.1): minimum bit-risk-mile routing within one
+//! provider and the aggregate trade-off against shortest-path routing.
+
+use crate::metric::{ImpactModel, NodeRisk, RiskWeights};
+use crate::ratios::{PairOutcome, RatioReport};
+use crate::routing::{evaluate_path, risk_sssp, Adjacency, RiskTree, RoutedPath};
+use riskroute_hazard::HistoricalRisk;
+use riskroute_population::{PopShares, PopulationModel};
+use riskroute_topology::Network;
+
+/// The intradomain routing engine for one network.
+///
+/// Holds the topology adjacency, per-PoP risk vectors, population shares,
+/// and the λ weights; answers RiskRoute (Eq. 3) and shortest-path queries,
+/// and aggregates the §7 ratio reports.
+#[derive(Debug, Clone)]
+pub struct Planner {
+    adjacency: Adjacency,
+    risk: NodeRisk,
+    shares: PopShares,
+    weights: RiskWeights,
+    impact_model: ImpactModel,
+}
+
+impl Planner {
+    /// Build a planner from prepared parts.
+    ///
+    /// # Panics
+    /// Panics when vector lengths disagree with the network size.
+    pub fn new(network: &Network, risk: NodeRisk, shares: PopShares, weights: RiskWeights) -> Self {
+        assert_eq!(risk.len(), network.pop_count(), "risk must cover every PoP");
+        assert_eq!(
+            shares.shares().len(),
+            network.pop_count(),
+            "shares must cover every PoP"
+        );
+        let adjacency = Adjacency::from_links(
+            network.pop_count(),
+            network.links().iter().map(|l| (l.a, l.b, l.miles)),
+        );
+        Planner {
+            adjacency,
+            risk,
+            shares,
+            weights,
+            impact_model: ImpactModel::default(),
+        }
+    }
+
+    /// Switch the impact model (§5's traffic-flow alternative); returns the
+    /// planner for chaining.
+    pub fn with_impact_model(mut self, model: ImpactModel) -> Self {
+        self.impact_model = model;
+        self
+    }
+
+    /// The active impact model.
+    pub fn impact_model(&self) -> ImpactModel {
+        self.impact_model
+    }
+
+    /// Build a planner with the standard §5 instantiation: population
+    /// shares by nearest-neighbour census assignment and historical risk
+    /// from the five-corpus hazard model (zero forecast risk).
+    pub fn for_network(
+        network: &Network,
+        population: &PopulationModel,
+        hazards: &HistoricalRisk,
+        weights: RiskWeights,
+    ) -> Self {
+        let shares = PopShares::assign(population, network, None);
+        let risk = NodeRisk::from_historical(network, hazards);
+        Planner::new(network, risk, shares, weights)
+    }
+
+    /// Number of PoPs.
+    pub fn pop_count(&self) -> usize {
+        self.adjacency.node_count()
+    }
+
+    /// The adjacency (for provisioning analyses).
+    pub fn adjacency(&self) -> &Adjacency {
+        &self.adjacency
+    }
+
+    /// The per-PoP risk vectors.
+    pub fn risk(&self) -> &NodeRisk {
+        &self.risk
+    }
+
+    /// Mutable access to the risk vectors (replay updates the forecast
+    /// component per advisory).
+    pub fn risk_mut(&mut self) -> &mut NodeRisk {
+        &mut self.risk
+    }
+
+    /// The population shares.
+    pub fn shares(&self) -> &PopShares {
+        &self.shares
+    }
+
+    /// The λ weights.
+    pub fn weights(&self) -> RiskWeights {
+        self.weights
+    }
+
+    /// Replace the λ weights.
+    pub fn set_weights(&mut self, weights: RiskWeights) {
+        self.weights = weights;
+    }
+
+    /// Outage impact β(i,j) under the active [`ImpactModel`]
+    /// (§5.1's c_i + c_j by default).
+    pub fn impact(&self, i: usize, j: usize) -> f64 {
+        self.impact_model
+            .beta(self.shares.share(i), self.shares.share(j))
+    }
+
+    /// The λ- and β-scaled risk charged for entering PoP `v` on an (i, j)
+    /// route.
+    #[inline]
+    fn entry_cost(&self, beta: f64) -> impl Fn(usize) -> f64 + '_ {
+        let w = self.weights;
+        move |v| beta * self.risk.scaled(v, w)
+    }
+
+    /// Evaluate an explicit node sequence under the (i, j) pair's bit-risk
+    /// metric (the path need not be optimal — backup planning evaluates
+    /// Yen-ranked alternates this way).
+    ///
+    /// # Panics
+    /// Panics when consecutive nodes are not physically linked.
+    pub fn evaluate(&self, i: usize, j: usize, nodes: &[usize]) -> RoutedPath {
+        let beta = self.impact(i, j);
+        evaluate_path(&self.adjacency, nodes, self.entry_cost(beta))
+    }
+
+    /// The RiskRoute path (Eq. 3): minimum bit-risk miles from `i` to `j`.
+    /// `None` when unreachable.
+    pub fn risk_route(&self, i: usize, j: usize) -> Option<RoutedPath> {
+        let beta = self.impact(i, j);
+        let tree = risk_sssp(&self.adjacency, i, self.entry_cost(beta));
+        let nodes = tree.path_to(j)?;
+        Some(evaluate_path(
+            &self.adjacency,
+            &nodes,
+            self.entry_cost(beta),
+        ))
+    }
+
+    /// The geographic shortest path from `i` to `j`, *evaluated under the
+    /// bit-risk metric* of the (i, j) pair so it is directly comparable to
+    /// [`risk_route`](Self::risk_route). `None` when unreachable.
+    pub fn shortest_route(&self, i: usize, j: usize) -> Option<RoutedPath> {
+        let tree = risk_sssp(&self.adjacency, i, |_| 0.0);
+        let nodes = tree.path_to(j)?;
+        let beta = self.impact(i, j);
+        Some(evaluate_path(
+            &self.adjacency,
+            &nodes,
+            self.entry_cost(beta),
+        ))
+    }
+
+    /// Full SSSP under the (i, j) pair's bit-risk weighting, rooted at `root`
+    /// (used by the provisioning sweep).
+    pub(crate) fn risk_tree(&self, root: usize, beta: f64) -> RiskTree {
+        risk_sssp(&self.adjacency, root, self.entry_cost(beta))
+    }
+
+    /// Pure bit-mile SSSP tree from `root` (the shortest-path baseline and
+    /// the provisioning candidate filter both use it).
+    pub(crate) fn risk_tree_distance(&self, root: usize) -> RiskTree {
+        risk_sssp(&self.adjacency, root, |_| 0.0)
+    }
+
+    /// Pair outcomes for an explicit source × destination sweep (src ≠ dst,
+    /// reachable pairs only). Distance trees are computed once per source.
+    ///
+    /// The interdomain analysis uses this with a regional network's PoPs as
+    /// sources and all regional PoPs as destinations (§7).
+    pub fn pair_outcomes(&self, sources: &[usize], dests: &[usize]) -> Vec<PairOutcome> {
+        let mut out = Vec::with_capacity(sources.len() * dests.len());
+        for &i in sources {
+            let dist_tree = risk_sssp(&self.adjacency, i, |_| 0.0);
+            for &j in dests {
+                if i == j {
+                    continue;
+                }
+                let beta = self.impact(i, j);
+                let Some(sp_nodes) = dist_tree.path_to(j) else {
+                    continue;
+                };
+                let shortest = evaluate_path(&self.adjacency, &sp_nodes, self.entry_cost(beta));
+                let Some(risk_route) = self.risk_route(i, j) else {
+                    continue;
+                };
+                out.push(PairOutcome {
+                    src: i,
+                    dst: j,
+                    risk_route,
+                    shortest,
+                });
+            }
+        }
+        out
+    }
+
+    /// All informative pair outcomes over the whole network, for the
+    /// Eq. 5/6 ratios.
+    pub fn all_pair_outcomes(&self) -> Vec<PairOutcome> {
+        let all: Vec<usize> = (0..self.pop_count()).collect();
+        self.pair_outcomes(&all, &all)
+    }
+
+    /// The §7 ratio report over all PoP pairs (Eqs. 5–6).
+    pub fn ratio_report(&self) -> RatioReport {
+        RatioReport::aggregate(self.all_pair_outcomes().iter())
+    }
+
+    /// Total aggregated bit-risk miles `Σ_{i<j} min_p r_{i,j}(p)` — the
+    /// objective of the provisioning analysis (Eq. 4).
+    pub fn aggregate_bit_risk(&self) -> f64 {
+        let n = self.pop_count();
+        let mut total = 0.0;
+        for i in 0..n {
+            for j in (i + 1)..n {
+                if let Some(p) = self.risk_route(i, j) {
+                    total += p.bit_risk_miles;
+                }
+            }
+        }
+        total
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use riskroute_geo::GeoPoint;
+    use riskroute_topology::{NetworkKind, Pop};
+
+    fn pop(name: &str, lat: f64, lon: f64) -> Pop {
+        Pop {
+            name: name.into(),
+            location: GeoPoint::new(lat, lon).unwrap(),
+        }
+    }
+
+    /// A diamond where the northern detour avoids a risky middle PoP:
+    ///
+    /// ```text
+    ///        1 (safe, north)
+    ///      /   \
+    ///    0       3
+    ///      \   /
+    ///        2 (risky, direct-ish)
+    /// ```
+    fn diamond() -> (Network, NodeRisk, PopShares) {
+        let net = Network::new(
+            "diamond",
+            NetworkKind::Regional,
+            vec![
+                pop("West", 35.0, -100.0),
+                pop("North", 37.5, -97.0),
+                pop("South", 35.0, -97.0),
+                pop("East", 35.0, -94.0),
+            ],
+            vec![(0, 1), (1, 3), (0, 2), (2, 3)],
+        )
+        .unwrap();
+        // PoP 2's risk at β = 0.5, λ_h = 1e5 is worth 250 bit-miles — more
+        // than the ~140-mile northern detour, so RiskRoute must divert.
+        let risk = NodeRisk::new(vec![0.0, 0.0, 5e-3, 0.0], vec![0.0; 4]);
+        // Uniform shares: β = 0.5 for every pair.
+        let shares = PopShares::from_shares(vec![0.25; 4]);
+        (net, risk, shares)
+    }
+
+    fn planner(lambda_h: f64) -> Planner {
+        let (net, risk, shares) = diamond();
+        Planner::new(&net, risk, shares, RiskWeights::historical_only(lambda_h))
+    }
+
+    #[test]
+    fn shortest_route_takes_risky_southern_path() {
+        let p = planner(1e5);
+        let sp = p.shortest_route(0, 3).unwrap();
+        assert_eq!(sp.nodes, vec![0, 2, 3], "south is geographically shorter");
+        assert!(sp.risk_miles > 0.0, "and pays the risk of PoP 2");
+    }
+
+    #[test]
+    fn risk_route_detours_north_when_lambda_large() {
+        let p = planner(1e5);
+        let rr = p.risk_route(0, 3).unwrap();
+        assert_eq!(rr.nodes, vec![0, 1, 3]);
+        assert_eq!(rr.risk_miles, 0.0);
+        assert!(rr.bit_miles > p.shortest_route(0, 3).unwrap().bit_miles);
+    }
+
+    #[test]
+    fn risk_route_matches_shortest_when_lambda_zero() {
+        let p = planner(0.0);
+        let rr = p.risk_route(0, 3).unwrap();
+        let sp = p.shortest_route(0, 3).unwrap();
+        assert_eq!(rr.nodes, sp.nodes);
+        assert_eq!(rr.bit_risk_miles, sp.bit_risk_miles);
+    }
+
+    #[test]
+    fn risk_route_never_exceeds_shortest_in_bit_risk() {
+        let p = planner(1e5);
+        for i in 0..4 {
+            for j in 0..4 {
+                if i == j {
+                    continue;
+                }
+                let rr = p.risk_route(i, j).unwrap();
+                let sp = p.shortest_route(i, j).unwrap();
+                assert!(
+                    rr.bit_risk_miles <= sp.bit_risk_miles + 1e-9,
+                    "({i},{j}): rr {} > sp {}",
+                    rr.bit_risk_miles,
+                    sp.bit_risk_miles
+                );
+                assert!(
+                    rr.bit_miles >= sp.bit_miles - 1e-9,
+                    "RiskRoute can never be geographically shorter"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn ratio_report_reflects_the_detour() {
+        let p = planner(1e5);
+        let r = p.ratio_report();
+        assert!(r.risk_reduction_ratio > 0.0);
+        assert!(r.distance_increase_ratio > 0.0);
+        assert_eq!(r.pairs, 12);
+        let p0 = planner(0.0);
+        let r0 = p0.ratio_report();
+        assert!(r0.risk_reduction_ratio.abs() < 1e-12);
+        assert!(r0.distance_increase_ratio.abs() < 1e-12);
+    }
+
+    #[test]
+    fn larger_lambda_is_weakly_more_risk_averse() {
+        let r5 = planner(1e5).ratio_report();
+        let r6 = planner(1e6).ratio_report();
+        assert!(r6.risk_reduction_ratio >= r5.risk_reduction_ratio - 1e-12);
+        assert!(r6.distance_increase_ratio >= r5.distance_increase_ratio - 1e-12);
+    }
+
+    #[test]
+    fn aggregate_bit_risk_sums_unordered_pairs() {
+        let p = planner(1e5);
+        let mut expect = 0.0;
+        for i in 0..4 {
+            for j in (i + 1)..4 {
+                expect += p.risk_route(i, j).unwrap().bit_risk_miles;
+            }
+        }
+        assert!((p.aggregate_bit_risk() - expect).abs() < 1e-9);
+    }
+
+    #[test]
+    fn unreachable_pairs_return_none() {
+        let net = Network::new(
+            "split",
+            NetworkKind::Regional,
+            vec![
+                pop("A", 35.0, -100.0),
+                pop("B", 36.0, -100.0),
+                pop("C", 40.0, -90.0),
+            ],
+            vec![(0, 1)],
+        )
+        .unwrap();
+        let risk = NodeRisk::new(vec![0.0; 3], vec![0.0; 3]);
+        let shares = PopShares::from_shares(vec![0.4, 0.4, 0.2]);
+        let p = Planner::new(&net, risk, shares, RiskWeights::PAPER);
+        assert!(p.risk_route(0, 2).is_none());
+        assert!(p.shortest_route(0, 2).is_none());
+        assert!(p.risk_route(0, 1).is_some());
+    }
+
+    #[test]
+    #[should_panic(expected = "risk must cover every PoP")]
+    fn mismatched_risk_length_panics() {
+        let (net, _, shares) = diamond();
+        let bad_risk = NodeRisk::new(vec![0.0], vec![0.0]);
+        let _ = Planner::new(&net, bad_risk, shares, RiskWeights::PAPER);
+    }
+
+    #[test]
+    fn impact_uses_shares() {
+        let p = planner(1e5);
+        assert!((p.impact(0, 3) - 0.5).abs() < 1e-12);
+    }
+}

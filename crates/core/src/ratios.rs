@@ -1,0 +1,154 @@
+//! The evaluation ratios of §7 (Eqs. 5–6).
+//!
+//! - **Risk reduction ratio** (Eq. 5): the fractional decrease of average
+//!   bit-risk miles for RiskRoute compared with shortest-path routing.
+//! - **Distance increase ratio** (Eq. 6): the fractional increase in average
+//!   bit-miles RiskRoute pays for that reduction.
+
+use crate::routing::RoutedPath;
+use serde::{Deserialize, Serialize};
+
+/// Per-pair routing outcome feeding the ratios.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PairOutcome {
+    /// Source PoP.
+    pub src: usize,
+    /// Destination PoP.
+    pub dst: usize,
+    /// The RiskRoute path (Eq. 3).
+    pub risk_route: RoutedPath,
+    /// The geographic shortest path, evaluated under the same bit-risk
+    /// metric.
+    pub shortest: RoutedPath,
+}
+
+/// Aggregated Eq. 5 / Eq. 6 ratios.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct RatioReport {
+    /// Eq. 5: `1 − mean(r(p_rr) / r(p_shortest))`.
+    pub risk_reduction_ratio: f64,
+    /// Eq. 6: `mean(d(p_rr) / d(p_shortest)) − 1`.
+    pub distance_increase_ratio: f64,
+    /// Number of (ordered) pairs aggregated.
+    pub pairs: usize,
+}
+
+impl RatioReport {
+    /// Aggregate outcomes into the two ratios.
+    ///
+    /// Pairs with `src == dst`, an unreachable destination, or a zero-length
+    /// shortest path (distinct PoPs co-located at the same coordinates, as
+    /// happens between providers sharing a carrier hotel) carry no
+    /// information — the paper's `1/N²` normalization includes trivial terms
+    /// whose ratio is taken as 1; we normalize by the count of informative
+    /// pairs instead, which only rescales both ratios by the same ≈1 factor.
+    ///
+    /// # Panics
+    /// Panics when `outcomes` contains no informative pair.
+    pub fn aggregate<'a>(outcomes: impl IntoIterator<Item = &'a PairOutcome>) -> RatioReport {
+        let mut risk_ratio_sum = 0.0;
+        let mut dist_ratio_sum = 0.0;
+        let mut pairs = 0usize;
+        for o in outcomes {
+            if o.src == o.dst || o.shortest.bit_risk_miles <= 0.0 || o.shortest.bit_miles <= 0.0 {
+                continue;
+            }
+            risk_ratio_sum += o.risk_route.bit_risk_miles / o.shortest.bit_risk_miles;
+            dist_ratio_sum += o.risk_route.bit_miles / o.shortest.bit_miles;
+            pairs += 1;
+        }
+        assert!(pairs > 0, "no informative pairs to aggregate");
+        RatioReport {
+            risk_reduction_ratio: 1.0 - risk_ratio_sum / pairs as f64,
+            distance_increase_ratio: dist_ratio_sum / pairs as f64 - 1.0,
+            pairs,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn path(nodes: Vec<usize>, miles: f64, risk: f64) -> RoutedPath {
+        RoutedPath {
+            nodes,
+            bit_miles: miles,
+            risk_miles: risk,
+            bit_risk_miles: miles + risk,
+        }
+    }
+
+    #[test]
+    fn identical_routes_give_zero_ratios() {
+        let o = PairOutcome {
+            src: 0,
+            dst: 1,
+            risk_route: path(vec![0, 1], 100.0, 5.0),
+            shortest: path(vec![0, 1], 100.0, 5.0),
+        };
+        let r = RatioReport::aggregate([&o]);
+        assert!(r.risk_reduction_ratio.abs() < 1e-12);
+        assert!(r.distance_increase_ratio.abs() < 1e-12);
+        assert_eq!(r.pairs, 1);
+    }
+
+    #[test]
+    fn textbook_twenty_percent_example() {
+        // "a risk reduction ratio of 0.2 implies that using RiskRoute reduces
+        // the bit-risk miles of a routing path by 20%" — and symmetric for
+        // the distance increase ratio.
+        let o = PairOutcome {
+            src: 0,
+            dst: 1,
+            risk_route: path(vec![0, 2, 1], 120.0, 40.0), // 160 bit-risk
+            shortest: path(vec![0, 1], 100.0, 100.0),     // 200 bit-risk
+        };
+        let r = RatioReport::aggregate([&o]);
+        assert!((r.risk_reduction_ratio - 0.2).abs() < 1e-12);
+        assert!((r.distance_increase_ratio - 0.2).abs() < 1e-12);
+    }
+
+    #[test]
+    fn aggregation_averages_pairs() {
+        let a = PairOutcome {
+            src: 0,
+            dst: 1,
+            risk_route: path(vec![0, 1], 80.0, 0.0),
+            shortest: path(vec![0, 1], 100.0, 0.0),
+        };
+        let b = PairOutcome {
+            src: 1,
+            dst: 0,
+            risk_route: path(vec![1, 0], 100.0, 0.0),
+            shortest: path(vec![1, 0], 100.0, 0.0),
+        };
+        let r = RatioReport::aggregate([&a, &b]);
+        assert!((r.risk_reduction_ratio - 0.1).abs() < 1e-12);
+        assert_eq!(r.pairs, 2);
+    }
+
+    #[test]
+    fn diagonal_pairs_are_skipped() {
+        let trivial = PairOutcome {
+            src: 2,
+            dst: 2,
+            risk_route: path(vec![2], 0.0, 0.0),
+            shortest: path(vec![2], 0.0, 0.0),
+        };
+        let real = PairOutcome {
+            src: 0,
+            dst: 1,
+            risk_route: path(vec![0, 1], 90.0, 0.0),
+            shortest: path(vec![0, 1], 100.0, 0.0),
+        };
+        let r = RatioReport::aggregate([&trivial, &real]);
+        assert_eq!(r.pairs, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "no informative pairs")]
+    fn empty_aggregation_panics() {
+        let _ = RatioReport::aggregate([]);
+    }
+}

@@ -1,0 +1,345 @@
+//! Directed shortest-path machinery over the bit-risk metric.
+//!
+//! Eq. 1 charges risk at the PoP a hop *enters*, so the effective edge
+//! weight is directional even though the physical links are not:
+//! `w(u→v) = d(u,v) + β·ρ(v)` where `ρ(v)` is the λ-combined risk of v.
+//! This module runs Dijkstra directly over that implicit directed weighting
+//! (bit-risk weights are non-negative by construction, so Dijkstra is exact
+//! for Eq. 3).
+
+use serde::{Deserialize, Serialize};
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+/// Adjacency built once per topology: `adj[u] = [(v, miles), …]` for both
+/// directions of every link.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Adjacency {
+    adj: Vec<Vec<(usize, f64)>>,
+}
+
+impl Adjacency {
+    /// Build from an undirected link list over `n` nodes.
+    ///
+    /// # Panics
+    /// Panics on out-of-range endpoints or invalid lengths.
+    pub fn from_links(n: usize, links: impl IntoIterator<Item = (usize, usize, f64)>) -> Self {
+        let mut adj = vec![Vec::new(); n];
+        for (a, b, miles) in links {
+            assert!(a < n && b < n, "link endpoint out of range");
+            assert!(
+                miles.is_finite() && miles >= 0.0,
+                "link length must be finite and non-negative"
+            );
+            adj[a].push((b, miles));
+            adj[b].push((a, miles));
+        }
+        Adjacency { adj }
+    }
+
+    /// Number of nodes.
+    pub fn node_count(&self) -> usize {
+        self.adj.len()
+    }
+
+    /// Neighbors of `u` with link miles.
+    pub fn neighbors(&self, u: usize) -> &[(usize, f64)] {
+        &self.adj[u]
+    }
+}
+
+/// A routed path with its metric decomposition.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RoutedPath {
+    /// PoP sequence from source to destination.
+    pub nodes: Vec<usize>,
+    /// Total geographic distance (bit-miles).
+    pub bit_miles: f64,
+    /// Total β-scaled risk charged along the path.
+    pub risk_miles: f64,
+    /// `bit_miles + risk_miles` — the bit-risk miles of Eq. 1.
+    pub bit_risk_miles: f64,
+}
+
+/// A single-source shortest-path tree under a directed node-entry weight.
+#[derive(Debug, Clone)]
+pub struct RiskTree {
+    source: usize,
+    dist: Vec<f64>,
+    pred: Vec<Option<usize>>,
+}
+
+impl RiskTree {
+    /// The source node.
+    pub fn source(&self) -> usize {
+        self.source
+    }
+
+    /// Bit-risk distance to `t` (`f64::INFINITY` when unreachable).
+    pub fn dist(&self, t: usize) -> f64 {
+        self.dist[t]
+    }
+
+    /// Whether `t` is reachable.
+    pub fn reachable(&self, t: usize) -> bool {
+        self.dist[t].is_finite()
+    }
+
+    /// Node sequence source→t, or `None` when unreachable.
+    pub fn path_to(&self, t: usize) -> Option<Vec<usize>> {
+        if !self.reachable(t) {
+            return None;
+        }
+        let mut path = vec![t];
+        let mut cur = t;
+        while let Some(p) = self.pred[cur] {
+            path.push(p);
+            cur = p;
+        }
+        path.reverse();
+        Some(path)
+    }
+}
+
+#[derive(PartialEq)]
+struct Entry {
+    cost: f64,
+    node: usize,
+}
+
+impl Eq for Entry {}
+
+impl Ord for Entry {
+    fn cmp(&self, other: &Self) -> Ordering {
+        other
+            .cost
+            .partial_cmp(&self.cost)
+            .expect("costs are finite")
+            .then_with(|| other.node.cmp(&self.node))
+    }
+}
+
+impl PartialOrd for Entry {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+/// Dijkstra from `source` with edge weight
+/// `w(u→v) = miles(u,v) + entry_cost(v)`.
+///
+/// `entry_cost(v)` is the β-scaled risk charged for entering PoP v; it must
+/// be non-negative and finite for every node.
+///
+/// # Panics
+/// Panics when `source` is out of range or an entry cost is invalid.
+pub fn risk_sssp(adj: &Adjacency, source: usize, entry_cost: impl Fn(usize) -> f64) -> RiskTree {
+    let n = adj.node_count();
+    assert!(source < n, "source {source} out of range ({n} nodes)");
+    let costs: Vec<f64> = (0..n)
+        .map(|v| {
+            let c = entry_cost(v);
+            assert!(
+                c.is_finite() && c >= 0.0,
+                "entry cost of node {v} must be finite and non-negative (got {c})"
+            );
+            c
+        })
+        .collect();
+
+    let mut dist = vec![f64::INFINITY; n];
+    let mut pred: Vec<Option<usize>> = vec![None; n];
+    let mut settled = vec![false; n];
+    let mut heap = BinaryHeap::new();
+    dist[source] = 0.0;
+    heap.push(Entry {
+        cost: 0.0,
+        node: source,
+    });
+    while let Some(Entry { cost, node }) = heap.pop() {
+        if settled[node] {
+            continue;
+        }
+        settled[node] = true;
+        for &(v, miles) in adj.neighbors(node) {
+            if settled[v] {
+                continue;
+            }
+            let next = cost + miles + costs[v];
+            if next < dist[v] {
+                dist[v] = next;
+                pred[v] = Some(node);
+                heap.push(Entry {
+                    cost: next,
+                    node: v,
+                });
+            }
+        }
+    }
+    RiskTree { source, dist, pred }
+}
+
+/// Evaluate a node sequence under the metric, decomposing bit-miles and
+/// risk-miles. The source node's entry cost is never charged (Eq. 1 sums
+/// from p₂).
+///
+/// # Panics
+/// Panics when consecutive nodes are not adjacent or the path is empty.
+pub fn evaluate_path(
+    adj: &Adjacency,
+    nodes: &[usize],
+    entry_cost: impl Fn(usize) -> f64,
+) -> RoutedPath {
+    assert!(!nodes.is_empty(), "cannot evaluate an empty path");
+    let mut bit_miles = 0.0;
+    let mut risk_miles = 0.0;
+    for w in nodes.windows(2) {
+        let (u, v) = (w[0], w[1]);
+        let miles = adj
+            .neighbors(u)
+            .iter()
+            .filter(|&&(n, _)| n == v)
+            .map(|&(_, m)| m)
+            .min_by(|a, b| a.partial_cmp(b).expect("finite"))
+            .unwrap_or_else(|| panic!("nodes {u} and {v} are not adjacent"));
+        bit_miles += miles;
+        risk_miles += entry_cost(v);
+    }
+    RoutedPath {
+        nodes: nodes.to_vec(),
+        bit_miles,
+        risk_miles,
+        bit_risk_miles: bit_miles + risk_miles,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Square with a risky top corner:
+    ///
+    /// ```text
+    ///   0 --10-- 1(risk 100)
+    ///   |         |
+    ///  10        10
+    ///   |         |
+    ///   3 --10-- 2
+    /// ```
+    fn square() -> Adjacency {
+        Adjacency::from_links(
+            4,
+            vec![(0, 1, 10.0), (1, 2, 10.0), (2, 3, 10.0), (3, 0, 10.0)],
+        )
+    }
+
+    fn risky_node_1(v: usize) -> f64 {
+        if v == 1 {
+            100.0
+        } else {
+            0.0
+        }
+    }
+
+    #[test]
+    fn routes_around_risky_node() {
+        let adj = square();
+        let tree = risk_sssp(&adj, 0, risky_node_1);
+        // 0→2 via 3 costs 20; via 1 costs 10+100+10 = 120.
+        assert_eq!(tree.dist(2), 20.0);
+        assert_eq!(tree.path_to(2), Some(vec![0, 3, 2]));
+    }
+
+    #[test]
+    fn destination_risk_is_charged() {
+        let adj = square();
+        let tree = risk_sssp(&adj, 0, risky_node_1);
+        // Entering node 1 costs its risk no matter the approach: min(10, 30)
+        // + 100.
+        assert_eq!(tree.dist(1), 110.0);
+    }
+
+    #[test]
+    fn source_risk_is_never_charged() {
+        let adj = square();
+        let tree = risk_sssp(&adj, 1, risky_node_1);
+        assert_eq!(tree.dist(1), 0.0);
+        assert_eq!(tree.dist(0), 10.0);
+        assert_eq!(tree.dist(2), 10.0);
+    }
+
+    #[test]
+    fn zero_risk_reduces_to_distance_dijkstra() {
+        let adj = square();
+        let tree = risk_sssp(&adj, 0, |_| 0.0);
+        assert_eq!(tree.dist(2), 20.0);
+        assert_eq!(tree.dist(1), 10.0);
+    }
+
+    #[test]
+    fn unreachable_nodes() {
+        let adj = Adjacency::from_links(3, vec![(0, 1, 5.0)]);
+        let tree = risk_sssp(&adj, 0, |_| 0.0);
+        assert!(!tree.reachable(2));
+        assert_eq!(tree.path_to(2), None);
+        assert_eq!(tree.dist(2), f64::INFINITY);
+    }
+
+    #[test]
+    fn evaluate_path_decomposes_metric() {
+        let adj = square();
+        let p = evaluate_path(&adj, &[0, 1, 2], risky_node_1);
+        assert_eq!(p.bit_miles, 20.0);
+        assert_eq!(p.risk_miles, 100.0);
+        assert_eq!(p.bit_risk_miles, 120.0);
+        assert_eq!(p.nodes, vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn evaluate_trivial_path() {
+        let adj = square();
+        let p = evaluate_path(&adj, &[2], risky_node_1);
+        assert_eq!(p.bit_risk_miles, 0.0);
+    }
+
+    #[test]
+    fn evaluate_matches_tree_distance() {
+        let adj = square();
+        let tree = risk_sssp(&adj, 0, risky_node_1);
+        for t in 0..4 {
+            let path = tree.path_to(t).unwrap();
+            let eval = evaluate_path(&adj, &path, risky_node_1);
+            assert!((eval.bit_risk_miles - tree.dist(t)).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "not adjacent")]
+    fn evaluate_rejects_non_path() {
+        let adj = square();
+        let _ = evaluate_path(&adj, &[0, 2], |_| 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "entry cost of node")]
+    fn negative_entry_cost_panics() {
+        let adj = square();
+        let _ = risk_sssp(&adj, 0, |_| -1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn bad_source_panics() {
+        let adj = square();
+        let _ = risk_sssp(&adj, 9, |_| 0.0);
+    }
+
+    #[test]
+    fn parallel_links_use_cheapest() {
+        let adj = Adjacency::from_links(2, vec![(0, 1, 10.0), (0, 1, 3.0)]);
+        let tree = risk_sssp(&adj, 0, |_| 0.0);
+        assert_eq!(tree.dist(1), 3.0);
+        let eval = evaluate_path(&adj, &[0, 1], |_| 0.0);
+        assert_eq!(eval.bit_miles, 3.0);
+    }
+}

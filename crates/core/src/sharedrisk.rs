@@ -1,0 +1,163 @@
+//! Shared-risk analysis between providers — the §8 future-work extension.
+//!
+//! Two ISPs that concentrate infrastructure in the same high-risk metros
+//! fail together: multihoming across them buys less resilience than the
+//! peering graph suggests. This module quantifies that geographic risk
+//! coupling: for every co-located PoP pair between two networks, both PoPs
+//! are exposed to the same disasters, so the *shared* risk of the pair is
+//! the smaller of the two PoPs' historical risks. Summing over co-located
+//! pairs (counting each PoP once, via greedy matching) and normalizing by
+//! the networks' own total risk yields a `[0, 1]` coupling coefficient.
+
+use riskroute_geo::distance::great_circle_miles;
+use riskroute_hazard::HistoricalRisk;
+use riskroute_topology::Network;
+use serde::{Deserialize, Serialize};
+
+/// Result of a shared-risk comparison between two networks.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SharedRiskReport {
+    /// First network.
+    pub network_a: String,
+    /// Second network.
+    pub network_b: String,
+    /// Greedily matched co-located PoP pairs `(a_pop, b_pop, miles)`.
+    pub matched_pairs: Vec<(usize, usize, f64)>,
+    /// Sum over matched pairs of `min(o_h(a), o_h(b))`.
+    pub shared_risk: f64,
+    /// `shared_risk / min(Σ o_h(A), Σ o_h(B))` — the coupling coefficient
+    /// in `[0, 1]`. Zero when either network carries no risk.
+    pub coupling: f64,
+}
+
+/// Compute the shared-risk report for two networks.
+///
+/// PoPs within `radius_miles` are co-located; each PoP participates in at
+/// most one matched pair (greedy nearest-first matching), so a dense metro
+/// is not double counted.
+///
+/// # Panics
+/// Panics when `radius_miles` is not positive/finite.
+pub fn shared_risk(
+    a: &Network,
+    b: &Network,
+    hazards: &HistoricalRisk,
+    radius_miles: f64,
+) -> SharedRiskReport {
+    assert!(
+        radius_miles.is_finite() && radius_miles > 0.0,
+        "radius must be positive"
+    );
+    let risk_a: Vec<f64> = a.pops().iter().map(|p| hazards.risk(p.location)).collect();
+    let risk_b: Vec<f64> = b.pops().iter().map(|p| hazards.risk(p.location)).collect();
+
+    // All co-located candidate pairs, nearest first.
+    let mut pairs: Vec<(usize, usize, f64)> = Vec::new();
+    for (i, p) in a.pops().iter().enumerate() {
+        for (j, q) in b.pops().iter().enumerate() {
+            let d = great_circle_miles(p.location, q.location);
+            if d <= radius_miles {
+                pairs.push((i, j, d));
+            }
+        }
+    }
+    pairs.sort_by(|x, y| x.2.partial_cmp(&y.2).expect("finite").then(x.0.cmp(&y.0)));
+
+    // Greedy one-to-one matching.
+    let mut used_a = vec![false; a.pop_count()];
+    let mut used_b = vec![false; b.pop_count()];
+    let mut matched = Vec::new();
+    let mut shared = 0.0;
+    for (i, j, d) in pairs {
+        if used_a[i] || used_b[j] {
+            continue;
+        }
+        used_a[i] = true;
+        used_b[j] = true;
+        shared += risk_a[i].min(risk_b[j]);
+        matched.push((i, j, d));
+    }
+
+    let total_a: f64 = risk_a.iter().sum();
+    let total_b: f64 = risk_b.iter().sum();
+    let denom = total_a.min(total_b);
+    SharedRiskReport {
+        network_a: a.name().to_string(),
+        network_b: b.name().to_string(),
+        matched_pairs: matched,
+        shared_risk: shared,
+        coupling: if denom > 0.0 { shared / denom } else { 0.0 },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use riskroute_geo::GeoPoint;
+    use riskroute_topology::{NetworkKind, Pop};
+
+    fn net(name: &str, coords: &[(f64, f64)]) -> Network {
+        let pops = coords
+            .iter()
+            .enumerate()
+            .map(|(i, &(lat, lon))| Pop {
+                name: format!("{name}-{i}"),
+                location: GeoPoint::new(lat, lon).unwrap(),
+            })
+            .collect();
+        let links = (0..coords.len().saturating_sub(1))
+            .map(|i| (i, i + 1))
+            .collect();
+        Network::new(name, NetworkKind::Regional, pops, links).unwrap()
+    }
+
+    fn hazards() -> HistoricalRisk {
+        HistoricalRisk::standard(42, Some(300))
+    }
+
+    #[test]
+    fn identical_footprints_couple_fully() {
+        let a = net("a", &[(29.95, -90.07), (30.45, -91.15)]); // NO + Baton Rouge
+        let b = net("b", &[(29.96, -90.08), (30.46, -91.16)]);
+        let r = shared_risk(&a, &b, &hazards(), 30.0);
+        assert_eq!(r.matched_pairs.len(), 2);
+        assert!(r.coupling > 0.95, "coupling {}", r.coupling);
+    }
+
+    #[test]
+    fn disjoint_footprints_do_not_couple() {
+        let a = net("a", &[(29.95, -90.07)]); // New Orleans
+        let b = net("b", &[(47.61, -122.33)]); // Seattle
+        let r = shared_risk(&a, &b, &hazards(), 30.0);
+        assert!(r.matched_pairs.is_empty());
+        assert_eq!(r.shared_risk, 0.0);
+        assert_eq!(r.coupling, 0.0);
+    }
+
+    #[test]
+    fn matching_is_one_to_one() {
+        // Three b-PoPs stacked in one metro can match at most one a-PoP.
+        let a = net("a", &[(32.78, -96.80)]);
+        let b = net("b", &[(32.79, -96.81), (32.77, -96.79), (32.78, -96.82)]);
+        let r = shared_risk(&a, &b, &hazards(), 30.0);
+        assert_eq!(r.matched_pairs.len(), 1);
+    }
+
+    #[test]
+    fn gulf_pair_couples_more_than_mixed_pair() {
+        let gulf_a = net("ga", &[(29.95, -90.07), (30.69, -88.04)]);
+        let gulf_b = net("gb", &[(29.96, -90.06), (30.70, -88.05)]);
+        let inland_b = net("ib", &[(39.74, -104.99), (40.76, -111.89)]);
+        let h = hazards();
+        let coupled = shared_risk(&gulf_a, &gulf_b, &h, 30.0);
+        let uncoupled = shared_risk(&gulf_a, &inland_b, &h, 30.0);
+        assert!(coupled.coupling > uncoupled.coupling);
+    }
+
+    #[test]
+    #[should_panic(expected = "radius must be positive")]
+    fn invalid_radius_panics() {
+        let a = net("a", &[(29.95, -90.07)]);
+        let _ = shared_risk(&a, &a, &hazards(), 0.0);
+    }
+}

@@ -1,0 +1,168 @@
+//! Property-based tests for the RiskRoute core: invariants that must hold
+//! for *any* topology, risk field, and impact model.
+
+use proptest::prelude::*;
+use riskroute::provisioning::with_extra_link;
+use riskroute::{NodeRisk, Planner, RiskWeights};
+use riskroute_geo::GeoPoint;
+use riskroute_population::PopShares;
+use riskroute_topology::{Network, NetworkKind, Pop};
+
+/// A random connected geometric network with per-PoP risks and shares.
+#[derive(Debug, Clone)]
+struct Scenario {
+    network: Network,
+    risk: Vec<f64>,
+    shares: Vec<f64>,
+}
+
+fn scenario() -> impl Strategy<Value = Scenario> {
+    (3usize..10).prop_flat_map(|n| {
+        let coords = proptest::collection::vec((30.0..45.0f64, -120.0..-75.0f64), n);
+        let extra_links = proptest::collection::vec((0..n, 0..n), 0..n);
+        let risks = proptest::collection::vec(0.0..0.3f64, n);
+        let raw_shares = proptest::collection::vec(0.01..1.0f64, n);
+        (coords, extra_links, risks, raw_shares).prop_map(
+            move |(coords, extra, risk, raw_shares)| {
+                let pops: Vec<Pop> = coords
+                    .iter()
+                    .enumerate()
+                    .map(|(i, &(lat, lon))| Pop {
+                        name: format!("P{i}"),
+                        // Spread duplicate draws apart so no two PoPs collide.
+                        location: GeoPoint::new(lat, lon + i as f64 * 1e-4).unwrap(),
+                    })
+                    .collect();
+                // Spanning path guarantees connectivity; extras add loops.
+                let mut links: Vec<(usize, usize)> = (1..n).map(|i| (i - 1, i)).collect();
+                for (a, b) in extra {
+                    let key = (a.min(b), a.max(b));
+                    if a != b && !links.contains(&key) {
+                        links.push(key);
+                    }
+                }
+                let network = Network::new("prop", NetworkKind::Regional, pops, links).unwrap();
+                let total: f64 = raw_shares.iter().sum();
+                let shares = raw_shares.iter().map(|s| s / total).collect();
+                Scenario {
+                    network,
+                    risk,
+                    shares,
+                }
+            },
+        )
+    })
+}
+
+fn planner(s: &Scenario, lambda_h: f64) -> Planner {
+    Planner::new(
+        &s.network,
+        NodeRisk::new(s.risk.clone(), vec![0.0; s.risk.len()]),
+        PopShares::from_shares(s.shares.clone()),
+        RiskWeights::historical_only(lambda_h),
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn riskroute_never_loses_and_never_shortens(s in scenario()) {
+        let p = planner(&s, 1e5);
+        let n = s.network.pop_count();
+        for i in 0..n {
+            for j in 0..n {
+                if i == j { continue; }
+                let rr = p.risk_route(i, j).expect("connected by construction");
+                let sp = p.shortest_route(i, j).expect("connected");
+                prop_assert!(rr.bit_risk_miles <= sp.bit_risk_miles + 1e-6);
+                prop_assert!(rr.bit_miles >= sp.bit_miles - 1e-6);
+                prop_assert!((rr.bit_risk_miles - rr.bit_miles - rr.risk_miles).abs() < 1e-6);
+            }
+        }
+    }
+
+    #[test]
+    fn reversal_shifts_cost_by_endpoint_constant(s in scenario()) {
+        // cost(i→j) − cost(j→i) = β·(ρ(j) − ρ(i)): the identity the
+        // incremental provisioning sweep relies on.
+        let p = planner(&s, 1e5);
+        let n = s.network.pop_count();
+        let w = p.weights();
+        for i in 0..n {
+            for j in (i + 1)..n {
+                let fwd = p.risk_route(i, j).unwrap().bit_risk_miles;
+                let rev = p.risk_route(j, i).unwrap().bit_risk_miles;
+                let beta = p.impact(i, j);
+                let expected =
+                    beta * (p.risk().scaled(j, w) - p.risk().scaled(i, w));
+                prop_assert!(
+                    ((fwd - rev) - expected).abs() < 1e-6,
+                    "({i},{j}): fwd {fwd} rev {rev} expected diff {expected}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn lambda_zero_equals_shortest_path(s in scenario()) {
+        let p = planner(&s, 0.0);
+        let n = s.network.pop_count();
+        for i in 0..n {
+            for j in 0..n {
+                if i == j { continue; }
+                let rr = p.risk_route(i, j).unwrap();
+                let sp = p.shortest_route(i, j).unwrap();
+                prop_assert!((rr.bit_risk_miles - sp.bit_risk_miles).abs() < 1e-9);
+                prop_assert!((rr.bit_miles - sp.bit_miles).abs() < 1e-9);
+            }
+        }
+    }
+
+    #[test]
+    fn per_pair_bit_miles_grow_with_lambda(s in scenario()) {
+        let lo = planner(&s, 1e4);
+        let hi = planner(&s, 1e6);
+        let n = s.network.pop_count();
+        for i in 0..n {
+            for j in 0..n {
+                if i == j { continue; }
+                let a = lo.risk_route(i, j).unwrap();
+                let b = hi.risk_route(i, j).unwrap();
+                prop_assert!(b.bit_miles >= a.bit_miles - 1e-9,
+                    "more risk aversion can only lengthen the route");
+            }
+        }
+    }
+
+    #[test]
+    fn adding_any_link_never_increases_aggregate_bit_risk(s in scenario()) {
+        let p = planner(&s, 1e5);
+        let before = p.aggregate_bit_risk();
+        let n = s.network.pop_count();
+        // Pick the first absent pair, if any.
+        let absent = (0..n)
+            .flat_map(|a| ((a + 1)..n).map(move |b| (a, b)))
+            .find(|&(a, b)| !s.network.has_link(a, b));
+        if let Some((a, b)) = absent {
+            let augmented = with_extra_link(&s.network, a, b);
+            let p2 = Planner::new(
+                &augmented,
+                NodeRisk::new(s.risk.clone(), vec![0.0; s.risk.len()]),
+                PopShares::from_shares(s.shares.clone()),
+                RiskWeights::historical_only(1e5),
+            );
+            prop_assert!(p2.aggregate_bit_risk() <= before + 1e-6);
+        }
+    }
+
+    #[test]
+    fn ratio_report_is_well_formed(s in scenario()) {
+        let p = planner(&s, 1e5);
+        let r = p.ratio_report();
+        prop_assert!(r.risk_reduction_ratio >= -1e-12);
+        prop_assert!(r.risk_reduction_ratio < 1.0);
+        prop_assert!(r.distance_increase_ratio >= -1e-12);
+        prop_assert!(r.pairs > 0);
+    }
+}

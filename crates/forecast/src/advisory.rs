@@ -1,0 +1,331 @@
+//! NHC-style advisory text generation and the NLP parser (§4.4).
+//!
+//! The paper extracts, from each public advisory's prose, "the current
+//! center of the hurricane and the radius of tropical and hurricane force
+//! winds at the specified time". [`Advisory::to_text`] renders our
+//! structured advisories into that prose format (ellipsis-delimited NHC
+//! house style), and [`parse_advisory_text`] recovers the numbers — the
+//! framework consumes only the parsed form, so the NLP path is always
+//! exercised.
+
+use crate::calendar::Timestamp;
+use riskroute_geo::{km_to_miles, miles_to_km, GeoPoint};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A structured public advisory.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Advisory {
+    /// Storm name, upper case ("IRENE").
+    pub storm: String,
+    /// Advisory number, from 1.
+    pub number: usize,
+    /// Issuance time.
+    pub timestamp: Timestamp,
+    /// Storm center.
+    pub center: GeoPoint,
+    /// Radius of hurricane-force winds in miles (0 below hurricane
+    /// strength).
+    pub hurricane_radius_mi: f64,
+    /// Radius of tropical-storm-force winds in miles.
+    pub tropical_radius_mi: f64,
+}
+
+impl Advisory {
+    /// Render the advisory as NHC-style prose (the format quoted in §4.4).
+    pub fn to_text(&self) -> String {
+        let lat = self.center.lat();
+        let lon = self.center.lon();
+        let (lat_v, ns) = if lat >= 0.0 {
+            (lat, "NORTH")
+        } else {
+            (-lat, "SOUTH")
+        };
+        let (lon_v, ew) = if lon >= 0.0 {
+            (lon, "EAST")
+        } else {
+            (-lon, "WEST")
+        };
+        let kind = if self.hurricane_radius_mi > 0.0 {
+            "HURRICANE"
+        } else {
+            "TROPICAL STORM"
+        };
+        let mut text = format!(
+            "BULLETIN\n{kind} {name} ADVISORY NUMBER {num}\nNWS NATIONAL HURRICANE CENTER MIAMI FL\n{time}\n\n\
+             ...THE CENTER OF {kind} {name} WAS LOCATED NEAR LATITUDE {lat_v:.1} {ns}...\
+             LONGITUDE {lon_v:.1} {ew}.",
+            name = self.storm,
+            num = self.number,
+            time = self.timestamp.label(),
+        );
+        if self.hurricane_radius_mi > 0.0 {
+            text.push_str(&format!(
+                "\nHURRICANE-FORCE WINDS EXTEND OUTWARD UP TO {h_mi:.0} MILES...{h_km:.0} KM...FROM THE CENTER...",
+                h_mi = self.hurricane_radius_mi,
+                h_km = miles_to_km(self.hurricane_radius_mi),
+            ));
+            text.push_str(&format!(
+                "AND TROPICAL-STORM-FORCE WINDS EXTEND OUTWARD UP TO {t_mi:.0} MILES...{t_km:.0} KM...",
+                t_mi = self.tropical_radius_mi,
+                t_km = miles_to_km(self.tropical_radius_mi),
+            ));
+        } else {
+            text.push_str(&format!(
+                "\nTROPICAL-STORM-FORCE WINDS EXTEND OUTWARD UP TO {t_mi:.0} MILES...{t_km:.0} KM...FROM THE CENTER...",
+                t_mi = self.tropical_radius_mi,
+                t_km = miles_to_km(self.tropical_radius_mi),
+            ));
+        }
+        text
+    }
+}
+
+/// The measurements recovered from advisory prose.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ParsedAdvisory {
+    /// Parsed storm center.
+    pub center: GeoPoint,
+    /// Parsed hurricane-force wind radius in miles (0 when the advisory
+    /// reports none).
+    pub hurricane_radius_mi: f64,
+    /// Parsed tropical-storm-force wind radius in miles.
+    pub tropical_radius_mi: f64,
+}
+
+/// Errors from advisory parsing.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ParseError {
+    /// The "LATITUDE x NORTH...LONGITUDE y WEST" clause was absent or
+    /// malformed.
+    MissingCenter,
+    /// No tropical-storm-force wind radius clause found.
+    MissingTropicalRadius,
+    /// A numeric field failed to parse.
+    BadNumber(String),
+    /// Parsed coordinates were out of range.
+    BadCoordinates(f64, f64),
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ParseError::MissingCenter => write!(f, "advisory has no parsable center clause"),
+            ParseError::MissingTropicalRadius => {
+                write!(f, "advisory has no tropical-storm wind radius clause")
+            }
+            ParseError::BadNumber(s) => write!(f, "unparsable number {s:?}"),
+            ParseError::BadCoordinates(lat, lon) => {
+                write!(f, "coordinates ({lat}, {lon}) out of range")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+/// Parse NHC-style advisory prose into [`ParsedAdvisory`].
+///
+/// Tolerant of the house style's quirks: ellipsis runs of any length,
+/// arbitrary whitespace/newlines, and either MILES or KM appearing first
+/// (miles are preferred; a KM-only radius clause is converted).
+pub fn parse_advisory_text(text: &str) -> Result<ParsedAdvisory, ParseError> {
+    // Normalize: uppercase, collapse ellipses and whitespace into single
+    // spaces so token scanning is uniform.
+    let cleaned: String = text
+        .to_uppercase()
+        .replace("...", " ")
+        .replace(['\n', '\r', '\t'], " ");
+    let tokens: Vec<&str> = cleaned.split_whitespace().collect();
+
+    let center = parse_center(&tokens)?;
+    let hurricane = parse_radius(&tokens, "HURRICANE-FORCE")?;
+    let tropical =
+        parse_radius(&tokens, "TROPICAL-STORM-FORCE")?.ok_or(ParseError::MissingTropicalRadius)?;
+    Ok(ParsedAdvisory {
+        center,
+        hurricane_radius_mi: hurricane.unwrap_or(0.0),
+        tropical_radius_mi: tropical,
+    })
+}
+
+/// Find "LATITUDE <x> NORTH|SOUTH … LONGITUDE <y> EAST|WEST".
+fn parse_center(tokens: &[&str]) -> Result<GeoPoint, ParseError> {
+    let mut lat: Option<f64> = None;
+    let mut lon: Option<f64> = None;
+    for (i, &tok) in tokens.iter().enumerate() {
+        if tok == "LATITUDE" && i + 2 < tokens.len() {
+            let v = parse_number(tokens[i + 1])?;
+            let hemi = tokens[i + 2].trim_end_matches(['.', ',']);
+            lat = Some(match hemi {
+                "NORTH" => v,
+                "SOUTH" => -v,
+                _ => return Err(ParseError::MissingCenter),
+            });
+        }
+        if tok == "LONGITUDE" && i + 2 < tokens.len() {
+            let v = parse_number(tokens[i + 1])?;
+            let hemi = tokens[i + 2].trim_end_matches(['.', ',']);
+            lon = Some(match hemi {
+                "EAST" => v,
+                "WEST" => -v,
+                _ => return Err(ParseError::MissingCenter),
+            });
+        }
+    }
+    match (lat, lon) {
+        (Some(lat), Some(lon)) => {
+            GeoPoint::new(lat, lon).map_err(|_| ParseError::BadCoordinates(lat, lon))
+        }
+        _ => Err(ParseError::MissingCenter),
+    }
+}
+
+/// Find "<PREFIX> WINDS EXTEND OUTWARD UP TO <n> MILES" (or "<n> KM" when no
+/// miles figure follows). Returns `Ok(None)` when the clause is absent.
+fn parse_radius(tokens: &[&str], prefix: &str) -> Result<Option<f64>, ParseError> {
+    for (i, &tok) in tokens.iter().enumerate() {
+        if tok != prefix {
+            continue;
+        }
+        // Scan forward a bounded window for "<number> MILES" or "<number> KM".
+        let window = &tokens[i..tokens.len().min(i + 12)];
+        let mut km_value: Option<f64> = None;
+        for (j, &w) in window.iter().enumerate() {
+            let unit = w.trim_end_matches(['.', ',']);
+            if (unit == "MILES" || unit == "MILE") && j > 0 {
+                let v = parse_number(window[j - 1])?;
+                return Ok(Some(v));
+            }
+            if unit == "KM" && j > 0 {
+                if let Ok(v) = parse_number(window[j - 1]) {
+                    km_value.get_or_insert(km_to_miles(v));
+                }
+            }
+        }
+        if let Some(v) = km_value {
+            return Ok(Some(v));
+        }
+    }
+    Ok(None)
+}
+
+fn parse_number(token: &str) -> Result<f64, ParseError> {
+    let stripped = token.trim_matches(|c: char| !c.is_ascii_digit() && c != '.' && c != '-');
+    stripped
+        .parse::<f64>()
+        .map_err(|_| ParseError::BadNumber(token.to_string()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_advisory() -> Advisory {
+        Advisory {
+            storm: "IRENE".to_string(),
+            number: 29,
+            timestamp: Timestamp::new(2011, 8, 27, 8),
+            center: GeoPoint::new(35.2, -76.4).unwrap(),
+            hurricane_radius_mi: 90.0,
+            tropical_radius_mi: 260.0,
+        }
+    }
+
+    #[test]
+    fn round_trip_generation_and_parsing() {
+        let adv = sample_advisory();
+        let parsed = parse_advisory_text(&adv.to_text()).unwrap();
+        assert!((parsed.center.lat() - 35.2).abs() < 0.051);
+        assert!((parsed.center.lon() + 76.4).abs() < 0.051);
+        assert_eq!(parsed.hurricane_radius_mi, 90.0);
+        assert_eq!(parsed.tropical_radius_mi, 260.0);
+    }
+
+    #[test]
+    fn parses_the_paper_excerpt_verbatim() {
+        // The exact §4.4 excerpt.
+        let text = "...THE CENTER OF HURRICANE IRENE WAS LOCATED \
+                    NEAR LATITUDE 35.2 NORTH...LONGITUDE 76.4 WEST. \
+                    IRENE IS MOVING TOWARD THE NORTH-NORTHEAST \
+                    NEAR 15 MPH...HURRICANE-FORCE WINDS EXTEND \
+                    OUTWARD UP TO 90 MILES...150 KM...FROM THE CENTER...\
+                    AND TROPICAL-STORM-FORCE WINDS EXTEND \
+                    OUTWARD UP TO 260 MILES...415 KM...";
+        let parsed = parse_advisory_text(text).unwrap();
+        assert!((parsed.center.lat() - 35.2).abs() < 1e-9);
+        assert!((parsed.center.lon() + 76.4).abs() < 1e-9);
+        assert_eq!(parsed.hurricane_radius_mi, 90.0);
+        assert_eq!(parsed.tropical_radius_mi, 260.0);
+    }
+
+    #[test]
+    fn tropical_storm_advisory_has_zero_hurricane_radius() {
+        let mut adv = sample_advisory();
+        adv.hurricane_radius_mi = 0.0;
+        let text = adv.to_text();
+        assert!(text.contains("TROPICAL STORM IRENE"));
+        assert!(!text.contains("HURRICANE-FORCE"));
+        let parsed = parse_advisory_text(&text).unwrap();
+        assert_eq!(parsed.hurricane_radius_mi, 0.0);
+        assert_eq!(parsed.tropical_radius_mi, 260.0);
+    }
+
+    #[test]
+    fn km_only_clause_is_converted() {
+        let text = "LATITUDE 30.0 NORTH...LONGITUDE 85.0 WEST. \
+                    TROPICAL-STORM-FORCE WINDS EXTEND OUTWARD UP TO 415 KM...";
+        let parsed = parse_advisory_text(text).unwrap();
+        assert!((parsed.tropical_radius_mi - 257.9).abs() < 0.5);
+    }
+
+    #[test]
+    fn southern_and_eastern_hemispheres_parse() {
+        let text = "LATITUDE 12.5 SOUTH...LONGITUDE 130.2 EAST. \
+                    TROPICAL-STORM-FORCE WINDS EXTEND OUTWARD UP TO 100 MILES...";
+        let parsed = parse_advisory_text(text).unwrap();
+        assert!((parsed.center.lat() + 12.5).abs() < 1e-9);
+        assert!((parsed.center.lon() - 130.2).abs() < 1e-9);
+    }
+
+    #[test]
+    fn missing_center_is_an_error() {
+        let text = "TROPICAL-STORM-FORCE WINDS EXTEND OUTWARD UP TO 100 MILES...";
+        assert_eq!(parse_advisory_text(text), Err(ParseError::MissingCenter));
+    }
+
+    #[test]
+    fn missing_tropical_radius_is_an_error() {
+        let text = "LATITUDE 30.0 NORTH...LONGITUDE 85.0 WEST. NOTHING ELSE.";
+        assert_eq!(
+            parse_advisory_text(text),
+            Err(ParseError::MissingTropicalRadius)
+        );
+    }
+
+    #[test]
+    fn out_of_range_coordinates_are_an_error() {
+        let text = "LATITUDE 95.0 NORTH...LONGITUDE 85.0 WEST. \
+                    TROPICAL-STORM-FORCE WINDS EXTEND OUTWARD UP TO 100 MILES...";
+        assert!(matches!(
+            parse_advisory_text(text),
+            Err(ParseError::BadCoordinates(..))
+        ));
+    }
+
+    #[test]
+    fn case_and_whitespace_insensitive() {
+        let text = "latitude 35.2 north\n\nlongitude 76.4 west.\n\
+                    tropical-storm-force winds extend outward up to 260 miles";
+        let parsed = parse_advisory_text(text).unwrap();
+        assert_eq!(parsed.tropical_radius_mi, 260.0);
+    }
+
+    #[test]
+    fn generated_text_contains_header_fields() {
+        let text = sample_advisory().to_text();
+        assert!(text.contains("HURRICANE IRENE ADVISORY NUMBER 29"));
+        assert!(text.contains("8 AM SAT AUG 27 2011"));
+        assert!(text.contains("LATITUDE 35.2 NORTH"));
+    }
+}

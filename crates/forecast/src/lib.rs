@@ -1,0 +1,41 @@
+//! Hurricane forecast substrate for the RiskRoute reproduction.
+//!
+//! Section 4.4 of the paper parses NOAA National Hurricane Center public
+//! advisories for Hurricanes Katrina (61 advisories), Irene (70), and Sandy
+//! (60), extracting the storm center and the radii of hurricane-force and
+//! tropical-storm-force winds from the advisory *text* by natural-language
+//! parsing. §5.3 turns each parsed advisory into a forecasted outage risk:
+//! `ρ_h = 100` inside hurricane-force winds, `ρ_t = 50` inside
+//! tropical-storm-force winds.
+//!
+//! The NHC text archive is not redistributable, so this crate embeds
+//! best-track-style trajectories for the three storms (approximating the
+//! historical tracks) and *generates* NHC-style advisory prose from them;
+//! the parser then extracts the numbers back out of the prose — the
+//! framework only ever consumes parsed advisories, exercising the same NLP
+//! code path the paper describes.
+//!
+//! - [`calendar`] — minimal date arithmetic for advisory timestamps.
+//! - [`track`] — best-track waypoints and interpolation.
+//! - [`storms`] — the embedded Katrina / Irene / Sandy tracks and advisory
+//!   series generation.
+//! - [`advisory`] — NHC-style text generation and the NLP parser.
+//! - [`risk`] — forecasted outage risk fields and multi-advisory swaths.
+//! - [`projection`] — lead-time extrapolation with an uncertainty cone, for
+//!   the preventive (reroute-before-landfall) use the paper motivates.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod advisory;
+pub mod calendar;
+pub mod projection;
+pub mod risk;
+pub mod storms;
+pub mod track;
+
+pub use advisory::{Advisory, ParseError, ParsedAdvisory};
+pub use projection::{earliest_warning, project, ProjectedField};
+pub use risk::{ForecastRisk, StormSwath, RHO_HURRICANE, RHO_TROPICAL};
+pub use storms::{advisories_for, Storm};
+pub use track::{HurricaneTrack, TrackPoint};

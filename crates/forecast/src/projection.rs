@@ -1,0 +1,267 @@
+//! Forecast projection: where will the storm be in L hours?
+//!
+//! The paper's motivation (§1) is *preventive* routing — NTT, Level3, and
+//! Verizon all rerouted **before** Hurricane Sandy arrived. §5.3 scores
+//! risk from the storm's *current* advisory position; this module adds the
+//! missing lead time: extrapolate the storm's motion from two consecutive
+//! advisories, widen the threatened area by a forecast-uncertainty cone
+//! (NHC track errors grow roughly linearly with lead time), and discount
+//! the risk by the forecast's fading confidence.
+
+use crate::advisory::Advisory;
+use crate::risk::ForecastRisk;
+use riskroute_geo::distance::{destination, great_circle_miles, initial_bearing_deg};
+use riskroute_geo::GeoPoint;
+use serde::{Deserialize, Serialize};
+
+/// NHC-style track-error growth: how many miles of position uncertainty one
+/// hour of lead time adds (≈ 40 mi per 24 h for modern forecasts; we use a
+/// slightly conservative figure for 2005–2012-era storms).
+pub const DEFAULT_CONE_GROWTH_MPH: f64 = 2.2;
+
+/// Confidence half-life of the motion extrapolation, hours: the risk
+/// discount is `0.5^(lead / half_life)`.
+pub const DEFAULT_CONFIDENCE_HALF_LIFE_HOURS: f64 = 48.0;
+
+/// A projected wind field at a future instant.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ProjectedField {
+    /// Lead time in hours beyond the newest advisory.
+    pub lead_hours: f64,
+    /// The projected field: center moved along the observed track, radii
+    /// widened by the uncertainty cone, ρ values discounted by confidence.
+    pub field: ForecastRisk,
+    /// Storm ground speed inferred from the advisory pair, mph.
+    pub speed_mph: f64,
+    /// Storm heading inferred from the advisory pair, degrees true.
+    pub heading_deg: f64,
+}
+
+/// Extrapolate from two consecutive advisories to `lead_hours` past the
+/// newer one, with default cone growth and confidence decay.
+///
+/// # Panics
+/// Panics when the advisories are out of order / simultaneous, or
+/// `lead_hours` is negative or non-finite.
+pub fn project(prev: &Advisory, current: &Advisory, lead_hours: f64) -> ProjectedField {
+    project_with(
+        prev,
+        current,
+        lead_hours,
+        DEFAULT_CONE_GROWTH_MPH,
+        DEFAULT_CONFIDENCE_HALF_LIFE_HOURS,
+    )
+}
+
+/// [`project`] with explicit cone growth (mi/h) and confidence half-life (h).
+///
+/// # Panics
+/// Same contract as [`project`], plus positive/finite knobs.
+pub fn project_with(
+    prev: &Advisory,
+    current: &Advisory,
+    lead_hours: f64,
+    cone_growth_mph: f64,
+    confidence_half_life_hours: f64,
+) -> ProjectedField {
+    assert!(
+        lead_hours.is_finite() && lead_hours >= 0.0,
+        "lead_hours must be finite and non-negative"
+    );
+    assert!(
+        cone_growth_mph.is_finite() && cone_growth_mph >= 0.0,
+        "cone growth must be finite and non-negative"
+    );
+    assert!(
+        confidence_half_life_hours.is_finite() && confidence_half_life_hours > 0.0,
+        "confidence half-life must be positive"
+    );
+    let dt = hours_between(prev, current);
+    assert!(dt > 0.0, "advisories must be ordered and distinct in time");
+
+    let distance = great_circle_miles(prev.center, current.center);
+    let speed_mph = distance / dt;
+    let heading_deg = if distance < 1e-9 {
+        0.0 // stationary storm: heading is arbitrary, projection stays put
+    } else {
+        initial_bearing_deg(prev.center, current.center)
+    };
+    let projected_center = destination(current.center, heading_deg, speed_mph * lead_hours);
+    let cone = cone_growth_mph * lead_hours;
+    let confidence = 0.5_f64.powf(lead_hours / confidence_half_life_hours);
+
+    let base = ForecastRisk::from_advisory(current);
+    let hurricane_radius = if current.hurricane_radius_mi > 0.0 {
+        current.hurricane_radius_mi + cone
+    } else {
+        0.0 // below hurricane strength now: the cone widens only the outer field
+    };
+    let field = ForecastRisk {
+        center: projected_center,
+        hurricane_radius_mi: hurricane_radius,
+        tropical_radius_mi: current.tropical_radius_mi + cone,
+        rho_tropical: base.rho_tropical * confidence,
+        rho_hurricane: base.rho_hurricane * confidence,
+    };
+    ProjectedField {
+        lead_hours,
+        field,
+        speed_mph,
+        heading_deg,
+    }
+}
+
+/// Hours between two advisories' timestamps (positive when `b` is later).
+fn hours_between(a: &Advisory, b: &Advisory) -> f64 {
+    fn absolute_hours(t: &crate::calendar::Timestamp) -> f64 {
+        // Days since a fixed epoch via a simple month-accumulation walk —
+        // exact for the storm-era years we handle.
+        let mut days = 0i64;
+        for y in 1970..t.year {
+            days += if (y % 4 == 0 && y % 100 != 0) || y % 400 == 0 {
+                366
+            } else {
+                365
+            };
+        }
+        for m in 1..t.month {
+            days += i64::from(crate::calendar::days_in_month(t.year, m));
+        }
+        days += i64::from(t.day) - 1;
+        days as f64 * 24.0 + f64::from(t.hour)
+    }
+    absolute_hours(&b.timestamp) - absolute_hours(&a.timestamp)
+}
+
+/// Find a PoP set's earliest warning: the smallest lead time (over the
+/// given ladder) at which the projection from each advisory pair first
+/// covers `location`, reported as `(advisory number, lead_hours)` — i.e.
+/// "you could have known at advisory N, L hours ahead".
+pub fn earliest_warning(
+    advisories: &[Advisory],
+    location: GeoPoint,
+    lead_ladder: &[f64],
+) -> Option<(usize, f64)> {
+    for pair in advisories.windows(2) {
+        for &lead in lead_ladder {
+            let projected = project(&pair[0], &pair[1], lead);
+            if projected.field.in_scope(location) {
+                return Some((pair[1].number, lead));
+            }
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::storms::{advisories_for, Storm};
+
+    fn sandy() -> Vec<Advisory> {
+        advisories_for(Storm::Sandy)
+    }
+
+    #[test]
+    fn zero_lead_reproduces_the_current_field() {
+        let advs = sandy();
+        let p = project(&advs[40], &advs[41], 0.0);
+        let base = ForecastRisk::from_advisory(&advs[41]);
+        assert!(great_circle_miles(p.field.center, base.center) < 1e-6);
+        assert_eq!(p.field.tropical_radius_mi, base.tropical_radius_mi);
+        assert_eq!(p.field.rho_hurricane, base.rho_hurricane);
+        assert_eq!(p.lead_hours, 0.0);
+    }
+
+    #[test]
+    fn projection_moves_along_the_track() {
+        let advs = sandy();
+        // Project 24 h ahead from mid-track; the projected center should be
+        // much closer to the actual +24 h position than the current one is.
+        let (a, b) = (&advs[38], &advs[39]); // 3 h apart
+        let future = &advs[47]; // +24 h from b
+        let p = project(a, b, 24.0);
+        let err_projected = great_circle_miles(p.field.center, future.center);
+        let err_persistence = great_circle_miles(b.center, future.center);
+        assert!(
+            err_projected < err_persistence,
+            "projection {err_projected:.0} mi vs persistence {err_persistence:.0} mi"
+        );
+    }
+
+    #[test]
+    fn cone_widens_and_confidence_decays_with_lead() {
+        let advs = sandy();
+        let p6 = project(&advs[40], &advs[41], 6.0);
+        let p48 = project(&advs[40], &advs[41], 48.0);
+        assert!(p48.field.tropical_radius_mi > p6.field.tropical_radius_mi);
+        assert!(p48.field.rho_hurricane < p6.field.rho_hurricane);
+        assert!(p6.field.rho_hurricane < 100.0, "any lead discounts");
+        // Half-life check: at exactly one half-life the ρ values halve.
+        let ph = project(&advs[40], &advs[41], DEFAULT_CONFIDENCE_HALF_LIFE_HOURS);
+        assert!((ph.field.rho_hurricane - 50.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn speed_and_heading_are_physical() {
+        let advs = sandy();
+        let p = project(&advs[30], &advs[31], 12.0);
+        assert!(
+            p.speed_mph > 2.0 && p.speed_mph < 60.0,
+            "speed {}",
+            p.speed_mph
+        );
+        assert!((0.0..360.0).contains(&p.heading_deg));
+    }
+
+    #[test]
+    fn below_hurricane_strength_keeps_zero_inner_field() {
+        let advs = sandy();
+        // The first advisories are below hurricane strength in our track.
+        let weak_pair = advs.windows(2).find(|w| w[1].hurricane_radius_mi == 0.0);
+        if let Some(w) = weak_pair {
+            let p = project(&w[0], &w[1], 24.0);
+            assert_eq!(p.field.hurricane_radius_mi, 0.0);
+        }
+    }
+
+    #[test]
+    fn earliest_warning_precedes_arrival() {
+        let advs = sandy();
+        let nyc = GeoPoint::new(40.71, -74.01).unwrap();
+        // Without projection: first advisory whose *current* field covers NYC.
+        let current_first = advs
+            .iter()
+            .find(|a| ForecastRisk::from_advisory(a).in_scope(nyc))
+            .map(|a| a.number)
+            .expect("Sandy reaches NYC");
+        let (warn_advisory, lead) =
+            earliest_warning(&advs, nyc, &[12.0, 24.0, 48.0]).expect("projection warns");
+        assert!(
+            warn_advisory < current_first,
+            "projection (advisory {warn_advisory}, lead {lead} h) must warn before \
+             the live field (advisory {current_first})"
+        );
+    }
+
+    #[test]
+    fn earliest_warning_none_for_untouched_locations() {
+        let advs = sandy();
+        let seattle = GeoPoint::new(47.61, -122.33).unwrap();
+        assert_eq!(earliest_warning(&advs, seattle, &[24.0, 48.0]), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "lead_hours must be finite")]
+    fn negative_lead_panics() {
+        let advs = sandy();
+        let _ = project(&advs[0], &advs[1], -1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "ordered and distinct")]
+    fn reversed_advisories_panic() {
+        let advs = sandy();
+        let _ = project(&advs[1], &advs[0], 6.0);
+    }
+}

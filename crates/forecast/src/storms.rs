@@ -1,0 +1,257 @@
+//! The embedded Katrina / Irene / Sandy tracks and advisory-series
+//! generation.
+//!
+//! Waypoints approximate the NHC best tracks of the three storms; the
+//! advisory counts (Katrina 61, Irene 70, Sandy 60) and windows match §4.4
+//! and footnote 4 of the paper. Advisories are generated every 3 hours by
+//! track interpolation, rendered to NHC-style prose, and consumed by the
+//! framework exclusively through the text parser.
+
+use crate::advisory::Advisory;
+use crate::calendar::Timestamp;
+use crate::track::{HurricaneTrack, TrackPoint};
+use serde::{Deserialize, Serialize};
+
+/// The three historical disaster case studies (§7.3).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Storm {
+    /// Hurricane Katrina, August 2005 (Gulf coast).
+    Katrina,
+    /// Hurricane Irene, August 2011 (Atlantic seaboard).
+    Irene,
+    /// Hurricane Sandy, October 2012 (Mid-Atlantic / Northeast).
+    Sandy,
+}
+
+/// All three storms, in the paper's case-study order.
+pub const ALL_STORMS: &[Storm] = &[Storm::Irene, Storm::Katrina, Storm::Sandy];
+
+impl Storm {
+    /// Storm name in advisory prose.
+    pub fn name(self) -> &'static str {
+        match self {
+            Storm::Katrina => "KATRINA",
+            Storm::Irene => "IRENE",
+            Storm::Sandy => "SANDY",
+        }
+    }
+
+    /// Number of public advisories in the paper's corpus (§4.4).
+    pub fn advisory_count(self) -> usize {
+        match self {
+            Storm::Katrina => 61,
+            Storm::Irene => 70,
+            Storm::Sandy => 60,
+        }
+    }
+
+    /// Timestamp of the first advisory in our window (footnote 4 of the
+    /// paper gives the advisory windows).
+    pub fn first_advisory(self) -> Timestamp {
+        match self {
+            // 5 PM EDT Tuesday August 23rd 2005.
+            Storm::Katrina => Timestamp::new(2005, 8, 23, 17),
+            // 7 PM EDT Saturday August 20th 2011.
+            Storm::Irene => Timestamp::new(2011, 8, 20, 19),
+            // 11 AM EDT Monday October 22nd 2012.
+            Storm::Sandy => Timestamp::new(2012, 10, 22, 11),
+        }
+    }
+
+    /// Best-track waypoints: `(hours, lat, lon, hurricane-force radius mi,
+    /// tropical-storm-force radius mi)`.
+    fn waypoints(self) -> &'static [(f64, f64, f64, f64, f64)] {
+        match self {
+            // Bahamas → south Florida → Gulf intensification → Buras LA
+            // landfall → decay up the Mississippi valley. 61 advisories × 3 h
+            // = 180 h window.
+            Storm::Katrina => &[
+                (0.0, 23.2, -75.5, 0.0, 70.0),
+                (18.0, 24.8, -77.8, 15.0, 85.0),
+                (36.0, 25.9, -80.3, 25.0, 105.0), // south Florida crossing
+                (54.0, 24.6, -83.3, 35.0, 140.0),
+                (72.0, 24.8, -85.3, 50.0, 175.0),
+                (90.0, 25.7, -87.0, 90.0, 205.0),
+                (108.0, 26.9, -88.6, 105.0, 230.0), // category 5 peak
+                (120.0, 28.2, -89.3, 105.0, 230.0),
+                (132.0, 29.3, -89.6, 100.0, 230.0), // Buras landfall
+                (141.0, 31.1, -89.6, 60.0, 195.0),  // southern Mississippi
+                (150.0, 33.0, -89.0, 0.0, 150.0),
+                (162.0, 35.2, -88.2, 0.0, 110.0),
+                (174.0, 37.0, -87.0, 0.0, 80.0),
+                (180.0, 38.0, -86.0, 0.0, 60.0),
+            ],
+            // Caribbean → Bahamas → Outer Banks landfall → up the seaboard →
+            // New England. 70 advisories × 3 h = 207 h window.
+            Storm::Irene => &[
+                (0.0, 15.0, -59.0, 0.0, 90.0),
+                (24.0, 17.5, -64.0, 30.0, 130.0),
+                (48.0, 19.9, -68.7, 50.0, 175.0),
+                (72.0, 21.3, -71.2, 70.0, 205.0),
+                (96.0, 22.6, -73.8, 80.0, 230.0),
+                (120.0, 25.6, -76.4, 90.0, 260.0), // Bahamas
+                (144.0, 29.5, -77.3, 90.0, 260.0),
+                (156.0, 31.9, -77.5, 90.0, 260.0),
+                (168.0, 33.9, -77.1, 85.0, 260.0),
+                (177.0, 35.2, -76.4, 90.0, 260.0), // the §4.4 example advisory
+                (186.0, 37.6, -75.6, 75.0, 250.0),
+                (195.0, 39.5, -74.5, 60.0, 240.0), // New Jersey
+                (201.0, 40.8, -73.9, 40.0, 230.0), // New York City
+                (207.0, 43.5, -72.8, 0.0, 200.0),  // New England
+            ],
+            // Caribbean → Cuba → Bahamas → offshore loop → NJ landfall →
+            // inland Pennsylvania. 60 advisories × 3 h = 177 h window. Sandy's
+            // tropical wind field was extraordinarily large.
+            Storm::Sandy => &[
+                (0.0, 14.3, -77.4, 0.0, 105.0),
+                (18.0, 17.0, -76.6, 35.0, 140.0),
+                (30.0, 19.9, -76.1, 60.0, 175.0), // Cuba crossing
+                (48.0, 23.6, -75.9, 75.0, 230.0), // Bahamas
+                (66.0, 26.2, -76.6, 75.0, 290.0),
+                (84.0, 28.1, -76.9, 75.0, 350.0),
+                (102.0, 30.3, -75.4, 80.0, 405.0),
+                (120.0, 32.6, -73.2, 85.0, 460.0),
+                (138.0, 35.3, -71.0, 90.0, 490.0),
+                (150.0, 37.5, -71.1, 90.0, 505.0),
+                (159.0, 38.7, -72.5, 90.0, 505.0), // westward hook
+                (165.0, 39.4, -74.4, 85.0, 485.0), // New Jersey landfall
+                (171.0, 39.9, -76.2, 40.0, 390.0),
+                (177.0, 40.2, -78.3, 0.0, 310.0), // inland Pennsylvania
+            ],
+        }
+    }
+
+    /// The storm's full track.
+    pub fn track(self) -> HurricaneTrack {
+        let points = self
+            .waypoints()
+            .iter()
+            .map(|&(hours, lat, lon, h, t)| TrackPoint {
+                hours,
+                lat,
+                lon,
+                hurricane_radius_mi: h,
+                tropical_radius_mi: t,
+            })
+            .collect();
+        HurricaneTrack::new(self.name(), points)
+    }
+}
+
+/// Generate the storm's full advisory series: `advisory_count()` advisories
+/// at 3-hour cadence, numbered from 1, with NHC-style timestamps.
+pub fn advisories_for(storm: Storm) -> Vec<Advisory> {
+    let track = storm.track();
+    let start = storm.first_advisory();
+    (0..storm.advisory_count())
+        .map(|i| {
+            let hours = 3.0 * i as f64;
+            let state = track.state_at(hours);
+            Advisory {
+                storm: storm.name().to_string(),
+                number: i + 1,
+                timestamp: start.plus_hours(3 * i as u32),
+                center: state.center,
+                hurricane_radius_mi: state.hurricane_radius_mi,
+                tropical_radius_mi: state.tropical_radius_mi,
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use riskroute_geo::distance::great_circle_miles;
+    use riskroute_geo::GeoPoint;
+
+    #[test]
+    fn advisory_counts_match_paper() {
+        assert_eq!(advisories_for(Storm::Katrina).len(), 61);
+        assert_eq!(advisories_for(Storm::Irene).len(), 70);
+        assert_eq!(advisories_for(Storm::Sandy).len(), 60);
+    }
+
+    #[test]
+    fn windows_match_footnote_4() {
+        let katrina = advisories_for(Storm::Katrina);
+        assert_eq!(katrina[0].timestamp.label(), "5 PM TUE AUG 23 2005");
+        // 61 advisories at 3 h: last is 180 h after the first (the paper's
+        // real cadence was irregular, ending 10 AM CDT Aug 30; our idealized
+        // 3-hourly series runs a few hours longer).
+        assert_eq!(
+            katrina.last().unwrap().timestamp.label(),
+            "5 AM WED AUG 31 2005"
+        );
+        let sandy = advisories_for(Storm::Sandy);
+        assert_eq!(sandy[0].timestamp.label(), "11 AM MON OCT 22 2012");
+        assert_eq!(
+            sandy.last().unwrap().timestamp.label(),
+            "8 PM MON OCT 29 2012"
+        );
+        let irene = advisories_for(Storm::Irene);
+        assert_eq!(irene[0].timestamp.label(), "7 PM SAT AUG 20 2011");
+    }
+
+    #[test]
+    fn tracks_cover_their_advisory_window() {
+        for &storm in ALL_STORMS {
+            let needed = 3.0 * (storm.advisory_count() - 1) as f64;
+            assert!(
+                storm.track().duration_hours() >= needed,
+                "{:?} track too short",
+                storm
+            );
+        }
+    }
+
+    #[test]
+    fn katrina_landfall_is_near_new_orleans() {
+        let track = Storm::Katrina.track();
+        let landfall = track.state_at(132.0);
+        let nola = GeoPoint::new(29.95, -90.07).unwrap();
+        assert!(great_circle_miles(landfall.center, nola) < 80.0);
+        assert!(landfall.hurricane_radius_mi > 80.0);
+    }
+
+    #[test]
+    fn irene_example_advisory_matches_paper_excerpt() {
+        // §4.4 quotes Irene at 35.2 N, 76.4 W with hurricane-force winds to
+        // 90 miles and tropical-storm-force winds to 260 miles.
+        let track = Storm::Irene.track();
+        let s = track.state_at(177.0);
+        assert!((s.center.lat() - 35.2).abs() < 0.05);
+        assert!((s.center.lon() + 76.4).abs() < 0.05);
+        assert!((s.hurricane_radius_mi - 90.0).abs() < 1.0);
+        assert!((s.tropical_radius_mi - 260.0).abs() < 1.0);
+    }
+
+    #[test]
+    fn sandy_wind_field_dwarfs_katrina() {
+        let sandy_max = Storm::Sandy
+            .track()
+            .points()
+            .iter()
+            .map(|p| p.tropical_radius_mi)
+            .fold(0.0_f64, f64::max);
+        let katrina_max = Storm::Katrina
+            .track()
+            .points()
+            .iter()
+            .map(|p| p.tropical_radius_mi)
+            .fold(0.0_f64, f64::max);
+        assert!(sandy_max > 1.8 * katrina_max);
+    }
+
+    #[test]
+    fn advisories_are_sequenced() {
+        let advs = advisories_for(Storm::Irene);
+        for (i, a) in advs.iter().enumerate() {
+            assert_eq!(a.number, i + 1);
+            assert_eq!(a.storm, "IRENE");
+        }
+        for w in advs.windows(2) {
+            assert!(w[0].timestamp < w[1].timestamp);
+        }
+    }
+}

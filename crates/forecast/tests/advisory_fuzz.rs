@@ -1,0 +1,65 @@
+//! Property-based fuzzing of the advisory text generator/parser pair.
+
+use proptest::prelude::*;
+use riskroute_forecast::advisory::{parse_advisory_text, Advisory};
+use riskroute_forecast::calendar::Timestamp;
+use riskroute_geo::GeoPoint;
+
+fn arb_advisory() -> impl Strategy<Value = Advisory> {
+    (
+        "[A-Z]{3,9}",
+        1usize..90,
+        (-60.0..60.0f64, -179.0..179.0f64),
+        prop_oneof![Just(0.0), 5.0..200.0f64],
+        5.0..600.0f64,
+        (0u8..24, 1u8..29),
+    )
+        .prop_map(
+            |(storm, number, (lat, lon), h_radius, extra, (hour, day))| Advisory {
+                storm,
+                number,
+                timestamp: Timestamp::new(2012, 10, day, hour),
+                center: GeoPoint::new(lat, lon).unwrap(),
+                hurricane_radius_mi: h_radius,
+                tropical_radius_mi: h_radius + extra,
+            },
+        )
+}
+
+proptest! {
+    #[test]
+    fn generated_text_always_parses_back(adv in arb_advisory()) {
+        let text = adv.to_text();
+        let parsed = parse_advisory_text(&text).unwrap();
+        // Prose rounds coordinates to 0.1° and radii to whole miles.
+        prop_assert!((parsed.center.lat() - adv.center.lat()).abs() <= 0.051);
+        prop_assert!((parsed.center.lon() - adv.center.lon()).abs() <= 0.051);
+        prop_assert!((parsed.hurricane_radius_mi - adv.hurricane_radius_mi).abs() <= 0.5);
+        prop_assert!((parsed.tropical_radius_mi - adv.tropical_radius_mi).abs() <= 0.5);
+    }
+
+    #[test]
+    fn parser_never_panics_on_arbitrary_text(text in ".{0,400}") {
+        // Any input must produce Ok or Err — never a panic.
+        let _ = parse_advisory_text(&text);
+    }
+
+    #[test]
+    fn parser_never_panics_on_advisory_like_noise(
+        lat in -200.0..200.0f64,
+        lon in -400.0..400.0f64,
+        radius in -100.0..2000.0f64,
+    ) {
+        let text = format!(
+            "LATITUDE {lat:.1} NORTH...LONGITUDE {lon:.1} WEST. \
+             TROPICAL-STORM-FORCE WINDS EXTEND OUTWARD UP TO {radius:.0} MILES..."
+        );
+        let _ = parse_advisory_text(&text);
+    }
+
+    #[test]
+    fn radii_ordering_is_preserved(adv in arb_advisory()) {
+        let parsed = parse_advisory_text(&adv.to_text()).unwrap();
+        prop_assert!(parsed.hurricane_radius_mi <= parsed.tropical_radius_mi + 0.5);
+    }
+}

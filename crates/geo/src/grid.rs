@@ -1,0 +1,305 @@
+//! Uniform latitude/longitude evaluation grids.
+//!
+//! The paper evaluates kernel density surfaces (Figure 4), population heat
+//! maps (Figure 3), and forecast wind fields (Figures 5–6) over the
+//! continental US. [`GeoGrid`] is the shared raster: a rectangular lattice of
+//! cell centers over a [`BoundingBox`] with an `f64` value per cell.
+
+use crate::{BoundingBox, GeoError, GeoPoint};
+use serde::{Deserialize, Serialize};
+
+/// A uniform lat/lon raster with one `f64` value per cell.
+///
+/// Cells are indexed `(row, col)` with row 0 at the *southern* edge and
+/// column 0 at the *western* edge. Values default to zero.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct GeoGrid {
+    bounds: BoundingBox,
+    rows: usize,
+    cols: usize,
+    values: Vec<f64>,
+}
+
+impl GeoGrid {
+    /// Create a zero-filled grid with `rows × cols` cells over `bounds`.
+    ///
+    /// # Errors
+    /// Returns [`GeoError::EmptyGrid`] when either dimension is zero.
+    pub fn new(bounds: BoundingBox, rows: usize, cols: usize) -> Result<Self, GeoError> {
+        if rows == 0 || cols == 0 {
+            return Err(GeoError::EmptyGrid);
+        }
+        Ok(GeoGrid {
+            bounds,
+            rows,
+            cols,
+            values: vec![0.0; rows * cols],
+        })
+    }
+
+    /// The grid's bounding box.
+    pub fn bounds(&self) -> BoundingBox {
+        self.bounds
+    }
+
+    /// Number of rows (south → north).
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns (west → east).
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Latitude step between adjacent rows, in degrees.
+    pub fn lat_step(&self) -> f64 {
+        self.bounds.lat_span() / self.rows as f64
+    }
+
+    /// Longitude step between adjacent columns, in degrees.
+    pub fn lon_step(&self) -> f64 {
+        self.bounds.lon_span() / self.cols as f64
+    }
+
+    /// Geographic center of cell `(row, col)`.
+    ///
+    /// # Panics
+    /// Panics when the index is out of range.
+    pub fn cell_center(&self, row: usize, col: usize) -> GeoPoint {
+        assert!(
+            row < self.rows && col < self.cols,
+            "cell index out of range"
+        );
+        let lat = self.bounds.south() + (row as f64 + 0.5) * self.lat_step();
+        let lon = self.bounds.west() + (col as f64 + 0.5) * self.lon_step();
+        GeoPoint::new(lat, lon).expect("cell center of valid bounds is valid")
+    }
+
+    /// The cell containing point `p`, or `None` when `p` is outside bounds.
+    pub fn cell_of(&self, p: GeoPoint) -> Option<(usize, usize)> {
+        if !self.bounds.contains(p) {
+            return None;
+        }
+        let row = (((p.lat() - self.bounds.south()) / self.lat_step()) as usize).min(self.rows - 1);
+        let col = (((p.lon() - self.bounds.west()) / self.lon_step()) as usize).min(self.cols - 1);
+        Some((row, col))
+    }
+
+    /// Value at cell `(row, col)`.
+    pub fn get(&self, row: usize, col: usize) -> f64 {
+        self.values[self.index(row, col)]
+    }
+
+    /// Set the value of cell `(row, col)`.
+    pub fn set(&mut self, row: usize, col: usize, v: f64) {
+        let i = self.index(row, col);
+        self.values[i] = v;
+    }
+
+    /// Add `v` to cell `(row, col)`.
+    pub fn add(&mut self, row: usize, col: usize, v: f64) {
+        let i = self.index(row, col);
+        self.values[i] += v;
+    }
+
+    /// Fill every cell by evaluating `f` at the cell center.
+    pub fn fill_with(&mut self, mut f: impl FnMut(GeoPoint) -> f64) {
+        for row in 0..self.rows {
+            for col in 0..self.cols {
+                let c = self.cell_center(row, col);
+                let i = self.index(row, col);
+                self.values[i] = f(c);
+            }
+        }
+    }
+
+    /// Iterate `(row, col, center, value)` over all cells.
+    pub fn iter_cells(&self) -> impl Iterator<Item = (usize, usize, GeoPoint, f64)> + '_ {
+        (0..self.rows).flat_map(move |row| {
+            (0..self.cols)
+                .map(move |col| (row, col, self.cell_center(row, col), self.get(row, col)))
+        })
+    }
+
+    /// Sum of all cell values.
+    pub fn total(&self) -> f64 {
+        self.values.iter().sum()
+    }
+
+    /// Largest cell value with its `(row, col)`; `None` if all values are NaN.
+    pub fn argmax(&self) -> Option<(usize, usize, f64)> {
+        let mut best: Option<(usize, usize, f64)> = None;
+        for row in 0..self.rows {
+            for col in 0..self.cols {
+                let v = self.get(row, col);
+                if v.is_nan() {
+                    continue;
+                }
+                if best.map_or(true, |(_, _, b)| v > b) {
+                    best = Some((row, col, v));
+                }
+            }
+        }
+        best
+    }
+
+    /// Normalize values so they sum to 1 (no-op for an all-zero grid).
+    pub fn normalize(&mut self) {
+        let t = self.total();
+        if t > 0.0 {
+            for v in &mut self.values {
+                *v /= t;
+            }
+        }
+    }
+
+    /// Render an ASCII heat map, darker glyphs for larger values. Intended
+    /// for the experiment harness to echo Figures 3–6 shapes in a terminal.
+    pub fn ascii_heatmap(&self) -> String {
+        const RAMP: &[u8] = b" .:-=+*#%@";
+        let max = self
+            .values
+            .iter()
+            .copied()
+            .filter(|v| v.is_finite())
+            .fold(0.0_f64, f64::max);
+        let mut out = String::with_capacity((self.cols + 1) * self.rows);
+        // Print north row first so the map reads like a map.
+        for row in (0..self.rows).rev() {
+            for col in 0..self.cols {
+                let v = self.get(row, col);
+                let idx = if max > 0.0 && v.is_finite() && v > 0.0 {
+                    (((v / max) * (RAMP.len() - 1) as f64).round() as usize).min(RAMP.len() - 1)
+                } else {
+                    0
+                };
+                out.push(RAMP[idx] as char);
+            }
+            out.push('\n');
+        }
+        out
+    }
+
+    #[inline]
+    fn index(&self, row: usize, col: usize) -> usize {
+        assert!(
+            row < self.rows && col < self.cols,
+            "cell index out of range"
+        );
+        row * self.cols + col
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bbox::CONUS;
+
+    fn grid() -> GeoGrid {
+        GeoGrid::new(CONUS, 10, 20).unwrap()
+    }
+
+    #[test]
+    fn rejects_empty_dimensions() {
+        assert!(GeoGrid::new(CONUS, 0, 5).is_err());
+        assert!(GeoGrid::new(CONUS, 5, 0).is_err());
+    }
+
+    #[test]
+    fn cell_center_round_trips_through_cell_of() {
+        let g = grid();
+        for row in 0..g.rows() {
+            for col in 0..g.cols() {
+                let c = g.cell_center(row, col);
+                assert_eq!(g.cell_of(c), Some((row, col)));
+            }
+        }
+    }
+
+    #[test]
+    fn cell_of_outside_is_none() {
+        let g = grid();
+        let outside = GeoPoint::new(10.0, -95.0).unwrap();
+        assert_eq!(g.cell_of(outside), None);
+    }
+
+    #[test]
+    fn cell_of_boundary_points_clamp_into_last_cell() {
+        let g = grid();
+        let ne = GeoPoint::new(CONUS.north(), CONUS.east()).unwrap();
+        assert_eq!(g.cell_of(ne), Some((g.rows() - 1, g.cols() - 1)));
+        let sw = GeoPoint::new(CONUS.south(), CONUS.west()).unwrap();
+        assert_eq!(g.cell_of(sw), Some((0, 0)));
+    }
+
+    #[test]
+    fn set_get_add() {
+        let mut g = grid();
+        g.set(3, 7, 2.5);
+        g.add(3, 7, 0.5);
+        assert_eq!(g.get(3, 7), 3.0);
+        assert_eq!(g.get(0, 0), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn out_of_range_get_panics() {
+        let g = grid();
+        let _ = g.get(10, 0);
+    }
+
+    #[test]
+    fn fill_with_evaluates_centers() {
+        let mut g = grid();
+        g.fill_with(|p| p.lat());
+        // Every row has constant latitude; rows increase northward.
+        for row in 1..g.rows() {
+            assert!(g.get(row, 0) > g.get(row - 1, 0));
+            for col in 1..g.cols() {
+                assert_eq!(g.get(row, col), g.get(row, 0));
+            }
+        }
+    }
+
+    #[test]
+    fn normalize_sums_to_one() {
+        let mut g = grid();
+        g.fill_with(|_| 2.0);
+        g.normalize();
+        assert!((g.total() - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn normalize_zero_grid_is_noop() {
+        let mut g = grid();
+        g.normalize();
+        assert_eq!(g.total(), 0.0);
+    }
+
+    #[test]
+    fn argmax_finds_peak() {
+        let mut g = grid();
+        g.set(4, 11, 9.0);
+        g.set(2, 3, 5.0);
+        assert_eq!(g.argmax(), Some((4, 11, 9.0)));
+    }
+
+    #[test]
+    fn ascii_heatmap_dimensions() {
+        let mut g = grid();
+        g.set(0, 0, 1.0);
+        let art = g.ascii_heatmap();
+        let lines: Vec<&str> = art.lines().collect();
+        assert_eq!(lines.len(), g.rows());
+        assert!(lines.iter().all(|l| l.len() == g.cols()));
+        // Peak cell is at the south-west: bottom-left glyph should be darkest.
+        assert_eq!(lines.last().unwrap().as_bytes()[0], b'@');
+    }
+
+    #[test]
+    fn iter_cells_counts_all() {
+        let g = grid();
+        assert_eq!(g.iter_cells().count(), g.rows() * g.cols());
+    }
+}

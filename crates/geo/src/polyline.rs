@@ -1,0 +1,158 @@
+//! Paths over the sphere and their cumulative lengths.
+//!
+//! A routing path `p = {p1, ..., pK}` (§5 of the paper) is geographically a
+//! polyline over PoP coordinates; its length is the bit-miles term of the
+//! bit-risk-mile metric.
+
+use crate::distance::great_circle_miles;
+use crate::GeoPoint;
+use serde::{Deserialize, Serialize};
+
+/// An ordered sequence of geographic points.
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct Polyline {
+    points: Vec<GeoPoint>,
+}
+
+impl Polyline {
+    /// Create a polyline from points (any length, including empty).
+    pub fn new(points: Vec<GeoPoint>) -> Self {
+        Polyline { points }
+    }
+
+    /// The points of the polyline.
+    pub fn points(&self) -> &[GeoPoint] {
+        &self.points
+    }
+
+    /// Number of points.
+    pub fn len(&self) -> usize {
+        self.points.len()
+    }
+
+    /// Whether the polyline has no points.
+    pub fn is_empty(&self) -> bool {
+        self.points.is_empty()
+    }
+
+    /// Append a point.
+    pub fn push(&mut self, p: GeoPoint) {
+        self.points.push(p);
+    }
+
+    /// Total great-circle length in miles (0 for fewer than two points).
+    pub fn length_miles(&self) -> f64 {
+        self.points
+            .windows(2)
+            .map(|w| great_circle_miles(w[0], w[1]))
+            .sum()
+    }
+
+    /// Cumulative distance from the start to each point, in miles.
+    ///
+    /// The result has the same length as the polyline; the first entry is 0.
+    pub fn cumulative_miles(&self) -> Vec<f64> {
+        let mut out = Vec::with_capacity(self.points.len());
+        let mut acc = 0.0;
+        for (i, p) in self.points.iter().enumerate() {
+            if i > 0 {
+                acc += great_circle_miles(self.points[i - 1], *p);
+            }
+            out.push(acc);
+            let _ = p;
+        }
+        out
+    }
+
+    /// The minimum great-circle distance from `p` to any vertex of the
+    /// polyline, in miles. `None` when empty.
+    pub fn min_vertex_distance_miles(&self, p: GeoPoint) -> Option<f64> {
+        self.points
+            .iter()
+            .map(|q| great_circle_miles(p, *q))
+            .min_by(|a, b| a.partial_cmp(b).expect("distances are finite"))
+    }
+}
+
+impl FromIterator<GeoPoint> for Polyline {
+    fn from_iter<T: IntoIterator<Item = GeoPoint>>(iter: T) -> Self {
+        Polyline::new(iter.into_iter().collect())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pt(lat: f64, lon: f64) -> GeoPoint {
+        GeoPoint::new(lat, lon).unwrap()
+    }
+
+    #[test]
+    fn empty_and_single_point_have_zero_length() {
+        assert_eq!(Polyline::default().length_miles(), 0.0);
+        assert_eq!(Polyline::new(vec![pt(40.0, -100.0)]).length_miles(), 0.0);
+    }
+
+    #[test]
+    fn two_point_length_matches_great_circle() {
+        let a = pt(29.76, -95.37);
+        let b = pt(42.36, -71.06);
+        let line = Polyline::new(vec![a, b]);
+        assert!((line.length_miles() - great_circle_miles(a, b)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn triangle_inequality_detour_is_longer() {
+        let a = pt(29.76, -95.37);
+        let via = pt(41.88, -87.63); // Chicago detour
+        let b = pt(42.36, -71.06);
+        let direct = Polyline::new(vec![a, b]).length_miles();
+        let detour = Polyline::new(vec![a, via, b]).length_miles();
+        assert!(detour > direct);
+    }
+
+    #[test]
+    fn cumulative_is_monotone_and_ends_at_total() {
+        let line = Polyline::new(vec![
+            pt(29.76, -95.37),
+            pt(32.78, -96.8),
+            pt(38.63, -90.2),
+            pt(42.36, -71.06),
+        ]);
+        let cum = line.cumulative_miles();
+        assert_eq!(cum.len(), 4);
+        assert_eq!(cum[0], 0.0);
+        for w in cum.windows(2) {
+            assert!(w[1] >= w[0]);
+        }
+        assert!((cum[3] - line.length_miles()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn min_vertex_distance() {
+        let line = Polyline::new(vec![pt(30.0, -95.0), pt(40.0, -75.0)]);
+        let near_start = pt(30.1, -95.1);
+        let d = line.min_vertex_distance_miles(near_start).unwrap();
+        assert!(d < 15.0);
+        assert!(Polyline::default()
+            .min_vertex_distance_miles(near_start)
+            .is_none());
+    }
+
+    #[test]
+    fn from_iterator_collects() {
+        let line: Polyline = [pt(30.0, -95.0), pt(40.0, -75.0)].into_iter().collect();
+        assert_eq!(line.len(), 2);
+        assert!(!line.is_empty());
+    }
+
+    #[test]
+    fn push_extends() {
+        let mut line = Polyline::default();
+        line.push(pt(30.0, -95.0));
+        line.push(pt(31.0, -95.0));
+        assert_eq!(line.len(), 2);
+        assert!(line.length_miles() > 0.0);
+    }
+}

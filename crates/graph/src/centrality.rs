@@ -1,0 +1,263 @@
+//! Centrality and criticality measures.
+//!
+//! RiskRoute's robustness story asks not only *where risk lives* but *which
+//! PoPs the traffic cannot avoid*: a high-betweenness PoP inside a hurricane
+//! belt is the worst of both worlds, and an articulation PoP is a structural
+//! single point of failure regardless of weather. These measures drive the
+//! criticality analyses layered on top of the paper's framework.
+
+use crate::{Graph, NodeId};
+
+/// Weighted betweenness centrality of every node (Brandes' algorithm over
+/// non-negative edge weights).
+///
+/// Returns one score per node: the sum over all source/target pairs of the
+/// fraction of shortest paths passing through the node (endpoints excluded).
+/// Scores are for the undirected graph and are not normalized.
+pub fn betweenness(g: &Graph) -> Vec<f64> {
+    let n = g.node_count();
+    let mut centrality = vec![0.0; n];
+    for s in 0..n {
+        // Dijkstra with shortest-path DAG counting.
+        let mut dist = vec![f64::INFINITY; n];
+        let mut sigma = vec![0.0_f64; n]; // number of shortest paths
+        let mut preds: Vec<Vec<NodeId>> = vec![Vec::new(); n];
+        let mut order: Vec<NodeId> = Vec::new(); // settle order
+        let mut settled = vec![false; n];
+        dist[s] = 0.0;
+        sigma[s] = 1.0;
+        let mut heap = std::collections::BinaryHeap::new();
+        heap.push(std::cmp::Reverse((ordered_float(0.0), s)));
+        while let Some(std::cmp::Reverse((d, u))) = heap.pop() {
+            if settled[u] {
+                continue;
+            }
+            settled[u] = true;
+            order.push(u);
+            let du = f64::from_bits(d);
+            for (v, w, _) in g.neighbors(u) {
+                let nd = du + w;
+                if nd < dist[v] - 1e-12 {
+                    dist[v] = nd;
+                    sigma[v] = sigma[u];
+                    preds[v] = vec![u];
+                    heap.push(std::cmp::Reverse((ordered_float(nd), v)));
+                } else if (nd - dist[v]).abs() <= 1e-12 && !settled[v] {
+                    sigma[v] += sigma[u];
+                    preds[v].push(u);
+                }
+            }
+        }
+        // Accumulate dependencies in reverse settle order.
+        let mut delta = vec![0.0; n];
+        for &w in order.iter().rev() {
+            for &v in &preds[w] {
+                if sigma[w] > 0.0 {
+                    delta[v] += sigma[v] / sigma[w] * (1.0 + delta[w]);
+                }
+            }
+            if w != s {
+                centrality[w] += delta[w];
+            }
+        }
+    }
+    // Each undirected pair was counted from both endpoints.
+    for c in &mut centrality {
+        *c /= 2.0;
+    }
+    centrality
+}
+
+/// Non-negative finite f64 as orderable bits (monotone for non-negative
+/// values).
+fn ordered_float(v: f64) -> u64 {
+    debug_assert!(v.is_finite() && v >= 0.0);
+    v.to_bits()
+}
+
+/// Articulation points: nodes whose removal disconnects their component
+/// (Hopcroft–Tarjan, iterative).
+///
+/// Returns a sorted list of node ids. These are a network's structural
+/// single points of failure — no backup route of any kind exists around
+/// them.
+pub fn articulation_points(g: &Graph) -> Vec<NodeId> {
+    let n = g.node_count();
+    let mut disc = vec![usize::MAX; n];
+    let mut low = vec![usize::MAX; n];
+    let mut parent: Vec<Option<NodeId>> = vec![None; n];
+    let mut is_ap = vec![false; n];
+    let mut timer = 0usize;
+
+    for root in 0..n {
+        if disc[root] != usize::MAX {
+            continue;
+        }
+        // Iterative DFS: stack of (node, next-neighbor index).
+        let mut stack: Vec<(NodeId, usize)> = vec![(root, 0)];
+        disc[root] = timer;
+        low[root] = timer;
+        timer += 1;
+        let mut root_children = 0usize;
+        let adjacency: Vec<Vec<NodeId>> = (0..n)
+            .map(|u| g.neighbors(u).map(|(v, _, _)| v).collect())
+            .collect();
+        while let Some(&(u, idx)) = stack.last() {
+            if idx < adjacency[u].len() {
+                stack.last_mut().expect("non-empty").1 += 1;
+                let v = adjacency[u][idx];
+                if disc[v] == usize::MAX {
+                    parent[v] = Some(u);
+                    if u == root {
+                        root_children += 1;
+                    }
+                    disc[v] = timer;
+                    low[v] = timer;
+                    timer += 1;
+                    stack.push((v, 0));
+                } else if parent[u] != Some(v) {
+                    low[u] = low[u].min(disc[v]);
+                }
+            } else {
+                stack.pop();
+                if let Some(&(p, _)) = stack.last() {
+                    low[p] = low[p].min(low[u]);
+                    if p != root && low[u] >= disc[p] {
+                        is_ap[p] = true;
+                    }
+                }
+            }
+        }
+        if root_children > 1 {
+            is_ap[root] = true;
+        }
+    }
+    (0..n).filter(|&v| is_ap[v]).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A barbell: two triangles joined through a single bridge node.
+    ///
+    /// ```text
+    /// 0-1   (0,1,2 triangle)   2-3 bridge   (3,4,5 triangle)
+    /// ```
+    fn barbell() -> Graph {
+        let mut g = Graph::with_nodes(6);
+        g.add_edge(0, 1, 1.0).unwrap();
+        g.add_edge(1, 2, 1.0).unwrap();
+        g.add_edge(0, 2, 1.0).unwrap();
+        g.add_edge(2, 3, 1.0).unwrap();
+        g.add_edge(3, 4, 1.0).unwrap();
+        g.add_edge(4, 5, 1.0).unwrap();
+        g.add_edge(3, 5, 1.0).unwrap();
+        g
+    }
+
+    #[test]
+    fn bridge_endpoints_are_articulation_points() {
+        let aps = articulation_points(&barbell());
+        assert_eq!(aps, vec![2, 3]);
+    }
+
+    #[test]
+    fn cycle_has_no_articulation_points() {
+        let mut g = Graph::with_nodes(5);
+        for i in 0..5 {
+            g.add_edge(i, (i + 1) % 5, 1.0).unwrap();
+        }
+        assert!(articulation_points(&g).is_empty());
+    }
+
+    #[test]
+    fn path_interior_nodes_are_articulation_points() {
+        let mut g = Graph::with_nodes(4);
+        g.add_edge(0, 1, 1.0).unwrap();
+        g.add_edge(1, 2, 1.0).unwrap();
+        g.add_edge(2, 3, 1.0).unwrap();
+        assert_eq!(articulation_points(&g), vec![1, 2]);
+    }
+
+    #[test]
+    fn disconnected_components_are_handled() {
+        let mut g = Graph::with_nodes(6);
+        g.add_edge(0, 1, 1.0).unwrap();
+        g.add_edge(1, 2, 1.0).unwrap();
+        g.add_edge(3, 4, 1.0).unwrap();
+        g.add_edge(4, 5, 1.0).unwrap();
+        assert_eq!(articulation_points(&g), vec![1, 4]);
+    }
+
+    #[test]
+    fn star_center_is_the_only_articulation_point() {
+        let mut g = Graph::with_nodes(5);
+        for leaf in 1..5 {
+            g.add_edge(0, leaf, 1.0).unwrap();
+        }
+        assert_eq!(articulation_points(&g), vec![0]);
+    }
+
+    #[test]
+    fn betweenness_peaks_at_the_bridge() {
+        let c = betweenness(&barbell());
+        // Nodes 2 and 3 carry all cross-triangle traffic.
+        assert!(c[2] > c[0] && c[2] > c[1]);
+        assert!(c[3] > c[4] && c[3] > c[5]);
+        assert!((c[2] - c[3]).abs() < 1e-9, "symmetry");
+    }
+
+    #[test]
+    fn betweenness_path_graph_known_values() {
+        // Path 0-1-2-3-4: interior node k has (k+... ) known values:
+        // node 1: pairs (0,2),(0,3),(0,4) → 3; node 2: (0,3),(0,4),(1,3),(1,4) → 4.
+        let mut g = Graph::with_nodes(5);
+        for i in 0..4 {
+            g.add_edge(i, i + 1, 1.0).unwrap();
+        }
+        let c = betweenness(&g);
+        assert!((c[0] - 0.0).abs() < 1e-9);
+        assert!((c[1] - 3.0).abs() < 1e-9);
+        assert!((c[2] - 4.0).abs() < 1e-9);
+        assert!((c[3] - 3.0).abs() < 1e-9);
+        assert!((c[4] - 0.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn betweenness_splits_over_equal_paths() {
+        // A 4-cycle: each pair of opposite nodes has two equal shortest
+        // paths; each interior node carries half a path per opposite pair.
+        let mut g = Graph::with_nodes(4);
+        for i in 0..4 {
+            g.add_edge(i, (i + 1) % 4, 1.0).unwrap();
+        }
+        let c = betweenness(&g);
+        for v in 0..4 {
+            assert!((c[v] - 0.5).abs() < 1e-9, "node {v}: {}", c[v]);
+        }
+    }
+
+    #[test]
+    fn weights_redirect_betweenness() {
+        // Diamond where the southern route is much cheaper: the southern
+        // waypoint gets all the centrality.
+        let mut g = Graph::with_nodes(4);
+        g.add_edge(0, 1, 10.0).unwrap(); // north
+        g.add_edge(1, 3, 10.0).unwrap();
+        g.add_edge(0, 2, 1.0).unwrap(); // south
+        g.add_edge(2, 3, 1.0).unwrap();
+        let c = betweenness(&g);
+        assert!(c[2] > 0.9);
+        assert!(c[1] < 0.1);
+    }
+
+    #[test]
+    fn empty_and_singleton() {
+        assert!(betweenness(&Graph::new()).is_empty());
+        assert!(articulation_points(&Graph::new()).is_empty());
+        let g = Graph::with_nodes(1);
+        assert_eq!(betweenness(&g), vec![0.0]);
+        assert!(articulation_points(&g).is_empty());
+    }
+}

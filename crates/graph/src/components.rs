@@ -1,0 +1,120 @@
+//! BFS reachability and connected components.
+
+use crate::{Graph, NodeId};
+use std::collections::VecDeque;
+
+/// The set of nodes reachable from `source` (including `source`), in BFS
+/// order.
+///
+/// # Panics
+/// Panics when `source` is out of range.
+pub fn reachable_from(g: &Graph, source: NodeId) -> Vec<NodeId> {
+    assert!(source < g.node_count(), "source out of range");
+    let mut seen = vec![false; g.node_count()];
+    let mut order = Vec::new();
+    let mut queue = VecDeque::new();
+    seen[source] = true;
+    queue.push_back(source);
+    while let Some(u) = queue.pop_front() {
+        order.push(u);
+        for (v, _, _) in g.neighbors(u) {
+            if !seen[v] {
+                seen[v] = true;
+                queue.push_back(v);
+            }
+        }
+    }
+    order
+}
+
+/// Connected components, each a sorted list of node ids; components are
+/// ordered by their smallest node.
+pub fn connected_components(g: &Graph) -> Vec<Vec<NodeId>> {
+    let n = g.node_count();
+    let mut seen = vec![false; n];
+    let mut comps = Vec::new();
+    for start in 0..n {
+        if seen[start] {
+            continue;
+        }
+        let mut comp = Vec::new();
+        let mut queue = VecDeque::from([start]);
+        seen[start] = true;
+        while let Some(u) = queue.pop_front() {
+            comp.push(u);
+            for (v, _, _) in g.neighbors(u) {
+                if !seen[v] {
+                    seen[v] = true;
+                    queue.push_back(v);
+                }
+            }
+        }
+        comp.sort_unstable();
+        comps.push(comp);
+    }
+    comps
+}
+
+/// Whether every node can reach every other node. Vacuously true for graphs
+/// with fewer than two nodes.
+pub fn is_connected(g: &Graph) -> bool {
+    if g.node_count() < 2 {
+        return true;
+    }
+    reachable_from(g, 0).len() == g.node_count()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn two_islands() -> Graph {
+        let mut g = Graph::with_nodes(5);
+        g.add_edge(0, 1, 1.0).unwrap();
+        g.add_edge(1, 2, 1.0).unwrap();
+        g.add_edge(3, 4, 1.0).unwrap();
+        g
+    }
+
+    #[test]
+    fn reachability_stops_at_island_boundary() {
+        let g = two_islands();
+        let r = reachable_from(&g, 0);
+        assert_eq!(r.len(), 3);
+        assert!(r.contains(&2));
+        assert!(!r.contains(&3));
+    }
+
+    #[test]
+    fn components_partition_nodes() {
+        let g = two_islands();
+        let comps = connected_components(&g);
+        assert_eq!(comps, vec![vec![0, 1, 2], vec![3, 4]]);
+        let total: usize = comps.iter().map(Vec::len).sum();
+        assert_eq!(total, g.node_count());
+    }
+
+    #[test]
+    fn isolated_nodes_are_singleton_components() {
+        let g = Graph::with_nodes(3);
+        let comps = connected_components(&g);
+        assert_eq!(comps.len(), 3);
+        assert!(!is_connected(&g));
+    }
+
+    #[test]
+    fn connectivity_flags() {
+        assert!(is_connected(&Graph::new()));
+        assert!(is_connected(&Graph::with_nodes(1)));
+        assert!(!is_connected(&two_islands()));
+        let mut g = two_islands();
+        g.add_edge(2, 3, 1.0).unwrap();
+        assert!(is_connected(&g));
+    }
+
+    #[test]
+    fn bfs_order_starts_at_source() {
+        let g = two_islands();
+        assert_eq!(reachable_from(&g, 3)[0], 3);
+    }
+}

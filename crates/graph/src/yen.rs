@@ -1,0 +1,290 @@
+//! Yen's algorithm for k loopless shortest paths.
+//!
+//! RiskRoute's practical deployments (§3.1 of the paper) need *ranked backup
+//! alternatives*: if the minimum bit-risk-mile path is unusable (safety
+//! checks, MPLS constraints), the operator wants the next-best loopless
+//! paths. Yen's algorithm enumerates them in non-decreasing cost order.
+
+use crate::dijkstra;
+use crate::{Graph, NodeId};
+
+/// A ranked path with its total cost.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RankedPath {
+    /// Total weight along the path.
+    pub cost: f64,
+    /// Node sequence from source to target.
+    pub nodes: Vec<NodeId>,
+}
+
+/// Up to `k` loopless shortest paths from `s` to `t` in non-decreasing cost
+/// order. Returns fewer than `k` when the graph does not contain that many
+/// distinct loopless paths, and an empty vector when `t` is unreachable.
+///
+/// # Panics
+/// Panics when `s` or `t` is out of range, or `k == 0`.
+pub fn k_shortest_paths(g: &Graph, s: NodeId, t: NodeId, k: usize) -> Vec<RankedPath> {
+    assert!(k > 0, "k must be positive");
+    let Some((cost, nodes)) = dijkstra::shortest_path(g, s, t) else {
+        return Vec::new();
+    };
+    let mut found = vec![RankedPath { cost, nodes }];
+    let mut candidates: Vec<RankedPath> = Vec::new();
+
+    while found.len() < k {
+        let last = found.last().expect("at least one found path").clone();
+        // Each prefix of the last found path spawns a spur search.
+        for spur_idx in 0..last.nodes.len() - 1 {
+            let spur_node = last.nodes[spur_idx];
+            let root: &[NodeId] = &last.nodes[..=spur_idx];
+
+            // Ban edges that would recreate an already-found path with this
+            // root, and ban root nodes (except the spur) to keep paths
+            // loopless. We emulate removal by masking during the search.
+            let mut banned_edges = Vec::new();
+            for p in found.iter().chain(candidates.iter()) {
+                if p.nodes.len() > spur_idx + 1 && p.nodes[..=spur_idx] == *root {
+                    banned_edges.push((p.nodes[spur_idx], p.nodes[spur_idx + 1]));
+                }
+            }
+            let banned_nodes: Vec<NodeId> = root[..spur_idx].to_vec();
+
+            if let Some((spur_cost, spur_nodes)) =
+                masked_shortest_path(g, spur_node, t, &banned_edges, &banned_nodes)
+            {
+                let root_cost = path_cost(g, root);
+                let mut total_nodes = root[..spur_idx].to_vec();
+                total_nodes.extend_from_slice(&spur_nodes);
+                let candidate = RankedPath {
+                    cost: root_cost + spur_cost,
+                    nodes: total_nodes,
+                };
+                if !found.iter().any(|p| p.nodes == candidate.nodes)
+                    && !candidates.iter().any(|p| p.nodes == candidate.nodes)
+                {
+                    candidates.push(candidate);
+                }
+            }
+        }
+        // Promote the cheapest candidate (stable tie-break on node sequence).
+        if candidates.is_empty() {
+            break;
+        }
+        let best = candidates
+            .iter()
+            .enumerate()
+            .min_by(|(_, x), (_, y)| {
+                x.cost
+                    .partial_cmp(&y.cost)
+                    .expect("costs finite")
+                    .then_with(|| x.nodes.cmp(&y.nodes))
+            })
+            .map(|(i, _)| i)
+            .expect("non-empty candidates");
+        found.push(candidates.swap_remove(best));
+    }
+    found
+}
+
+/// Sum of minimum edge weights along consecutive node pairs of `path`.
+fn path_cost(g: &Graph, path: &[NodeId]) -> f64 {
+    path.windows(2)
+        .map(|w| {
+            let e = g.find_edge(w[0], w[1]).expect("path edges exist");
+            g.edge_weight(e)
+        })
+        .sum()
+}
+
+/// Dijkstra over the graph with certain directed edges and nodes masked out.
+fn masked_shortest_path(
+    g: &Graph,
+    s: NodeId,
+    t: NodeId,
+    banned_edges: &[(NodeId, NodeId)],
+    banned_nodes: &[NodeId],
+) -> Option<(f64, Vec<NodeId>)> {
+    use std::cmp::Ordering;
+    use std::collections::BinaryHeap;
+
+    #[derive(PartialEq)]
+    struct Entry {
+        cost: f64,
+        node: NodeId,
+    }
+    impl Eq for Entry {}
+    impl Ord for Entry {
+        fn cmp(&self, other: &Self) -> Ordering {
+            other
+                .cost
+                .partial_cmp(&self.cost)
+                .expect("finite")
+                .then_with(|| other.node.cmp(&self.node))
+        }
+    }
+    impl PartialOrd for Entry {
+        fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+            Some(self.cmp(other))
+        }
+    }
+
+    let n = g.node_count();
+    let mut banned_node_mask = vec![false; n];
+    for &b in banned_nodes {
+        banned_node_mask[b] = true;
+    }
+    if banned_node_mask[s] || banned_node_mask[t] {
+        return None;
+    }
+    let mut dist = vec![f64::INFINITY; n];
+    let mut pred: Vec<Option<NodeId>> = vec![None; n];
+    let mut settled = vec![false; n];
+    let mut heap = BinaryHeap::new();
+    dist[s] = 0.0;
+    heap.push(Entry { cost: 0.0, node: s });
+    while let Some(Entry { cost, node }) = heap.pop() {
+        if settled[node] {
+            continue;
+        }
+        settled[node] = true;
+        if node == t {
+            break;
+        }
+        for (v, w, _) in g.neighbors(node) {
+            if settled[v]
+                || banned_node_mask[v]
+                || banned_edges.contains(&(node, v))
+                || banned_edges.contains(&(v, node))
+            {
+                continue;
+            }
+            let next = cost + w;
+            if next < dist[v] {
+                dist[v] = next;
+                pred[v] = Some(node);
+                heap.push(Entry {
+                    cost: next,
+                    node: v,
+                });
+            }
+        }
+    }
+    if !dist[t].is_finite() {
+        return None;
+    }
+    let mut path = vec![t];
+    let mut cur = t;
+    while let Some(p) = pred[cur] {
+        path.push(p);
+        cur = p;
+    }
+    path.reverse();
+    Some((dist[t], path))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The standard Yen example graph.
+    ///
+    /// ```text
+    /// 0 -3- 1 -4- 3
+    /// |     |     |
+    /// 2     1     2
+    /// |     |     |
+    /// 2 -2- 4 ... 5   (4-5 weight 2, 3-5 weight 1? see below)
+    /// ```
+    fn yen_graph() -> Graph {
+        // Classic 6-node example (C=0,D=1,E=2,F=3,G=4,H=5):
+        // C-D 3, C-E 2, D-F 4, E-D 1, E-F 2, E-G 3, F-H 1, G-H 2.
+        let mut g = Graph::with_nodes(6);
+        g.add_edge(0, 1, 3.0).unwrap();
+        g.add_edge(0, 2, 2.0).unwrap();
+        g.add_edge(1, 3, 4.0).unwrap();
+        g.add_edge(2, 1, 1.0).unwrap();
+        g.add_edge(2, 3, 2.0).unwrap();
+        g.add_edge(2, 4, 3.0).unwrap();
+        g.add_edge(3, 5, 1.0).unwrap();
+        g.add_edge(4, 5, 2.0).unwrap();
+        g
+    }
+
+    #[test]
+    fn first_path_matches_dijkstra() {
+        let g = yen_graph();
+        let paths = k_shortest_paths(&g, 0, 5, 1);
+        assert_eq!(paths.len(), 1);
+        let (cost, nodes) = dijkstra::shortest_path(&g, 0, 5).unwrap();
+        assert_eq!(paths[0].cost, cost);
+        assert_eq!(paths[0].nodes, nodes);
+    }
+
+    #[test]
+    fn classic_yen_top3() {
+        // The classic directed example yields costs 5, 7, 8; in our
+        // *undirected* rendering a second 7-cost path (C-D-E-F-H) appears,
+        // so the top three costs are 5, 7, 7 and both 7-cost routes must be
+        // among the top paths.
+        let g = yen_graph();
+        let paths = k_shortest_paths(&g, 0, 5, 3);
+        assert_eq!(paths.len(), 3);
+        assert_eq!(paths[0].cost, 5.0);
+        assert_eq!(paths[0].nodes, vec![0, 2, 3, 5]);
+        assert_eq!(paths[1].cost, 7.0);
+        assert_eq!(paths[2].cost, 7.0);
+        let second_third: Vec<&Vec<usize>> = vec![&paths[1].nodes, &paths[2].nodes];
+        assert!(second_third.contains(&&vec![0, 2, 4, 5]));
+        assert!(second_third.contains(&&vec![0, 1, 2, 3, 5]));
+    }
+
+    #[test]
+    fn costs_are_non_decreasing() {
+        let g = yen_graph();
+        let paths = k_shortest_paths(&g, 0, 5, 10);
+        for w in paths.windows(2) {
+            assert!(w[0].cost <= w[1].cost + 1e-12);
+        }
+    }
+
+    #[test]
+    fn paths_are_loopless_and_distinct() {
+        let g = yen_graph();
+        let paths = k_shortest_paths(&g, 0, 5, 10);
+        for p in &paths {
+            let mut seen = std::collections::HashSet::new();
+            for &n in &p.nodes {
+                assert!(seen.insert(n), "loop in {:?}", p.nodes);
+            }
+        }
+        for i in 0..paths.len() {
+            for j in (i + 1)..paths.len() {
+                assert_ne!(paths[i].nodes, paths[j].nodes);
+            }
+        }
+    }
+
+    #[test]
+    fn exhausts_available_paths() {
+        // A path graph has exactly one loopless route.
+        let mut g = Graph::with_nodes(3);
+        g.add_edge(0, 1, 1.0).unwrap();
+        g.add_edge(1, 2, 1.0).unwrap();
+        let paths = k_shortest_paths(&g, 0, 2, 5);
+        assert_eq!(paths.len(), 1);
+    }
+
+    #[test]
+    fn unreachable_gives_empty() {
+        let mut g = Graph::with_nodes(3);
+        g.add_edge(0, 1, 1.0).unwrap();
+        assert!(k_shortest_paths(&g, 0, 2, 3).is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "k must be positive")]
+    fn zero_k_panics() {
+        let g = yen_graph();
+        let _ = k_shortest_paths(&g, 0, 5, 0);
+    }
+}

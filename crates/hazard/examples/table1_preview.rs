@@ -1,0 +1,21 @@
+//! Quick preview of the Table-1 bandwidth training pipeline at full corpus
+//! scale. Run with `cargo run --release -p riskroute-hazard --example
+//! table1_preview`.
+
+fn main() {
+    println!("Training kernel bandwidths (5-way CV, KL score) on full corpora…");
+    println!(
+        "{:<18} {:>10} {:>12} {:>12} {:>12}",
+        "Event Type", "Entries", "Trained bw", "Paper bw", "CV score"
+    );
+    for t in riskroute_hazard::training::train_all(42) {
+        println!(
+            "{:<18} {:>10} {:>12.2} {:>12.2} {:>12.3}",
+            t.kind.label(),
+            t.corpus_size,
+            t.bandwidth_miles,
+            t.kind.paper_bandwidth_miles(),
+            t.score
+        );
+    }
+}

@@ -1,0 +1,282 @@
+//! Per-kind risk surfaces and the aggregate historical outage risk `o_h`.
+//!
+//! Equation 2 of the paper defines the kernel likelihood with a `1/(σN)`
+//! normalization:
+//!
+//! ```text
+//! p̂(y) = 1/(σN) · Σᵢ K((xᵢ − y)/σ),   K(z) = 1/(2π)·exp(−zᵀz/2)
+//! ```
+//!
+//! i.e. the proper 2-D density multiplied by σ (units 1/miles). The paper
+//! never states the units its λ values assume, so this module exposes the
+//! raw Eq.-2 likelihood for the Figure-4 surfaces and converts it to a
+//! dimensionless per-event strike *probability* (via a county-scale damage
+//! footprint per event kind) for the aggregate risk `o_h` that
+//! enters the routing metric.
+//!
+//! §5.2: "we consider the aggregated historical risk to be the sum of all
+//! five outage probabilities" — [`HistoricalRisk`] sums the five per-kind
+//! surfaces, with optional user-defined per-kind weights (the extension the
+//! paper explicitly leaves to operators).
+
+use crate::events::{sample_events, DisasterEvent, EventKind, ALL_EVENT_KINDS};
+use riskroute_geo::{GeoGrid, GeoPoint};
+use riskroute_stats::GeoKde;
+use std::collections::HashMap;
+use std::f64::consts::PI;
+
+// Per-kind damage radii live on `EventKind::damage_radius_miles`; an event
+// striking within that distance of a PoP threatens its physical
+// infrastructure, so `density · π·r²` is the probability that a given
+// recorded event of the kind hits the PoP — §5.2's "prior on the likelihood
+// that physical infrastructure at a specific location encounters an
+// outage".
+
+/// The fitted risk surface for one event kind.
+#[derive(Debug, Clone)]
+pub struct RiskSurface {
+    kind: EventKind,
+    kde: GeoKde,
+}
+
+impl RiskSurface {
+    /// Fit a surface from events with the given kernel bandwidth (miles).
+    ///
+    /// # Panics
+    /// Panics when `events` is empty, contains a foreign kind, or the
+    /// bandwidth is invalid (see [`GeoKde::fit`]).
+    pub fn fit(kind: EventKind, events: &[DisasterEvent], bandwidth_miles: f64) -> Self {
+        assert!(
+            events.iter().all(|e| e.kind == kind),
+            "all events must be of kind {kind}"
+        );
+        let pts: Vec<GeoPoint> = events.iter().map(|e| e.location).collect();
+        RiskSurface {
+            kind,
+            kde: GeoKde::fit(pts, bandwidth_miles),
+        }
+    }
+
+    /// The event kind.
+    pub fn kind(&self) -> EventKind {
+        self.kind
+    }
+
+    /// The kernel bandwidth in miles.
+    pub fn bandwidth_miles(&self) -> f64 {
+        self.kde.bandwidth_miles()
+    }
+
+    /// The paper's Eq.-2 likelihood `p̂(y)` (units 1/miles; see module docs).
+    pub fn likelihood(&self, y: GeoPoint) -> f64 {
+        self.kde.density(y) * self.kde.bandwidth_miles()
+    }
+
+    /// Proper 2-D density in events per square mile (Eq. 2 divided by σ).
+    pub fn density(&self, y: GeoPoint) -> f64 {
+        self.kde.density(y)
+    }
+
+    /// §5.2's outage likelihood: the probability that a given recorded
+    /// event of this kind strikes within the kind's damage radius of `y`
+    /// (`density · π·r²`). This is the per-kind term of the aggregate
+    /// historical risk `o_h`.
+    pub fn outage_probability(&self, y: GeoPoint) -> f64 {
+        let r = self.kind.damage_radius_miles();
+        self.kde.density(y) * PI * r * r
+    }
+
+    /// Evaluate the Eq.-2 likelihood over a grid (Figure 4 rendering).
+    pub fn likelihood_grid(&self, mut grid: GeoGrid) -> GeoGrid {
+        grid.fill_with(|p| self.likelihood(p));
+        grid
+    }
+}
+
+/// The aggregate historical outage risk: `o_h(y) = Σ_kinds w_k · p̂_k(y)`.
+#[derive(Debug, Clone)]
+pub struct HistoricalRisk {
+    surfaces: Vec<RiskSurface>,
+    weights: HashMap<EventKind, f64>,
+}
+
+impl HistoricalRisk {
+    /// Aggregate the given surfaces with unit weights (the paper's default).
+    pub fn new(surfaces: Vec<RiskSurface>) -> Self {
+        let weights = surfaces.iter().map(|s| (s.kind(), 1.0)).collect();
+        HistoricalRisk { surfaces, weights }
+    }
+
+    /// Build the standard five-corpus risk model: paper event counts
+    /// (optionally capped at `max_events_per_kind` to bound KDE cost — the
+    /// density shape is insensitive to the cap well before 10k events) and
+    /// paper Table-1 bandwidths.
+    pub fn standard(master_seed: u64, max_events_per_kind: Option<usize>) -> Self {
+        let surfaces = ALL_EVENT_KINDS
+            .iter()
+            .map(|&kind| {
+                let n = kind
+                    .paper_count()
+                    .min(max_events_per_kind.unwrap_or(usize::MAX));
+                let events = sample_events(kind, n, master_seed);
+                RiskSurface::fit(kind, &events, kind.paper_bandwidth_miles())
+            })
+            .collect();
+        HistoricalRisk::new(surfaces)
+    }
+
+    /// Override the weight of one kind (§5.2's operator extension, e.g.
+    /// emphasizing flooding-prone event types).
+    ///
+    /// # Panics
+    /// Panics on negative or non-finite weights.
+    pub fn set_weight(&mut self, kind: EventKind, weight: f64) {
+        assert!(
+            weight.is_finite() && weight >= 0.0,
+            "weights must be finite and non-negative"
+        );
+        self.weights.insert(kind, weight);
+    }
+
+    /// The per-kind surfaces.
+    pub fn surfaces(&self) -> &[RiskSurface] {
+        &self.surfaces
+    }
+
+    /// Aggregate risk `o_h(y)`: the weighted sum of per-kind outage
+    /// probabilities (§5.2: "the aggregate risk … is defined as the sum of
+    /// all outage probabilities").
+    pub fn risk(&self, y: GeoPoint) -> f64 {
+        self.surfaces
+            .iter()
+            .map(|s| self.weights.get(&s.kind()).copied().unwrap_or(1.0) * s.outage_probability(y))
+            .sum()
+    }
+
+    /// Aggregate risk at every location of `points`, in order.
+    pub fn risk_at_all(&self, points: &[GeoPoint]) -> Vec<f64> {
+        points.iter().map(|&p| self.risk(p)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small_surface(kind: EventKind, n: usize) -> RiskSurface {
+        let events = sample_events(kind, n, 42);
+        RiskSurface::fit(kind, &events, kind.paper_bandwidth_miles())
+    }
+
+    fn pt(lat: f64, lon: f64) -> GeoPoint {
+        GeoPoint::new(lat, lon).unwrap()
+    }
+
+    #[test]
+    fn likelihood_is_density_times_bandwidth() {
+        let s = small_surface(EventKind::FemaHurricane, 400);
+        let y = pt(29.9, -90.1);
+        assert!((s.likelihood(y) - s.density(y) * s.bandwidth_miles()).abs() < 1e-15);
+    }
+
+    #[test]
+    fn hurricane_risk_higher_on_gulf_than_montana() {
+        let s = small_surface(EventKind::FemaHurricane, 800);
+        let gulf = s.likelihood(pt(29.9, -90.1)); // New Orleans
+        let montana = s.likelihood(pt(47.0, -109.0));
+        assert!(
+            gulf > 50.0 * montana.max(1e-300),
+            "gulf {gulf} montana {montana}"
+        );
+    }
+
+    #[test]
+    fn earthquake_risk_higher_in_california() {
+        let s = small_surface(EventKind::NoaaEarthquake, 800);
+        let la = s.likelihood(pt(34.05, -118.24));
+        let atlanta = s.likelihood(pt(33.75, -84.39));
+        assert!(la > 10.0 * atlanta.max(1e-300));
+    }
+
+    #[test]
+    #[should_panic(expected = "all events must be of kind")]
+    fn mixed_kinds_panic() {
+        let mut events = sample_events(EventKind::FemaTornado, 10, 1);
+        events.push(sample_events(EventKind::FemaStorm, 1, 1)[0]);
+        let _ = RiskSurface::fit(EventKind::FemaTornado, &events, 50.0);
+    }
+
+    #[test]
+    fn aggregate_sums_surfaces() {
+        let h = small_surface(EventKind::FemaHurricane, 300);
+        let e = small_surface(EventKind::NoaaEarthquake, 300);
+        let y = pt(34.05, -118.24);
+        let expect = h.outage_probability(y) + e.outage_probability(y);
+        let agg = HistoricalRisk::new(vec![h, e]);
+        assert!((agg.risk(y) - expect).abs() < 1e-12);
+    }
+
+    #[test]
+    fn weights_scale_contributions() {
+        let h = small_surface(EventKind::FemaHurricane, 300);
+        let y = pt(29.9, -90.1);
+        let base = h.outage_probability(y);
+        let mut agg = HistoricalRisk::new(vec![h]);
+        agg.set_weight(EventKind::FemaHurricane, 3.0);
+        assert!((agg.risk(y) - 3.0 * base).abs() < 1e-12);
+        agg.set_weight(EventKind::FemaHurricane, 0.0);
+        assert_eq!(agg.risk(y), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "weights must be finite")]
+    fn negative_weight_panics() {
+        let h = small_surface(EventKind::FemaHurricane, 50);
+        let mut agg = HistoricalRisk::new(vec![h]);
+        agg.set_weight(EventKind::FemaHurricane, -1.0);
+    }
+
+    #[test]
+    fn standard_model_is_deterministic_and_capped() {
+        let a = HistoricalRisk::standard(42, Some(200));
+        let b = HistoricalRisk::standard(42, Some(200));
+        let y = pt(35.0, -90.0);
+        assert_eq!(a.risk(y), b.risk(y));
+        assert_eq!(a.surfaces().len(), 5);
+    }
+
+    #[test]
+    fn standard_model_gulf_coast_riskier_than_northern_plains() {
+        // North Dakota sits away from every major cluster (the Rockies are
+        // not a clean control: the Yellowstone/Wasatch earthquake clusters
+        // reach into Wyoming).
+        let agg = HistoricalRisk::standard(42, Some(500));
+        let new_orleans = agg.risk(pt(29.95, -90.07));
+        let north_dakota = agg.risk(pt(47.5, -100.5));
+        assert!(
+            new_orleans > 3.0 * north_dakota,
+            "NO {new_orleans} vs ND {north_dakota}"
+        );
+    }
+
+    #[test]
+    fn risk_at_all_matches_pointwise() {
+        let agg = HistoricalRisk::standard(42, Some(100));
+        let pts = vec![pt(29.9, -90.1), pt(40.0, -105.0)];
+        let v = agg.risk_at_all(&pts);
+        assert_eq!(v.len(), 2);
+        assert_eq!(v[0], agg.risk(pts[0]));
+        assert_eq!(v[1], agg.risk(pts[1]));
+    }
+
+    #[test]
+    fn likelihood_grid_shape() {
+        let s = small_surface(EventKind::FemaHurricane, 200);
+        let grid = GeoGrid::new(riskroute_geo::bbox::CONUS, 10, 20).unwrap();
+        let grid = s.likelihood_grid(grid);
+        let (r, c, peak) = grid.argmax().unwrap();
+        assert!(peak > 0.0);
+        // Peak row should sit in the southern half of the map (Gulf coast).
+        assert!(r < grid.rows() / 2, "peak at row {r}, col {c}");
+    }
+}

@@ -1,0 +1,142 @@
+//! The Table-1 bandwidth training pipeline.
+//!
+//! §5.2: "To determine the optimal bandwidth value, we use 5-way cross
+//! validation (where the best bandwidth is found from 80 % of the observed
+//! events to fit the remaining 20 %). The distance metric we consider is the
+//! KL divergence." This module runs that pipeline over the full synthetic
+//! corpora — including the 143,847-event NOAA wind corpus — using the
+//! truncated, spatially-binned KDE from `riskroute-stats`, and reports one
+//! trained bandwidth per event kind.
+//!
+//! The key *shape* of Table 1 is that trained bandwidth shrinks as corpus
+//! size grows (wind ≪ storm < tornado < hurricane ≪ earthquake); training on
+//! the full corpora is what reproduces it.
+
+use crate::events::{sample_events, EventKind};
+use riskroute_geo::GeoPoint;
+use riskroute_stats::crossval::{log_space, select_bandwidth_binned};
+use riskroute_stats::rng::derive_seed;
+use serde::{Deserialize, Serialize};
+
+/// Held-out points scored per fold; beyond this the CV score is already
+/// stable and extra points only add cost.
+pub const DEFAULT_TEST_CAP: usize = 600;
+
+/// Outcome of training one corpus.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct TrainedBandwidth {
+    /// The event kind.
+    pub kind: EventKind,
+    /// Corpus size the CV ran over.
+    pub corpus_size: usize,
+    /// The winning bandwidth in miles.
+    pub bandwidth_miles: f64,
+    /// Mean held-out negative log-likelihood at the winning bandwidth
+    /// (KL divergence up to a bandwidth-independent constant).
+    pub score: f64,
+}
+
+/// Train the bandwidth for one kind via 5-way cross validation over the
+/// full `events` corpus. Candidates sweep `[1, 600]` miles geometrically.
+pub fn train_bandwidth(kind: EventKind, events: &[GeoPoint], master_seed: u64) -> TrainedBandwidth {
+    assert!(!events.is_empty(), "cannot train on an empty corpus");
+    let seed = derive_seed(derive_seed(master_seed, "bandwidth-training"), kind.label());
+    let candidates = log_space(1.0, 600.0, 20);
+    let report = select_bandwidth_binned(events, &candidates, 5, DEFAULT_TEST_CAP, seed);
+    TrainedBandwidth {
+        kind,
+        corpus_size: events.len(),
+        bandwidth_miles: report.best_bandwidth_miles,
+        score: report.best_score,
+    }
+}
+
+/// Run the full Table-1 pipeline: sample each corpus at the paper's count
+/// and train its bandwidth.
+pub fn train_all(master_seed: u64) -> Vec<TrainedBandwidth> {
+    crate::events::ALL_EVENT_KINDS
+        .iter()
+        .map(|&kind| {
+            let events = sample_events(kind, kind.paper_count(), master_seed);
+            let pts: Vec<GeoPoint> = events.iter().map(|e| e.location).collect();
+            train_bandwidth(kind, &pts, master_seed)
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pts(kind: EventKind, n: usize) -> Vec<GeoPoint> {
+        sample_events(kind, n, 42)
+            .into_iter()
+            .map(|e| e.location)
+            .collect()
+    }
+
+    #[test]
+    fn training_is_deterministic() {
+        let p = pts(EventKind::FemaHurricane, 400);
+        let a = train_bandwidth(EventKind::FemaHurricane, &p, 1);
+        let b = train_bandwidth(EventKind::FemaHurricane, &p, 1);
+        assert_eq!(a.bandwidth_miles, b.bandwidth_miles);
+        assert_eq!(a.corpus_size, 400);
+    }
+
+    #[test]
+    fn bandwidths_are_within_candidate_range() {
+        for kind in [EventKind::FemaHurricane, EventKind::NoaaEarthquake] {
+            let p = pts(kind, 400);
+            let t = train_bandwidth(kind, &p, 3);
+            assert!(
+                (1.0..=600.0).contains(&t.bandwidth_miles),
+                "{kind}: {}",
+                t.bandwidth_miles
+            );
+        }
+    }
+
+    #[test]
+    fn denser_corpus_trains_tighter_kernel() {
+        // Table 1's driving phenomenon, at reduced scale to stay fast: the
+        // same storm geography with 10× the events supports a tighter kernel.
+        let sparse = train_bandwidth(EventKind::FemaStorm, &pts(EventKind::FemaStorm, 400), 5);
+        let dense = train_bandwidth(EventKind::FemaStorm, &pts(EventKind::FemaStorm, 4_000), 5);
+        assert!(
+            dense.bandwidth_miles < sparse.bandwidth_miles,
+            "dense {} >= sparse {}",
+            dense.bandwidth_miles,
+            sparse.bandwidth_miles
+        );
+    }
+
+    #[test]
+    fn earthquake_trains_wider_than_full_rate_storm() {
+        // Earthquake (2,267 diffuse western events) vs storm sampled at the
+        // same per-area density it has in the full corpus: quake must train
+        // wider. Use paper-proportional sizes scaled by 1/4 for speed.
+        let quake = train_bandwidth(
+            EventKind::NoaaEarthquake,
+            &pts(EventKind::NoaaEarthquake, 2_267 / 4),
+            5,
+        );
+        let storm = train_bandwidth(
+            EventKind::FemaStorm,
+            &pts(EventKind::FemaStorm, 20_623 / 4),
+            5,
+        );
+        assert!(
+            quake.bandwidth_miles > storm.bandwidth_miles,
+            "quake {} <= storm {}",
+            quake.bandwidth_miles,
+            storm.bandwidth_miles
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "empty corpus")]
+    fn empty_corpus_panics() {
+        let _ = train_bandwidth(EventKind::FemaStorm, &[], 1);
+    }
+}

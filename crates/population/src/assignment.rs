@@ -1,0 +1,202 @@
+//! Nearest-neighbour population assignment and outage impact (§5.1).
+//!
+//! "The population for a given census block is assigned to the nearest
+//! infrastructure location" — each PoP's share `c_i` is the fraction of the
+//! (in-scope) population it serves, and the impact of an outage between PoPs
+//! i and j is `β(i,j) = c_i + c_j`.
+
+use crate::blocks::PopulationModel;
+use riskroute_topology::{Network, PopId};
+use serde::{Deserialize, Serialize};
+
+/// Per-PoP population shares for one network.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PopShares {
+    shares: Vec<f64>,
+}
+
+impl PopShares {
+    /// Build shares directly from raw values.
+    ///
+    /// §5 of the paper notes operators "could easily insert their own
+    /// intuition about the risk and impact of outages"; this constructor is
+    /// that hook (e.g. shares derived from traffic matrices or SLAs rather
+    /// than census population).
+    ///
+    /// # Panics
+    /// Panics when any share is negative or non-finite.
+    pub fn from_shares(shares: Vec<f64>) -> PopShares {
+        assert!(
+            shares.iter().all(|s| s.is_finite() && *s >= 0.0),
+            "shares must be finite and non-negative"
+        );
+        PopShares { shares }
+    }
+
+    /// Assign every census block of `model` to its nearest PoP of `network`.
+    ///
+    /// `state_filter` implements the paper's rule for geographically
+    /// constrained regional networks: "we only consider the population
+    /// confined to the states where these networks have infrastructure".
+    /// Pass `None` for nationwide (Tier-1) networks.
+    ///
+    /// Returned shares are fractions of the *in-scope* population and sum to
+    /// 1 (when any block is in scope). Networks with zero PoPs or zero
+    /// in-scope population get all-zero shares.
+    pub fn assign(
+        model: &PopulationModel,
+        network: &Network,
+        state_filter: Option<&[&str]>,
+    ) -> PopShares {
+        let n = network.pop_count();
+        let mut totals = vec![0.0; n];
+        if n == 0 {
+            return PopShares { shares: totals };
+        }
+        let mut in_scope = 0.0;
+        for b in model.blocks() {
+            if let Some(states) = state_filter {
+                if !states.contains(&b.state) {
+                    continue;
+                }
+            }
+            let (pop, _) = network
+                .nearest_pop(b.location)
+                .expect("network has at least one PoP");
+            totals[pop] += b.population;
+            in_scope += b.population;
+        }
+        if in_scope > 0.0 {
+            for t in &mut totals {
+                *t /= in_scope;
+            }
+        }
+        PopShares { shares: totals }
+    }
+
+    /// Share `c_i` of PoP `i`.
+    ///
+    /// # Panics
+    /// Panics when `i` is out of range.
+    pub fn share(&self, i: PopId) -> f64 {
+        self.shares[i]
+    }
+
+    /// All shares, indexed by PoP.
+    pub fn shares(&self) -> &[f64] {
+        &self.shares
+    }
+
+    /// Outage impact `β(i,j) = c_i + c_j` (§5.1).
+    ///
+    /// # Panics
+    /// Panics when either PoP is out of range.
+    pub fn impact(&self, i: PopId, j: PopId) -> f64 {
+        self.shares[i] + self.shares[j]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use riskroute_geo::GeoPoint;
+    use riskroute_topology::{NetworkKind, Pop};
+
+    fn two_pop_network() -> Network {
+        Network::new(
+            "pair",
+            NetworkKind::Tier1,
+            vec![
+                Pop {
+                    name: "NYC".into(),
+                    location: GeoPoint::new(40.71, -74.01).unwrap(),
+                },
+                Pop {
+                    name: "LA".into(),
+                    location: GeoPoint::new(34.05, -118.24).unwrap(),
+                },
+            ],
+            vec![(0, 1)],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn shares_sum_to_one() {
+        let model = PopulationModel::synthesize(1, 3000);
+        let net = two_pop_network();
+        let shares = PopShares::assign(&model, &net, None);
+        let sum: f64 = shares.shares().iter().sum();
+        assert!((sum - 1.0).abs() < 1e-9);
+        assert!(shares.share(0) > 0.0 && shares.share(1) > 0.0);
+    }
+
+    #[test]
+    fn east_coast_pop_serves_more_than_half() {
+        // NYC vs LA split of the national population: the eastern half of the
+        // country (everything nearer NYC) holds the majority.
+        let model = PopulationModel::synthesize(1, 5000);
+        let net = two_pop_network();
+        let shares = PopShares::assign(&model, &net, None);
+        assert!(shares.share(0) > 0.5, "NYC share = {}", shares.share(0));
+    }
+
+    #[test]
+    fn impact_is_sum_of_shares() {
+        let model = PopulationModel::synthesize(2, 2000);
+        let net = two_pop_network();
+        let shares = PopShares::assign(&model, &net, None);
+        let b = shares.impact(0, 1);
+        assert!((b - (shares.share(0) + shares.share(1))).abs() < 1e-12);
+        assert!((b - 1.0).abs() < 1e-9, "two PoPs capture everything");
+    }
+
+    #[test]
+    fn state_filter_restricts_scope() {
+        let model = PopulationModel::synthesize(3, 4000);
+        let net = two_pop_network();
+        // TX + NY scope: Texas blocks are all nearer LA (even Houston, by
+        // ~45 miles), New York blocks all nearer NYC, so both PoPs hold a
+        // strictly interior share and the shares still sum to 1.
+        let shares = PopShares::assign(&model, &net, Some(&["TX", "NY"]));
+        let sum: f64 = shares.shares().iter().sum();
+        assert!((sum - 1.0).abs() < 1e-9);
+        assert!(shares.share(0) > 0.1 && shares.share(1) > 0.1);
+        // And a TX-only scope hands essentially everything to LA.
+        let tx_only = PopShares::assign(&model, &net, Some(&["TX"]));
+        assert!(tx_only.share(1) > 0.95, "LA share = {}", tx_only.share(1));
+    }
+
+    #[test]
+    fn empty_filter_gives_zero_shares() {
+        let model = PopulationModel::synthesize(3, 1000);
+        let net = two_pop_network();
+        let shares = PopShares::assign(&model, &net, Some(&["ZZ"]));
+        assert!(shares.shares().iter().all(|&s| s == 0.0));
+    }
+
+    #[test]
+    fn single_pop_network_takes_all() {
+        let model = PopulationModel::synthesize(4, 1000);
+        let net = Network::new(
+            "solo",
+            NetworkKind::Regional,
+            vec![Pop {
+                name: "X".into(),
+                location: GeoPoint::new(39.0, -95.0).unwrap(),
+            }],
+            vec![],
+        )
+        .unwrap();
+        let shares = PopShares::assign(&model, &net, None);
+        assert!((shares.share(0) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_network_has_no_shares() {
+        let model = PopulationModel::synthesize(4, 1000);
+        let net = Network::new("none", NetworkKind::Regional, vec![], vec![]).unwrap();
+        let shares = PopShares::assign(&model, &net, None);
+        assert!(shares.shares().is_empty());
+    }
+}

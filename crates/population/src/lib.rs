@@ -1,0 +1,26 @@
+//! Synthetic census-block population model for the RiskRoute reproduction.
+//!
+//! Section 4.2 of the paper evaluates outage *impact* using US Census data at
+//! census-block resolution (215,932 blocks in the continental US), assigning
+//! each block's population to the nearest PoP of a network, so that the
+//! impact of an outage between PoPs i and j is `β(i,j) = c_i + c_j` — the
+//! summed population fractions served by the two endpoints (§5.1).
+//!
+//! The real census extract is not redistributable, so [`PopulationModel`]
+//! synthesizes blocks deterministically: every gazetteer city spawns blocks
+//! in proportion to its population, scattered with a distance decay that
+//! mimics metro sprawl. Only population *shares* matter to the framework, and
+//! those are anchored to real city populations.
+//!
+//! - [`blocks`] — block synthesis and the population model.
+//! - [`assignment`] — nearest-neighbour block→PoP assignment and impact
+//!   factors (Figure 3-right).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod assignment;
+pub mod blocks;
+
+pub use assignment::PopShares;
+pub use blocks::{CensusBlock, PopulationModel, PAPER_BLOCK_COUNT};

@@ -1,0 +1,116 @@
+//! Descriptive statistics used by the experiment harness.
+
+/// Arithmetic mean. Returns `None` for an empty slice.
+pub fn mean(v: &[f64]) -> Option<f64> {
+    if v.is_empty() {
+        None
+    } else {
+        Some(v.iter().sum::<f64>() / v.len() as f64)
+    }
+}
+
+/// Population variance. Returns `None` for an empty slice.
+pub fn variance(v: &[f64]) -> Option<f64> {
+    let m = mean(v)?;
+    Some(v.iter().map(|&x| (x - m) * (x - m)).sum::<f64>() / v.len() as f64)
+}
+
+/// Population standard deviation. Returns `None` for an empty slice.
+pub fn std_dev(v: &[f64]) -> Option<f64> {
+    variance(v).map(f64::sqrt)
+}
+
+/// Minimum (ignoring NaNs). Returns `None` when empty or all-NaN.
+pub fn min(v: &[f64]) -> Option<f64> {
+    v.iter()
+        .copied()
+        .filter(|x| !x.is_nan())
+        .fold(None, |acc, x| Some(acc.map_or(x, |a: f64| a.min(x))))
+}
+
+/// Maximum (ignoring NaNs). Returns `None` when empty or all-NaN.
+pub fn max(v: &[f64]) -> Option<f64> {
+    v.iter()
+        .copied()
+        .filter(|x| !x.is_nan())
+        .fold(None, |acc, x| Some(acc.map_or(x, |a: f64| a.max(x))))
+}
+
+/// Linear-interpolated percentile `p ∈ [0, 100]` of `v`.
+/// Returns `None` when `v` is empty.
+///
+/// # Panics
+/// Panics when `p` is outside `[0, 100]` or NaN.
+pub fn percentile(v: &[f64], p: f64) -> Option<f64> {
+    assert!((0.0..=100.0).contains(&p), "percentile must be in [0, 100]");
+    if v.is_empty() {
+        return None;
+    }
+    let mut sorted: Vec<f64> = v.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).expect("no NaNs in percentile input"));
+    let rank = p / 100.0 * (sorted.len() - 1) as f64;
+    let lo = rank.floor() as usize;
+    let hi = rank.ceil() as usize;
+    let frac = rank - lo as f64;
+    Some(sorted[lo] * (1.0 - frac) + sorted[hi] * frac)
+}
+
+/// Median (50th percentile). Returns `None` when empty.
+pub fn median(v: &[f64]) -> Option<f64> {
+    percentile(v, 50.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_slices_give_none() {
+        assert_eq!(mean(&[]), None);
+        assert_eq!(variance(&[]), None);
+        assert_eq!(std_dev(&[]), None);
+        assert_eq!(min(&[]), None);
+        assert_eq!(max(&[]), None);
+        assert_eq!(percentile(&[], 50.0), None);
+        assert_eq!(median(&[]), None);
+    }
+
+    #[test]
+    fn basic_moments() {
+        let v = [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0];
+        assert_eq!(mean(&v), Some(5.0));
+        assert_eq!(variance(&v), Some(4.0));
+        assert_eq!(std_dev(&v), Some(2.0));
+    }
+
+    #[test]
+    fn min_max_ignore_nans() {
+        let v = [3.0, f64::NAN, 1.0, 2.0];
+        assert_eq!(min(&v), Some(1.0));
+        assert_eq!(max(&v), Some(3.0));
+        assert_eq!(min(&[f64::NAN]), None);
+    }
+
+    #[test]
+    fn percentile_interpolates() {
+        let v = [1.0, 2.0, 3.0, 4.0];
+        assert_eq!(percentile(&v, 0.0), Some(1.0));
+        assert_eq!(percentile(&v, 100.0), Some(4.0));
+        assert_eq!(median(&v), Some(2.5));
+        assert_eq!(percentile(&v, 25.0), Some(1.75));
+    }
+
+    #[test]
+    fn single_element() {
+        let v = [42.0];
+        assert_eq!(mean(&v), Some(42.0));
+        assert_eq!(variance(&v), Some(0.0));
+        assert_eq!(median(&v), Some(42.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "percentile must be in [0, 100]")]
+    fn out_of_range_percentile_panics() {
+        let _ = percentile(&[1.0], 101.0);
+    }
+}

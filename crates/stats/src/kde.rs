@@ -1,0 +1,202 @@
+//! Geodesic Gaussian kernel density estimation.
+//!
+//! Equation 2 of the paper: for observed disaster events
+//! `X = {x_1, …, x_N}`, the kernel likelihood at location `y` is
+//!
+//! ```text
+//! p̂(y) = 1/(σ² N) · Σᵢ K((xᵢ − y)/σ),   K(z) = 1/(2π) · exp(−zᵀz/2)
+//! ```
+//!
+//! We measure `‖xᵢ − y‖` as great-circle distance in **miles**, so the
+//! bandwidth `σ` is in miles and densities are per square mile. At CONUS
+//! scale the flat-metric Gaussian over geodesic distance is the standard
+//! approximation (the same one the paper's kernel heat maps imply).
+
+use riskroute_geo::distance::great_circle_miles;
+use riskroute_geo::{GeoGrid, GeoPoint};
+use std::f64::consts::TAU;
+
+/// A fitted 2-D Gaussian kernel density estimate over geographic events.
+#[derive(Debug, Clone)]
+pub struct GeoKde {
+    events: Vec<GeoPoint>,
+    bandwidth_miles: f64,
+}
+
+impl GeoKde {
+    /// Fit a KDE to `events` with the given bandwidth (miles).
+    ///
+    /// # Panics
+    /// Panics when `events` is empty or the bandwidth is not positive/finite.
+    /// These are programming errors — callers obtain events from samplers
+    /// that cannot produce empty sets, and bandwidths from
+    /// [`select_bandwidth`](crate::select_bandwidth) which only emits valid
+    /// candidates.
+    pub fn fit(events: Vec<GeoPoint>, bandwidth_miles: f64) -> Self {
+        assert!(!events.is_empty(), "KDE requires at least one event");
+        assert!(
+            bandwidth_miles.is_finite() && bandwidth_miles > 0.0,
+            "bandwidth must be positive and finite, got {bandwidth_miles}"
+        );
+        GeoKde {
+            events,
+            bandwidth_miles,
+        }
+    }
+
+    /// The fitted events.
+    pub fn events(&self) -> &[GeoPoint] {
+        &self.events
+    }
+
+    /// The kernel bandwidth in miles.
+    pub fn bandwidth_miles(&self) -> f64 {
+        self.bandwidth_miles
+    }
+
+    /// Density estimate `p̂(y)` in events per square mile.
+    pub fn density(&self, y: GeoPoint) -> f64 {
+        let s = self.bandwidth_miles;
+        let norm = 1.0 / (TAU * s * s * self.events.len() as f64);
+        let sum: f64 = self
+            .events
+            .iter()
+            .map(|&x| {
+                let z = great_circle_miles(x, y) / s;
+                (-0.5 * z * z).exp()
+            })
+            .sum();
+        norm * sum
+    }
+
+    /// Natural log of [`density`](Self::density), computed stably.
+    ///
+    /// Uses the log-sum-exp trick so the result is finite even when every
+    /// event is many bandwidths away (where `density` underflows to zero,
+    /// `log_density` still returns the correct large-negative value).
+    pub fn log_density(&self, y: GeoPoint) -> f64 {
+        let s = self.bandwidth_miles;
+        let exponents: Vec<f64> = self
+            .events
+            .iter()
+            .map(|&x| {
+                let z = great_circle_miles(x, y) / s;
+                -0.5 * z * z
+            })
+            .collect();
+        let m = exponents.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+        let sum: f64 = exponents.iter().map(|e| (e - m).exp()).sum();
+        m + sum.ln() - (TAU * s * s * self.events.len() as f64).ln()
+    }
+
+    /// Evaluate the density at every cell center of `grid`, overwriting its
+    /// values. Returns the grid for chaining.
+    pub fn evaluate_grid(&self, mut grid: GeoGrid) -> GeoGrid {
+        grid.fill_with(|p| self.density(p));
+        grid
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use riskroute_geo::bbox::CONUS;
+
+    fn pt(lat: f64, lon: f64) -> GeoPoint {
+        GeoPoint::new(lat, lon).unwrap()
+    }
+
+    #[test]
+    fn density_peaks_at_events() {
+        let kde = GeoKde::fit(vec![pt(35.0, -90.0)], 50.0);
+        let at_event = kde.density(pt(35.0, -90.0));
+        let nearby = kde.density(pt(35.5, -90.0));
+        let far = kde.density(pt(45.0, -120.0));
+        assert!(at_event > nearby);
+        assert!(nearby > far);
+    }
+
+    #[test]
+    fn density_at_single_event_matches_closed_form() {
+        let s = 50.0;
+        let kde = GeoKde::fit(vec![pt(35.0, -90.0)], s);
+        let expect = 1.0 / (TAU * s * s);
+        assert!((kde.density(pt(35.0, -90.0)) - expect).abs() < 1e-12);
+    }
+
+    #[test]
+    fn density_is_monotone_in_distance_for_single_event() {
+        let kde = GeoKde::fit(vec![pt(35.0, -90.0)], 100.0);
+        let mut prev = f64::INFINITY;
+        for d in [0.0, 50.0, 100.0, 200.0, 400.0, 800.0] {
+            let y = riskroute_geo::distance::destination(pt(35.0, -90.0), 90.0, d);
+            let v = kde.density(y);
+            assert!(v < prev || d == 0.0);
+            prev = v;
+        }
+    }
+
+    #[test]
+    fn wider_bandwidth_spreads_mass() {
+        let events = vec![pt(35.0, -90.0)];
+        let narrow = GeoKde::fit(events.clone(), 10.0);
+        let wide = GeoKde::fit(events, 200.0);
+        let far = pt(38.0, -90.0); // ~207 miles north
+        assert!(wide.density(far) > narrow.density(far));
+        assert!(narrow.density(pt(35.0, -90.0)) > wide.density(pt(35.0, -90.0)));
+    }
+
+    #[test]
+    fn log_density_consistent_with_density() {
+        let kde = GeoKde::fit(vec![pt(35.0, -90.0), pt(36.0, -91.0)], 80.0);
+        let y = pt(35.5, -90.5);
+        assert!((kde.log_density(y) - kde.density(y).ln()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn log_density_survives_underflow() {
+        let kde = GeoKde::fit(vec![pt(25.0, -80.0)], 1.0);
+        let antipode_ish = pt(49.0, -124.0);
+        assert_eq!(kde.density(antipode_ish), 0.0, "density underflows");
+        let ld = kde.log_density(antipode_ish);
+        assert!(ld.is_finite() && ld < -1000.0, "got {ld}");
+    }
+
+    #[test]
+    fn grid_mass_approximates_one() {
+        // Integrating p̂ over a grid that comfortably contains the events
+        // should give ≈ 1 (cell area × density summed).
+        let events = vec![pt(37.0, -95.0), pt(38.0, -96.0), pt(36.5, -94.0)];
+        let kde = GeoKde::fit(events, 60.0);
+        let grid = GeoGrid::new(CONUS, 100, 200).unwrap();
+        let grid = kde.evaluate_grid(grid);
+        // Cell area varies with latitude; approximate with per-row area.
+        let mut mass = 0.0;
+        for (row, _col, center, v) in grid.iter_cells() {
+            let lat_step_miles = grid.lat_step() * 69.055;
+            let lon_step_miles = grid.lon_step() * 69.17 * center.lat_rad().cos();
+            mass += v * lat_step_miles * lon_step_miles;
+            let _ = row;
+        }
+        assert!((mass - 1.0).abs() < 0.05, "integrated mass {mass}");
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one event")]
+    fn empty_events_panics() {
+        let _ = GeoKde::fit(vec![], 10.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "bandwidth must be positive")]
+    fn zero_bandwidth_panics() {
+        let _ = GeoKde::fit(vec![pt(35.0, -90.0)], 0.0);
+    }
+
+    #[test]
+    fn accessors() {
+        let kde = GeoKde::fit(vec![pt(35.0, -90.0)], 42.0);
+        assert_eq!(kde.bandwidth_miles(), 42.0);
+        assert_eq!(kde.events().len(), 1);
+    }
+}

@@ -1,0 +1,171 @@
+//! KL divergence and related information measures over discrete
+//! distributions.
+//!
+//! The paper scores bandwidth candidates with KL divergence (§5.2). The
+//! cross-validation module uses the negative-log-likelihood equivalent; this
+//! module provides the direct discrete form for comparing density *surfaces*
+//! (e.g. a fitted KDE grid against a reference grid) and for the harness's
+//! sanity checks.
+
+/// KL divergence `D(p ‖ q) = Σ pᵢ ln(pᵢ/qᵢ)` in nats.
+///
+/// Inputs need not be normalized; both are normalized internally. Cells where
+/// `p = 0` contribute zero. Returns `f64::INFINITY` when `q` assigns zero
+/// mass to a cell where `p > 0` (absolute-continuity violation).
+///
+/// # Panics
+/// Panics when lengths differ, either sum is non-positive, or any entry is
+/// negative/non-finite.
+pub fn kl_divergence(p: &[f64], q: &[f64]) -> f64 {
+    let (p, q) = normalize_pair(p, q);
+    p.iter()
+        .zip(q.iter())
+        .map(|(&pi, &qi)| {
+            if pi == 0.0 {
+                0.0
+            } else if qi == 0.0 {
+                f64::INFINITY
+            } else {
+                pi * (pi / qi).ln()
+            }
+        })
+        .sum()
+}
+
+/// Symmetrized KL: `(D(p‖q) + D(q‖p)) / 2`.
+pub fn symmetric_kl(p: &[f64], q: &[f64]) -> f64 {
+    (kl_divergence(p, q) + kl_divergence(q, p)) / 2.0
+}
+
+/// Jensen–Shannon divergence in nats; always finite and in `[0, ln 2]`.
+pub fn js_divergence(p: &[f64], q: &[f64]) -> f64 {
+    let (p, q) = normalize_pair(p, q);
+    let m: Vec<f64> = p
+        .iter()
+        .zip(q.iter())
+        .map(|(&a, &b)| (a + b) / 2.0)
+        .collect();
+    (kl_divergence(&p, &m) + kl_divergence(&q, &m)) / 2.0
+}
+
+/// Shannon entropy `H(p) = −Σ pᵢ ln pᵢ` in nats (input normalized
+/// internally).
+pub fn entropy(p: &[f64]) -> f64 {
+    let p = normalize(p);
+    p.iter()
+        .map(|&pi| if pi > 0.0 { -pi * pi.ln() } else { 0.0 })
+        .sum()
+}
+
+fn validate(v: &[f64]) {
+    assert!(!v.is_empty(), "distribution must be non-empty");
+    assert!(
+        v.iter().all(|&x| x.is_finite() && x >= 0.0),
+        "distribution entries must be finite and non-negative"
+    );
+}
+
+fn normalize(v: &[f64]) -> Vec<f64> {
+    validate(v);
+    let total: f64 = v.iter().sum();
+    assert!(total > 0.0, "distribution must have positive total mass");
+    v.iter().map(|&x| x / total).collect()
+}
+
+fn normalize_pair(p: &[f64], q: &[f64]) -> (Vec<f64>, Vec<f64>) {
+    assert_eq!(p.len(), q.len(), "distributions must have equal length");
+    (normalize(p), normalize(q))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn kl_of_identical_is_zero() {
+        let p = [0.25, 0.25, 0.5];
+        assert!(kl_divergence(&p, &p).abs() < 1e-12);
+    }
+
+    #[test]
+    fn kl_is_nonnegative() {
+        let p = [0.7, 0.2, 0.1];
+        let q = [0.1, 0.2, 0.7];
+        assert!(kl_divergence(&p, &q) > 0.0);
+        assert!(kl_divergence(&q, &p) > 0.0);
+    }
+
+    #[test]
+    fn kl_is_asymmetric_but_symmetrized_is_not() {
+        let p = [0.9, 0.1];
+        let q = [0.5, 0.5];
+        assert!((kl_divergence(&p, &q) - kl_divergence(&q, &p)).abs() > 1e-6);
+        assert!((symmetric_kl(&p, &q) - symmetric_kl(&q, &p)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn kl_known_value() {
+        // D([1,0] ‖ [0.5,0.5]) = ln 2.
+        let d = kl_divergence(&[1.0, 0.0], &[0.5, 0.5]);
+        assert!((d - std::f64::consts::LN_2).abs() < 1e-12);
+    }
+
+    #[test]
+    fn unnormalized_inputs_are_normalized() {
+        let d1 = kl_divergence(&[2.0, 2.0], &[1.0, 3.0]);
+        let d2 = kl_divergence(&[0.5, 0.5], &[0.25, 0.75]);
+        assert!((d1 - d2).abs() < 1e-12);
+    }
+
+    #[test]
+    fn absolute_continuity_violation_is_infinite() {
+        assert_eq!(kl_divergence(&[0.5, 0.5], &[1.0, 0.0]), f64::INFINITY);
+    }
+
+    #[test]
+    fn zero_p_cells_contribute_nothing() {
+        let d = kl_divergence(&[1.0, 0.0], &[0.9, 0.1]);
+        assert!(d.is_finite());
+    }
+
+    #[test]
+    fn js_is_bounded_and_symmetric() {
+        let p = [1.0, 0.0, 0.0];
+        let q = [0.0, 0.0, 1.0];
+        let d = js_divergence(&p, &q);
+        assert!(
+            (d - std::f64::consts::LN_2).abs() < 1e-9,
+            "disjoint supports hit ln 2"
+        );
+        assert!((js_divergence(&q, &p) - d).abs() < 1e-12);
+    }
+
+    #[test]
+    fn entropy_uniform_is_log_n() {
+        let h = entropy(&[1.0, 1.0, 1.0, 1.0]);
+        assert!((h - 4f64.ln()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn entropy_point_mass_is_zero() {
+        assert!(entropy(&[0.0, 1.0, 0.0]).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "equal length")]
+    fn mismatched_lengths_panic() {
+        let _ = kl_divergence(&[1.0], &[0.5, 0.5]);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive total mass")]
+    fn zero_mass_panics() {
+        let _ = entropy(&[0.0, 0.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "finite and non-negative")]
+    fn negative_entry_panics() {
+        let _ = entropy(&[0.5, -0.5]);
+    }
+}

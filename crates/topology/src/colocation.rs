@@ -1,0 +1,155 @@
+//! Candidate-peer discovery (§6.3 of the paper).
+//!
+//! For the Figure-11 experiment, the paper defines "candidate peers" of a
+//! network as "the collection of PoPs in other networks which are co-located
+//! with infrastructure from the specified network, but for which there is no
+//! previously known peering relationship". Two PoPs are co-located when they
+//! fall within a small metro-scale radius of each other.
+
+use crate::model::{Network, PopId};
+use crate::peering::PeeringGraph;
+use riskroute_geo::distance::great_circle_miles;
+use serde::{Deserialize, Serialize};
+
+/// Metro-scale co-location radius in miles. PoPs of different providers in
+/// the same metro (often the same carrier hotel) sit within this distance.
+pub const DEFAULT_COLOCATION_MILES: f64 = 30.0;
+
+/// A co-located PoP pair between two networks.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Colocation {
+    /// PoP id in the subject network.
+    pub own_pop: PopId,
+    /// PoP id in the other network.
+    pub other_pop: PopId,
+    /// Separation in miles.
+    pub miles: f64,
+}
+
+/// All co-located PoP pairs between `own` and `other` within `radius_miles`.
+pub fn colocations(own: &Network, other: &Network, radius_miles: f64) -> Vec<Colocation> {
+    assert!(
+        radius_miles.is_finite() && radius_miles > 0.0,
+        "radius must be positive"
+    );
+    let mut out = Vec::new();
+    for (i, p) in own.pops().iter().enumerate() {
+        for (j, q) in other.pops().iter().enumerate() {
+            let d = great_circle_miles(p.location, q.location);
+            if d <= radius_miles {
+                out.push(Colocation {
+                    own_pop: i,
+                    other_pop: j,
+                    miles: d,
+                });
+            }
+        }
+    }
+    out
+}
+
+/// A candidate peering: another network that is co-located with `own`
+/// somewhere but not currently a peer (§6.3).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CandidatePeer {
+    /// The other network's name.
+    pub network: String,
+    /// The co-located PoP pairs through which a new peering could be lit up.
+    pub colocations: Vec<Colocation>,
+}
+
+/// Find all candidate peers of `own` among `others`, excluding existing
+/// peers according to `peering`.
+pub fn candidate_peers<'a>(
+    own: &Network,
+    others: impl IntoIterator<Item = &'a Network>,
+    peering: &PeeringGraph,
+    radius_miles: f64,
+) -> Vec<CandidatePeer> {
+    let mut out = Vec::new();
+    for other in others {
+        if other.name() == own.name() || peering.are_peers(own.name(), other.name()) {
+            continue;
+        }
+        let colos = colocations(own, other, radius_miles);
+        if !colos.is_empty() {
+            out.push(CandidatePeer {
+                network: other.name().to_string(),
+                colocations: colos,
+            });
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::{NetworkKind, Pop};
+    use riskroute_geo::GeoPoint;
+
+    fn net(name: &str, coords: &[(f64, f64)]) -> Network {
+        let pops = coords
+            .iter()
+            .enumerate()
+            .map(|(i, &(lat, lon))| Pop {
+                name: format!("{name}-{i}"),
+                location: GeoPoint::new(lat, lon).unwrap(),
+            })
+            .collect();
+        let links = (0..coords.len().saturating_sub(1))
+            .map(|i| (i, i + 1))
+            .collect();
+        Network::new(name, NetworkKind::Regional, pops, links).unwrap()
+    }
+
+    #[test]
+    fn colocation_within_radius_only() {
+        let a = net("a", &[(30.0, -95.0), (40.0, -90.0)]);
+        let b = net("b", &[(30.1, -95.1), (45.0, -120.0)]);
+        let colos = colocations(&a, &b, DEFAULT_COLOCATION_MILES);
+        assert_eq!(colos.len(), 1);
+        assert_eq!(colos[0].own_pop, 0);
+        assert_eq!(colos[0].other_pop, 0);
+        assert!(colos[0].miles < 15.0);
+    }
+
+    #[test]
+    fn no_colocation_when_far() {
+        let a = net("a", &[(30.0, -95.0), (31.0, -95.0)]);
+        let b = net("b", &[(45.0, -120.0), (46.0, -121.0)]);
+        assert!(colocations(&a, &b, DEFAULT_COLOCATION_MILES).is_empty());
+    }
+
+    #[test]
+    fn candidate_peers_exclude_existing_peers_and_self() {
+        let a = net("a", &[(30.0, -95.0)]);
+        let b = net("b", &[(30.05, -95.05)]);
+        let c = net("c", &[(30.02, -95.02)]);
+        let mut peering = PeeringGraph::new();
+        peering.add_peering("a", "b");
+        let others = [a.clone(), b, c];
+        let cands = candidate_peers(&a, others.iter(), &peering, DEFAULT_COLOCATION_MILES);
+        assert_eq!(cands.len(), 1, "only c qualifies: {cands:?}");
+        assert_eq!(cands[0].network, "c");
+        assert_eq!(cands[0].colocations.len(), 1);
+    }
+
+    #[test]
+    fn tighter_radius_prunes_candidates() {
+        let a = net("a", &[(30.0, -95.0)]);
+        let b = net("b", &[(30.2, -95.2)]); // ~18 miles away
+        let peering = PeeringGraph::new();
+        let wide = candidate_peers(&a, [b.clone()].iter(), &peering, 30.0);
+        assert_eq!(wide.len(), 1);
+        let tight = candidate_peers(&a, [b].iter(), &peering, 5.0);
+        assert!(tight.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "radius must be positive")]
+    fn invalid_radius_panics() {
+        let a = net("a", &[(30.0, -95.0)]);
+        let _ = colocations(&a, &a, -1.0);
+    }
+}

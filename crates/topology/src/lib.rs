@@ -1,0 +1,41 @@
+//! Network topology substrate for the RiskRoute reproduction.
+//!
+//! The paper's evaluation (§4.1) uses ground-truth PoP-level maps of 7 Tier-1
+//! networks (354 PoPs) and 16 regional networks (455 PoPs) in the continental
+//! US, drawn from the Internet Topology Zoo and Internet Atlas, with
+//! line-of-sight links and CAIDA-derived AS peering. Those corpora are not
+//! redistributable here, so this crate *synthesizes* all 23 networks with the
+//! paper's exact PoP counts over real US geography:
+//!
+//! - [`gazetteer`] — a built-in list of continental-US cities with true
+//!   coordinates and census-scale populations; every synthesized PoP sits in
+//!   (or procedurally near) a real city.
+//! - [`model`] — the [`Network`]/[`Pop`]/[`Link`] data model and conversion
+//!   to the graph substrate.
+//! - [`tier1`] / [`regional`] — deterministic synthesizers for the 7 Tier-1
+//!   and 16 regional networks (same names and PoP counts as the paper).
+//! - [`peering`] — the 23-network AS peering graph of Figure 2.
+//! - [`metrics`] — the network characteristics of Table 3 (footprint, PoP
+//!   count, links, outdegree, peers).
+//! - [`colocation`] — candidate-peer discovery for the Figure 11 experiment.
+//! - [`import`] — Topology Zoo GraphML import, for running the framework on
+//!   the real published maps.
+//!
+//! Synthesis is fully deterministic: the same seed always regenerates the
+//! same 23 networks, so every experiment in the harness is reproducible.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod colocation;
+pub mod gazetteer;
+pub mod import;
+pub mod metrics;
+pub mod model;
+pub mod peering;
+pub mod regional;
+pub mod tier1;
+
+pub use gazetteer::{City, CITIES};
+pub use model::{Link, Network, NetworkKind, Pop, PopId, TopologyError};
+pub use peering::{Corpus, PeeringGraph};

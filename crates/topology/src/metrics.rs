@@ -1,0 +1,94 @@
+//! Network characteristics (Table 3 of the paper).
+//!
+//! Table 3 correlates six characteristics of the regional networks with
+//! RiskRoute's risk-reduction and distance-increase ratios: geographic
+//! footprint, average PoP risk, average outdegree, number of PoPs, number of
+//! links, and number of peers. This module computes the five topology-side
+//! characteristics; average PoP risk comes from `riskroute-hazard` and is
+//! joined by the harness.
+
+use crate::model::Network;
+use crate::peering::PeeringGraph;
+use serde::{Deserialize, Serialize};
+
+/// The topology-side characteristics of one network.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct NetworkCharacteristics {
+    /// Network name.
+    pub name: String,
+    /// Largest PoP-to-PoP great-circle distance, miles.
+    pub footprint_miles: f64,
+    /// Mean PoP outdegree.
+    pub mean_outdegree: f64,
+    /// Number of PoPs.
+    pub pop_count: usize,
+    /// Number of links.
+    pub link_count: usize,
+    /// Number of peering relationships.
+    pub peer_count: usize,
+}
+
+/// Compute the characteristics of `net` within peering context `peering`.
+pub fn characteristics(net: &Network, peering: &PeeringGraph) -> NetworkCharacteristics {
+    NetworkCharacteristics {
+        name: net.name().to_string(),
+        footprint_miles: net.footprint_miles(),
+        mean_outdegree: net.mean_outdegree(),
+        pop_count: net.pop_count(),
+        link_count: net.link_count(),
+        peer_count: peering.peer_count(net.name()),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::{NetworkKind, Pop};
+    use riskroute_geo::GeoPoint;
+
+    fn sample_network() -> Network {
+        Network::new(
+            "sample",
+            NetworkKind::Regional,
+            vec![
+                Pop {
+                    name: "A".into(),
+                    location: GeoPoint::new(30.0, -95.0).unwrap(),
+                },
+                Pop {
+                    name: "B".into(),
+                    location: GeoPoint::new(32.0, -96.0).unwrap(),
+                },
+                Pop {
+                    name: "C".into(),
+                    location: GeoPoint::new(31.0, -97.0).unwrap(),
+                },
+            ],
+            vec![(0, 1), (1, 2)],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn characteristics_are_computed() {
+        let net = sample_network();
+        let mut peering = PeeringGraph::new();
+        peering.add_peering("sample", "Level3");
+        peering.add_peering("sample", "Sprint");
+        let c = characteristics(&net, &peering);
+        assert_eq!(c.name, "sample");
+        assert_eq!(c.pop_count, 3);
+        assert_eq!(c.link_count, 2);
+        assert_eq!(c.peer_count, 2);
+        assert!((c.mean_outdegree - 4.0 / 3.0).abs() < 1e-12);
+        assert!(c.footprint_miles > 100.0);
+    }
+
+    #[test]
+    fn unknown_network_has_zero_peers() {
+        let net = sample_network();
+        let peering = PeeringGraph::new();
+        let c = characteristics(&net, &peering);
+        assert_eq!(c.peer_count, 0);
+    }
+}

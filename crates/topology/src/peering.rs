@@ -1,0 +1,295 @@
+//! The 23-network AS peering graph (Figure 2 of the paper) and the standard
+//! evaluation corpus.
+//!
+//! The paper derives AS connectivity from the CAIDA AS Relationship Dataset;
+//! here the 23-network subgraph of Figure 2 is encoded explicitly: the seven
+//! Tier-1 backbones form a full peering mesh, and each regional network
+//! peers with the Tier-1s (and occasionally other regionals) it used in
+//! practice.
+
+use crate::model::{Network, NetworkKind};
+use crate::regional::regional_networks;
+use crate::tier1::tier1_networks;
+use serde::{Deserialize, Serialize};
+use std::collections::{HashMap, HashSet};
+
+/// The seven Tier-1 network names.
+pub const TIER1_NAMES: &[&str] = &[
+    "Level3",
+    "AT&T",
+    "Deutsche Telekom",
+    "NTT",
+    "Sprint",
+    "Tinet",
+    "Teliasonera",
+];
+
+/// Regional → Tier-1 peering relationships (Figure 2 rendering).
+pub const REGIONAL_PEERINGS: &[(&str, &[&str])] = &[
+    ("Abilene", &["Level3", "AT&T"]),
+    ("ANS", &["AT&T", "Sprint"]),
+    ("Bandcon", &["Level3", "Tinet"]),
+    ("Bluebird", &["Sprint", "Level3"]),
+    ("British Telecom", &["AT&T", "Sprint", "Level3"]),
+    ("CoStreet", &["NTT"]),
+    ("Digex", &["AT&T", "Sprint"]),
+    ("Epoch", &["Level3", "AT&T"]),
+    ("Globalcenter", &["Sprint", "Tinet"]),
+    ("Goodnet", &["Sprint"]),
+    ("Gridnet", &["Level3"]),
+    ("Hibernia", &["Tinet", "Teliasonera", "Level3"]),
+    ("Iris", &["AT&T"]),
+    ("NTS", &["Level3", "Sprint"]),
+    ("Telepak", &["AT&T", "Level3"]),
+    ("USA Network", &["Tinet", "NTT"]),
+];
+
+/// An undirected peering graph over network names.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct PeeringGraph {
+    edges: HashSet<(String, String)>,
+    names: HashSet<String>,
+}
+
+impl PeeringGraph {
+    /// An empty peering graph.
+    pub fn new() -> Self {
+        PeeringGraph::default()
+    }
+
+    /// The Figure-2 peering graph: Tier-1 full mesh plus the
+    /// [`REGIONAL_PEERINGS`] table.
+    pub fn figure2() -> Self {
+        let mut g = PeeringGraph::new();
+        for (i, a) in TIER1_NAMES.iter().enumerate() {
+            g.add_network(a);
+            for b in &TIER1_NAMES[i + 1..] {
+                g.add_peering(a, b);
+            }
+        }
+        for (regional, tier1s) in REGIONAL_PEERINGS {
+            g.add_network(regional);
+            for t in *tier1s {
+                g.add_peering(regional, t);
+            }
+        }
+        g
+    }
+
+    /// Register a network name (idempotent).
+    pub fn add_network(&mut self, name: &str) {
+        self.names.insert(name.to_string());
+    }
+
+    /// Add an undirected peering between `a` and `b` (idempotent; both
+    /// networks are registered as a side effect).
+    ///
+    /// # Panics
+    /// Panics on a self-peering.
+    pub fn add_peering(&mut self, a: &str, b: &str) {
+        assert_ne!(a, b, "network cannot peer with itself");
+        self.add_network(a);
+        self.add_network(b);
+        self.edges.insert(ordered(a, b));
+    }
+
+    /// Whether `a` and `b` peer.
+    pub fn are_peers(&self, a: &str, b: &str) -> bool {
+        a != b && self.edges.contains(&ordered(a, b))
+    }
+
+    /// All registered network names, sorted.
+    pub fn networks(&self) -> Vec<&str> {
+        let mut v: Vec<&str> = self.names.iter().map(String::as_str).collect();
+        v.sort_unstable();
+        v
+    }
+
+    /// The peers of `name`, sorted.
+    pub fn peers_of(&self, name: &str) -> Vec<&str> {
+        let mut v: Vec<&str> = self
+            .edges
+            .iter()
+            .filter_map(|(a, b)| {
+                if a == name {
+                    Some(b.as_str())
+                } else if b == name {
+                    Some(a.as_str())
+                } else {
+                    None
+                }
+            })
+            .collect();
+        v.sort_unstable();
+        v
+    }
+
+    /// Number of peerings of `name` (Table 3's "Number of Peers").
+    pub fn peer_count(&self, name: &str) -> usize {
+        self.peers_of(name).len()
+    }
+
+    /// Total number of peering edges.
+    pub fn edge_count(&self) -> usize {
+        self.edges.len()
+    }
+}
+
+fn ordered(a: &str, b: &str) -> (String, String) {
+    if a <= b {
+        (a.to_string(), b.to_string())
+    } else {
+        (b.to_string(), a.to_string())
+    }
+}
+
+/// The complete evaluation corpus: all 23 synthesized networks plus the
+/// Figure-2 peering graph, deterministic under `master_seed`.
+#[derive(Debug, Clone)]
+pub struct Corpus {
+    /// The seven Tier-1 networks, in [`TIER1_NAMES`] order.
+    pub tier1: Vec<Network>,
+    /// The sixteen regional networks, in
+    /// [`REGIONAL_SPECS`](crate::regional::REGIONAL_SPECS) order.
+    pub regional: Vec<Network>,
+    /// Figure-2 peering relationships.
+    pub peering: PeeringGraph,
+}
+
+impl Corpus {
+    /// Synthesize the standard corpus.
+    pub fn standard(master_seed: u64) -> Self {
+        Corpus {
+            tier1: tier1_networks(master_seed),
+            regional: regional_networks(master_seed),
+            peering: PeeringGraph::figure2(),
+        }
+    }
+
+    /// Look up any network (Tier-1 or regional) by name.
+    pub fn network(&self, name: &str) -> Option<&Network> {
+        self.all_networks().find(|n| n.name() == name)
+    }
+
+    /// Iterate over all 23 networks, Tier-1s first.
+    pub fn all_networks(&self) -> impl Iterator<Item = &Network> {
+        self.tier1.iter().chain(self.regional.iter())
+    }
+
+    /// Map from network name to kind for every corpus member.
+    pub fn kinds(&self) -> HashMap<String, NetworkKind> {
+        self.all_networks()
+            .map(|n| (n.name().to_string(), n.kind()))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn figure2_has_23_networks() {
+        let g = PeeringGraph::figure2();
+        assert_eq!(g.networks().len(), 23);
+    }
+
+    #[test]
+    fn tier1_mesh_is_complete() {
+        let g = PeeringGraph::figure2();
+        for a in TIER1_NAMES {
+            for b in TIER1_NAMES {
+                if a != b {
+                    assert!(g.are_peers(a, b), "{a} should peer with {b}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn every_regional_has_at_least_one_tier1_peer() {
+        let g = PeeringGraph::figure2();
+        for (regional, _) in REGIONAL_PEERINGS {
+            let peers = g.peers_of(regional);
+            assert!(
+                peers.iter().any(|p| TIER1_NAMES.contains(p)),
+                "{regional} has no Tier-1 peer"
+            );
+        }
+    }
+
+    #[test]
+    fn edge_count_matches_mesh_plus_table() {
+        let g = PeeringGraph::figure2();
+        let mesh = 7 * 6 / 2;
+        let table: usize = REGIONAL_PEERINGS.iter().map(|(_, t)| t.len()).sum();
+        assert_eq!(g.edge_count(), mesh + table);
+    }
+
+    #[test]
+    fn peering_is_symmetric_and_idempotent() {
+        let mut g = PeeringGraph::new();
+        g.add_peering("A", "B");
+        g.add_peering("B", "A");
+        assert_eq!(g.edge_count(), 1);
+        assert!(g.are_peers("A", "B"));
+        assert!(g.are_peers("B", "A"));
+        assert!(!g.are_peers("A", "A"));
+        assert!(!g.are_peers("A", "C"));
+    }
+
+    #[test]
+    #[should_panic(expected = "peer with itself")]
+    fn self_peering_panics() {
+        let mut g = PeeringGraph::new();
+        g.add_peering("A", "A");
+    }
+
+    #[test]
+    fn peer_count_matches_table() {
+        let g = PeeringGraph::figure2();
+        assert_eq!(g.peer_count("Goodnet"), 1);
+        assert_eq!(g.peer_count("Hibernia"), 3);
+        // Level3 peers with the other 6 Tier-1s plus its regional customers.
+        let level3_regionals = REGIONAL_PEERINGS
+            .iter()
+            .filter(|(_, t)| t.contains(&"Level3"))
+            .count();
+        assert_eq!(g.peer_count("Level3"), 6 + level3_regionals);
+    }
+
+    #[test]
+    fn corpus_contains_everything() {
+        let corpus = Corpus::standard(42);
+        assert_eq!(corpus.tier1.len(), 7);
+        assert_eq!(corpus.regional.len(), 16);
+        assert_eq!(corpus.all_networks().count(), 23);
+        assert!(corpus.network("Level3").is_some());
+        assert!(corpus.network("Telepak").is_some());
+        assert!(corpus.network("Nonexistent").is_none());
+        let total_pops: usize = corpus.all_networks().map(|n| n.pop_count()).sum();
+        assert_eq!(total_pops, 354 + 455, "paper PoP totals");
+    }
+
+    #[test]
+    fn corpus_names_match_peering_graph() {
+        let corpus = Corpus::standard(42);
+        let peering_names = corpus.peering.networks();
+        for n in corpus.all_networks() {
+            assert!(
+                peering_names.contains(&n.name()),
+                "{} missing from peering graph",
+                n.name()
+            );
+        }
+    }
+
+    #[test]
+    fn kinds_map_is_complete() {
+        let corpus = Corpus::standard(42);
+        let kinds = corpus.kinds();
+        assert_eq!(kinds.len(), 23);
+        assert_eq!(kinds["Level3"], NetworkKind::Tier1);
+        assert_eq!(kinds["Telepak"], NetworkKind::Regional);
+    }
+}

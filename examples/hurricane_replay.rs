@@ -1,0 +1,60 @@
+//! Replay Hurricane Sandy against the synthesized Tier-1 networks,
+//! advisory by advisory, and watch risk-aware routing react — the paper's
+//! §7.3 case study (Figure 12) as a runnable program.
+//!
+//! ```text
+//! cargo run --release --example hurricane_replay            # Sandy
+//! cargo run --release --example hurricane_replay katrina    # or irene
+//! ```
+
+use riskroute::prelude::*;
+use riskroute::replay::replay_storm;
+
+fn main() {
+    let storm = match std::env::args().nth(1).as_deref() {
+        None | Some("sandy") => Storm::Sandy,
+        Some("katrina") => Storm::Katrina,
+        Some("irene") => Storm::Irene,
+        Some(other) => {
+            eprintln!("unknown storm {other:?}; expected sandy, katrina, or irene");
+            std::process::exit(2);
+        }
+    };
+
+    println!("Synthesizing corpus and risk substrate…");
+    let corpus = Corpus::standard(42);
+    let population = PopulationModel::synthesize(42, 50_000);
+    let hazards = HistoricalRisk::standard(42, Some(4_000));
+
+    println!(
+        "Replaying Hurricane {} ({} advisories, every 8th evaluated)\n",
+        storm.name(),
+        advisories_for(storm).len()
+    );
+    for net in &corpus.tier1 {
+        let planner = Planner::for_network(net, &population, &hazards, RiskWeights::PAPER);
+        let replay = replay_storm(&planner, net, storm, 8);
+        println!(
+            "{:<18} ({:>3} PoPs, max {:>3} under hurricane winds)",
+            net.name(),
+            net.pop_count(),
+            replay.max_pops_in_hurricane_winds()
+        );
+        for tick in &replay.ticks {
+            let bar_len = (tick.report.risk_reduction_ratio * 200.0).round() as usize;
+            println!(
+                "  {:<22} rr {:>6.3}  in-scope {:>3}  {}",
+                tick.label,
+                tick.report.risk_reduction_ratio,
+                tick.pops_in_scope,
+                "#".repeat(bar_len.min(60))
+            );
+        }
+        if let Some(peak) = replay.peak() {
+            println!(
+                "  peak: rr {:.3} at {}\n",
+                peak.report.risk_reduction_ratio, peak.label
+            );
+        }
+    }
+}

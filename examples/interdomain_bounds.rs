@@ -1,0 +1,94 @@
+//! Interdomain bit-risk bounds (§6.2): route a regional network's traffic
+//! across Tier-1 peers and compare the shortest-path upper bound with the
+//! RiskRoute lower bound.
+//!
+//! ```text
+//! cargo run --release --example interdomain_bounds
+//! ```
+
+use riskroute::interdomain::InterdomainAnalysis;
+use riskroute::prelude::*;
+use riskroute_topology::Network;
+
+fn main() {
+    println!("Synthesizing corpus and risk substrate…");
+    let corpus = Corpus::standard(42);
+    let population = PopulationModel::synthesize(42, 50_000);
+    let hazards = HistoricalRisk::standard(42, Some(4_000));
+
+    let networks: Vec<&Network> = corpus.all_networks().collect();
+    let analysis = InterdomainAnalysis::new(
+        &networks,
+        &corpus.peering,
+        &population,
+        &hazards,
+        RiskWeights::historical_only(1e5),
+    );
+    let topo = analysis.topology();
+    println!(
+        "Merged topology: {} PoPs, {} links ({} inter-network hand-offs)\n",
+        topo.merged().pop_count(),
+        topo.merged().link_count(),
+        topo.handoff_links()
+    );
+
+    // A concrete cross-country, cross-provider pair: Telepak's Jackson MS
+    // PoP to a CoStreet PoP in New England.
+    let telepak = corpus.network("Telepak").expect("corpus member");
+    let costreet = corpus.network("CoStreet").expect("corpus member");
+    let src = topo.merged_id("Telepak", 0).expect("valid pop");
+    let dst = topo.merged_id("CoStreet", 0).expect("valid pop");
+    println!(
+        "Routing {}:{} -> {}:{}",
+        telepak.name(),
+        telepak.pops()[0].name,
+        costreet.name(),
+        costreet.pops()[0].name
+    );
+    let (upper, lower) = analysis.bounds(src, dst).expect("reachable via peering");
+    let describe = |label: &str, p: &riskroute::RoutedPath| {
+        let nets: Vec<String> = p
+            .nodes
+            .iter()
+            .map(|&n| topo.provenance(n).0.to_string())
+            .collect();
+        let mut transit = vec![nets[0].clone()];
+        for n in &nets {
+            if transit.last() != Some(n) {
+                transit.push(n.clone());
+            }
+        }
+        println!(
+            "  {label}: {} hops, {:.0} bit-miles, {:.0} bit-risk miles, via {}",
+            p.nodes.len() - 1,
+            p.bit_miles,
+            p.bit_risk_miles,
+            transit.join(" -> ")
+        );
+    };
+    describe("upper bound (shortest path) ", &upper);
+    describe("lower bound (full RiskRoute)", &lower);
+    println!(
+        "  bound gap: {:.1}% of the upper bound\n",
+        100.0 * (1.0 - lower.bit_risk_miles / upper.bit_risk_miles)
+    );
+
+    // Aggregate per-regional reports (the Figure-8 measurement).
+    println!(
+        "Per-regional interdomain ratios (sources: own PoPs; destinations: all regional PoPs):"
+    );
+    let regional_names: Vec<&str> = corpus.regional.iter().map(|n| n.name()).collect();
+    println!(
+        "{:<18} {:>12} {:>12} {:>8}",
+        "Network", "Risk ratio", "Dist ratio", "Pairs"
+    );
+    println!("{}", "-".repeat(54));
+    for name in &regional_names {
+        if let Some(r) = analysis.regional_report(name, &regional_names) {
+            println!(
+                "{:<18} {:>12.3} {:>12.3} {:>8}",
+                name, r.risk_reduction_ratio, r.distance_increase_ratio, r.pairs
+            );
+        }
+    }
+}

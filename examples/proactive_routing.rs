@@ -1,0 +1,98 @@
+//! Proactive vs reactive risk routing: reroute *before* the hurricane
+//! arrives, the way NTT/Level3/Verizon did by hand before Sandy (§1 of the
+//! paper), using forecast projection with an uncertainty cone.
+//!
+//! ```text
+//! cargo run --release --example proactive_routing
+//! ```
+
+use riskroute::prelude::*;
+use riskroute::replay::{replay_storm, replay_storm_proactive};
+use riskroute_forecast::{advisories_for, earliest_warning};
+
+fn main() {
+    println!("Synthesizing corpus and risk substrate…");
+    let corpus = Corpus::standard(42);
+    let population = PopulationModel::synthesize(42, 30_000);
+    let hazards = HistoricalRisk::standard(42, Some(3_000));
+
+    // Telepak sits squarely in Katrina's path.
+    let net = corpus.network("Telepak").expect("corpus member");
+    let planner = Planner::for_network(net, &population, &hazards, RiskWeights::PAPER);
+
+    println!(
+        "\nReplaying Hurricane Katrina over {} ({} PoPs) — reactive vs proactive:\n",
+        net.name(),
+        net.pop_count()
+    );
+    let reactive = replay_storm(&planner, net, Storm::Katrina, 1);
+    println!(
+        "{:<26} {:>14} {:>14} {:>14}",
+        "Advisory", "reactive rr", "+24h rr", "+48h rr"
+    );
+    let pro24 = replay_storm_proactive(&planner, net, Storm::Katrina, 1, 24.0);
+    let pro48 = replay_storm_proactive(&planner, net, Storm::Katrina, 1, 48.0);
+    for tick in reactive.ticks.iter().step_by(4) {
+        let find = |r: &riskroute::replay::DisasterReplay| {
+            r.ticks
+                .iter()
+                .find(|t| t.advisory == tick.advisory)
+                .map(|t| t.report.risk_reduction_ratio)
+        };
+        println!(
+            "{:<26} {:>14.3} {:>14} {:>14}",
+            tick.label,
+            tick.report.risk_reduction_ratio,
+            find(&pro24).map_or("-".into(), |v| format!("{v:.3}")),
+            find(&pro48).map_or("-".into(), |v| format!("{v:.3}")),
+        );
+    }
+
+    let first = |r: &riskroute::replay::DisasterReplay| {
+        r.ticks
+            .iter()
+            .find(|t| t.report.risk_reduction_ratio > planner_baseline(&reactive) + 0.005)
+            .map(|t| (t.advisory, t.label.clone()))
+    };
+    println!();
+    for (label, replay) in [
+        ("reactive", &reactive),
+        ("proactive +24h", &pro24),
+        ("proactive +48h", &pro48),
+    ] {
+        match first(replay) {
+            Some((n, at)) => println!("{label:<16} first storm reaction at advisory {n} ({at})"),
+            None => println!("{label:<16} never reacts"),
+        }
+    }
+
+    // How early could each Gulf PoP have been warned?
+    println!("\nEarliest projected warning per PoP (lead ladder 12/24/48 h):");
+    let advisories = advisories_for(Storm::Katrina);
+    let mut warned: Vec<(String, usize, f64)> = net
+        .pops()
+        .iter()
+        .filter_map(|p| {
+            earliest_warning(&advisories, p.location, &[12.0, 24.0, 48.0])
+                .map(|(adv, lead)| (p.name.clone(), adv, lead))
+        })
+        .collect();
+    warned.sort_by_key(|w| w.1);
+    for (name, adv, lead) in warned.iter().take(10) {
+        println!("  {name:<28} advisory {adv:>2}, {lead:.0} h of lead time");
+    }
+    println!(
+        "  ({} of {} PoPs ever warned)",
+        warned.len(),
+        net.pop_count()
+    );
+}
+
+/// The pre-storm baseline ratio (historical risk only, first tick).
+fn planner_baseline(replay: &riskroute::replay::DisasterReplay) -> f64 {
+    replay
+        .ticks
+        .first()
+        .map(|t| t.report.risk_reduction_ratio)
+        .unwrap_or(0.0)
+}

@@ -1,0 +1,83 @@
+//! Quickstart: compute a risk-aware route and compare it to the shortest
+//! path on a small Gulf-coast network.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use riskroute::prelude::*;
+use riskroute_geo::GeoPoint;
+use riskroute_topology::{Network, NetworkKind, Pop};
+
+fn pop(name: &str, lat: f64, lon: f64) -> Pop {
+    Pop {
+        name: name.to_string(),
+        location: GeoPoint::new(lat, lon).expect("valid coordinates"),
+    }
+}
+
+fn main() {
+    // 1. Describe the physical infrastructure: PoPs and line-of-sight links.
+    //    Houston and Atlanta are joined both through New Orleans (short,
+    //    hurricane country) and through Little Rock (longer, safer).
+    let network = Network::new(
+        "gulf-demo",
+        NetworkKind::Regional,
+        vec![
+            pop("Houston TX", 29.76, -95.37),
+            pop("New Orleans LA", 29.95, -90.07),
+            pop("Atlanta GA", 33.75, -84.39),
+            pop("Little Rock AR", 34.75, -92.29),
+            pop("Nashville TN", 36.16, -86.78),
+        ],
+        vec![(0, 1), (1, 2), (0, 3), (3, 4), (4, 2)],
+    )
+    .expect("valid topology");
+
+    // 2. Build the risk substrate: synthetic census population (for outage
+    //    impact) and the five-corpus historical hazard model (for outage
+    //    likelihood). Both are deterministic under the seed.
+    let population = PopulationModel::synthesize(7, 10_000);
+    let hazards = HistoricalRisk::standard(7, Some(2_000));
+
+    // 3. Plan routes under the paper's λ_h = 1e5 (historical risk only).
+    let planner = Planner::for_network(
+        &network,
+        &population,
+        &hazards,
+        RiskWeights::historical_only(1e5),
+    );
+
+    let names: Vec<&str> = network.pops().iter().map(|p| p.name.as_str()).collect();
+    let show = |label: &str, r: &riskroute::RoutedPath| {
+        let path: Vec<&str> = r.nodes.iter().map(|&n| names[n]).collect();
+        println!(
+            "{label}: {} \n    {:7.1} bit-miles + {:7.1} risk-miles = {:7.1} bit-risk miles",
+            path.join(" -> "),
+            r.bit_miles,
+            r.risk_miles,
+            r.bit_risk_miles
+        );
+    };
+
+    println!("Routing Houston TX -> Atlanta GA\n");
+    let shortest = planner.shortest_route(0, 2).expect("connected");
+    let safe = planner.risk_route(0, 2).expect("connected");
+    show("shortest path  ", &shortest);
+    show("RiskRoute      ", &safe);
+
+    assert!(safe.bit_risk_miles <= shortest.bit_risk_miles);
+    println!(
+        "\nRiskRoute saves {:.1} bit-risk miles ({:.1}%) by paying {:.1} extra bit-miles.",
+        shortest.bit_risk_miles - safe.bit_risk_miles,
+        100.0 * (1.0 - safe.bit_risk_miles / shortest.bit_risk_miles),
+        safe.bit_miles - shortest.bit_miles
+    );
+
+    // 4. The aggregate trade-off over every PoP pair (Eqs. 5-6).
+    let report = planner.ratio_report();
+    println!(
+        "\nNetwork-wide: risk reduction ratio {:.3}, distance increase ratio {:.3} ({} pairs)",
+        report.risk_reduction_ratio, report.distance_increase_ratio, report.pairs
+    );
+}

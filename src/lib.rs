@@ -1,0 +1,18 @@
+//! Umbrella crate for the RiskRoute reproduction workspace.
+//!
+//! This package exists to host the workspace-spanning integration tests under
+//! `tests/` and the runnable examples under `examples/`. The actual library
+//! surface lives in the member crates; the most convenient entry point for
+//! downstream users is the [`riskroute`] crate, which re-exports the pieces of
+//! the substrate crates needed to drive the framework end to end.
+//!
+//! See `README.md` for a tour and `DESIGN.md` for the system inventory.
+
+pub use riskroute;
+pub use riskroute_forecast as forecast;
+pub use riskroute_geo as geo;
+pub use riskroute_graph as graph;
+pub use riskroute_hazard as hazard;
+pub use riskroute_population as population;
+pub use riskroute_stats as stats;
+pub use riskroute_topology as topology;

@@ -1,0 +1,72 @@
+//! Determinism: every experiment input regenerates bit-identically from its
+//! seed — the property that makes the harness outputs reproducible.
+
+use riskroute::prelude::*;
+use riskroute_hazard::events::sample_events;
+use riskroute_hazard::EventKind;
+
+#[test]
+fn corpus_is_bit_identical_under_a_seed() {
+    let a = Corpus::standard(7);
+    let b = Corpus::standard(7);
+    for (na, nb) in a.all_networks().zip(b.all_networks()) {
+        assert_eq!(na.name(), nb.name());
+        assert_eq!(na.pops(), nb.pops());
+        assert_eq!(na.links(), nb.links());
+    }
+    let c = Corpus::standard(8);
+    let diff = a
+        .all_networks()
+        .zip(c.all_networks())
+        .filter(|(x, y)| x.pops() != y.pops())
+        .count();
+    assert!(
+        diff > 0,
+        "a different seed must synthesize different networks"
+    );
+}
+
+#[test]
+fn population_and_hazards_are_deterministic() {
+    let p1 = PopulationModel::synthesize(3, 2_000);
+    let p2 = PopulationModel::synthesize(3, 2_000);
+    assert_eq!(p1.blocks(), p2.blocks());
+
+    let e1 = sample_events(EventKind::FemaStorm, 500, 3);
+    let e2 = sample_events(EventKind::FemaStorm, 500, 3);
+    assert_eq!(e1, e2);
+}
+
+#[test]
+fn routes_and_ratios_are_deterministic() {
+    let corpus = Corpus::standard(42);
+    let population = PopulationModel::synthesize(42, 3_000);
+    let hazards = riskroute_hazard::HistoricalRisk::standard(42, Some(500));
+    let net = corpus.network("Sprint").unwrap();
+    let build = || {
+        Planner::for_network(
+            net,
+            &population,
+            &hazards,
+            RiskWeights::historical_only(1e5),
+        )
+    };
+    let r1 = build().ratio_report();
+    let r2 = build().ratio_report();
+    assert_eq!(r1.risk_reduction_ratio, r2.risk_reduction_ratio);
+    assert_eq!(r1.distance_increase_ratio, r2.distance_increase_ratio);
+    let p1 = build().risk_route(0, net.pop_count() - 1).unwrap();
+    let p2 = build().risk_route(0, net.pop_count() - 1).unwrap();
+    assert_eq!(p1.nodes, p2.nodes);
+    assert_eq!(p1.bit_risk_miles, p2.bit_risk_miles);
+}
+
+#[test]
+fn advisory_series_are_deterministic() {
+    let a = advisories_for(Storm::Irene);
+    let b = advisories_for(Storm::Irene);
+    assert_eq!(a, b);
+    let texts_a: Vec<String> = a.iter().map(|x| x.to_text()).collect();
+    let texts_b: Vec<String> = b.iter().map(|x| x.to_text()).collect();
+    assert_eq!(texts_a, texts_b);
+}

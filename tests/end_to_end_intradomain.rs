@@ -1,0 +1,156 @@
+//! End-to-end intradomain pipeline: synthesize corpus + substrate, route,
+//! and check the paper's structural invariants.
+
+use riskroute::prelude::*;
+
+fn substrate() -> (Corpus, PopulationModel, riskroute_hazard::HistoricalRisk) {
+    (
+        Corpus::standard(42),
+        PopulationModel::synthesize(42, 4_000),
+        riskroute_hazard::HistoricalRisk::standard(42, Some(800)),
+    )
+}
+
+#[test]
+fn riskroute_dominates_shortest_path_in_bit_risk() {
+    let (corpus, population, hazards) = substrate();
+    let net = corpus.network("Sprint").unwrap();
+    let planner = Planner::for_network(
+        net,
+        &population,
+        &hazards,
+        RiskWeights::historical_only(1e5),
+    );
+    for src in 0..net.pop_count() {
+        for dst in 0..net.pop_count() {
+            if src == dst {
+                continue;
+            }
+            let rr = planner
+                .risk_route(src, dst)
+                .expect("connected corpus network");
+            let sp = planner.shortest_route(src, dst).expect("connected");
+            assert!(
+                rr.bit_risk_miles <= sp.bit_risk_miles + 1e-6,
+                "({src},{dst}): RiskRoute must never lose in bit-risk"
+            );
+            assert!(
+                rr.bit_miles >= sp.bit_miles - 1e-6,
+                "({src},{dst}): RiskRoute can never be geographically shorter"
+            );
+            // Decomposition consistency.
+            assert!((rr.bit_risk_miles - rr.bit_miles - rr.risk_miles).abs() < 1e-9);
+        }
+    }
+}
+
+#[test]
+fn paths_are_walks_over_real_links() {
+    let (corpus, population, hazards) = substrate();
+    let net = corpus.network("Teliasonera").unwrap();
+    let planner = Planner::for_network(
+        net,
+        &population,
+        &hazards,
+        RiskWeights::historical_only(1e6),
+    );
+    for dst in 1..net.pop_count() {
+        let rr = planner.risk_route(0, dst).expect("connected");
+        assert_eq!(rr.nodes.first(), Some(&0));
+        assert_eq!(rr.nodes.last(), Some(&dst));
+        for w in rr.nodes.windows(2) {
+            assert!(
+                net.has_link(w[0], w[1]),
+                "hop {:?} is not a physical link",
+                w
+            );
+        }
+        // Loopless.
+        let mut seen = std::collections::HashSet::new();
+        assert!(
+            rr.nodes.iter().all(|n| seen.insert(*n)),
+            "loop in {:?}",
+            rr.nodes
+        );
+    }
+}
+
+#[test]
+fn lambda_sweep_is_monotone_in_both_objectives() {
+    let (corpus, population, hazards) = substrate();
+    let net = corpus.network("AT&T").unwrap();
+    let mut planner = Planner::for_network(
+        net,
+        &population,
+        &hazards,
+        RiskWeights::historical_only(0.0),
+    );
+    let mut prev_rr = -1.0;
+    let mut prev_dr = -1.0;
+    for lambda in [0.0, 1e4, 1e5, 1e6] {
+        planner.set_weights(RiskWeights::historical_only(lambda));
+        let r = planner.ratio_report();
+        assert!(
+            r.risk_reduction_ratio >= prev_rr - 1e-9,
+            "risk reduction must grow with lambda"
+        );
+        assert!(
+            r.distance_increase_ratio >= prev_dr - 1e-9,
+            "distance increase must grow with lambda"
+        );
+        prev_rr = r.risk_reduction_ratio;
+        prev_dr = r.distance_increase_ratio;
+    }
+    // λ = 0 degenerates to shortest-path routing exactly.
+    planner.set_weights(RiskWeights::historical_only(0.0));
+    let r0 = planner.ratio_report();
+    assert!(r0.risk_reduction_ratio.abs() < 1e-12);
+    assert!(r0.distance_increase_ratio.abs() < 1e-12);
+}
+
+#[test]
+fn ratio_report_is_bounded_and_counts_pairs() {
+    let (corpus, population, hazards) = substrate();
+    for name in ["Deutsche Telekom", "NTT"] {
+        let net = corpus.network(name).unwrap();
+        let planner = Planner::for_network(
+            net,
+            &population,
+            &hazards,
+            RiskWeights::historical_only(1e5),
+        );
+        let r = planner.ratio_report();
+        let n = net.pop_count();
+        assert_eq!(
+            r.pairs,
+            n * (n - 1),
+            "{name}: all ordered pairs informative"
+        );
+        assert!(r.risk_reduction_ratio >= 0.0 && r.risk_reduction_ratio < 1.0);
+        assert!(r.distance_increase_ratio >= 0.0);
+    }
+}
+
+#[test]
+fn impact_scaling_shapes_risk_charges() {
+    let (corpus, population, hazards) = substrate();
+    let net = corpus.network("Tinet").unwrap();
+    let planner = Planner::for_network(
+        net,
+        &population,
+        &hazards,
+        RiskWeights::historical_only(1e5),
+    );
+    // β(i,j) = c_i + c_j must be symmetric and positive for populated PoPs.
+    for i in 0..net.pop_count() {
+        for j in 0..net.pop_count() {
+            assert!((planner.impact(i, j) - planner.impact(j, i)).abs() < 1e-15);
+        }
+    }
+    // The same physical route charges more risk for higher-impact pairs.
+    let shares = planner.shares();
+    let mut by_share: Vec<usize> = (0..net.pop_count()).collect();
+    by_share.sort_by(|&a, &b| shares.share(b).partial_cmp(&shares.share(a)).unwrap());
+    let (big, small) = (by_share[0], by_share[by_share.len() - 1]);
+    assert!(shares.share(big) >= shares.share(small));
+}

@@ -1,0 +1,104 @@
+//! The disaster-replay pipeline end to end: best tracks → advisory prose →
+//! NLP parse → forecast risk → routing reaction.
+
+use riskroute::prelude::*;
+use riskroute::replay::{fraction_in_storm_scope, replay_storm};
+use riskroute_forecast::advisory::parse_advisory_text;
+use riskroute_forecast::storms::ALL_STORMS;
+use riskroute_forecast::ForecastRisk;
+use riskroute_geo::GeoPoint;
+
+#[test]
+fn every_generated_advisory_parses_back_losslessly() {
+    for &storm in ALL_STORMS {
+        for adv in advisories_for(storm) {
+            let parsed = parse_advisory_text(&adv.to_text())
+                .unwrap_or_else(|e| panic!("{} #{}: {e}", storm.name(), adv.number));
+            // Text rounds coordinates to 0.1° and radii to whole miles.
+            assert!((parsed.center.lat() - adv.center.lat()).abs() <= 0.051);
+            assert!((parsed.center.lon() - adv.center.lon()).abs() <= 0.051);
+            assert!((parsed.hurricane_radius_mi - adv.hurricane_radius_mi).abs() <= 0.5);
+            assert!((parsed.tropical_radius_mi - adv.tropical_radius_mi).abs() <= 0.5);
+        }
+    }
+}
+
+#[test]
+fn storm_scope_separates_gulf_from_northeast_networks() {
+    let corpus = Corpus::standard(42);
+    let locs = |name: &str| -> Vec<GeoPoint> {
+        corpus
+            .network(name)
+            .unwrap()
+            .pops()
+            .iter()
+            .map(|p| p.location)
+            .collect()
+    };
+    // Telepak (Mississippi) is in Katrina's scope, CoStreet (New England)
+    // is not; Sandy reverses the picture.
+    assert!(fraction_in_storm_scope(&locs("Telepak"), Storm::Katrina) > 0.2);
+    assert_eq!(
+        fraction_in_storm_scope(&locs("CoStreet"), Storm::Katrina),
+        0.0
+    );
+    assert!(fraction_in_storm_scope(&locs("CoStreet"), Storm::Sandy) > 0.0);
+    assert_eq!(fraction_in_storm_scope(&locs("Goodnet"), Storm::Sandy), 0.0);
+}
+
+#[test]
+fn replay_reacts_only_while_the_storm_overlaps_the_network() {
+    let corpus = Corpus::standard(42);
+    let population = PopulationModel::synthesize(42, 4_000);
+    let hazards = riskroute_hazard::HistoricalRisk::standard(42, Some(800));
+    let telia = corpus.network("Teliasonera").unwrap();
+    // Historical risk zeroed via weights: isolate the forecast reaction.
+    let planner = Planner::for_network(telia, &population, &hazards, RiskWeights::new(0.0, 1e3));
+    let replay = replay_storm(&planner, telia, Storm::Sandy, 6);
+    for tick in &replay.ticks {
+        if tick.pops_in_scope == 0 {
+            assert!(
+                tick.report.risk_reduction_ratio.abs() < 1e-9,
+                "{}: no overlap must mean no reaction",
+                tick.label
+            );
+        }
+        assert!(tick.pops_in_hurricane_winds <= tick.pops_in_scope);
+    }
+}
+
+#[test]
+fn replay_tick_counts_and_ordering() {
+    let corpus = Corpus::standard(42);
+    let population = PopulationModel::synthesize(42, 4_000);
+    let hazards = riskroute_hazard::HistoricalRisk::standard(42, Some(800));
+    let net = corpus.network("NTT").unwrap();
+    let planner = Planner::for_network(net, &population, &hazards, RiskWeights::PAPER);
+    for (&storm, expected) in ALL_STORMS.iter().zip([70usize, 61, 60]) {
+        let full = replay_storm(&planner, net, storm, 1);
+        assert_eq!(full.ticks.len(), expected, "{}", storm.name());
+        for (i, t) in full.ticks.iter().enumerate() {
+            assert_eq!(t.advisory, i + 1);
+        }
+    }
+}
+
+#[test]
+fn forecast_risk_values_match_paper_constants() {
+    let adv = &advisories_for(Storm::Katrina)[44]; // around landfall
+    let field = ForecastRisk::from_advisory_text(&adv.to_text()).unwrap();
+    assert_eq!(
+        field.risk(field.center),
+        100.0,
+        "rho_h = 100 inside the eye"
+    );
+    // A point between the radii gets rho_t = 50.
+    if field.tropical_radius_mi > field.hurricane_radius_mi + 2.0 {
+        let mid = riskroute_geo::distance::destination(
+            field.center,
+            0.0,
+            (field.hurricane_radius_mi + field.tropical_radius_mi) / 2.0,
+        );
+        assert_eq!(field.risk(mid), 50.0);
+    }
+}

@@ -94,15 +94,61 @@ pub enum Command {
         /// Output format: "json" (default) or "graphml".
         format: String,
     },
+    /// Seeded chaos-injection harness: fault plans against the full pipeline.
+    Chaos {
+        /// Number of fault plans to run.
+        plans: usize,
+        /// Base seed; plan `i` uses `seed + i`.
+        seed: u64,
+    },
 }
 
-/// Parse errors.
+/// Everything that can go wrong running the CLI, grouped by exit code.
 #[derive(Debug, Clone, PartialEq)]
 pub enum CliError {
     /// `--help` was requested; the payload is the usage text.
     Help(String),
-    /// Anything else.
+    /// Malformed arguments (usage error).
     Bad(String),
+    /// A name (network, PoP selector, storm) did not resolve.
+    Unknown(String),
+    /// Reading an input file failed.
+    Io(String),
+    /// A pipeline error from the unified core taxonomy.
+    Core(riskroute::Error),
+    /// The chaos harness observed invariant violations (the payload lists
+    /// them, one per entry).
+    Chaos(Vec<String>),
+}
+
+impl CliError {
+    /// The process exit code for this error family.
+    ///
+    /// `0` success/help, `2` usage, `3` unresolved name, `4` I/O,
+    /// `5` parse/import failures (GraphML, advisory, JSON), `6` defined
+    /// degradation surfaced as an error (unreachable pair, nothing left to
+    /// aggregate), `7` invalid values or malformed structure, `8` chaos
+    /// invariant violation.
+    pub fn exit_code(&self) -> i32 {
+        use riskroute::Error as E;
+        match self {
+            CliError::Help(_) => 0,
+            CliError::Bad(_) => 2,
+            CliError::Unknown(_) => 3,
+            CliError::Io(_) => 4,
+            CliError::Core(e) => match e {
+                E::Import(_) | E::Advisory(_) | E::Json(_) => 5,
+                E::Unreachable { .. } | E::NoInformativePairs => 6,
+                E::InvalidWeight { .. }
+                | E::Graph(_)
+                | E::Topology(_)
+                | E::Geo(_)
+                | E::NotAdjacent { .. }
+                | E::UnknownNetwork(_) => 7,
+            },
+            CliError::Chaos(_) => 8,
+        }
+    }
 }
 
 impl fmt::Display for CliError {
@@ -110,7 +156,23 @@ impl fmt::Display for CliError {
         match self {
             CliError::Help(u) => f.write_str(u),
             CliError::Bad(m) => write!(f, "error: {m}\n\n{USAGE}"),
+            CliError::Unknown(m) => write!(f, "error: {m}"),
+            CliError::Io(m) => write!(f, "I/O error: {m}"),
+            CliError::Core(e) => write!(f, "error: {}", riskroute::render_chain(e)),
+            CliError::Chaos(violations) => {
+                write!(f, "chaos invariants violated:")?;
+                for v in violations {
+                    write!(f, "\n  - {v}")?;
+                }
+                Ok(())
+            }
         }
+    }
+}
+
+impl From<riskroute::Error> for CliError {
+    fn from(e: riskroute::Error) -> Self {
+        CliError::Core(e)
     }
 }
 
@@ -132,6 +194,8 @@ COMMANDS:
   ospf <net>                         risk-aware OSPF weights + fidelity
   failure <net> <storm>              storm failure injection
   export <net> [--format F]          topology on stdout (json | graphml)
+  chaos [--plans N] [--seed S]       seeded fault injection (default 8 plans,
+                                     seed 42); nonzero exit on any violation
 
 GLOBALS:
   --graphml <file> --name <name>     import a Topology Zoo GraphML map
@@ -142,6 +206,10 @@ GLOBALS:
 
 PoP selectors are indices or unique case-insensitive name substrings.
 Storms: katrina, irene, sandy. Everything is deterministic (seed 42).
+
+EXIT CODES:
+  0 ok/help   2 usage   3 unknown name   4 I/O   5 parse/import
+  6 unreachable or nothing to aggregate   7 invalid value   8 chaos violation
 ";
 
 /// Parse a raw argument vector (without the program name).
@@ -217,6 +285,12 @@ fn parse_usize(v: Option<&String>, flag: &str) -> Result<usize, CliError> {
         return Err(CliError::Bad(format!("{flag} must be positive")));
     }
     Ok(n)
+}
+
+fn parse_u64(v: Option<&String>, flag: &str) -> Result<u64, CliError> {
+    v.ok_or_else(|| CliError::Bad(format!("{flag} needs a value")))?
+        .parse::<u64>()
+        .map_err(|_| CliError::Bad(format!("{flag} needs a non-negative integer")))
 }
 
 fn parse_command(rest: &[String]) -> Result<Command, CliError> {
@@ -330,6 +404,21 @@ fn parse_command(rest: &[String]) -> Result<Command, CliError> {
                 format,
             })
         }
+        "chaos" => {
+            if !positional.is_empty() {
+                return Err(bad("chaos takes only --plans and --seed flags".into()));
+            }
+            Ok(Command::Chaos {
+                plans: match flag_of("--plans") {
+                    Some(v) => parse_usize(Some(v), "--plans")?,
+                    None => 8,
+                },
+                seed: match flag_of("--seed") {
+                    Some(v) => parse_u64(Some(v), "--seed")?,
+                    None => crate::CLI_SEED,
+                },
+            })
+        }
         other => Err(bad(format!("unknown command {other:?}"))),
     }
 }
@@ -441,6 +530,83 @@ mod tests {
             parse_args(&args("export NTT --format yaml")),
             Err(CliError::Bad(_))
         ));
+    }
+
+    #[test]
+    fn chaos_defaults_and_flags() {
+        let cli = parse_args(&args("chaos")).unwrap();
+        assert_eq!(
+            cli.command,
+            Command::Chaos {
+                plans: 8,
+                seed: crate::CLI_SEED
+            }
+        );
+        let cli = parse_args(&args("chaos --plans 12 --seed 7")).unwrap();
+        assert_eq!(
+            cli.command,
+            Command::Chaos {
+                plans: 12,
+                seed: 7
+            }
+        );
+        assert!(matches!(
+            parse_args(&args("chaos extra")),
+            Err(CliError::Bad(_))
+        ));
+        assert!(matches!(
+            parse_args(&args("chaos --plans 0")),
+            Err(CliError::Bad(_))
+        ));
+        assert!(matches!(
+            parse_args(&args("chaos --seed -3")),
+            Err(CliError::Bad(_))
+        ));
+    }
+
+    #[test]
+    fn exit_codes_partition_the_taxonomy() {
+        use riskroute::Error as E;
+        assert_eq!(CliError::Help(String::new()).exit_code(), 0);
+        assert_eq!(CliError::Bad(String::new()).exit_code(), 2);
+        assert_eq!(CliError::Unknown(String::new()).exit_code(), 3);
+        assert_eq!(CliError::Io(String::new()).exit_code(), 4);
+        assert_eq!(
+            CliError::Core(E::Advisory(
+                riskroute_forecast::ParseError::MissingCenter
+            ))
+            .exit_code(),
+            5
+        );
+        assert_eq!(
+            CliError::Core(E::Unreachable {
+                network: "x".into(),
+                src: 0,
+                dst: 1
+            })
+            .exit_code(),
+            6
+        );
+        assert_eq!(CliError::Core(E::NoInformativePairs).exit_code(), 6);
+        assert_eq!(
+            CliError::Core(E::InvalidWeight {
+                context: "λ_h".into(),
+                value: f64::NAN
+            })
+            .exit_code(),
+            7
+        );
+        assert_eq!(CliError::Chaos(vec!["v".into()]).exit_code(), 8);
+    }
+
+    #[test]
+    fn core_errors_render_their_cause_chain() {
+        let err = CliError::Core(riskroute::Error::from(
+            riskroute_topology::TopologyError::SelfLink(2),
+        ));
+        let text = err.to_string();
+        assert!(text.contains("topology construction failed"));
+        assert!(text.contains("caused by: self-link on PoP 2"));
     }
 
     #[test]

@@ -1,6 +1,6 @@
 //! Subcommand implementations: pure functions to output strings.
 
-use crate::{resolve_pop, resolve_storm, CliContext};
+use crate::{resolve_pop, resolve_storm, CliContext, CliError};
 use riskroute::backup::backup_paths;
 use riskroute::failure::{criticality_ranking, storm_failure};
 use riskroute::prelude::*;
@@ -67,14 +67,17 @@ pub fn route(
     src: &str,
     dst: &str,
     weights: RiskWeights,
-) -> Result<String, String> {
+) -> Result<String, CliError> {
     let net = ctx.network(network)?;
     let (s, d) = (resolve_pop(net, src)?, resolve_pop(net, dst)?);
     let planner = ctx.planner(net, weights);
-    let sp = planner
-        .shortest_route(s, d)
-        .ok_or_else(|| format!("{} and {} are not connected", src, dst))?;
-    let rr = planner.risk_route(s, d).expect("reachable pair");
+    let unreachable = || riskroute::Error::Unreachable {
+        network: net.name().to_string(),
+        src: s,
+        dst: d,
+    };
+    let sp = planner.shortest_route(s, d).ok_or_else(unreachable)?;
+    let rr = planner.try_risk_route(s, d)?;
     let mut out = format!(
         "{}: {} -> {} (lambda_h {:.0e}, lambda_f {:.0e})\n\n",
         net.name(),
@@ -102,12 +105,17 @@ pub fn backup(
     dst: &str,
     k: usize,
     weights: RiskWeights,
-) -> Result<String, String> {
+) -> Result<String, CliError> {
     let net = ctx.network(network)?;
     let (s, d) = (resolve_pop(net, src)?, resolve_pop(net, dst)?);
     let planner = ctx.planner(net, weights);
-    let plan = backup_paths(&planner, net, s, d, k)
-        .ok_or_else(|| format!("{src} and {dst} are not connected"))?;
+    let plan = backup_paths(&planner, net, s, d, k).ok_or_else(|| {
+        riskroute::Error::Unreachable {
+            network: net.name().to_string(),
+            src: s,
+            dst: d,
+        }
+    })?;
     let mut out = format!(
         "{}: ranked paths {} -> {}\n\n",
         net.name(),
@@ -130,7 +138,7 @@ pub fn provision(
     network: &str,
     k: usize,
     weights: RiskWeights,
-) -> Result<String, String> {
+) -> Result<String, CliError> {
     let net = ctx.network(network)?;
     let planner = ctx.planner(net, weights);
     let risk = planner.risk().clone();
@@ -168,7 +176,7 @@ pub fn replay(
     storm: &str,
     stride: usize,
     weights: RiskWeights,
-) -> Result<String, String> {
+) -> Result<String, CliError> {
     let net = ctx.network(network)?;
     let storm = resolve_storm(storm)?;
     let planner = ctx.planner(net, weights);
@@ -202,7 +210,7 @@ pub fn replay(
 }
 
 /// `riskroute critical <net>`
-pub fn critical(ctx: &CliContext, network: &str) -> Result<String, String> {
+pub fn critical(ctx: &CliContext, network: &str) -> Result<String, CliError> {
     let net = ctx.network(network)?;
     let risk = NodeRisk::from_historical(net, &ctx.hazards);
     let ranking = criticality_ranking(net, &risk);
@@ -212,8 +220,8 @@ pub fn critical(ctx: &CliContext, network: &str) -> Result<String, String> {
     );
     let _ = writeln!(
         out,
-        "{:<28} {:>12} {:>10} {:>10}  {}",
-        "PoP", "Betweenness", "Risk", "Exposure", "SPOF"
+        "{:<28} {:>12} {:>10} {:>10}  SPOF",
+        "PoP", "Betweenness", "Risk", "Exposure"
     );
     out.push_str(&"-".repeat(72));
     out.push('\n');
@@ -239,7 +247,7 @@ pub fn critical(ctx: &CliContext, network: &str) -> Result<String, String> {
 }
 
 /// `riskroute corridors <net>`
-pub fn corridors(ctx: &CliContext, network: &str) -> Result<String, String> {
+pub fn corridors(ctx: &CliContext, network: &str) -> Result<String, CliError> {
     let net = ctx.network(network)?;
     let risks = riskroute::corridor::corridor_risks(net, &ctx.hazards);
     let mut out = format!(
@@ -291,7 +299,7 @@ pub fn corridors(ctx: &CliContext, network: &str) -> Result<String, String> {
 }
 
 /// `riskroute ospf <net>`
-pub fn ospf(ctx: &CliContext, network: &str, weights: RiskWeights) -> Result<String, String> {
+pub fn ospf(ctx: &CliContext, network: &str, weights: RiskWeights) -> Result<String, CliError> {
     let net = ctx.network(network)?;
     let planner = ctx.planner(net, weights);
     let beta = riskroute::ospf::mean_impact(&planner);
@@ -341,7 +349,7 @@ pub fn ospf(ctx: &CliContext, network: &str, weights: RiskWeights) -> Result<Str
 }
 
 /// `riskroute failure <net> <storm>`
-pub fn failure(ctx: &CliContext, network: &str, storm: &str) -> Result<String, String> {
+pub fn failure(ctx: &CliContext, network: &str, storm: &str) -> Result<String, CliError> {
     let net = ctx.network(network)?;
     let storm = resolve_storm(storm)?;
     let shares = PopShares::assign(&ctx.population, net, None);
@@ -387,15 +395,47 @@ pub fn failure(ctx: &CliContext, network: &str, storm: &str) -> Result<String, S
 }
 
 /// `riskroute export <net> [--format json|graphml]`
-pub fn export(ctx: &CliContext, network: &str, format: &str) -> Result<String, String> {
+pub fn export(ctx: &CliContext, network: &str, format: &str) -> Result<String, CliError> {
     let net = ctx.network(network)?;
     match format {
-        "json" => {
-            serde_json::to_string_pretty(net).map_err(|e| format!("serialization failed: {e}"))
-        }
+        "json" => Ok(riskroute_json::to_string_pretty(net)),
         "graphml" => Ok(riskroute_topology::import::network_to_graphml(net)),
-        other => Err(format!("unknown export format {other:?}")),
+        other => Err(CliError::Bad(format!("unknown export format {other:?}"))),
     }
+}
+
+/// `riskroute chaos [--plans N] [--seed S]`
+///
+/// Runs `plans` deterministic fault plans (seeds `seed..seed+plans`) through
+/// the full pipeline and prints one degradation summary per plan. Any
+/// violated invariant — a panic would never get here — turns into
+/// [`CliError::Chaos`] and exit code 8.
+pub fn chaos(plans: usize, seed: u64) -> Result<String, CliError> {
+    let reports = riskroute::chaos::run_chaos_suite(seed, plans)?;
+    let mut out = format!(
+        "chaos harness: {plans} fault plans, base seed {seed} \
+         (faults: dropped links, garbled advisories, deleted hazard events,\n\
+         zeroed population shares, poisoned entry costs)\n\n"
+    );
+    let mut all_violations = Vec::new();
+    for report in &reports {
+        let _ = writeln!(out, "{}", report.summary_line());
+        for v in riskroute::chaos::violations(report) {
+            all_violations.push(format!("seed {}: {v}", report.seed));
+        }
+    }
+    if !all_violations.is_empty() {
+        return Err(CliError::Chaos(all_violations));
+    }
+    let degraded: usize = reports.iter().map(|r| r.degraded_ticks).sum();
+    let stranded: usize = reports.iter().map(|r| r.stranded_pairs).sum();
+    let _ = writeln!(
+        out,
+        "\n{} plans completed: no panics, every ratio finite, degradation \
+         accounted for ({degraded} degraded ticks, {stranded} stranded pairs)",
+        reports.len()
+    );
+    Ok(out)
 }
 
 #[cfg(test)]
@@ -433,7 +473,16 @@ mod tests {
     #[test]
     fn route_rejects_unknown_network() {
         let err = route(&ctx(), "Nope", "0", "1", RiskWeights::PAPER).unwrap_err();
-        assert!(err.contains("unknown network"));
+        assert!(matches!(err, CliError::Unknown(_)));
+        assert!(err.to_string().contains("unknown network"));
+    }
+
+    #[test]
+    fn chaos_command_summarizes_plans() {
+        let out = chaos(2, 0).unwrap();
+        assert!(out.contains("chaos harness: 2 fault plans"));
+        assert!(out.contains("seed "));
+        assert!(out.contains("2 plans completed: no panics"));
     }
 
     #[test]
@@ -495,7 +544,7 @@ mod tests {
     #[test]
     fn export_round_trips_through_json() {
         let json = export(&ctx(), "NTT", "json").unwrap();
-        let back: Network = serde_json::from_str(&json).unwrap();
+        let back: Network = riskroute_json::from_str(&json).unwrap();
         assert_eq!(back.name(), "NTT");
         assert_eq!(back.pop_count(), 12);
     }

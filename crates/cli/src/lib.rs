@@ -51,14 +51,15 @@ impl CliContext {
     /// Build the context, importing any GraphML files requested.
     ///
     /// # Errors
-    /// Propagates file and import errors as strings.
-    pub fn build(graphml: &[(String, String)]) -> Result<Self, String> {
+    /// [`CliError::Io`] when a file cannot be read, [`CliError::Core`]
+    /// (import family) when its contents do not parse.
+    pub fn build(graphml: &[(String, String)]) -> Result<Self, CliError> {
         let mut imported = Vec::new();
         for (path, name) in graphml {
-            let xml =
-                std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+            let xml = std::fs::read_to_string(path)
+                .map_err(|e| CliError::Io(format!("cannot read {path}: {e}")))?;
             let net = network_from_graphml(&xml, name, NetworkKind::Regional)
-                .map_err(|e| format!("cannot import {path}: {e}"))?;
+                .map_err(riskroute::Error::from)?;
             imported.push(net);
         }
         Ok(CliContext {
@@ -70,7 +71,10 @@ impl CliContext {
     }
 
     /// Look up a network by name: imported networks shadow corpus members.
-    pub fn network(&self, name: &str) -> Result<&Network, String> {
+    ///
+    /// # Errors
+    /// [`CliError::Unknown`] listing the available names.
+    pub fn network(&self, name: &str) -> Result<&Network, CliError> {
         self.imported
             .iter()
             .find(|n| n.name() == name)
@@ -83,7 +87,10 @@ impl CliContext {
                     .chain(self.corpus.all_networks().map(Network::name))
                     .collect();
                 names.sort_unstable();
-                format!("unknown network {name:?}; available: {}", names.join(", "))
+                CliError::Unknown(format!(
+                    "unknown network {name:?}; available: {}",
+                    names.join(", ")
+                ))
             })
     }
 
@@ -95,16 +102,19 @@ impl CliContext {
 
 /// Resolve a PoP selector: an index (`"12"`) or a case-insensitive name
 /// substring (`"new orle"`); substring matches must be unique.
-pub fn resolve_pop(net: &Network, selector: &str) -> Result<usize, String> {
+///
+/// # Errors
+/// [`CliError::Unknown`] when nothing (or more than one PoP) matches.
+pub fn resolve_pop(net: &Network, selector: &str) -> Result<usize, CliError> {
     if let Ok(idx) = selector.parse::<usize>() {
         return if idx < net.pop_count() {
             Ok(idx)
         } else {
-            Err(format!(
+            Err(CliError::Unknown(format!(
                 "PoP index {idx} out of range ({} has {} PoPs)",
                 net.name(),
                 net.pop_count()
-            ))
+            )))
         };
     }
     let needle = selector.to_lowercase();
@@ -117,35 +127,47 @@ pub fn resolve_pop(net: &Network, selector: &str) -> Result<usize, String> {
         .collect();
     match matches.as_slice() {
         [one] => Ok(*one),
-        [] => Err(format!("no PoP of {} matches {selector:?}", net.name())),
-        many => Err(format!(
+        [] => Err(CliError::Unknown(format!(
+            "no PoP of {} matches {selector:?}",
+            net.name()
+        ))),
+        many => Err(CliError::Unknown(format!(
             "{selector:?} is ambiguous in {}: {}",
             net.name(),
             many.iter()
                 .map(|&i| net.pops()[i].name.as_str())
                 .collect::<Vec<_>>()
                 .join(", ")
-        )),
+        ))),
     }
 }
 
 /// Parse a storm name.
-pub fn resolve_storm(name: &str) -> Result<Storm, String> {
+///
+/// # Errors
+/// [`CliError::Unknown`] for anything but katrina, irene, sandy.
+pub fn resolve_storm(name: &str) -> Result<Storm, CliError> {
     match name.to_lowercase().as_str() {
         "katrina" => Ok(Storm::Katrina),
         "irene" => Ok(Storm::Irene),
         "sandy" => Ok(Storm::Sandy),
-        other => Err(format!(
+        other => Err(CliError::Unknown(format!(
             "unknown storm {other:?}; expected katrina, irene, or sandy"
-        )),
+        ))),
     }
 }
 
 /// Run a parsed CLI invocation to an output string.
 ///
 /// # Errors
-/// Returns a user-facing error message.
-pub fn run(cli: &Cli) -> Result<String, String> {
+/// A [`CliError`] whose family determines the process exit code
+/// (see [`CliError::exit_code`]).
+pub fn run(cli: &Cli) -> Result<String, CliError> {
+    // The chaos harness builds its own faulted substrates per plan; it does
+    // not need (and must not share) the CLI context.
+    if let Command::Chaos { plans, seed } = &cli.command {
+        return commands::chaos(*plans, *seed);
+    }
     let ctx = CliContext::build(&cli.graphml)?;
     match &cli.command {
         Command::Corpus => Ok(commands::corpus(&ctx)),
@@ -169,6 +191,7 @@ pub fn run(cli: &Cli) -> Result<String, String> {
         Command::Ospf { network } => commands::ospf(&ctx, network, cli.weights()),
         Command::Failure { network, storm } => commands::failure(&ctx, network, storm),
         Command::Export { network, format } => commands::export(&ctx, network, format),
+        Command::Chaos { .. } => unreachable!("chaos is dispatched before context build"),
     }
 }
 
@@ -200,7 +223,43 @@ mod tests {
     fn unknown_network_lists_alternatives() {
         let ctx = CliContext::build(&[]).unwrap();
         let err = ctx.network("Nope").unwrap_err();
-        assert!(err.contains("Level3"));
-        assert!(err.contains("Telepak"));
+        assert_eq!(err.exit_code(), 3);
+        let text = err.to_string();
+        assert!(text.contains("Level3"));
+        assert!(text.contains("Telepak"));
+    }
+
+    #[test]
+    fn selector_failures_are_unknown_family() {
+        let ctx = CliContext::build(&[]).unwrap();
+        let net = ctx.network("Sprint").unwrap();
+        assert!(matches!(
+            resolve_pop(net, "999"),
+            Err(CliError::Unknown(_))
+        ));
+        assert!(matches!(resolve_storm("bob"), Err(CliError::Unknown(_))));
+    }
+
+    #[test]
+    fn missing_graphml_file_is_io_family() {
+        let Err(err) = CliContext::build(&[("/no/such/file.graphml".into(), "X".into())])
+        else {
+            panic!("expected an I/O error")
+        };
+        assert!(matches!(err, CliError::Io(_)));
+        assert_eq!(err.exit_code(), 4);
+    }
+
+    #[test]
+    fn bad_graphml_content_is_parse_family() {
+        let dir = std::env::temp_dir().join("riskroute-cli-badxml");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("bad.graphml");
+        std::fs::write(&path, "<graphml><graph></graph>").unwrap();
+        let Err(err) = CliContext::build(&[(path.display().to_string(), "X".into())]) else {
+            panic!("expected an import error")
+        };
+        assert!(matches!(err, CliError::Core(riskroute::Error::Import(_))));
+        assert_eq!(err.exit_code(), 5);
     }
 }

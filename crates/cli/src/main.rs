@@ -24,16 +24,21 @@ fn main() {
             emit(usage.trim_end());
             return;
         }
-        Err(err @ CliError::Bad(_)) => {
-            eprintln!("{err}");
-            std::process::exit(2);
-        }
+        Err(err) => fail(&err),
     };
     match run(&cli) {
         Ok(output) => emit(output.trim_end()),
-        Err(msg) => {
-            eprintln!("error: {msg}");
-            std::process::exit(1);
-        }
+        Err(err) => fail(&err),
     }
+}
+
+/// Print `err` (with its cause chain — see [`riskroute::render_chain`],
+/// which [`CliError`]'s `Display` delegates to for core errors) and exit
+/// with the family's code. The write is unchecked: `eprintln!` would panic
+/// on a closed stderr pipe (`riskroute chaos 2>&1 | head`), turning every
+/// exit code into 101 — the exit code is the contract, not the text.
+fn fail(err: &CliError) -> ! {
+    let mut stderr = std::io::stderr().lock();
+    let _ = writeln!(stderr, "{err}");
+    std::process::exit(err.exit_code());
 }

@@ -23,10 +23,9 @@ use crate::routing::RoutedPath;
 use riskroute_graph::yen::k_shortest_paths;
 use riskroute_graph::Graph;
 use riskroute_topology::Network;
-use serde::{Deserialize, Serialize};
 
 /// A primary path plus ranked backups for one PoP pair.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct BackupPlan {
     /// Source PoP.
     pub src: usize,
@@ -59,17 +58,24 @@ pub fn backup_paths(
     // this fixed pair (see module docs).
     let mut g = Graph::with_nodes(network.pop_count());
     for l in network.links() {
-        g.add_edge(l.a, l.b, l.miles + (rho(l.a) + rho(l.b)) / 2.0)
-            .expect("valid symmetric weight");
+        // A non-finite half-risk weight (poisoned risk vector) drops the
+        // link from the ranking graph instead of aborting the plan — the
+        // same unroutable treatment `risk_sssp` gives poisoned nodes.
+        let _ = g.add_edge(l.a, l.b, l.miles + (rho(l.a) + rho(l.b)) / 2.0);
     }
     let ranked = k_shortest_paths(&g, i, j, k);
     if ranked.is_empty() {
         return None;
     }
+    // Yen-ranked paths traverse real links, so evaluation cannot fail; a
+    // hypothetical mismatch drops the path rather than aborting the plan.
     let mut paths: Vec<RoutedPath> = ranked
         .iter()
-        .map(|p| planner.evaluate(i, j, &p.nodes))
+        .filter_map(|p| planner.evaluate(i, j, &p.nodes).ok())
         .collect();
+    if paths.is_empty() {
+        return None;
+    }
     let primary = paths.remove(0);
     Some(BackupPlan {
         src: i,
@@ -80,7 +86,7 @@ pub fn backup_paths(
 }
 
 /// One source's forwarding entry toward a destination.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct NextHops {
     /// The source PoP.
     pub src: usize,
@@ -143,7 +149,7 @@ pub fn lfa_next_hops(planner: &Planner, network: &Network, dst: usize) -> Vec<Ne
                         continue;
                     }
                     let via = l.miles + rho(v) + to_dst(v);
-                    if best.map_or(true, |(_, c)| via < c) {
+                    if best.is_none_or(|(_, c)| via < c) {
                         best = Some((v, via));
                     }
                 }
@@ -159,7 +165,7 @@ pub fn lfa_next_hops(planner: &Planner, network: &Network, dst: usize) -> Vec<Ne
                     // to the destination than we are.
                     if to_dst(v) < d_src - 1e-12 {
                         let via = l.miles + rho(v) + to_dst(v);
-                        if alt.map_or(true, |(_, c)| via < c) {
+                        if alt.is_none_or(|(_, c)| via < c) {
                             alt = Some((v, via));
                         }
                     }
@@ -176,6 +182,7 @@ pub fn lfa_next_hops(planner: &Planner, network: &Network, dst: usize) -> Vec<Ne
 
 #[cfg(test)]
 mod tests {
+    #![allow(clippy::unwrap_used, clippy::expect_used)]
     use super::*;
     use crate::metric::{NodeRisk, RiskWeights};
     use riskroute_geo::GeoPoint;

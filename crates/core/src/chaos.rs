@@ -1,0 +1,438 @@
+//! Seeded chaos-injection harness.
+//!
+//! A [`FaultPlan`] is a deterministic, seed-derived bundle of faults —
+//! dropped links, garbled or truncated advisory text, deleted hazard
+//! events, zeroed population blocks, and non-finite entry costs — that
+//! [`run_chaos`] injects into a full corpus pipeline (topology → population
+//! → hazards → planner → disaster replay → ratio aggregation). The driver
+//! asserts the degraded-mode invariants the rest of the crate promises:
+//!
+//! - **No panic**: every stage completes under every plan.
+//! - **Defined degradation**: corrupted advisories yield *flagged* degraded
+//!   ticks (never dropped ticks), partitions yield *counted* stranded pairs
+//!   (never aborted sweeps), poisoned entry costs *isolate* their PoPs
+//!   (never crash the search), and every reported ratio stays finite.
+//!
+//! Everything is keyed off the plan's seed, so a failing plan replays
+//! exactly with `FaultPlan::from_seed(seed)`.
+
+use crate::error::Error;
+use crate::intradomain::Planner;
+use crate::metric::{NodeRisk, RiskWeights};
+use crate::replay::{raw_advisories, replay_raw_advisories, RawAdvisory};
+use crate::routing::risk_sssp;
+use riskroute_forecast::ALL_STORMS;
+use riskroute_geo::GeoPoint;
+use riskroute_hazard::HistoricalRisk;
+use riskroute_population::{PopShares, PopulationModel};
+use riskroute_rng::StdRng;
+use riskroute_topology::{Corpus, Network, NetworkKind};
+
+/// Replay stride used by the harness (every 4th advisory — enough ticks to
+/// exercise the storm's approach, peak, and decay without dominating the
+/// suite's runtime).
+const CHAOS_STRIDE: usize = 4;
+/// Synthetic census blocks per plan.
+const CHAOS_BLOCKS: usize = 800;
+/// Hazard events per kind before deletion faults.
+const CHAOS_EVENT_CAP: usize = 60;
+
+/// A deterministic, seed-derived bundle of faults to inject into one
+/// pipeline run. Identical seeds produce identical plans (and identical
+/// [`ChaosReport`]s), so failures replay exactly.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FaultPlan {
+    /// Master seed; all fault placement derives from it.
+    pub seed: u64,
+    /// Fraction of the chosen network's links to drop (may partition it).
+    pub drop_link_fraction: f64,
+    /// Fraction of advisory texts to garble (character noise).
+    pub garble_advisory_fraction: f64,
+    /// Fraction of advisory texts to truncate mid-sentence.
+    pub truncate_advisory_fraction: f64,
+    /// Fraction of each hazard corpus' events to delete.
+    pub delete_event_fraction: f64,
+    /// Fraction of PoP population shares to zero out.
+    pub zero_population_fraction: f64,
+    /// Fraction of PoPs whose entry cost is poisoned non-finite.
+    pub poison_cost_fraction: f64,
+}
+
+impl FaultPlan {
+    /// Derive a plan from a seed. Fault intensities are drawn from ranges
+    /// wide enough to partition topologies and blind the forecast, but they
+    /// never take a fraction past ~0.45 — a plan that deletes *everything*
+    /// tests vacuous behaviour, not degradation.
+    pub fn from_seed(seed: u64) -> Self {
+        let mut rng = StdRng::seed_from_u64(seed ^ 0x9e37_79b9_7f4a_7c15);
+        FaultPlan {
+            seed,
+            drop_link_fraction: rng.gen_range(0.05..0.40),
+            garble_advisory_fraction: rng.gen_range(0.05..0.30),
+            truncate_advisory_fraction: rng.gen_range(0.05..0.30),
+            delete_event_fraction: rng.gen_range(0.0..0.45),
+            zero_population_fraction: rng.gen_range(0.0..0.40),
+            poison_cost_fraction: rng.gen_range(0.05..0.35),
+        }
+    }
+
+    /// The `count` plans of a suite rooted at `base_seed` (seeds
+    /// `base_seed..base_seed + count`).
+    pub fn suite(base_seed: u64, count: usize) -> Vec<FaultPlan> {
+        (0..count as u64)
+            .map(|i| FaultPlan::from_seed(base_seed.wrapping_add(i)))
+            .collect()
+    }
+}
+
+/// What one chaos run did and how the pipeline degraded — the
+/// defined-degradation evidence for one [`FaultPlan`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct ChaosReport {
+    /// The plan's seed.
+    pub seed: u64,
+    /// Network the faults were injected into.
+    pub network: String,
+    /// Storm replayed under the faults.
+    pub storm: String,
+    /// Links dropped from the topology.
+    pub dropped_links: usize,
+    /// Advisory texts corrupted (garbled + truncated).
+    pub corrupted_advisories: usize,
+    /// Hazard events deleted across all corpora.
+    pub deleted_events: usize,
+    /// Population shares zeroed.
+    pub zeroed_blocks: usize,
+    /// PoPs with poisoned (non-finite) entry costs.
+    pub poisoned_pops: usize,
+    /// Ticks the replay produced (always the full advisory count).
+    pub total_ticks: usize,
+    /// Ticks that ran in degraded (forecast-dropped) mode.
+    pub degraded_ticks: usize,
+    /// Stranded pairs in the post-storm ratio sweep.
+    pub stranded_pairs: usize,
+    /// PoPs isolated by the poisoned-cost search.
+    pub isolated_pops: usize,
+    /// Whether every reported ratio stayed finite.
+    pub finite_ratios: bool,
+}
+
+impl ChaosReport {
+    /// One-line summary for the CLI table.
+    pub fn summary_line(&self) -> String {
+        format!(
+            "seed {:>4}  {:<16} {:<8} links -{:<3} adv x{:<3} events -{:<4} \
+             shares 0x{:<3} poisoned {:<3} | ticks {:>2} degraded {:>2} \
+             stranded {:>4} isolated {:>2} finite {}",
+            self.seed,
+            self.network,
+            self.storm,
+            self.dropped_links,
+            self.corrupted_advisories,
+            self.deleted_events,
+            self.zeroed_blocks,
+            self.poisoned_pops,
+            self.total_ticks,
+            self.degraded_ticks,
+            self.stranded_pairs,
+            self.isolated_pops,
+            self.finite_ratios,
+        )
+    }
+}
+
+/// Pick `fraction` of `0..n` (rounded, at least one when the fraction is
+/// positive and `n > 0`, never all of them for n > 1).
+fn pick_indices(rng: &mut StdRng, n: usize, fraction: f64) -> Vec<usize> {
+    if n == 0 || fraction <= 0.0 {
+        return Vec::new();
+    }
+    let want = ((n as f64 * fraction).round() as usize)
+        .max(1)
+        .min(n.saturating_sub(1).max(1));
+    let mut idx: Vec<usize> = (0..n).collect();
+    rng.shuffle(&mut idx);
+    idx.truncate(want);
+    idx.sort_unstable();
+    idx
+}
+
+/// Drop a fraction of links from `network`. The surviving link set is a
+/// subset of a valid network's links, so rebuilding cannot fail.
+fn drop_links(network: &Network, fraction: f64, rng: &mut StdRng) -> (Network, usize) {
+    let doomed = pick_indices(rng, network.link_count(), fraction);
+    let keep: Vec<(usize, usize)> = network
+        .links()
+        .iter()
+        .enumerate()
+        .filter(|(i, _)| !doomed.contains(i))
+        .map(|(_, l)| (l.a, l.b))
+        .collect();
+    let degraded = match Network::new(
+        network.name(),
+        network.kind(),
+        network.pops().to_vec(),
+        keep,
+    ) {
+        Ok(net) => net,
+        // A subset of already-validated links cannot introduce range,
+        // self-link, or duplicate violations.
+        Err(_) => unreachable!("dropping links from a valid network keeps it valid"),
+    };
+    (degraded, doomed.len())
+}
+
+/// Corrupt a fraction of the advisory stream: garbled texts get character
+/// noise heavy enough to defeat the §4.4 parser; truncated texts are cut
+/// off before the positional sentence. Returns how many were touched.
+fn corrupt_advisories(raws: &mut [RawAdvisory], plan: &FaultPlan, rng: &mut StdRng) -> usize {
+    let garble = pick_indices(rng, raws.len(), plan.garble_advisory_fraction);
+    for &i in &garble {
+        raws[i].text = raws[i]
+            .text
+            .chars()
+            .map(|c| {
+                if c.is_ascii_alphanumeric() && rng.gen_bool(0.6) {
+                    '#'
+                } else {
+                    c
+                }
+            })
+            .collect();
+    }
+    let truncate = pick_indices(rng, raws.len(), plan.truncate_advisory_fraction);
+    for &i in &truncate {
+        let cut = raws[i].text.len().min(rng.gen_range(0..40usize));
+        let at = (0..=cut).rev().find(|&b| raws[i].text.is_char_boundary(b));
+        raws[i].text.truncate(at.unwrap_or(0));
+    }
+    let mut touched: Vec<usize> = garble;
+    touched.extend(truncate);
+    touched.sort_unstable();
+    touched.dedup();
+    touched.len()
+}
+
+/// Run the full corpus pipeline under one fault plan, asserting the
+/// degraded-mode invariants along the way.
+///
+/// # Errors
+/// Propagates [`Error::UnknownNetwork`] if the corpus has no regional
+/// network to target (cannot happen with the standard corpus) — every fault
+/// itself must degrade, not error.
+///
+/// # Panics
+/// Panics only when a degradation invariant is violated — which is exactly
+/// the regression the harness exists to catch.
+pub fn run_chaos(plan: &FaultPlan) -> Result<ChaosReport, Error> {
+    let mut rng = StdRng::seed_from_u64(plan.seed);
+
+    // --- Substrate: corpus topology, population, hazards ----------------
+    let corpus = Corpus::standard(plan.seed);
+    let regionals: Vec<&Network> = corpus
+        .all_networks()
+        .filter(|n| n.kind() == NetworkKind::Regional)
+        .collect();
+    if regionals.is_empty() {
+        return Err(Error::UnknownNetwork("<any regional>".into()));
+    }
+    let target = regionals[rng.gen_range(0..regionals.len())];
+    let storm = ALL_STORMS[rng.gen_range(0..ALL_STORMS.len())];
+
+    // --- Fault: drop links (may partition the topology) ------------------
+    let (network, dropped_links) = drop_links(target, plan.drop_link_fraction, &mut rng);
+
+    // --- Fault: delete hazard events (thinner KDE corpus) ----------------
+    let survivors = ((CHAOS_EVENT_CAP as f64) * (1.0 - plan.delete_event_fraction))
+        .round()
+        .max(1.0) as usize;
+    let deleted_events = (CHAOS_EVENT_CAP - survivors) * 5; // five corpora
+    let hazards = HistoricalRisk::standard(plan.seed, Some(survivors));
+
+    // --- Fault: zero population blocks -----------------------------------
+    let population = PopulationModel::synthesize(plan.seed, CHAOS_BLOCKS);
+    let mut shares = PopShares::assign(&population, &network, None)
+        .shares()
+        .to_vec();
+    let zeroed = pick_indices(&mut rng, shares.len(), plan.zero_population_fraction);
+    for &i in &zeroed {
+        shares[i] = 0.0;
+    }
+    let planner = Planner::new(
+        &network,
+        NodeRisk::from_historical(&network, &hazards),
+        PopShares::from_shares(shares),
+        RiskWeights::PAPER,
+    );
+
+    // --- Fault: corrupt the advisory feed, then replay --------------------
+    let mut raws = raw_advisories(storm, CHAOS_STRIDE);
+    let expected_ticks = raws.len();
+    let corrupted_advisories = corrupt_advisories(&mut raws, plan, &mut rng);
+    let locations: Vec<GeoPoint> = network.pops().iter().map(|p| p.location).collect();
+    let all: Vec<usize> = (0..network.pop_count()).collect();
+    let replay = replay_raw_advisories(
+        &planner,
+        network.name(),
+        &locations,
+        storm.name(),
+        &raws,
+        &all,
+        &all,
+    );
+    assert_eq!(
+        replay.ticks.len(),
+        expected_ticks,
+        "degraded replay must keep every tick"
+    );
+    let mut finite_ratios = true;
+    for tick in &replay.ticks {
+        finite_ratios &= tick.report.risk_reduction_ratio.is_finite()
+            && tick.report.distance_increase_ratio.is_finite();
+    }
+
+    // --- Fault: poison entry costs (non-finite weights) -------------------
+    let poisoned = pick_indices(&mut rng, network.pop_count(), plan.poison_cost_fraction);
+    let adjacency = planner.adjacency();
+    let source = all
+        .iter()
+        .copied()
+        .find(|s| !poisoned.contains(s))
+        .unwrap_or(0);
+    let tree = risk_sssp(adjacency, source, |v| {
+        if poisoned.contains(&v) {
+            f64::NAN
+        } else {
+            0.0
+        }
+    });
+    let isolated_pops = all.iter().filter(|&&v| !tree.reachable(v)).count();
+    for &p in &poisoned {
+        assert!(
+            p == source || !tree.reachable(p),
+            "poisoned PoP {p} must be unroutable, not crash the search"
+        );
+    }
+
+    // --- Aggregate ratios on the degraded topology -------------------------
+    let report = planner.ratio_report();
+    finite_ratios &= report.risk_reduction_ratio.is_finite()
+        && report.distance_increase_ratio.is_finite();
+    assert!(
+        report.is_informative() || report.stranded_pairs > 0 || network.pop_count() < 2,
+        "an uninformative sweep must account for its pairs as stranded"
+    );
+
+    Ok(ChaosReport {
+        seed: plan.seed,
+        network: network.name().to_string(),
+        storm: storm.name().to_string(),
+        dropped_links,
+        corrupted_advisories,
+        deleted_events,
+        zeroed_blocks: zeroed.len(),
+        poisoned_pops: poisoned.len(),
+        total_ticks: replay.ticks.len(),
+        degraded_ticks: replay.degraded_ticks(),
+        stranded_pairs: report.stranded_pairs,
+        isolated_pops,
+        finite_ratios,
+    })
+}
+
+/// Run a whole suite of seeded plans; every plan must complete (the no-panic
+/// invariant) and every report must have finite ratios.
+///
+/// # Errors
+/// Propagates the first [`run_chaos`] error.
+pub fn run_chaos_suite(base_seed: u64, count: usize) -> Result<Vec<ChaosReport>, Error> {
+    FaultPlan::suite(base_seed, count)
+        .iter()
+        .map(run_chaos)
+        .collect()
+}
+
+/// Sanity check a completed report against the defined-degradation
+/// contract; returns the violations (empty = clean).
+pub fn violations(report: &ChaosReport) -> Vec<String> {
+    let mut v = Vec::new();
+    if !report.finite_ratios {
+        v.push(format!("seed {}: non-finite ratio reported", report.seed));
+    }
+    if report.degraded_ticks > report.corrupted_advisories {
+        v.push(format!(
+            "seed {}: {} degraded ticks but only {} corrupted advisories",
+            report.seed, report.degraded_ticks, report.corrupted_advisories
+        ));
+    }
+    if report.total_ticks == 0 {
+        v.push(format!("seed {}: replay produced no ticks", report.seed));
+    }
+    v
+}
+
+#[cfg(test)]
+mod tests {
+    #![allow(clippy::unwrap_used, clippy::expect_used)]
+    use super::*;
+
+    #[test]
+    fn plans_are_deterministic_and_distinct() {
+        let a = FaultPlan::from_seed(7);
+        let b = FaultPlan::from_seed(7);
+        assert_eq!(a, b);
+        let c = FaultPlan::from_seed(8);
+        assert_ne!(a, c);
+        for p in [&a, &c] {
+            assert!(p.drop_link_fraction > 0.0 && p.drop_link_fraction < 0.5);
+            assert!(p.poison_cost_fraction > 0.0 && p.poison_cost_fraction < 0.5);
+        }
+    }
+
+    #[test]
+    fn suite_derives_sequential_seeds() {
+        let plans = FaultPlan::suite(100, 3);
+        assert_eq!(plans.len(), 3);
+        assert_eq!(plans[0].seed, 100);
+        assert_eq!(plans[2].seed, 102);
+    }
+
+    #[test]
+    fn single_run_is_reproducible() {
+        let plan = FaultPlan::from_seed(3);
+        let a = run_chaos(&plan).unwrap();
+        let b = run_chaos(&plan).unwrap();
+        assert_eq!(a, b, "same plan, same report");
+        assert!(a.finite_ratios);
+        assert!(a.total_ticks > 0);
+        assert!(violations(&a).is_empty(), "{:?}", violations(&a));
+    }
+
+    #[test]
+    fn corruption_defeats_the_parser_often_enough() {
+        // Garbling is probabilistic character noise; make sure it actually
+        // produces degraded ticks somewhere across a few seeds (otherwise
+        // the harness would silently stop exercising the degraded path).
+        let any_degraded = (0..4)
+            .map(|s| run_chaos(&FaultPlan::from_seed(s)).unwrap())
+            .any(|r| r.degraded_ticks > 0);
+        assert!(any_degraded, "no seed produced a degraded tick");
+    }
+
+    #[test]
+    fn dropping_links_reports_them() {
+        let plan = FaultPlan {
+            seed: 11,
+            drop_link_fraction: 0.35,
+            garble_advisory_fraction: 0.0,
+            truncate_advisory_fraction: 0.0,
+            delete_event_fraction: 0.0,
+            zero_population_fraction: 0.0,
+            poison_cost_fraction: 0.1,
+        };
+        let r = run_chaos(&plan).unwrap();
+        assert!(r.dropped_links > 0);
+        assert_eq!(r.corrupted_advisories, 0);
+        assert_eq!(r.degraded_ticks, 0, "clean feed, no degraded ticks");
+    }
+}

@@ -7,14 +7,14 @@
 //! proxy for propagation delay) and the bit-risk objective, plus a sweep
 //! helper exposing the Pareto trade-off curve.
 
+use crate::error::Error;
 use crate::intradomain::Planner;
 use crate::metric::RiskWeights;
 use crate::routing::RoutedPath;
-use serde::{Deserialize, Serialize};
 
 /// A convex latency/risk blend: `α = 0` is pure shortest-path (SLA-only),
 /// `α = 1` is full RiskRoute at the base weights.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct CompositeObjective {
     /// Blend factor in `[0, 1]`.
     pub alpha: f64,
@@ -46,7 +46,7 @@ impl CompositeObjective {
 }
 
 /// One point on the latency/risk trade-off curve.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct TradeoffPoint {
     /// The blend factor that produced this point.
     pub alpha: f64,
@@ -61,14 +61,18 @@ pub struct TradeoffPoint {
 /// re-evaluating every route at the base weights. Returns one point per
 /// alpha (skipping none — the pair must be reachable).
 ///
+/// # Errors
+/// [`Error::Unreachable`] when the pair has no connecting path (the weights
+/// only re-price paths, so reachability is alpha-independent).
+///
 /// # Panics
-/// Panics when the pair is unreachable or `alphas` is empty.
+/// Panics when `alphas` is empty.
 pub fn tradeoff_sweep(
     base_planner: &Planner,
     i: usize,
     j: usize,
     alphas: &[f64],
-) -> Vec<TradeoffPoint> {
+) -> Result<Vec<TradeoffPoint>, Error> {
     assert!(!alphas.is_empty(), "need at least one alpha");
     let base = base_planner.weights();
     let mut out = Vec::with_capacity(alphas.len());
@@ -76,9 +80,7 @@ pub fn tradeoff_sweep(
         let obj = CompositeObjective::new(alpha, base);
         let mut planner = base_planner.clone();
         planner.set_weights(obj.weights());
-        let route = planner
-            .risk_route(i, j)
-            .expect("pair must be reachable for a tradeoff sweep");
+        let route = planner.try_risk_route(i, j)?;
         // Re-evaluate the same node sequence at full weights.
         let full = {
             let mut full_planner = base_planner.clone();
@@ -98,11 +100,12 @@ pub fn tradeoff_sweep(
             full_bit_risk_miles: full,
         });
     }
-    out
+    Ok(out)
 }
 
 #[cfg(test)]
 mod tests {
+    #![allow(clippy::unwrap_used, clippy::expect_used)]
     use super::*;
     use crate::metric::NodeRisk;
     use riskroute_geo::GeoPoint;
@@ -141,7 +144,7 @@ mod tests {
     #[test]
     fn alpha_zero_is_shortest_path() {
         let p = diamond_planner();
-        let sweep = tradeoff_sweep(&p, 0, 3, &[0.0]);
+        let sweep = tradeoff_sweep(&p, 0, 3, &[0.0]).unwrap();
         let sp = p.shortest_route(0, 3).unwrap();
         assert_eq!(sweep[0].route.nodes, sp.nodes);
     }
@@ -149,7 +152,7 @@ mod tests {
     #[test]
     fn alpha_one_is_full_riskroute() {
         let p = diamond_planner();
-        let sweep = tradeoff_sweep(&p, 0, 3, &[1.0]);
+        let sweep = tradeoff_sweep(&p, 0, 3, &[1.0]).unwrap();
         let rr = p.risk_route(0, 3).unwrap();
         assert_eq!(sweep[0].route.nodes, rr.nodes);
         assert!((sweep[0].full_bit_risk_miles - rr.bit_risk_miles).abs() < 1e-9);
@@ -159,7 +162,7 @@ mod tests {
     fn sweep_is_monotone_in_both_objectives() {
         let p = diamond_planner();
         let alphas = [0.0, 0.25, 0.5, 0.75, 1.0];
-        let sweep = tradeoff_sweep(&p, 0, 3, &alphas);
+        let sweep = tradeoff_sweep(&p, 0, 3, &alphas).unwrap();
         for w in sweep.windows(2) {
             // More risk-aversion: bit-miles weakly increase, full bit-risk
             // weakly decreases.

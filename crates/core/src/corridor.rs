@@ -13,14 +13,13 @@
 use riskroute_geo::distance::sample_great_circle;
 use riskroute_hazard::HistoricalRisk;
 use riskroute_topology::Network;
-use serde::{Deserialize, Serialize};
 
 /// Corridor sampling density: one sample per this many miles of link
 /// length (at least 2 samples per link).
 pub const SAMPLE_SPACING_MILES: f64 = 25.0;
 
 /// One link's corridor risk profile.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct CorridorRisk {
     /// Link index within [`Network::links`].
     pub link: usize,
@@ -60,12 +59,7 @@ pub fn corridor_risks(network: &Network, hazards: &HistoricalRisk) -> Vec<Corrid
             }
         })
         .collect();
-    out.sort_by(|a, b| {
-        b.risk_miles
-            .partial_cmp(&a.risk_miles)
-            .expect("finite risk integrals")
-            .then(a.link.cmp(&b.link))
-    });
+    out.sort_by(|a, b| b.risk_miles.total_cmp(&a.risk_miles).then(a.link.cmp(&b.link)));
     out
 }
 
@@ -94,7 +88,7 @@ pub fn shared_risk_link_groups(
         if let Some((p, r)) = points
             .iter()
             .map(|&p| (p, hazards.risk(p)))
-            .max_by(|a, b| a.1.partial_cmp(&b.1).expect("finite"))
+            .max_by(|a, b| a.1.total_cmp(&b.1))
         {
             if r > threshold {
                 hot.push((idx, p));
@@ -125,6 +119,7 @@ pub fn shared_risk_link_groups(
 
 #[cfg(test)]
 mod tests {
+    #![allow(clippy::unwrap_used, clippy::expect_used)]
     use super::*;
     use riskroute_geo::GeoPoint;
     use riskroute_topology::{NetworkKind, Pop};

@@ -13,10 +13,9 @@ use riskroute_graph::components::connected_components;
 use riskroute_graph::Graph;
 use riskroute_population::PopShares;
 use riskroute_topology::{Network, PopId};
-use serde::{Deserialize, Serialize};
 
 /// Outcome of failing every PoP a storm's hurricane-force winds touch.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct FailureReport {
     /// PoPs destroyed (inside hurricane-force winds at any advisory).
     pub failed_pops: Vec<PopId>,
@@ -75,7 +74,12 @@ pub fn storm_failure(network: &Network, shares: &PopShares, swath: &StormSwath) 
     for l in network.links() {
         match (index_of.get(&l.a), index_of.get(&l.b)) {
             (Some(&a), Some(&b)) => {
-                g.add_edge(a, b, l.miles).expect("valid surviving link");
+                // Compacted survivor indices are in range and links of a
+                // valid network carry valid lengths.
+                if g.add_edge(a, b, l.miles).is_err() {
+                    debug_assert!(false, "surviving link ({a},{b}) rejected");
+                    lost_links += 1;
+                }
             }
             _ => lost_links += 1,
         }
@@ -89,13 +93,7 @@ pub fn storm_failure(network: &Network, shares: &PopShares, swath: &StormSwath) 
         total - connected
     };
     let failed_population_share: f64 = failed.iter().map(|&p| shares.share(p)).sum();
-    let isolated_population_share = if comps.is_empty() {
-        0.0
-    } else {
-        let largest = comps
-            .iter()
-            .max_by_key(|c| c.len())
-            .expect("non-empty components");
+    let isolated_population_share = if let Some(largest) = comps.iter().max_by_key(|c| c.len()) {
         let in_largest: std::collections::HashSet<usize> = largest.iter().copied().collect();
         survivors
             .iter()
@@ -103,6 +101,8 @@ pub fn storm_failure(network: &Network, shares: &PopShares, swath: &StormSwath) 
             .filter(|(i, _)| !in_largest.contains(i))
             .map(|(_, &p)| shares.share(p))
             .sum()
+    } else {
+        0.0
     };
 
     FailureReport {
@@ -116,7 +116,7 @@ pub fn storm_failure(network: &Network, shares: &PopShares, swath: &StormSwath) 
 }
 
 /// One PoP's criticality profile.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct PopCriticality {
     /// The PoP.
     pub pop: PopId,
@@ -149,17 +149,13 @@ pub fn criticality_ranking(network: &Network, risk: &NodeRisk) -> Vec<PopCritica
             exposure: bc[p] * risk.historical(p),
         })
         .collect();
-    out.sort_by(|a, b| {
-        b.exposure
-            .partial_cmp(&a.exposure)
-            .expect("finite exposures")
-            .then(a.pop.cmp(&b.pop))
-    });
+    out.sort_by(|a, b| b.exposure.total_cmp(&a.exposure).then(a.pop.cmp(&b.pop)));
     out
 }
 
 #[cfg(test)]
 mod tests {
+    #![allow(clippy::unwrap_used, clippy::expect_used)]
     use super::*;
     use riskroute_forecast::{advisories_for, ForecastRisk, Storm};
     use riskroute_geo::GeoPoint;

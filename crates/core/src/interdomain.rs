@@ -27,6 +27,8 @@ pub struct InterdomainTopology {
     provenance: Vec<(usize, PopId)>,
     /// network name → index into `ranges`.
     name_index: HashMap<String, usize>,
+    /// network index → name (inverse of `name_index`).
+    names: Vec<String>,
     /// Per network, the merged-id range of its PoPs.
     ranges: Vec<Range<usize>>,
     /// Number of inter-network hand-off links created.
@@ -44,6 +46,7 @@ impl InterdomainTopology {
     pub fn merge(networks: &[&Network], peering: &PeeringGraph, colocation_miles: f64) -> Self {
         assert!(!networks.is_empty(), "need at least one network");
         let mut name_index = HashMap::new();
+        let mut names = Vec::with_capacity(networks.len());
         let mut ranges = Vec::with_capacity(networks.len());
         let mut provenance = Vec::new();
         let mut pops: Vec<Pop> = Vec::new();
@@ -52,6 +55,7 @@ impl InterdomainTopology {
         for (ni, net) in networks.iter().enumerate() {
             let prev = name_index.insert(net.name().to_string(), ni);
             assert!(prev.is_none(), "duplicate network name {}", net.name());
+            names.push(net.name().to_string());
             let offset = pops.len();
             ranges.push(offset..offset + net.pop_count());
             for (pi, p) in net.pops().iter().enumerate() {
@@ -66,8 +70,21 @@ impl InterdomainTopology {
             }
         }
 
-        // Hand-off links between peering networks.
+        // Hand-off links between peering networks. Dedupe against the whole
+        // link set as we go: intra-network links are unique by construction,
+        // and screening hand-offs here (instead of trusting the co-location
+        // sweep) makes the final `Network::new` infallible by construction.
+        let mut seen: std::collections::HashSet<(PopId, PopId)> = links
+            .iter()
+            .map(|&(a, b)| (a.min(b), a.max(b)))
+            .collect();
         let mut handoff_links = 0;
+        let mut push_handoff = |links: &mut Vec<(PopId, PopId)>, x: PopId, y: PopId| {
+            if x != y && seen.insert((x.min(y), x.max(y))) {
+                links.push((x, y));
+                handoff_links += 1;
+            }
+        };
         for a in 0..networks.len() {
             for b in (a + 1)..networks.len() {
                 if !peering.are_peers(networks[a].name(), networks[b].name()) {
@@ -78,24 +95,31 @@ impl InterdomainTopology {
                     // Nearest-pair fallback: peering exists, so some private
                     // interconnect must carry it.
                     if let Some((pa, pb)) = nearest_pair(networks[a], networks[b]) {
-                        links.push((ranges[a].start + pa, ranges[b].start + pb));
-                        handoff_links += 1;
+                        push_handoff(&mut links, ranges[a].start + pa, ranges[b].start + pb);
                     }
                 } else {
                     for c in colos {
-                        links.push((ranges[a].start + c.own_pop, ranges[b].start + c.other_pop));
-                        handoff_links += 1;
+                        push_handoff(
+                            &mut links,
+                            ranges[a].start + c.own_pop,
+                            ranges[b].start + c.other_pop,
+                        );
                     }
                 }
             }
         }
 
-        let merged = Network::new("interdomain", NetworkKind::Tier1, pops, links)
-            .expect("merged topology is structurally valid");
+        let merged = match Network::new("interdomain", NetworkKind::Tier1, pops, links) {
+            Ok(net) => net,
+            // Endpoints are offset into range, self-links and duplicates are
+            // screened above — structural validity holds by construction.
+            Err(_) => unreachable!("merged topology is structurally valid"),
+        };
         InterdomainTopology {
             merged,
             provenance,
             name_index,
+            names,
             ranges,
             handoff_links,
         }
@@ -127,13 +151,7 @@ impl InterdomainTopology {
     /// Provenance of a merged PoP id: `(network name, PoP id)`.
     pub fn provenance(&self, merged_id: usize) -> (&str, PopId) {
         let (ni, pi) = self.provenance[merged_id];
-        let name = self
-            .name_index
-            .iter()
-            .find(|&(_, &v)| v == ni)
-            .map(|(k, _)| k.as_str())
-            .expect("index is total");
-        (name, pi)
+        (self.names[ni].as_str(), pi)
     }
 }
 
@@ -142,7 +160,7 @@ fn nearest_pair(a: &Network, b: &Network) -> Option<(PopId, PopId)> {
     for (i, p) in a.pops().iter().enumerate() {
         for (j, q) in b.pops().iter().enumerate() {
             let d = riskroute_geo::distance::great_circle_miles(p.location, q.location);
-            if best.map_or(true, |(_, _, bd)| d < bd) {
+            if best.is_none_or(|(_, _, bd)| d < bd) {
                 best = Some((i, j, d));
             }
         }
@@ -236,24 +254,29 @@ impl InterdomainAnalysis {
     /// The §7 interdomain ratio report for one regional network: sources
     /// are its PoPs, destinations are all PoPs of `dest_networks`.
     ///
-    /// Returns `None` when the network is unknown or no informative pair
-    /// exists.
+    /// When a storm (or a chaos plan) partitions the merged topology, the
+    /// cross-component pairs are surfaced as
+    /// [`RatioReport::stranded_pairs`] and the ratios aggregate the pairs
+    /// that still route — the report never aborts on a partition.
+    ///
+    /// Returns `None` only when a network name is unknown or the sweep has
+    /// neither informative nor stranded pairs (e.g. a single-PoP source set
+    /// routed to itself).
     pub fn regional_report(&self, regional: &str, dest_networks: &[&str]) -> Option<RatioReport> {
         let sources = self.topo.pops_of(regional)?;
         let mut dests = Vec::new();
         for d in dest_networks {
             dests.extend(self.topo.pops_of(d)?);
         }
-        let outcomes = self.pair_outcomes(&sources, &dests);
-        if outcomes.iter().all(|o| o.src == o.dst) || outcomes.is_empty() {
-            return None;
-        }
-        Some(RatioReport::aggregate(outcomes.iter()))
+        let sweep = self.planner.pair_sweep(&sources, &dests);
+        let report = RatioReport::aggregate_with_stranded(sweep.outcomes.iter(), sweep.stranded.len());
+        (report.is_informative() || report.stranded_pairs > 0).then_some(report)
     }
 }
 
 #[cfg(test)]
 mod tests {
+    #![allow(clippy::unwrap_used, clippy::expect_used)]
     use super::*;
     use riskroute_geo::GeoPoint;
 
@@ -397,6 +420,20 @@ mod tests {
         assert!(report.risk_reduction_ratio.abs() < 1e-12);
         assert!(report.distance_increase_ratio.abs() < 1e-12);
         assert!(an.regional_report("Nope", &["A"]).is_none());
+    }
+
+    #[test]
+    fn partitioned_merge_surfaces_stranded_pairs() {
+        // A and C are merged but do NOT peer: the merged graph has two
+        // components. The regional report must still aggregate A's internal
+        // pairs while counting every A→C pair as stranded.
+        let an = analysis(); // C never peers with A or B
+        let report = an.regional_report("A", &["A", "C"]).unwrap();
+        assert!(report.is_informative(), "A's internal pairs still route");
+        // 2 sources × 2 unreachable C PoPs.
+        assert_eq!(report.stranded_pairs, 4);
+        assert!(report.risk_reduction_ratio.is_finite());
+        assert!(report.distance_increase_ratio.is_finite());
     }
 
     #[test]

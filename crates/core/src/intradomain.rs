@@ -1,12 +1,23 @@
 //! Intradomain RiskRoute (§6.1): minimum bit-risk-mile routing within one
 //! provider and the aggregate trade-off against shortest-path routing.
 
+use crate::error::Error;
 use crate::metric::{ImpactModel, NodeRisk, RiskWeights};
 use crate::ratios::{PairOutcome, RatioReport};
 use crate::routing::{evaluate_path, risk_sssp, Adjacency, RiskTree, RoutedPath};
 use riskroute_hazard::HistoricalRisk;
 use riskroute_population::{PopShares, PopulationModel};
 use riskroute_topology::Network;
+
+/// The result of a degraded-mode pair sweep: the outcomes that routed plus
+/// the (src, dst) pairs stranded by a partition.
+#[derive(Debug, Clone, Default)]
+pub struct PairSweep {
+    /// Pairs that routed in both metrics.
+    pub outcomes: Vec<PairOutcome>,
+    /// Pairs with no connecting path (cross-component under a partition).
+    pub stranded: Vec<(usize, usize)>,
+}
 
 /// The intradomain routing engine for one network.
 ///
@@ -128,9 +139,10 @@ impl Planner {
     /// metric (the path need not be optimal — backup planning evaluates
     /// Yen-ranked alternates this way).
     ///
-    /// # Panics
-    /// Panics when consecutive nodes are not physically linked.
-    pub fn evaluate(&self, i: usize, j: usize, nodes: &[usize]) -> RoutedPath {
+    /// # Errors
+    /// [`Error::NotAdjacent`] when consecutive nodes are not physically
+    /// linked.
+    pub fn evaluate(&self, i: usize, j: usize, nodes: &[usize]) -> Result<RoutedPath, Error> {
         let beta = self.impact(i, j);
         evaluate_path(&self.adjacency, nodes, self.entry_cost(beta))
     }
@@ -141,11 +153,19 @@ impl Planner {
         let beta = self.impact(i, j);
         let tree = risk_sssp(&self.adjacency, i, self.entry_cost(beta));
         let nodes = tree.path_to(j)?;
-        Some(evaluate_path(
-            &self.adjacency,
-            &nodes,
-            self.entry_cost(beta),
-        ))
+        // Tree paths traverse real links by construction.
+        evaluate_path(&self.adjacency, &nodes, self.entry_cost(beta)).ok()
+    }
+
+    /// [`risk_route`](Self::risk_route) as a typed result: unreachable pairs
+    /// come back as [`Error::Unreachable`] carrying the pair, for callers
+    /// (like the CLI) that must report *why* rather than silently skip.
+    pub fn try_risk_route(&self, i: usize, j: usize) -> Result<RoutedPath, Error> {
+        self.risk_route(i, j).ok_or_else(|| Error::Unreachable {
+            network: String::new(),
+            src: i,
+            dst: j,
+        })
     }
 
     /// The geographic shortest path from `i` to `j`, *evaluated under the
@@ -155,11 +175,7 @@ impl Planner {
         let tree = risk_sssp(&self.adjacency, i, |_| 0.0);
         let nodes = tree.path_to(j)?;
         let beta = self.impact(i, j);
-        Some(evaluate_path(
-            &self.adjacency,
-            &nodes,
-            self.entry_cost(beta),
-        ))
+        evaluate_path(&self.adjacency, &nodes, self.entry_cost(beta)).ok()
     }
 
     /// Full SSSP under the (i, j) pair's bit-risk weighting, rooted at `root`
@@ -174,13 +190,14 @@ impl Planner {
         risk_sssp(&self.adjacency, root, |_| 0.0)
     }
 
-    /// Pair outcomes for an explicit source × destination sweep (src ≠ dst,
-    /// reachable pairs only). Distance trees are computed once per source.
-    ///
-    /// The interdomain analysis uses this with a regional network's PoPs as
-    /// sources and all regional PoPs as destinations (§7).
-    pub fn pair_outcomes(&self, sources: &[usize], dests: &[usize]) -> Vec<PairOutcome> {
-        let mut out = Vec::with_capacity(sources.len() * dests.len());
+    /// Pair outcomes plus the pairs that could not be routed — the
+    /// degraded-mode sweep. When a storm (or a chaos fault plan) partitions
+    /// the topology, routing proceeds *within* each connected component and
+    /// the cross-component pairs are surfaced as `stranded` instead of
+    /// aborting the aggregation.
+    pub fn pair_sweep(&self, sources: &[usize], dests: &[usize]) -> PairSweep {
+        let mut outcomes = Vec::with_capacity(sources.len() * dests.len());
+        let mut stranded = Vec::new();
         for &i in sources {
             let dist_tree = risk_sssp(&self.adjacency, i, |_| 0.0);
             for &j in dests {
@@ -189,13 +206,20 @@ impl Planner {
                 }
                 let beta = self.impact(i, j);
                 let Some(sp_nodes) = dist_tree.path_to(j) else {
+                    stranded.push((i, j));
                     continue;
                 };
-                let shortest = evaluate_path(&self.adjacency, &sp_nodes, self.entry_cost(beta));
+                let Ok(shortest) =
+                    evaluate_path(&self.adjacency, &sp_nodes, self.entry_cost(beta))
+                else {
+                    stranded.push((i, j));
+                    continue;
+                };
                 let Some(risk_route) = self.risk_route(i, j) else {
+                    stranded.push((i, j));
                     continue;
                 };
-                out.push(PairOutcome {
+                outcomes.push(PairOutcome {
                     src: i,
                     dst: j,
                     risk_route,
@@ -203,7 +227,16 @@ impl Planner {
                 });
             }
         }
-        out
+        PairSweep { outcomes, stranded }
+    }
+
+    /// Pair outcomes for an explicit source × destination sweep (src ≠ dst,
+    /// reachable pairs only). Distance trees are computed once per source.
+    ///
+    /// The interdomain analysis uses this with a regional network's PoPs as
+    /// sources and all regional PoPs as destinations (§7).
+    pub fn pair_outcomes(&self, sources: &[usize], dests: &[usize]) -> Vec<PairOutcome> {
+        self.pair_sweep(sources, dests).outcomes
     }
 
     /// All informative pair outcomes over the whole network, for the
@@ -213,9 +246,13 @@ impl Planner {
         self.pair_outcomes(&all, &all)
     }
 
-    /// The §7 ratio report over all PoP pairs (Eqs. 5–6).
+    /// The §7 ratio report over all PoP pairs (Eqs. 5–6). Stranded pairs
+    /// (partitioned topologies) are counted on the report rather than
+    /// aborting it.
     pub fn ratio_report(&self) -> RatioReport {
-        RatioReport::aggregate(self.all_pair_outcomes().iter())
+        let all: Vec<usize> = (0..self.pop_count()).collect();
+        let sweep = self.pair_sweep(&all, &all);
+        RatioReport::aggregate_with_stranded(sweep.outcomes.iter(), sweep.stranded.len())
     }
 
     /// Total aggregated bit-risk miles `Σ_{i<j} min_p r_{i,j}(p)` — the
@@ -236,6 +273,7 @@ impl Planner {
 
 #[cfg(test)]
 mod tests {
+    #![allow(clippy::unwrap_used, clippy::expect_used)]
     use super::*;
     use riskroute_geo::GeoPoint;
     use riskroute_topology::{NetworkKind, Pop};

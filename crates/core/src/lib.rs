@@ -59,10 +59,13 @@
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
+#![warn(clippy::unwrap_used, clippy::expect_used)]
 
 pub mod backup;
+pub mod chaos;
 pub mod composite;
 pub mod corridor;
+pub mod error;
 pub mod failure;
 pub mod interdomain;
 pub mod intradomain;
@@ -76,6 +79,7 @@ pub mod replay;
 pub mod routing;
 pub mod sharedrisk;
 
+pub use error::{render_chain, Error, Result};
 pub use intradomain::Planner;
 pub use metric::{NodeRisk, RiskWeights};
 pub use ratios::{PairOutcome, RatioReport};

@@ -20,16 +20,17 @@
 use riskroute_geo::GeoPoint;
 use riskroute_hazard::HistoricalRisk;
 use riskroute_topology::Network;
-use serde::{Deserialize, Serialize};
 
 /// How the outage impact β(i, j) is derived from population shares.
 ///
 /// §5.1 defines β = c_i + c_j; §5 notes "the impact of an outage could also
 /// be influenced by traffic flows between two PoPs" — the gravity model is
 /// the classical traffic-matrix estimate (flow ∝ c_i·c_j).
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
+#[derive(Default)]
 pub enum ImpactModel {
     /// The paper's §5.1 model: β = c_i + c_j.
+    #[default]
     PopulationSum,
     /// Gravity traffic model: β = scale · c_i · c_j — outage impact tracks
     /// the traffic the PoP pair exchanges rather than the population it
@@ -52,14 +53,9 @@ impl ImpactModel {
     }
 }
 
-impl Default for ImpactModel {
-    fn default() -> Self {
-        ImpactModel::PopulationSum
-    }
-}
 
 /// The λ tuning parameters of Eq. 1.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct RiskWeights {
     /// Historical-risk weight λ_h (> 0 for risk-averse routing; 0 disables).
     pub lambda_h: f64,
@@ -104,7 +100,7 @@ impl Default for RiskWeights {
 }
 
 /// Per-PoP outage risk vectors for one network.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct NodeRisk {
     historical: Vec<f64>,
     forecast: Vec<f64>,
@@ -192,6 +188,7 @@ impl NodeRisk {
 
 #[cfg(test)]
 mod tests {
+    #![allow(clippy::unwrap_used, clippy::expect_used)]
     use super::*;
 
     #[test]

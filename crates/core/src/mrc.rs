@@ -17,10 +17,9 @@ use crate::routing::RoutedPath;
 use riskroute_graph::components::is_connected;
 use riskroute_graph::Graph;
 use riskroute_topology::{Network, PopId};
-use serde::{Deserialize, Serialize};
 
 /// A set of backup configurations covering every single-PoP failure.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct MrcConfigurations {
     /// `group[v]` = index of the configuration isolating PoP v.
     group: Vec<usize>,
@@ -112,7 +111,11 @@ impl MrcConfigurations {
         let mut g = Graph::with_nodes(keep.len());
         for l in network.links() {
             if let (Some(&a), Some(&b)) = (index.get(&l.a), index.get(&l.b)) {
-                g.add_edge(a, b, l.miles).expect("valid link");
+                // Compacted indices are in range; lengths come from a valid
+                // network.
+                if g.add_edge(a, b, l.miles).is_err() {
+                    debug_assert!(false, "complement link ({a},{b}) rejected");
+                }
             }
         }
         is_connected(&g)
@@ -165,13 +168,16 @@ impl MrcConfigurations {
             .filter(|l| !transit_banned(l.a) && !transit_banned(l.b))
             .map(|l| (l.a, l.b))
             .collect();
-        let restricted = Network::new(
+        // A subset of a valid network's links stays valid.
+        let restricted = match Network::new(
             network.name(),
             network.kind(),
             network.pops().to_vec(),
             links,
-        )
-        .expect("restriction preserves validity");
+        ) {
+            Ok(net) => net,
+            Err(_) => unreachable!("restriction preserves validity"),
+        };
         let restricted_planner = Planner::new(
             &restricted,
             planner.risk().clone(),
@@ -184,6 +190,7 @@ impl MrcConfigurations {
 
 #[cfg(test)]
 mod tests {
+    #![allow(clippy::unwrap_used, clippy::expect_used)]
     use super::*;
     use crate::metric::{NodeRisk, RiskWeights};
     use riskroute_geo::GeoPoint;

@@ -11,14 +11,14 @@
 //! two SSSP trees per (source, destination) pair evaluate every candidate
 //! peering's added hand-off edges in O(edges) each.
 
+use crate::error::Error;
 use crate::interdomain::InterdomainAnalysis;
 use crate::metric::{NodeRisk, RiskWeights};
 use riskroute_topology::colocation::{candidate_peers, CandidatePeer};
 use riskroute_topology::{Network, PeeringGraph};
-use serde::{Deserialize, Serialize};
 
 /// A scored candidate peering.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct ScoredPeering {
     /// The would-be peer network.
     pub peer: String,
@@ -113,8 +113,7 @@ pub fn score_peerings(
         .collect();
     scored.sort_by(|x, y| {
         x.total_bit_risk
-            .partial_cmp(&y.total_bit_risk)
-            .expect("totals are finite")
+            .total_cmp(&y.total_bit_risk)
             .then_with(|| x.peer.cmp(&y.peer))
     });
     scored
@@ -148,6 +147,12 @@ pub fn best_new_peering(
 /// Convenience used by tests and the harness: risk/share-aware exact
 /// re-evaluation of one candidate peering by rebuilding the merged topology
 /// with the peering added.
+///
+/// # Errors
+/// [`Error::Topology`] when a source PoP id is out of range for `own`;
+/// [`Error::UnknownNetwork`] when `own` or a destination network is not in
+/// the merge.
+#[allow(clippy::too_many_arguments)]
 pub fn exact_total_with_peering(
     networks: &[&Network],
     peering: &PeeringGraph,
@@ -159,7 +164,7 @@ pub fn exact_total_with_peering(
     population: &riskroute_population::PopulationModel,
     sources_in_own: &[usize],
     dest_networks: &[&str],
-) -> f64 {
+) -> Result<f64, Error> {
     let mut augmented = peering.clone();
     augmented.add_peering(own, peer);
     let topo =
@@ -168,13 +173,30 @@ pub fn exact_total_with_peering(
     let risk = NodeRisk::from_historical(topo.merged(), historical);
     let planner = crate::intradomain::Planner::new(topo.merged(), risk, shares, weights);
     let analysis = InterdomainAnalysis::from_parts(topo, planner);
+    let own_count = analysis
+        .topology()
+        .pops_of(own)
+        .ok_or_else(|| Error::UnknownNetwork(own.to_string()))?
+        .len();
     let sources: Vec<usize> = sources_in_own
         .iter()
-        .map(|&p| analysis.topology().merged_id(own, p).expect("valid pop"))
-        .collect();
+        .map(|&p| {
+            analysis.topology().merged_id(own, p).ok_or(Error::Topology(
+                riskroute_topology::TopologyError::PopOutOfRange {
+                    pop: p,
+                    count: own_count,
+                },
+            ))
+        })
+        .collect::<Result<_, _>>()?;
     let mut dests = Vec::new();
     for d in dest_networks {
-        dests.extend(analysis.topology().pops_of(d).expect("valid network"));
+        dests.extend(
+            analysis
+                .topology()
+                .pops_of(d)
+                .ok_or_else(|| Error::UnknownNetwork((*d).to_string()))?,
+        );
     }
     let mut total = 0.0;
     for &i in &sources {
@@ -187,11 +209,12 @@ pub fn exact_total_with_peering(
             }
         }
     }
-    total
+    Ok(total)
 }
 
 #[cfg(test)]
 mod tests {
+    #![allow(clippy::unwrap_used, clippy::expect_used)]
     use super::*;
     use crate::interdomain::InterdomainTopology;
     use crate::intradomain::Planner;

@@ -18,7 +18,6 @@ use crate::intradomain::Planner;
 use crate::metric::{NodeRisk, RiskWeights};
 use riskroute_geo::distance::great_circle_miles;
 use riskroute_topology::{Network, PopId};
-use serde::{Deserialize, Serialize};
 
 /// The paper's footnote-3 shortcut threshold: a candidate link must cut the
 /// bit-mile distance between its endpoints by more than this fraction.
@@ -33,7 +32,7 @@ pub const SHORTCUT_THRESHOLD: f64 = 0.5;
 pub const THRESHOLD_LADDER: &[f64] = &[SHORTCUT_THRESHOLD, 0.35, 0.2];
 
 /// A scored candidate link.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct CandidateLink {
     /// One endpoint.
     pub a: PopId,
@@ -49,7 +48,7 @@ pub struct CandidateLink {
 }
 
 /// Result of a greedy link-addition run.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct GreedyLinks {
     /// Total aggregated bit-risk miles of the original network.
     pub original_bit_risk: f64,
@@ -123,10 +122,8 @@ pub fn candidate_links_adaptive(
             return (c, t);
         }
     }
-    (
-        Vec::new(),
-        *THRESHOLD_LADDER.last().expect("non-empty ladder"),
-    )
+    let mildest = THRESHOLD_LADDER.last().copied().unwrap_or(SHORTCUT_THRESHOLD);
+    (Vec::new(), mildest)
 }
 
 /// Score every candidate link: the network's total aggregated bit-risk
@@ -175,8 +172,7 @@ pub fn score_candidates(
         .collect();
     scored.sort_by(|x, y| {
         x.total_bit_risk
-            .partial_cmp(&y.total_bit_risk)
-            .expect("totals are finite")
+            .total_cmp(&y.total_bit_risk)
             .then(x.a.cmp(&y.a))
             .then(x.b.cmp(&y.b))
     });
@@ -282,21 +278,26 @@ pub fn greedy_links(
     }
 }
 
-/// A copy of `network` with one extra link.
+/// A copy of `network` with one extra link. Asking for a link that already
+/// exists (or a self-link / out-of-range endpoint) returns the network
+/// unchanged — the augmentation is a no-op, not an abort.
 pub fn with_extra_link(network: &Network, a: PopId, b: PopId) -> Network {
     let mut links: Vec<(PopId, PopId)> = network.links().iter().map(|l| (l.a, l.b)).collect();
     links.push((a, b));
-    Network::new(
+    match Network::new(
         network.name(),
         network.kind(),
         network.pops().to_vec(),
         links,
-    )
-    .expect("augmenting a valid network stays valid")
+    ) {
+        Ok(net) => net,
+        Err(_) => network.clone(),
+    }
 }
 
 #[cfg(test)]
 mod tests {
+    #![allow(clippy::unwrap_used, clippy::expect_used)]
     use super::*;
     use riskroute_geo::GeoPoint;
     use riskroute_population::PopShares;

@@ -6,10 +6,9 @@
 //!   bit-miles RiskRoute pays for that reduction.
 
 use crate::routing::RoutedPath;
-use serde::{Deserialize, Serialize};
 
 /// Per-pair routing outcome feeding the ratios.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct PairOutcome {
     /// Source PoP.
     pub src: usize,
@@ -23,7 +22,7 @@ pub struct PairOutcome {
 }
 
 /// Aggregated Eq. 5 / Eq. 6 ratios.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct RatioReport {
     /// Eq. 5: `1 − mean(r(p_rr) / r(p_shortest))`.
     pub risk_reduction_ratio: f64,
@@ -31,6 +30,10 @@ pub struct RatioReport {
     pub distance_increase_ratio: f64,
     /// Number of (ordered) pairs aggregated.
     pub pairs: usize,
+    /// Pairs that could not be routed at all (the topology was partitioned
+    /// between them) — excluded from the means, surfaced for the degraded-
+    /// mode report instead of aborting the aggregation.
+    pub stranded_pairs: usize,
 }
 
 impl RatioReport {
@@ -43,9 +46,20 @@ impl RatioReport {
     /// whose ratio is taken as 1; we normalize by the count of informative
     /// pairs instead, which only rescales both ratios by the same ≈1 factor.
     ///
-    /// # Panics
-    /// Panics when `outcomes` contains no informative pair.
+    /// An aggregation with **zero** informative pairs no longer panics: it
+    /// reports both ratios as 0.0 with `pairs == 0`, which callers (and the
+    /// CLI) can distinguish and report as [`crate::Error::NoInformativePairs`].
     pub fn aggregate<'a>(outcomes: impl IntoIterator<Item = &'a PairOutcome>) -> RatioReport {
+        RatioReport::aggregate_with_stranded(outcomes, 0)
+    }
+
+    /// [`aggregate`](Self::aggregate), additionally recording how many pairs
+    /// were stranded by a partition (see
+    /// [`Planner::pair_sweep`](crate::Planner::pair_sweep)).
+    pub fn aggregate_with_stranded<'a>(
+        outcomes: impl IntoIterator<Item = &'a PairOutcome>,
+        stranded_pairs: usize,
+    ) -> RatioReport {
         let mut risk_ratio_sum = 0.0;
         let mut dist_ratio_sum = 0.0;
         let mut pairs = 0usize;
@@ -57,17 +71,31 @@ impl RatioReport {
             dist_ratio_sum += o.risk_route.bit_miles / o.shortest.bit_miles;
             pairs += 1;
         }
-        assert!(pairs > 0, "no informative pairs to aggregate");
+        if pairs == 0 {
+            return RatioReport {
+                risk_reduction_ratio: 0.0,
+                distance_increase_ratio: 0.0,
+                pairs: 0,
+                stranded_pairs,
+            };
+        }
         RatioReport {
             risk_reduction_ratio: 1.0 - risk_ratio_sum / pairs as f64,
             distance_increase_ratio: dist_ratio_sum / pairs as f64 - 1.0,
             pairs,
+            stranded_pairs,
         }
+    }
+
+    /// Whether the aggregation carried any information at all.
+    pub fn is_informative(&self) -> bool {
+        self.pairs > 0
     }
 }
 
 #[cfg(test)]
 mod tests {
+    #![allow(clippy::unwrap_used, clippy::expect_used)]
     use super::*;
 
     fn path(nodes: Vec<usize>, miles: f64, risk: f64) -> RoutedPath {
@@ -147,8 +175,25 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "no informative pairs")]
-    fn empty_aggregation_panics() {
-        let _ = RatioReport::aggregate([]);
+    fn empty_aggregation_degrades_to_zero_ratios() {
+        let r = RatioReport::aggregate([]);
+        assert!(!r.is_informative());
+        assert_eq!(r.pairs, 0);
+        assert_eq!(r.risk_reduction_ratio, 0.0);
+        assert_eq!(r.distance_increase_ratio, 0.0);
+    }
+
+    #[test]
+    fn stranded_pairs_are_carried_on_the_report() {
+        let real = PairOutcome {
+            src: 0,
+            dst: 1,
+            risk_route: path(vec![0, 1], 90.0, 0.0),
+            shortest: path(vec![0, 1], 100.0, 0.0),
+        };
+        let r = RatioReport::aggregate_with_stranded([&real], 3);
+        assert_eq!(r.pairs, 1);
+        assert_eq!(r.stranded_pairs, 3);
+        assert!(r.is_informative());
     }
 }

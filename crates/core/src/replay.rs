@@ -6,16 +6,36 @@
 //! `o_f` is refreshed, and the network's risk-reduction ratio against
 //! shortest-path routing is recomputed — producing the Figure 12/13 time
 //! series.
+//!
+//! **Degraded mode.** A replay never aborts on a bad advisory: when the
+//! advisory text fails to parse (truncated feed, garbled transmission — the
+//! chaos harness injects exactly this), the λ_f forecast term is dropped for
+//! that tick, routing continues on historical risk alone, and the tick is
+//! flagged [`ReplayTick::degraded`]. The tick count of a corrupted replay is
+//! therefore identical to the clean run's; only the flagged ticks' ratios
+//! revert to the historical-only baseline.
 
 use crate::intradomain::Planner;
 use crate::ratios::RatioReport;
-use riskroute_forecast::{advisories_for, Advisory, ForecastRisk, Storm};
+use riskroute_forecast::{advisories_for, ForecastRisk, Storm};
 use riskroute_geo::GeoPoint;
 use riskroute_topology::Network;
-use serde::{Deserialize, Serialize};
+
+/// An advisory as it arrives off the wire: number, timestamp label, and the
+/// raw text the §4.4 parser consumes. The chaos harness corrupts the `text`
+/// field to exercise the degraded replay path.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RawAdvisory {
+    /// Advisory number (1-based).
+    pub number: usize,
+    /// NHC-style timestamp label.
+    pub label: String,
+    /// The advisory text to parse.
+    pub text: String,
+}
 
 /// One advisory tick of a replay.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct ReplayTick {
     /// Advisory number (1-based).
     pub advisory: usize,
@@ -27,10 +47,14 @@ pub struct ReplayTick {
     pub pops_in_hurricane_winds: usize,
     /// The Eq. 5/6 ratios at this tick.
     pub report: RatioReport,
+    /// Whether this tick ran in degraded mode: the advisory text failed to
+    /// parse, so the forecast term was dropped and the ratios reflect
+    /// historical risk only.
+    pub degraded: bool,
 }
 
 /// A replayed storm over one network (or merged interdomain topology).
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct DisasterReplay {
     /// The storm replayed.
     pub storm: String,
@@ -47,9 +71,13 @@ impl DisasterReplay {
         self.ticks.iter().max_by(|a, b| {
             a.report
                 .risk_reduction_ratio
-                .partial_cmp(&b.report.risk_reduction_ratio)
-                .expect("ratios are finite")
+                .total_cmp(&b.report.risk_reduction_ratio)
         })
+    }
+
+    /// Number of ticks that ran in degraded (forecast-dropped) mode.
+    pub fn degraded_ticks(&self) -> usize {
+        self.ticks.iter().filter(|t| t.degraded).count()
     }
 
     /// Maximum number of PoPs ever inside hurricane-force winds — the §7.3
@@ -90,20 +118,59 @@ pub fn replay_storm_over_pairs(
         base.pop_count(),
         "locations must cover every PoP"
     );
-    let advisories = advisories_for(storm);
+    let raws = raw_advisories(storm, stride);
+    replay_raw_advisories(base, network_name, locations, storm.name(), &raws, sources, dests)
+}
+
+/// The storm's advisory series rendered to wire form ([`RawAdvisory`]),
+/// every `stride`-th advisory. This is the text stream
+/// [`replay_raw_advisories`] consumes — and the one the chaos harness
+/// corrupts before feeding it back in.
+///
+/// # Panics
+/// Panics when `stride` is zero.
+pub fn raw_advisories(storm: Storm, stride: usize) -> Vec<RawAdvisory> {
+    assert!(stride > 0, "stride must be positive");
+    advisories_for(storm)
+        .iter()
+        .step_by(stride)
+        .map(|adv| RawAdvisory {
+            number: adv.number,
+            label: adv.timestamp.label(),
+            text: adv.to_text(),
+        })
+        .collect()
+}
+
+/// Replay an explicit raw-advisory stream over explicit pair sets — the
+/// lowest-level replay entry point, used by the chaos harness to feed
+/// corrupted advisory text. Each advisory that fails to parse yields a
+/// *degraded* tick (forecast term dropped, historical risk only) instead of
+/// aborting; the returned replay always has exactly `raws.len()` ticks.
+///
+/// # Panics
+/// Panics when `locations` does not match the planner's PoP count.
+pub fn replay_raw_advisories(
+    base: &Planner,
+    network_name: &str,
+    locations: &[GeoPoint],
+    storm_name: &str,
+    raws: &[RawAdvisory],
+    sources: &[usize],
+    dests: &[usize],
+) -> DisasterReplay {
+    assert_eq!(
+        locations.len(),
+        base.pop_count(),
+        "locations must cover every PoP"
+    );
     let mut planner = base.clone();
     let mut ticks = Vec::new();
-    for adv in advisories.iter().step_by(stride) {
-        ticks.push(tick_for_advisory(
-            &mut planner,
-            adv,
-            locations,
-            sources,
-            dests,
-        ));
+    for raw in raws {
+        ticks.push(tick_for_raw(&mut planner, raw, locations, sources, dests));
     }
     DisasterReplay {
-        storm: storm.name().to_string(),
+        storm: storm_name.to_string(),
         network: network_name.to_string(),
         ticks,
     }
@@ -122,31 +189,40 @@ pub fn replay_storm(
     replay_storm_over_pairs(base, network.name(), &locations, storm, stride, &all, &all)
 }
 
-fn tick_for_advisory(
+fn tick_for_raw(
     planner: &mut Planner,
-    adv: &Advisory,
+    raw: &RawAdvisory,
     locations: &[GeoPoint],
     sources: &[usize],
     dests: &[usize],
 ) -> ReplayTick {
-    // §4.4: risk is derived from the advisory *text*.
-    let field = ForecastRisk::from_advisory_text(&adv.to_text())
-        .expect("generated advisories always parse");
-    let forecast: Vec<f64> = locations.iter().map(|&p| field.risk(p)).collect();
-    let pops_in_scope = locations.iter().filter(|&&p| field.in_scope(p)).count();
-    let pops_in_hurricane_winds = locations
-        .iter()
-        .filter(|&&p| field.in_hurricane_winds(p))
-        .count();
+    // §4.4: risk is derived from the advisory *text*. A parse failure drops
+    // the forecast term for this tick (degraded mode) rather than aborting
+    // the replay.
+    let (forecast, pops_in_scope, pops_in_hurricane_winds, degraded) =
+        match ForecastRisk::from_advisory_text(&raw.text) {
+            Ok(field) => {
+                let forecast: Vec<f64> = locations.iter().map(|&p| field.risk(p)).collect();
+                let in_scope = locations.iter().filter(|&&p| field.in_scope(p)).count();
+                let in_hurricane = locations
+                    .iter()
+                    .filter(|&&p| field.in_hurricane_winds(p))
+                    .count();
+                (forecast, in_scope, in_hurricane, false)
+            }
+            Err(_) => (vec![0.0; locations.len()], 0, 0, true),
+        };
     planner.risk_mut().set_forecast(forecast);
-    let outcomes = planner.pair_outcomes(sources, dests);
-    let report = RatioReport::aggregate(outcomes.iter());
+    let sweep = planner.pair_sweep(sources, dests);
+    let report =
+        RatioReport::aggregate_with_stranded(sweep.outcomes.iter(), sweep.stranded.len());
     ReplayTick {
-        advisory: adv.number,
-        label: adv.timestamp.label(),
+        advisory: raw.number,
+        label: raw.label.clone(),
         pops_in_scope,
         pops_in_hurricane_winds,
         report,
+        degraded,
     }
 }
 
@@ -191,14 +267,16 @@ pub fn replay_storm_proactive(
             .filter(|&&p| field.in_hurricane_winds(p))
             .count();
         planner.risk_mut().set_forecast(forecast);
-        let outcomes = planner.pair_outcomes(&all, &all);
-        let report = RatioReport::aggregate(outcomes.iter());
+        let sweep = planner.pair_sweep(&all, &all);
+        let report =
+            RatioReport::aggregate_with_stranded(sweep.outcomes.iter(), sweep.stranded.len());
         ticks.push(ReplayTick {
             advisory: adv.number,
             label: adv.timestamp.label(),
             pops_in_scope,
             pops_in_hurricane_winds,
             report,
+            degraded: false,
         });
     }
     DisasterReplay {
@@ -242,6 +320,7 @@ fn fraction_hit(
 
 #[cfg(test)]
 mod tests {
+    #![allow(clippy::unwrap_used, clippy::expect_used)]
     use super::*;
     use crate::metric::{NodeRisk, RiskWeights};
     use riskroute_population::PopShares;
@@ -394,6 +473,46 @@ mod tests {
                     < 1e-9
             );
         }
+    }
+
+    #[test]
+    fn corrupted_advisories_degrade_without_changing_tick_count() {
+        // The degraded-mode contract: a replay over a feed where 20% of the
+        // advisory texts are garbled yields the same tick count as the clean
+        // run, with exactly the corrupted ticks flagged degraded, historical-
+        // only ratios on those ticks, and finite ratios throughout.
+        let net = gulf_network();
+        let planner = base_planner(&net);
+        let locs: Vec<GeoPoint> = net.pops().iter().map(|p| p.location).collect();
+        let all: Vec<usize> = (0..net.pop_count()).collect();
+        let mut raws = raw_advisories(Storm::Katrina, 1);
+        assert_eq!(raws.len(), 61);
+        let clean =
+            replay_raw_advisories(&planner, "gulf", &locs, "KATRINA", &raws, &all, &all);
+        let mut corrupted = 0;
+        for (i, raw) in raws.iter_mut().enumerate() {
+            if i % 5 == 0 {
+                raw.text = format!("...STATIC... {}", &raw.text[..raw.text.len().min(8)]);
+                corrupted += 1;
+            }
+        }
+        let dirty =
+            replay_raw_advisories(&planner, "gulf", &locs, "KATRINA", &raws, &all, &all);
+        assert_eq!(dirty.ticks.len(), clean.ticks.len(), "no tick is dropped");
+        assert_eq!(dirty.degraded_ticks(), corrupted);
+        for (d, c) in dirty.ticks.iter().zip(&clean.ticks) {
+            assert!(d.report.risk_reduction_ratio.is_finite());
+            assert!(d.report.distance_increase_ratio.is_finite());
+            if d.degraded {
+                // Forecast dropped: this planner has zero historical risk, so
+                // the degraded tick reverts to the zero-ratio baseline.
+                assert_eq!(d.pops_in_scope, 0);
+                assert!(d.report.risk_reduction_ratio.abs() < 1e-12);
+            } else {
+                assert_eq!(d.report, c.report, "clean ticks are untouched");
+            }
+        }
+        assert_eq!(clean.degraded_ticks(), 0);
     }
 
     #[test]

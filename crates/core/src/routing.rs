@@ -7,13 +7,13 @@
 //! (bit-risk weights are non-negative by construction, so Dijkstra is exact
 //! for Eq. 3).
 
-use serde::{Deserialize, Serialize};
+use crate::error::Error;
 use std::cmp::Ordering;
 use std::collections::BinaryHeap;
 
 /// Adjacency built once per topology: `adj[u] = [(v, miles), …]` for both
 /// directions of every link.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Adjacency {
     adj: Vec<Vec<(usize, f64)>>,
 }
@@ -49,7 +49,7 @@ impl Adjacency {
 }
 
 /// A routed path with its metric decomposition.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct RoutedPath {
     /// PoP sequence from source to destination.
     pub nodes: Vec<usize>,
@@ -111,10 +111,11 @@ impl Eq for Entry {}
 
 impl Ord for Entry {
     fn cmp(&self, other: &Self) -> Ordering {
+        // total_cmp keeps the heap totally ordered even if a NaN cost ever
+        // slips in (it sorts past infinity instead of aborting the search).
         other
             .cost
-            .partial_cmp(&self.cost)
-            .expect("costs are finite")
+            .total_cmp(&self.cost)
             .then_with(|| other.node.cmp(&self.node))
     }
 }
@@ -128,22 +129,24 @@ impl PartialOrd for Entry {
 /// Dijkstra from `source` with edge weight
 /// `w(u→v) = miles(u,v) + entry_cost(v)`.
 ///
-/// `entry_cost(v)` is the β-scaled risk charged for entering PoP v; it must
-/// be non-negative and finite for every node.
+/// `entry_cost(v)` is the β-scaled risk charged for entering PoP v.
+/// Degraded-mode contract: a node whose entry cost is non-finite or
+/// negative is treated as *unroutable* — no path may enter it, so queries
+/// through it report unreachable instead of aborting the whole sweep.
 ///
 /// # Panics
-/// Panics when `source` is out of range or an entry cost is invalid.
+/// Panics when `source` is out of range.
 pub fn risk_sssp(adj: &Adjacency, source: usize, entry_cost: impl Fn(usize) -> f64) -> RiskTree {
     let n = adj.node_count();
     assert!(source < n, "source {source} out of range ({n} nodes)");
     let costs: Vec<f64> = (0..n)
         .map(|v| {
             let c = entry_cost(v);
-            assert!(
-                c.is_finite() && c >= 0.0,
-                "entry cost of node {v} must be finite and non-negative (got {c})"
-            );
-            c
+            if c.is_finite() && c >= 0.0 {
+                c
+            } else {
+                f64::INFINITY
+            }
         })
         .collect();
 
@@ -183,13 +186,16 @@ pub fn risk_sssp(adj: &Adjacency, source: usize, entry_cost: impl Fn(usize) -> f
 /// risk-miles. The source node's entry cost is never charged (Eq. 1 sums
 /// from p₂).
 ///
+/// # Errors
+/// [`Error::NotAdjacent`] when consecutive nodes share no link.
+///
 /// # Panics
-/// Panics when consecutive nodes are not adjacent or the path is empty.
+/// Panics when the path is empty.
 pub fn evaluate_path(
     adj: &Adjacency,
     nodes: &[usize],
     entry_cost: impl Fn(usize) -> f64,
-) -> RoutedPath {
+) -> Result<RoutedPath, Error> {
     assert!(!nodes.is_empty(), "cannot evaluate an empty path");
     let mut bit_miles = 0.0;
     let mut risk_miles = 0.0;
@@ -200,21 +206,22 @@ pub fn evaluate_path(
             .iter()
             .filter(|&&(n, _)| n == v)
             .map(|&(_, m)| m)
-            .min_by(|a, b| a.partial_cmp(b).expect("finite"))
-            .unwrap_or_else(|| panic!("nodes {u} and {v} are not adjacent"));
+            .min_by(f64::total_cmp)
+            .ok_or(Error::NotAdjacent { u, v })?;
         bit_miles += miles;
         risk_miles += entry_cost(v);
     }
-    RoutedPath {
+    Ok(RoutedPath {
         nodes: nodes.to_vec(),
         bit_miles,
         risk_miles,
         bit_risk_miles: bit_miles + risk_miles,
-    }
+    })
 }
 
 #[cfg(test)]
 mod tests {
+    #![allow(clippy::unwrap_used, clippy::expect_used)]
     use super::*;
 
     /// Square with a risky top corner:
@@ -288,7 +295,7 @@ mod tests {
     #[test]
     fn evaluate_path_decomposes_metric() {
         let adj = square();
-        let p = evaluate_path(&adj, &[0, 1, 2], risky_node_1);
+        let p = evaluate_path(&adj, &[0, 1, 2], risky_node_1).unwrap();
         assert_eq!(p.bit_miles, 20.0);
         assert_eq!(p.risk_miles, 100.0);
         assert_eq!(p.bit_risk_miles, 120.0);
@@ -298,7 +305,7 @@ mod tests {
     #[test]
     fn evaluate_trivial_path() {
         let adj = square();
-        let p = evaluate_path(&adj, &[2], risky_node_1);
+        let p = evaluate_path(&adj, &[2], risky_node_1).unwrap();
         assert_eq!(p.bit_risk_miles, 0.0);
     }
 
@@ -308,23 +315,29 @@ mod tests {
         let tree = risk_sssp(&adj, 0, risky_node_1);
         for t in 0..4 {
             let path = tree.path_to(t).unwrap();
-            let eval = evaluate_path(&adj, &path, risky_node_1);
+            let eval = evaluate_path(&adj, &path, risky_node_1).unwrap();
             assert!((eval.bit_risk_miles - tree.dist(t)).abs() < 1e-9);
         }
     }
 
     #[test]
-    #[should_panic(expected = "not adjacent")]
-    fn evaluate_rejects_non_path() {
+    fn evaluate_rejects_non_path_as_value() {
         let adj = square();
-        let _ = evaluate_path(&adj, &[0, 2], |_| 0.0);
+        let err = evaluate_path(&adj, &[0, 2], |_| 0.0).unwrap_err();
+        assert_eq!(err, Error::NotAdjacent { u: 0, v: 2 });
     }
 
     #[test]
-    #[should_panic(expected = "entry cost of node")]
-    fn negative_entry_cost_panics() {
+    fn invalid_entry_cost_isolates_the_node() {
+        // Degraded mode: NaN/negative entry cost makes the node unroutable
+        // instead of panicking; every other pair still routes.
         let adj = square();
-        let _ = risk_sssp(&adj, 0, |_| -1.0);
+        for bad in [f64::NAN, f64::INFINITY, -1.0] {
+            let tree = risk_sssp(&adj, 0, move |v| if v == 1 { bad } else { 0.0 });
+            assert!(!tree.reachable(1), "cost {bad} must isolate node 1");
+            assert_eq!(tree.dist(2), 20.0, "detour around the poisoned node");
+            assert_eq!(tree.path_to(2), Some(vec![0, 3, 2]));
+        }
     }
 
     #[test]
@@ -339,7 +352,7 @@ mod tests {
         let adj = Adjacency::from_links(2, vec![(0, 1, 10.0), (0, 1, 3.0)]);
         let tree = risk_sssp(&adj, 0, |_| 0.0);
         assert_eq!(tree.dist(1), 3.0);
-        let eval = evaluate_path(&adj, &[0, 1], |_| 0.0);
+        let eval = evaluate_path(&adj, &[0, 1], |_| 0.0).unwrap();
         assert_eq!(eval.bit_miles, 3.0);
     }
 }

@@ -12,10 +12,9 @@
 use riskroute_geo::distance::great_circle_miles;
 use riskroute_hazard::HistoricalRisk;
 use riskroute_topology::Network;
-use serde::{Deserialize, Serialize};
 
 /// Result of a shared-risk comparison between two networks.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct SharedRiskReport {
     /// First network.
     pub network_a: String,
@@ -61,7 +60,7 @@ pub fn shared_risk(
             }
         }
     }
-    pairs.sort_by(|x, y| x.2.partial_cmp(&y.2).expect("finite").then(x.0.cmp(&y.0)));
+    pairs.sort_by(|x, y| x.2.total_cmp(&y.2).then(x.0.cmp(&y.0)));
 
     // Greedy one-to-one matching.
     let mut used_a = vec![false; a.pop_count()];
@@ -92,6 +91,7 @@ pub fn shared_risk(
 
 #[cfg(test)]
 mod tests {
+    #![allow(clippy::unwrap_used, clippy::expect_used)]
     use super::*;
     use riskroute_geo::GeoPoint;
     use riskroute_topology::{NetworkKind, Pop};

@@ -1,12 +1,14 @@
-//! Property-based tests for the RiskRoute core: invariants that must hold
-//! for *any* topology, risk field, and impact model.
+//! Randomized property tests for the RiskRoute core: invariants that must
+//! hold for *any* topology, risk field, and impact model.
 
-use proptest::prelude::*;
 use riskroute::provisioning::with_extra_link;
 use riskroute::{NodeRisk, Planner, RiskWeights};
 use riskroute_geo::GeoPoint;
 use riskroute_population::PopShares;
+use riskroute_rng::StdRng;
 use riskroute_topology::{Network, NetworkKind, Pop};
+
+const CASES: usize = 64;
 
 /// A random connected geometric network with per-PoP risks and shares.
 #[derive(Debug, Clone)]
@@ -16,42 +18,37 @@ struct Scenario {
     shares: Vec<f64>,
 }
 
-fn scenario() -> impl Strategy<Value = Scenario> {
-    (3usize..10).prop_flat_map(|n| {
-        let coords = proptest::collection::vec((30.0..45.0f64, -120.0..-75.0f64), n);
-        let extra_links = proptest::collection::vec((0..n, 0..n), 0..n);
-        let risks = proptest::collection::vec(0.0..0.3f64, n);
-        let raw_shares = proptest::collection::vec(0.01..1.0f64, n);
-        (coords, extra_links, risks, raw_shares).prop_map(
-            move |(coords, extra, risk, raw_shares)| {
-                let pops: Vec<Pop> = coords
-                    .iter()
-                    .enumerate()
-                    .map(|(i, &(lat, lon))| Pop {
-                        name: format!("P{i}"),
-                        // Spread duplicate draws apart so no two PoPs collide.
-                        location: GeoPoint::new(lat, lon + i as f64 * 1e-4).unwrap(),
-                    })
-                    .collect();
-                // Spanning path guarantees connectivity; extras add loops.
-                let mut links: Vec<(usize, usize)> = (1..n).map(|i| (i - 1, i)).collect();
-                for (a, b) in extra {
-                    let key = (a.min(b), a.max(b));
-                    if a != b && !links.contains(&key) {
-                        links.push(key);
-                    }
-                }
-                let network = Network::new("prop", NetworkKind::Regional, pops, links).unwrap();
-                let total: f64 = raw_shares.iter().sum();
-                let shares = raw_shares.iter().map(|s| s / total).collect();
-                Scenario {
-                    network,
-                    risk,
-                    shares,
-                }
-            },
-        )
-    })
+fn scenario(rng: &mut StdRng) -> Scenario {
+    let n = rng.gen_range(3..10usize);
+    let pops: Vec<Pop> = (0..n)
+        .map(|i| Pop {
+            name: format!("P{i}"),
+            // Spread duplicate draws apart so no two PoPs collide.
+            location: GeoPoint::new(
+                rng.gen_range(30.0..45.0),
+                rng.gen_range(-120.0..-75.0) + i as f64 * 1e-4,
+            )
+            .expect("in range"),
+        })
+        .collect();
+    // Spanning path guarantees connectivity; extras add loops.
+    let mut links: Vec<(usize, usize)> = (1..n).map(|i| (i - 1, i)).collect();
+    for _ in 0..rng.gen_range(0..n) {
+        let a = rng.gen_range(0..n);
+        let b = rng.gen_range(0..n);
+        let key = (a.min(b), a.max(b));
+        if a != b && !links.contains(&key) {
+            links.push(key);
+        }
+    }
+    let network = Network::new("prop", NetworkKind::Regional, pops, links).expect("valid");
+    let raw_shares: Vec<f64> = (0..n).map(|_| rng.gen_range(0.01..1.0)).collect();
+    let total: f64 = raw_shares.iter().sum();
+    Scenario {
+        network,
+        risk: (0..n).map(|_| rng.gen_range(0.0..0.3)).collect(),
+        shares: raw_shares.iter().map(|s| s / total).collect(),
+    }
 }
 
 fn planner(s: &Scenario, lambda_h: f64) -> Planner {
@@ -63,80 +60,103 @@ fn planner(s: &Scenario, lambda_h: f64) -> Planner {
     )
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
-
-    #[test]
-    fn riskroute_never_loses_and_never_shortens(s in scenario()) {
+#[test]
+fn riskroute_never_loses_and_never_shortens() {
+    let mut rng = StdRng::seed_from_u64(0xc1);
+    for _ in 0..CASES {
+        let s = scenario(&mut rng);
         let p = planner(&s, 1e5);
         let n = s.network.pop_count();
         for i in 0..n {
             for j in 0..n {
-                if i == j { continue; }
+                if i == j {
+                    continue;
+                }
                 let rr = p.risk_route(i, j).expect("connected by construction");
                 let sp = p.shortest_route(i, j).expect("connected");
-                prop_assert!(rr.bit_risk_miles <= sp.bit_risk_miles + 1e-6);
-                prop_assert!(rr.bit_miles >= sp.bit_miles - 1e-6);
-                prop_assert!((rr.bit_risk_miles - rr.bit_miles - rr.risk_miles).abs() < 1e-6);
+                assert!(rr.bit_risk_miles <= sp.bit_risk_miles + 1e-6);
+                assert!(rr.bit_miles >= sp.bit_miles - 1e-6);
+                assert!((rr.bit_risk_miles - rr.bit_miles - rr.risk_miles).abs() < 1e-6);
             }
         }
     }
+}
 
-    #[test]
-    fn reversal_shifts_cost_by_endpoint_constant(s in scenario()) {
-        // cost(i→j) − cost(j→i) = β·(ρ(j) − ρ(i)): the identity the
-        // incremental provisioning sweep relies on.
+#[test]
+fn reversal_shifts_cost_by_endpoint_constant() {
+    // cost(i→j) − cost(j→i) = β·(ρ(j) − ρ(i)): the identity the
+    // incremental provisioning sweep relies on.
+    let mut rng = StdRng::seed_from_u64(0xc2);
+    for _ in 0..CASES {
+        let s = scenario(&mut rng);
         let p = planner(&s, 1e5);
         let n = s.network.pop_count();
         let w = p.weights();
         for i in 0..n {
             for j in (i + 1)..n {
-                let fwd = p.risk_route(i, j).unwrap().bit_risk_miles;
-                let rev = p.risk_route(j, i).unwrap().bit_risk_miles;
+                let fwd = p.risk_route(i, j).expect("connected").bit_risk_miles;
+                let rev = p.risk_route(j, i).expect("connected").bit_risk_miles;
                 let beta = p.impact(i, j);
-                let expected =
-                    beta * (p.risk().scaled(j, w) - p.risk().scaled(i, w));
-                prop_assert!(
+                let expected = beta * (p.risk().scaled(j, w) - p.risk().scaled(i, w));
+                assert!(
                     ((fwd - rev) - expected).abs() < 1e-6,
                     "({i},{j}): fwd {fwd} rev {rev} expected diff {expected}"
                 );
             }
         }
     }
+}
 
-    #[test]
-    fn lambda_zero_equals_shortest_path(s in scenario()) {
+#[test]
+fn lambda_zero_equals_shortest_path() {
+    let mut rng = StdRng::seed_from_u64(0xc3);
+    for _ in 0..CASES {
+        let s = scenario(&mut rng);
         let p = planner(&s, 0.0);
         let n = s.network.pop_count();
         for i in 0..n {
             for j in 0..n {
-                if i == j { continue; }
-                let rr = p.risk_route(i, j).unwrap();
-                let sp = p.shortest_route(i, j).unwrap();
-                prop_assert!((rr.bit_risk_miles - sp.bit_risk_miles).abs() < 1e-9);
-                prop_assert!((rr.bit_miles - sp.bit_miles).abs() < 1e-9);
+                if i == j {
+                    continue;
+                }
+                let rr = p.risk_route(i, j).expect("connected");
+                let sp = p.shortest_route(i, j).expect("connected");
+                assert!((rr.bit_risk_miles - sp.bit_risk_miles).abs() < 1e-9);
+                assert!((rr.bit_miles - sp.bit_miles).abs() < 1e-9);
             }
         }
     }
+}
 
-    #[test]
-    fn per_pair_bit_miles_grow_with_lambda(s in scenario()) {
+#[test]
+fn per_pair_bit_miles_grow_with_lambda() {
+    let mut rng = StdRng::seed_from_u64(0xc4);
+    for _ in 0..CASES {
+        let s = scenario(&mut rng);
         let lo = planner(&s, 1e4);
         let hi = planner(&s, 1e6);
         let n = s.network.pop_count();
         for i in 0..n {
             for j in 0..n {
-                if i == j { continue; }
-                let a = lo.risk_route(i, j).unwrap();
-                let b = hi.risk_route(i, j).unwrap();
-                prop_assert!(b.bit_miles >= a.bit_miles - 1e-9,
-                    "more risk aversion can only lengthen the route");
+                if i == j {
+                    continue;
+                }
+                let a = lo.risk_route(i, j).expect("connected");
+                let b = hi.risk_route(i, j).expect("connected");
+                assert!(
+                    b.bit_miles >= a.bit_miles - 1e-9,
+                    "more risk aversion can only lengthen the route"
+                );
             }
         }
     }
+}
 
-    #[test]
-    fn adding_any_link_never_increases_aggregate_bit_risk(s in scenario()) {
+#[test]
+fn adding_any_link_never_increases_aggregate_bit_risk() {
+    let mut rng = StdRng::seed_from_u64(0xc5);
+    for _ in 0..CASES {
+        let s = scenario(&mut rng);
         let p = planner(&s, 1e5);
         let before = p.aggregate_bit_risk();
         let n = s.network.pop_count();
@@ -152,17 +172,21 @@ proptest! {
                 PopShares::from_shares(s.shares.clone()),
                 RiskWeights::historical_only(1e5),
             );
-            prop_assert!(p2.aggregate_bit_risk() <= before + 1e-6);
+            assert!(p2.aggregate_bit_risk() <= before + 1e-6);
         }
     }
+}
 
-    #[test]
-    fn ratio_report_is_well_formed(s in scenario()) {
+#[test]
+fn ratio_report_is_well_formed() {
+    let mut rng = StdRng::seed_from_u64(0xc6);
+    for _ in 0..CASES {
+        let s = scenario(&mut rng);
         let p = planner(&s, 1e5);
         let r = p.ratio_report();
-        prop_assert!(r.risk_reduction_ratio >= -1e-12);
-        prop_assert!(r.risk_reduction_ratio < 1.0);
-        prop_assert!(r.distance_increase_ratio >= -1e-12);
-        prop_assert!(r.pairs > 0);
+        assert!(r.risk_reduction_ratio >= -1e-12);
+        assert!(r.risk_reduction_ratio < 1.0);
+        assert!(r.distance_increase_ratio >= -1e-12);
+        assert!(r.pairs > 0);
     }
 }

@@ -10,11 +10,10 @@
 
 use crate::calendar::Timestamp;
 use riskroute_geo::{km_to_miles, miles_to_km, GeoPoint};
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// A structured public advisory.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Advisory {
     /// Storm name, upper case ("IRENE").
     pub storm: String,
@@ -219,6 +218,7 @@ fn parse_number(token: &str) -> Result<f64, ParseError> {
 
 #[cfg(test)]
 mod tests {
+    #![allow(clippy::unwrap_used, clippy::expect_used)]
     use super::*;
 
     fn sample_advisory() -> Advisory {

@@ -4,11 +4,10 @@
 //! timestamps ("5 PM EDT TUE AUG 23 2005"). This module provides just enough
 //! date handling to reproduce those labels without a date-time dependency.
 
-use serde::{Deserialize, Serialize};
 
 /// A wall-clock timestamp (local storm-basin time; the paper's advisories
 /// mix EDT/CDT, which is cosmetic for our purposes).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
 pub struct Timestamp {
     /// Four-digit year.
     pub year: u16,
@@ -106,7 +105,7 @@ pub fn days_in_month(year: u16, month: u8) -> u32 {
         1 | 3 | 5 | 7 | 8 | 10 | 12 => 31,
         4 | 6 | 9 | 11 => 30,
         2 => {
-            if (year % 4 == 0 && year % 100 != 0) || year % 400 == 0 {
+            if (year.is_multiple_of(4) && !year.is_multiple_of(100)) || year.is_multiple_of(400) {
                 29
             } else {
                 28
@@ -118,6 +117,7 @@ pub fn days_in_month(year: u16, month: u8) -> u32 {
 
 #[cfg(test)]
 mod tests {
+    #![allow(clippy::unwrap_used, clippy::expect_used)]
     use super::*;
 
     #[test]

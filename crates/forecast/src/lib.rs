@@ -26,6 +26,7 @@
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
+#![warn(clippy::unwrap_used, clippy::expect_used)]
 
 pub mod advisory;
 pub mod calendar;
@@ -37,5 +38,5 @@ pub mod track;
 pub use advisory::{Advisory, ParseError, ParsedAdvisory};
 pub use projection::{earliest_warning, project, ProjectedField};
 pub use risk::{ForecastRisk, StormSwath, RHO_HURRICANE, RHO_TROPICAL};
-pub use storms::{advisories_for, Storm};
+pub use storms::{advisories_for, Storm, ALL_STORMS};
 pub use track::{HurricaneTrack, TrackPoint};

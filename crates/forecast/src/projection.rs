@@ -12,7 +12,6 @@ use crate::advisory::Advisory;
 use crate::risk::ForecastRisk;
 use riskroute_geo::distance::{destination, great_circle_miles, initial_bearing_deg};
 use riskroute_geo::GeoPoint;
-use serde::{Deserialize, Serialize};
 
 /// NHC-style track-error growth: how many miles of position uncertainty one
 /// hour of lead time adds (≈ 40 mi per 24 h for modern forecasts; we use a
@@ -24,7 +23,7 @@ pub const DEFAULT_CONE_GROWTH_MPH: f64 = 2.2;
 pub const DEFAULT_CONFIDENCE_HALF_LIFE_HOURS: f64 = 48.0;
 
 /// A projected wind field at a future instant.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct ProjectedField {
     /// Lead time in hours beyond the newest advisory.
     pub lead_hours: f64,
@@ -155,6 +154,7 @@ pub fn earliest_warning(
 
 #[cfg(test)]
 mod tests {
+    #![allow(clippy::unwrap_used, clippy::expect_used)]
     use super::*;
     use crate::storms::{advisories_for, Storm};
 

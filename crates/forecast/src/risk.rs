@@ -7,7 +7,6 @@
 use crate::advisory::{parse_advisory_text, Advisory, ParseError};
 use riskroute_geo::distance::great_circle_miles;
 use riskroute_geo::GeoPoint;
-use serde::{Deserialize, Serialize};
 
 /// The paper's tropical-storm-force risk value (§5.3 / §7).
 pub const RHO_TROPICAL: f64 = 50.0;
@@ -16,7 +15,7 @@ pub const RHO_TROPICAL: f64 = 50.0;
 pub const RHO_HURRICANE: f64 = 100.0;
 
 /// The forecasted outage risk field of a single advisory.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct ForecastRisk {
     /// Storm center.
     pub center: GeoPoint,
@@ -106,7 +105,7 @@ impl ForecastRisk {
 
 /// The union of a storm's wind fields over its full advisory series —
 /// the "final geo-spatial scope" of Figure 6.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct StormSwath {
     fields: Vec<ForecastRisk>,
 }
@@ -140,6 +139,7 @@ impl StormSwath {
 
 #[cfg(test)]
 mod tests {
+    #![allow(clippy::unwrap_used, clippy::expect_used)]
     use super::*;
     use crate::storms::{advisories_for, Storm};
 
@@ -173,6 +173,7 @@ mod tests {
     }
 
     #[test]
+    #[allow(clippy::assertions_on_constants)]
     fn paper_rho_ordering_holds() {
         assert!(RHO_HURRICANE > RHO_TROPICAL);
         assert_eq!(RHO_TROPICAL, 50.0);

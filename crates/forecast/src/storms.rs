@@ -10,10 +10,9 @@
 use crate::advisory::Advisory;
 use crate::calendar::Timestamp;
 use crate::track::{HurricaneTrack, TrackPoint};
-use serde::{Deserialize, Serialize};
 
 /// The three historical disaster case studies (§7.3).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Storm {
     /// Hurricane Katrina, August 2005 (Gulf coast).
     Katrina,
@@ -161,6 +160,7 @@ pub fn advisories_for(storm: Storm) -> Vec<Advisory> {
 
 #[cfg(test)]
 mod tests {
+    #![allow(clippy::unwrap_used, clippy::expect_used)]
     use super::*;
     use riskroute_geo::distance::great_circle_miles;
     use riskroute_geo::GeoPoint;

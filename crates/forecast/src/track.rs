@@ -2,10 +2,9 @@
 
 use riskroute_geo::distance::slerp;
 use riskroute_geo::GeoPoint;
-use serde::{Deserialize, Serialize};
 
 /// One best-track waypoint.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct TrackPoint {
     /// Hours since the first advisory.
     pub hours: f64,
@@ -21,7 +20,7 @@ pub struct TrackPoint {
 }
 
 /// A storm's full track: ordered waypoints spanning the advisory window.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct HurricaneTrack {
     /// Storm name, upper case as in advisories ("IRENE").
     pub name: String,
@@ -56,7 +55,10 @@ impl HurricaneTrack {
             );
         }
         for p in &points {
-            GeoPoint::new(p.lat, p.lon).expect("waypoint coordinates must be valid");
+            assert!(
+                GeoPoint::new(p.lat, p.lon).is_ok(),
+                "waypoint coordinates must be valid"
+            );
             assert!(
                 p.hurricane_radius_mi >= 0.0 && p.tropical_radius_mi >= 0.0,
                 "radii must be non-negative"
@@ -79,22 +81,29 @@ impl HurricaneTrack {
 
     /// Total track duration in hours.
     pub fn duration_hours(&self) -> f64 {
-        self.points.last().expect("non-empty").hours
+        // The constructor guarantees at least two waypoints.
+        self.points.last().map_or(0.0, |p| p.hours)
     }
 
     /// Interpolated storm state at `hours` (clamped to the track window).
     /// Position interpolates along the great circle; radii linearly.
     pub fn state_at(&self, hours: f64) -> StormState {
         let h = hours.clamp(0.0, self.duration_hours());
+        // `h` is clamped into [0, last.hours], so some segment contains it;
+        // the final segment covers any floating-point edge case.
         let idx = self
             .points
             .windows(2)
             .position(|w| h <= w[1].hours)
-            .expect("clamped hour falls in some segment");
+            .unwrap_or(self.points.len().saturating_sub(2));
         let (a, b) = (&self.points[idx], &self.points[idx + 1]);
         let t = (h - a.hours) / (b.hours - a.hours);
-        let pa = GeoPoint::new(a.lat, a.lon).expect("validated");
-        let pb = GeoPoint::new(b.lat, b.lon).expect("validated");
+        let (Ok(pa), Ok(pb)) = (
+            GeoPoint::new(a.lat, a.lon),
+            GeoPoint::new(b.lat, b.lon),
+        ) else {
+            unreachable!("waypoints were validated by the constructor");
+        };
         StormState {
             center: slerp(pa, pb, t),
             hurricane_radius_mi: a.hurricane_radius_mi
@@ -107,6 +116,7 @@ impl HurricaneTrack {
 
 #[cfg(test)]
 mod tests {
+    #![allow(clippy::unwrap_used, clippy::expect_used)]
     use super::*;
 
     fn wp(hours: f64, lat: f64, lon: f64, h: f64, t: f64) -> TrackPoint {

@@ -1,65 +1,117 @@
-//! Property-based fuzzing of the advisory text generator/parser pair.
+//! Randomized fuzzing of the advisory text generator/parser pair.
 
-use proptest::prelude::*;
 use riskroute_forecast::advisory::{parse_advisory_text, Advisory};
 use riskroute_forecast::calendar::Timestamp;
 use riskroute_geo::GeoPoint;
+use riskroute_rng::StdRng;
 
-fn arb_advisory() -> impl Strategy<Value = Advisory> {
-    (
-        "[A-Z]{3,9}",
-        1usize..90,
-        (-60.0..60.0f64, -179.0..179.0f64),
-        prop_oneof![Just(0.0), 5.0..200.0f64],
-        5.0..600.0f64,
-        (0u8..24, 1u8..29),
-    )
-        .prop_map(
-            |(storm, number, (lat, lon), h_radius, extra, (hour, day))| Advisory {
-                storm,
-                number,
-                timestamp: Timestamp::new(2012, 10, day, hour),
-                center: GeoPoint::new(lat, lon).unwrap(),
-                hurricane_radius_mi: h_radius,
-                tropical_radius_mi: h_radius + extra,
-            },
-        )
+const CASES: usize = 256;
+
+fn random_advisory(rng: &mut StdRng) -> Advisory {
+    let letters: Vec<char> = ('A'..='Z').collect();
+    let len = rng.gen_range(3..10usize);
+    let storm: String = (0..len)
+        .map(|_| letters[rng.gen_range(0..letters.len())])
+        .collect();
+    let h_radius = if rng.gen_bool(0.2) {
+        0.0
+    } else {
+        rng.gen_range(5.0..200.0)
+    };
+    Advisory {
+        storm,
+        number: rng.gen_range(1..90usize),
+        timestamp: Timestamp::new(
+            2012,
+            10,
+            rng.gen_range(1..29usize) as u8,
+            rng.gen_range(0..24usize) as u8,
+        ),
+        center: GeoPoint::new(rng.gen_range(-60.0..60.0), rng.gen_range(-179.0..179.0))
+            .expect("in range"),
+        hurricane_radius_mi: h_radius,
+        tropical_radius_mi: h_radius + rng.gen_range(5.0..600.0),
+    }
 }
 
-proptest! {
-    #[test]
-    fn generated_text_always_parses_back(adv in arb_advisory()) {
+#[test]
+fn generated_text_always_parses_back() {
+    let mut rng = StdRng::seed_from_u64(0xf1);
+    for _ in 0..CASES {
+        let adv = random_advisory(&mut rng);
         let text = adv.to_text();
-        let parsed = parse_advisory_text(&text).unwrap();
+        let parsed = parse_advisory_text(&text).expect("generated advisory parses");
         // Prose rounds coordinates to 0.1° and radii to whole miles.
-        prop_assert!((parsed.center.lat() - adv.center.lat()).abs() <= 0.051);
-        prop_assert!((parsed.center.lon() - adv.center.lon()).abs() <= 0.051);
-        prop_assert!((parsed.hurricane_radius_mi - adv.hurricane_radius_mi).abs() <= 0.5);
-        prop_assert!((parsed.tropical_radius_mi - adv.tropical_radius_mi).abs() <= 0.5);
+        assert!((parsed.center.lat() - adv.center.lat()).abs() <= 0.051);
+        assert!((parsed.center.lon() - adv.center.lon()).abs() <= 0.051);
+        assert!((parsed.hurricane_radius_mi - adv.hurricane_radius_mi).abs() <= 0.5);
+        assert!((parsed.tropical_radius_mi - adv.tropical_radius_mi).abs() <= 0.5);
     }
+}
 
-    #[test]
-    fn parser_never_panics_on_arbitrary_text(text in ".{0,400}") {
+#[test]
+fn parser_never_panics_on_arbitrary_text() {
+    let mut rng = StdRng::seed_from_u64(0xf2);
+    for _ in 0..CASES {
+        let len = rng.gen_range(0..400usize);
+        let text: String = (0..len)
+            .map(|_| {
+                // Mix printable ASCII with advisory-ish punctuation.
+                let c = rng.gen_range(0x20..0x7fusize) as u8 as char;
+                if rng.gen_bool(0.1) {
+                    '.'
+                } else {
+                    c
+                }
+            })
+            .collect();
         // Any input must produce Ok or Err — never a panic.
         let _ = parse_advisory_text(&text);
     }
+}
 
-    #[test]
-    fn parser_never_panics_on_advisory_like_noise(
-        lat in -200.0..200.0f64,
-        lon in -400.0..400.0f64,
-        radius in -100.0..2000.0f64,
-    ) {
+#[test]
+fn parser_never_panics_on_advisory_like_noise() {
+    let mut rng = StdRng::seed_from_u64(0xf3);
+    for _ in 0..CASES {
+        let lat = rng.gen_range(-200.0..200.0);
+        let lon = rng.gen_range(-400.0..400.0);
+        let radius = rng.gen_range(-100.0..2000.0);
         let text = format!(
             "LATITUDE {lat:.1} NORTH...LONGITUDE {lon:.1} WEST. \
              TROPICAL-STORM-FORCE WINDS EXTEND OUTWARD UP TO {radius:.0} MILES..."
         );
         let _ = parse_advisory_text(&text);
     }
+}
 
-    #[test]
-    fn radii_ordering_is_preserved(adv in arb_advisory()) {
-        let parsed = parse_advisory_text(&adv.to_text()).unwrap();
-        prop_assert!(parsed.hurricane_radius_mi <= parsed.tropical_radius_mi + 0.5);
+#[test]
+fn parser_never_panics_on_truncated_or_mutated_advisories() {
+    let mut rng = StdRng::seed_from_u64(0xf4);
+    for _ in 0..CASES {
+        let adv = random_advisory(&mut rng);
+        let text = adv.to_text();
+        // Truncation.
+        let cut = rng.gen_range(0..text.len());
+        let truncated: String = text.chars().take(cut).collect();
+        let _ = parse_advisory_text(&truncated);
+        // Byte garbling (replace a char with random printable ASCII).
+        let mut chars: Vec<char> = text.chars().collect();
+        for _ in 0..rng.gen_range(1..8usize) {
+            let idx = rng.gen_range(0..chars.len());
+            chars[idx] = rng.gen_range(0x20..0x7fusize) as u8 as char;
+        }
+        let garbled: String = chars.into_iter().collect();
+        let _ = parse_advisory_text(&garbled);
+    }
+}
+
+#[test]
+fn radii_ordering_is_preserved() {
+    let mut rng = StdRng::seed_from_u64(0xf5);
+    for _ in 0..CASES {
+        let adv = random_advisory(&mut rng);
+        let parsed = parse_advisory_text(&adv.to_text()).expect("generated advisory parses");
+        assert!(parsed.hurricane_radius_mi <= parsed.tropical_radius_mi + 0.5);
     }
 }

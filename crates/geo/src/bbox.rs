@@ -1,7 +1,6 @@
 //! Axis-aligned latitude/longitude bounding boxes.
 
 use crate::{GeoError, GeoPoint};
-use serde::{Deserialize, Serialize};
 
 /// An axis-aligned box in latitude/longitude space.
 ///
@@ -9,7 +8,7 @@ use serde::{Deserialize, Serialize};
 /// boxes never straddle the antimeridian; construction enforces
 /// `west <= east` implicitly through [`GeoPoint`] validation and ordered
 /// corners.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct BoundingBox {
     south: f64,
     west: f64,
@@ -109,11 +108,14 @@ impl BoundingBox {
 
     /// The box's center point.
     pub fn center(&self) -> GeoPoint {
-        GeoPoint::new(
+        match GeoPoint::new(
             (self.south + self.north) / 2.0,
             (self.west + self.east) / 2.0,
-        )
-        .expect("center of valid box is valid")
+        ) {
+            Ok(p) => p,
+            // Midpoints of in-range coordinates are in range.
+            Err(_) => unreachable!("center of valid box is valid"),
+        }
     }
 
     /// Expand every edge outward by `degrees` (clamped to valid ranges).
@@ -132,14 +134,20 @@ impl BoundingBox {
     /// distance between two PoPs; the diagonal of the enclosing box is the
     /// cheap upper proxy used for sanity checks.
     pub fn diagonal_miles(&self) -> f64 {
-        let sw = GeoPoint::new(self.south, self.west).expect("valid corner");
-        let ne = GeoPoint::new(self.north, self.east).expect("valid corner");
+        // The constructor validated both corners.
+        let (Ok(sw), Ok(ne)) = (
+            GeoPoint::new(self.south, self.west),
+            GeoPoint::new(self.north, self.east),
+        ) else {
+            unreachable!("box corners are valid");
+        };
         crate::distance::great_circle_miles(sw, ne)
     }
 }
 
 #[cfg(test)]
 mod tests {
+    #![allow(clippy::unwrap_used, clippy::expect_used)]
     use super::*;
 
     #[test]

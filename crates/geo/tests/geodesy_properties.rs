@@ -1,98 +1,147 @@
-//! Property-based tests for the geodesy primitives.
+//! Randomized property tests for the geodesy primitives, driven by the
+//! workspace's deterministic PRNG.
 
-use proptest::prelude::*;
 use riskroute_geo::distance::{
     destination, great_circle_miles, initial_bearing_deg, sample_great_circle,
     segment_distance_miles, slerp,
 };
 use riskroute_geo::{BoundingBox, GeoPoint, EARTH_RADIUS_MILES};
+use riskroute_rng::StdRng;
 
-fn conus_point() -> impl Strategy<Value = GeoPoint> {
-    (24.5..49.5f64, -125.0..-66.9f64).prop_map(|(lat, lon)| GeoPoint::new(lat, lon).unwrap())
+const CASES: usize = 256;
+
+fn conus_point(rng: &mut StdRng) -> GeoPoint {
+    GeoPoint::new(rng.gen_range(24.5..49.5), rng.gen_range(-125.0..-66.9)).expect("in range")
 }
 
-fn any_point() -> impl Strategy<Value = GeoPoint> {
-    (-89.9..89.9f64, -179.9..179.9f64).prop_map(|(lat, lon)| GeoPoint::new(lat, lon).unwrap())
+fn any_point(rng: &mut StdRng) -> GeoPoint {
+    GeoPoint::new(rng.gen_range(-89.9..89.9), rng.gen_range(-179.9..179.9)).expect("in range")
 }
 
-proptest! {
-    #[test]
-    fn distance_nonnegative_and_bounded(a in any_point(), b in any_point()) {
+#[test]
+fn distance_nonnegative_bounded_and_symmetric() {
+    let mut rng = StdRng::seed_from_u64(1);
+    for _ in 0..CASES {
+        let (a, b) = (any_point(&mut rng), any_point(&mut rng));
         let d = great_circle_miles(a, b);
-        prop_assert!(d >= 0.0);
-        prop_assert!(d <= std::f64::consts::PI * EARTH_RADIUS_MILES + 1e-6);
+        assert!(d >= 0.0);
+        assert!(d <= std::f64::consts::PI * EARTH_RADIUS_MILES + 1e-6);
+        assert!((d - great_circle_miles(b, a)).abs() < 1e-8);
     }
+}
 
-    #[test]
-    fn distance_symmetric(a in any_point(), b in any_point()) {
-        let ab = great_circle_miles(a, b);
-        let ba = great_circle_miles(b, a);
-        prop_assert!((ab - ba).abs() < 1e-8);
-    }
-
-    #[test]
-    fn triangle_inequality(a in conus_point(), b in conus_point(), c in conus_point()) {
+#[test]
+fn triangle_inequality() {
+    let mut rng = StdRng::seed_from_u64(2);
+    for _ in 0..CASES {
+        let (a, b, c) = (
+            conus_point(&mut rng),
+            conus_point(&mut rng),
+            conus_point(&mut rng),
+        );
         let ab = great_circle_miles(a, b);
         let bc = great_circle_miles(b, c);
         let ac = great_circle_miles(a, c);
-        prop_assert!(ac <= ab + bc + 1e-6);
+        assert!(ac <= ab + bc + 1e-6);
     }
+}
 
-    #[test]
-    fn destination_round_trip(a in conus_point(), b in conus_point()) {
+#[test]
+fn destination_round_trip() {
+    let mut rng = StdRng::seed_from_u64(3);
+    for _ in 0..CASES {
+        let (a, b) = (conus_point(&mut rng), conus_point(&mut rng));
         let d = great_circle_miles(a, b);
         let brg = initial_bearing_deg(a, b);
         let reached = destination(a, brg, d);
-        prop_assert!(great_circle_miles(reached, b) < 1.0, "missed by {} miles", great_circle_miles(reached, b));
+        assert!(
+            great_circle_miles(reached, b) < 1.0,
+            "missed by {} miles",
+            great_circle_miles(reached, b)
+        );
     }
+}
 
-    #[test]
-    fn destination_distance_is_requested(a in conus_point(), brg in 0.0..360.0f64, dist in 0.0..3000.0f64) {
+#[test]
+fn destination_distance_is_requested() {
+    let mut rng = StdRng::seed_from_u64(4);
+    for _ in 0..CASES {
+        let a = conus_point(&mut rng);
+        let brg = rng.gen_range(0.0..360.0);
+        let dist = rng.gen_range(0.0..3000.0);
         let p = destination(a, brg, dist);
         let measured = great_circle_miles(a, p);
-        prop_assert!((measured - dist).abs() < 0.5, "asked {dist}, measured {measured}");
+        assert!((measured - dist).abs() < 0.5, "asked {dist}, measured {measured}");
     }
+}
 
-    #[test]
-    fn slerp_stays_on_great_circle(a in conus_point(), b in conus_point(), t in 0.0..1.0f64) {
+#[test]
+fn slerp_stays_on_great_circle() {
+    let mut rng = StdRng::seed_from_u64(5);
+    for _ in 0..CASES {
+        let (a, b) = (conus_point(&mut rng), conus_point(&mut rng));
+        let t = rng.gen_range(0.0..1.0);
         let m = slerp(a, b, t);
         let total = great_circle_miles(a, b);
         let via = great_circle_miles(a, m) + great_circle_miles(m, b);
-        prop_assert!((via - total).abs() < 1e-3, "detour {} vs {}", via, total);
+        assert!((via - total).abs() < 1e-3, "detour {via} vs {total}");
     }
+}
 
-    #[test]
-    fn segment_distance_at_most_endpoint_distance(
-        p in conus_point(), a in conus_point(), b in conus_point()
-    ) {
+#[test]
+fn segment_distance_at_most_endpoint_distance() {
+    let mut rng = StdRng::seed_from_u64(6);
+    for _ in 0..CASES {
+        let (p, a, b) = (
+            conus_point(&mut rng),
+            conus_point(&mut rng),
+            conus_point(&mut rng),
+        );
         let d = segment_distance_miles(p, a, b);
         let to_a = great_circle_miles(p, a);
         let to_b = great_circle_miles(p, b);
-        prop_assert!(d <= to_a.min(to_b) + 1e-6);
-        prop_assert!(d >= 0.0);
+        assert!(d <= to_a.min(to_b) + 1e-6);
+        assert!(d >= 0.0);
     }
+}
 
-    #[test]
-    fn sampled_path_length_matches_direct(a in conus_point(), b in conus_point()) {
+#[test]
+fn sampled_path_length_matches_direct() {
+    let mut rng = StdRng::seed_from_u64(7);
+    for _ in 0..CASES {
+        let (a, b) = (conus_point(&mut rng), conus_point(&mut rng));
         let pts = sample_great_circle(a, b, 16);
-        let total: f64 = pts.windows(2).map(|w| great_circle_miles(w[0], w[1])).sum();
+        let total: f64 = pts
+            .windows(2)
+            .map(|w| great_circle_miles(w[0], w[1]))
+            .sum();
         let direct = great_circle_miles(a, b);
-        prop_assert!((total - direct).abs() < 0.01 * direct.max(1.0));
+        assert!((total - direct).abs() < 0.01 * direct.max(1.0));
     }
+}
 
-    #[test]
-    fn enclosing_box_contains_inputs(pts in proptest::collection::vec(conus_point(), 1..32)) {
-        let bb = BoundingBox::enclosing(&pts).unwrap();
+#[test]
+fn enclosing_box_contains_inputs() {
+    let mut rng = StdRng::seed_from_u64(8);
+    for _ in 0..CASES {
+        let pts: Vec<GeoPoint> = (0..rng.gen_range(1..32usize))
+            .map(|_| conus_point(&mut rng))
+            .collect();
+        let bb = BoundingBox::enclosing(&pts).expect("non-empty");
         for p in &pts {
-            prop_assert!(bb.contains(*p));
+            assert!(bb.contains(*p));
         }
     }
+}
 
-    #[test]
-    fn midpoint_is_equidistant(a in conus_point(), b in conus_point()) {
+#[test]
+fn midpoint_is_equidistant() {
+    let mut rng = StdRng::seed_from_u64(9);
+    for _ in 0..CASES {
+        let (a, b) = (conus_point(&mut rng), conus_point(&mut rng));
         let m = a.midpoint(&b);
         let da = great_circle_miles(m, a);
         let db = great_circle_miles(m, b);
-        prop_assert!((da - db).abs() < 1e-3);
+        assert!((da - db).abs() < 1e-3);
     }
 }

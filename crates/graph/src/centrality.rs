@@ -104,7 +104,9 @@ pub fn articulation_points(g: &Graph) -> Vec<NodeId> {
             .collect();
         while let Some(&(u, idx)) = stack.last() {
             if idx < adjacency[u].len() {
-                stack.last_mut().expect("non-empty").1 += 1;
+                if let Some(top) = stack.last_mut() {
+                    top.1 += 1;
+                }
                 let v = adjacency[u][idx];
                 if disc[v] == usize::MAX {
                     parent[v] = Some(u);
@@ -137,6 +139,8 @@ pub fn articulation_points(g: &Graph) -> Vec<NodeId> {
 
 #[cfg(test)]
 mod tests {
+    #![allow(clippy::unwrap_used, clippy::expect_used)]
+    #![allow(clippy::needless_range_loop)]
     use super::*;
 
     /// A barbell: two triangles joined through a single bridge node.

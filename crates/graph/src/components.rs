@@ -66,6 +66,7 @@ pub fn is_connected(g: &Graph) -> bool {
 
 #[cfg(test)]
 mod tests {
+    #![allow(clippy::unwrap_used, clippy::expect_used)]
     use super::*;
 
     fn two_islands() -> Graph {

@@ -68,13 +68,13 @@ impl Eq for HeapEntry {}
 
 impl Ord for HeapEntry {
     fn cmp(&self, other: &Self) -> Ordering {
-        // Reverse: smaller cost = greater priority. Costs are finite
-        // non-negative floats, so partial_cmp cannot fail; tie-break on node
-        // id for determinism.
+        // Reverse: smaller cost = greater priority. total_cmp keeps the heap
+        // totally ordered even if a NaN cost ever slips in (it sorts past
+        // infinity instead of aborting the search); tie-break on node id for
+        // determinism.
         other
             .cost
-            .partial_cmp(&self.cost)
-            .expect("costs are finite")
+            .total_cmp(&self.cost)
             .then_with(|| other.node.cmp(&self.node))
     }
 }
@@ -170,6 +170,8 @@ pub fn all_pairs(g: &Graph) -> Vec<Vec<f64>> {
 
 #[cfg(test)]
 mod tests {
+    #![allow(clippy::unwrap_used, clippy::expect_used)]
+    #![allow(clippy::needless_range_loop)]
     use super::*;
 
     /// A small diamond with a tempting-but-costly direct edge.

@@ -19,6 +19,7 @@ use crate::Graph;
 ///
 /// Edge weights are set to `dist(i, j)`. O(n³); fine for n ≤ a few hundred
 /// (the largest paper network has 233 PoPs).
+#[allow(clippy::needless_range_loop)] // symmetric matrix fill reads clearest indexed
 pub fn gabriel_graph(n: usize, dist: impl Fn(usize, usize) -> f64) -> Graph {
     let mut g = Graph::with_nodes(n);
     // Precompute the distance matrix so the O(n^3) loop does no redundant
@@ -40,8 +41,8 @@ pub fn gabriel_graph(n: usize, dist: impl Fn(usize, usize) -> f64) -> Graph {
             let dij2 = d[i][j] * d[i][j];
             let blocked = (0..n)
                 .any(|k| k != i && k != j && d[i][k] * d[i][k] + d[j][k] * d[j][k] < dij2 - 1e-9);
-            if !blocked {
-                g.add_edge(i, j, d[i][j]).expect("validated weight");
+            if !blocked && g.add_edge(i, j, d[i][j]).is_err() {
+                debug_assert!(false, "validated weight rejected by add_edge");
             }
         }
     }
@@ -55,6 +56,7 @@ pub fn gabriel_graph(n: usize, dist: impl Fn(usize, usize) -> f64) -> Graph {
 /// `max(d(i,k), d(j,k)) >= d(i,j)` for all k. The RNG is a subgraph of the
 /// Gabriel graph and a supergraph of the MST (hence connected), with
 /// noticeably higher stretch — matching the sparser of the real ISP maps.
+#[allow(clippy::needless_range_loop)] // symmetric matrix fill reads clearest indexed
 pub fn relative_neighborhood_graph(n: usize, dist: impl Fn(usize, usize) -> f64) -> Graph {
     let mut g = Graph::with_nodes(n);
     let mut d = vec![vec![0.0; n]; n];
@@ -73,8 +75,8 @@ pub fn relative_neighborhood_graph(n: usize, dist: impl Fn(usize, usize) -> f64)
         for j in (i + 1)..n {
             let dij = d[i][j];
             let blocked = (0..n).any(|k| k != i && k != j && d[i][k].max(d[j][k]) < dij - 1e-9);
-            if !blocked {
-                g.add_edge(i, j, dij).expect("validated weight");
+            if !blocked && g.add_edge(i, j, dij).is_err() {
+                debug_assert!(false, "validated weight rejected by add_edge");
             }
         }
     }
@@ -83,6 +85,7 @@ pub fn relative_neighborhood_graph(n: usize, dist: impl Fn(usize, usize) -> f64)
 
 #[cfg(test)]
 mod tests {
+    #![allow(clippy::unwrap_used, clippy::expect_used)]
     use super::*;
     use crate::components::is_connected;
     use crate::mst::minimum_spanning_forest;

@@ -1,6 +1,5 @@
 //! Compact undirected adjacency-list graph.
 
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// Node identifier: a dense index in `0..node_count()`.
@@ -41,7 +40,7 @@ impl fmt::Display for GraphError {
 
 impl std::error::Error for GraphError {}
 
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 struct Edge {
     a: NodeId,
     b: NodeId,
@@ -54,7 +53,7 @@ struct Edge {
 /// names, …) in a parallel `Vec` owned by the caller. Parallel edges are
 /// permitted (two PoPs can be joined by distinct physical links); self-loops
 /// are rejected.
-#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default)]
 pub struct Graph {
     edges: Vec<Edge>,
     /// adjacency[n] = list of (neighbor, edge id)
@@ -169,12 +168,7 @@ impl Graph {
             .iter()
             .filter(|&&(v, _)| v == b)
             .map(|&(_, e)| e)
-            .min_by(|&x, &y| {
-                self.edges[x]
-                    .weight
-                    .partial_cmp(&self.edges[y].weight)
-                    .expect("weights are finite")
-            })
+            .min_by(|&x, &y| self.edges[x].weight.total_cmp(&self.edges[y].weight))
     }
 
     /// Iterate `(edge id, a, b, weight)` over all edges.
@@ -202,8 +196,52 @@ impl Graph {
     }
 }
 
+impl riskroute_json::ToJson for Graph {
+    fn to_json(&self) -> riskroute_json::Json {
+        use riskroute_json::Json;
+        Json::obj([
+            ("nodes", Json::Num(self.node_count() as f64)),
+            (
+                "edges",
+                Json::Arr(
+                    self.edges
+                        .iter()
+                        .map(|e| {
+                            Json::Arr(vec![
+                                Json::Num(e.a as f64),
+                                Json::Num(e.b as f64),
+                                Json::Num(e.weight),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ),
+        ])
+    }
+}
+
+impl riskroute_json::FromJson for Graph {
+    fn from_json(v: &riskroute_json::Json) -> Result<Self, riskroute_json::JsonError> {
+        use riskroute_json::JsonError;
+        let nodes = v.field("nodes")?.as_usize()?;
+        let mut g = Graph::with_nodes(nodes);
+        for edge in v.field("edges")?.as_arr()? {
+            let parts = edge.as_arr()?;
+            if parts.len() != 3 {
+                return Err(JsonError::Shape("edge must be [a, b, weight]".to_string()));
+            }
+            let (a, b) = (parts[0].as_usize()?, parts[1].as_usize()?);
+            let w = parts[2].as_f64()?;
+            g.add_edge(a, b, w)
+                .map_err(|e| JsonError::Shape(e.to_string()))?;
+        }
+        Ok(g)
+    }
+}
+
 #[cfg(test)]
 mod tests {
+    #![allow(clippy::unwrap_used, clippy::expect_used)]
     use super::*;
 
     #[test]
@@ -298,11 +336,11 @@ mod tests {
     }
 
     #[test]
-    fn serde_round_trip() {
+    fn json_round_trip() {
         let mut g = Graph::with_nodes(3);
         g.add_edge(0, 1, 1.5).unwrap();
-        let json = serde_json::to_string(&g).unwrap();
-        let back: Graph = serde_json::from_str(&json).unwrap();
+        let json = riskroute_json::to_string(&g);
+        let back: Graph = riskroute_json::from_str(&json).unwrap();
         assert_eq!(back.node_count(), 3);
         assert_eq!(back.edge_count(), 1);
         assert_eq!(back.edge_weight(0), 1.5);

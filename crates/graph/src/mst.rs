@@ -15,8 +15,7 @@ pub fn minimum_spanning_forest(g: &Graph) -> Vec<EdgeId> {
     let mut order: Vec<EdgeId> = (0..g.edge_count()).collect();
     order.sort_by(|&a, &b| {
         g.edge_weight(a)
-            .partial_cmp(&g.edge_weight(b))
-            .expect("weights are finite")
+            .total_cmp(&g.edge_weight(b))
             .then(a.cmp(&b))
     });
     let mut uf = UnionFind::new(g.node_count());
@@ -43,6 +42,7 @@ pub fn mst_weight(g: &Graph) -> f64 {
 
 #[cfg(test)]
 mod tests {
+    #![allow(clippy::unwrap_used, clippy::expect_used)]
     use super::*;
     use crate::components::is_connected;
 

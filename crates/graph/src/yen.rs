@@ -32,7 +32,9 @@ pub fn k_shortest_paths(g: &Graph, s: NodeId, t: NodeId, k: usize) -> Vec<Ranked
     let mut candidates: Vec<RankedPath> = Vec::new();
 
     while found.len() < k {
-        let last = found.last().expect("at least one found path").clone();
+        let Some(last) = found.last().cloned() else {
+            break; // unreachable: `found` starts non-empty and only grows
+        };
         // Each prefix of the last found path spawns a spur search.
         for spur_idx in 0..last.nodes.len() - 1 {
             let spur_node = last.nodes[spur_idx];
@@ -75,12 +77,13 @@ pub fn k_shortest_paths(g: &Graph, s: NodeId, t: NodeId, k: usize) -> Vec<Ranked
             .enumerate()
             .min_by(|(_, x), (_, y)| {
                 x.cost
-                    .partial_cmp(&y.cost)
-                    .expect("costs finite")
+                    .total_cmp(&y.cost)
                     .then_with(|| x.nodes.cmp(&y.nodes))
             })
-            .map(|(i, _)| i)
-            .expect("non-empty candidates");
+            .map(|(i, _)| i);
+        let Some(best) = best else {
+            break; // unreachable: candidates checked non-empty above
+        };
         found.push(candidates.swap_remove(best));
     }
     found
@@ -89,9 +92,15 @@ pub fn k_shortest_paths(g: &Graph, s: NodeId, t: NodeId, k: usize) -> Vec<Ranked
 /// Sum of minimum edge weights along consecutive node pairs of `path`.
 fn path_cost(g: &Graph, path: &[NodeId]) -> f64 {
     path.windows(2)
-        .map(|w| {
-            let e = g.find_edge(w[0], w[1]).expect("path edges exist");
-            g.edge_weight(e)
+        .map(|w| match g.find_edge(w[0], w[1]) {
+            Some(e) => g.edge_weight(e),
+            None => {
+                // Roots come from previously found paths, so every
+                // consecutive pair is adjacent; price a phantom hop as
+                // unroutable rather than aborting.
+                debug_assert!(false, "path edge {}-{} missing", w[0], w[1]);
+                f64::INFINITY
+            }
         })
         .sum()
 }
@@ -117,8 +126,7 @@ fn masked_shortest_path(
         fn cmp(&self, other: &Self) -> Ordering {
             other
                 .cost
-                .partial_cmp(&self.cost)
-                .expect("finite")
+                .total_cmp(&self.cost)
                 .then_with(|| other.node.cmp(&self.node))
         }
     }
@@ -184,6 +192,7 @@ fn masked_shortest_path(
 
 #[cfg(test)]
 mod tests {
+    #![allow(clippy::unwrap_used, clippy::expect_used)]
     use super::*;
 
     /// The standard Yen example graph.

@@ -1,16 +1,14 @@
 //! Disaster event kinds, paper counts, and seeded mixture samplers.
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use riskroute_rng::StdRng;
 use riskroute_geo::bbox::CONUS;
 use riskroute_geo::distance::destination;
 use riskroute_geo::GeoPoint;
 use riskroute_stats::rng::derive_seed;
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// The five disaster corpora of §4.3.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum EventKind {
     /// FEMA hurricane emergency declarations.
     FemaHurricane,
@@ -206,7 +204,7 @@ impl fmt::Display for EventKind {
 }
 
 /// One located disaster event.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct DisasterEvent {
     /// Event kind.
     pub kind: EventKind,
@@ -259,7 +257,10 @@ fn sample_sites(kind: EventKind, rng: &mut StdRng) -> Vec<GeoPoint> {
             }
         }
         let &(lat, lon, sigma, _) = chosen;
-        let center = GeoPoint::new(lat, lon).expect("cluster centers are valid");
+        let Ok(center) = GeoPoint::new(lat, lon) else {
+            // Cluster centers are compile-time constants validated by tests.
+            unreachable!("cluster centers are valid");
+        };
         let p = gaussian_offset(center, sigma, rng);
         if CONUS.contains(p) {
             sites.push(p);
@@ -286,6 +287,7 @@ pub fn sample_paper_corpora(master_seed: u64) -> Vec<Vec<DisasterEvent>> {
 
 #[cfg(test)]
 mod tests {
+    #![allow(clippy::unwrap_used, clippy::expect_used)]
     use super::*;
     use riskroute_geo::distance::great_circle_miles;
 

@@ -94,6 +94,7 @@ impl<'a> SeasonalRisk<'a> {
 
 #[cfg(test)]
 mod tests {
+    #![allow(clippy::unwrap_used, clippy::expect_used)]
     use super::*;
     use crate::events::ALL_EVENT_KINDS;
 

@@ -161,6 +161,7 @@ impl HistoricalRisk {
 
 #[cfg(test)]
 mod tests {
+    #![allow(clippy::unwrap_used, clippy::expect_used)]
     use super::*;
 
     fn small_surface(kind: EventKind, n: usize) -> RiskSurface {

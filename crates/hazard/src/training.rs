@@ -16,14 +16,13 @@ use crate::events::{sample_events, EventKind};
 use riskroute_geo::GeoPoint;
 use riskroute_stats::crossval::{log_space, select_bandwidth_binned};
 use riskroute_stats::rng::derive_seed;
-use serde::{Deserialize, Serialize};
 
 /// Held-out points scored per fold; beyond this the CV score is already
 /// stable and extra points only add cost.
 pub const DEFAULT_TEST_CAP: usize = 600;
 
 /// Outcome of training one corpus.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct TrainedBandwidth {
     /// The event kind.
     pub kind: EventKind,
@@ -66,6 +65,7 @@ pub fn train_all(master_seed: u64) -> Vec<TrainedBandwidth> {
 
 #[cfg(test)]
 mod tests {
+    #![allow(clippy::unwrap_used, clippy::expect_used)]
     use super::*;
 
     fn pts(kind: EventKind, n: usize) -> Vec<GeoPoint> {

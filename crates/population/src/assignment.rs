@@ -7,10 +7,9 @@
 
 use crate::blocks::PopulationModel;
 use riskroute_topology::{Network, PopId};
-use serde::{Deserialize, Serialize};
 
 /// Per-PoP population shares for one network.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct PopShares {
     shares: Vec<f64>,
 }
@@ -60,9 +59,11 @@ impl PopShares {
                     continue;
                 }
             }
-            let (pop, _) = network
-                .nearest_pop(b.location)
-                .expect("network has at least one PoP");
+            // `n == 0` returned early above, so a nearest PoP always exists.
+            let Some((pop, _)) = network.nearest_pop(b.location) else {
+                debug_assert!(false, "nearest_pop on a non-empty network");
+                continue;
+            };
             totals[pop] += b.population;
             in_scope += b.population;
         }
@@ -98,6 +99,7 @@ impl PopShares {
 
 #[cfg(test)]
 mod tests {
+    #![allow(clippy::unwrap_used, clippy::expect_used)]
     use super::*;
     use riskroute_geo::GeoPoint;
     use riskroute_topology::{NetworkKind, Pop};

@@ -1,18 +1,16 @@
 //! Synthetic census blocks and population density.
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use riskroute_rng::StdRng;
 use riskroute_geo::bbox::CONUS;
 use riskroute_geo::distance::destination;
 use riskroute_geo::{GeoGrid, GeoPoint};
 use riskroute_topology::gazetteer::{self, City};
-use serde::{Deserialize, Serialize};
 
 /// Number of continental-US census blocks in the paper's extract (§4.2).
 pub const PAPER_BLOCK_COUNT: usize = 215_932;
 
 /// One synthetic census block.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct CensusBlock {
     /// Block centroid.
     pub location: GeoPoint,
@@ -62,22 +60,27 @@ impl PopulationModel {
             assigned += floor;
             remainders.push((ideal - ideal.floor(), i));
         }
-        remainders.sort_by(|a, b| b.0.partial_cmp(&a.0).expect("finite").then(a.1.cmp(&b.1)));
+        remainders.sort_by(|a, b| b.0.total_cmp(&a.0).then(a.1.cmp(&b.1)));
         let mut extra_iter = remainders.iter().cycle();
         while assigned < n_blocks {
-            let &(_, i) = extra_iter.next().expect("cycle never ends");
+            // A cycle over the non-empty gazetteer never runs dry.
+            let Some(&(_, i)) = extra_iter.next() else {
+                unreachable!("cycle over non-empty remainders never ends");
+            };
             counts[i] += 1;
             assigned += 1;
         }
         while assigned > n_blocks {
             // Over-assignment can only come from the `max(1)` floor on tiny
             // cities; shave blocks from the largest allocations.
-            let i = counts
+            let Some(i) = counts
                 .iter()
                 .enumerate()
                 .max_by_key(|&(_, &c)| c)
                 .map(|(i, _)| i)
-                .expect("non-empty");
+            else {
+                break;
+            };
             counts[i] -= 1;
             assigned -= 1;
         }
@@ -114,7 +117,11 @@ impl PopulationModel {
 
     /// Rasterize population onto a `rows × cols` CONUS grid (Figure 3-left).
     pub fn density_grid(&self, rows: usize, cols: usize) -> GeoGrid {
-        let mut grid = GeoGrid::new(CONUS, rows, cols).expect("non-empty grid");
+        let Ok(mut grid) = GeoGrid::new(CONUS, rows, cols) else {
+            // Only rows == 0 or cols == 0 can fail; keep the historical
+            // panic contract for that misuse.
+            panic!("density grid needs positive rows and cols");
+        };
         for b in &self.blocks {
             if let Some((r, c)) = grid.cell_of(b.location) {
                 grid.add(r, c, b.population);
@@ -141,6 +148,7 @@ fn scatter(city: &City, rng: &mut StdRng) -> GeoPoint {
 
 #[cfg(test)]
 mod tests {
+    #![allow(clippy::unwrap_used, clippy::expect_used)]
     use super::*;
 
     #[test]

@@ -132,6 +132,7 @@ fn bin_key(x: f64, y: f64, bin: f64) -> (i64, i64) {
 
 #[cfg(test)]
 mod tests {
+    #![allow(clippy::unwrap_used, clippy::expect_used)]
     use super::*;
     use crate::kde::GeoKde;
 

@@ -14,10 +14,9 @@
 use crate::kde::GeoKde;
 use crate::rng::shuffled_indices;
 use riskroute_geo::GeoPoint;
-use serde::{Deserialize, Serialize};
 
 /// Outcome of a bandwidth search.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct BandwidthReport {
     /// The winning bandwidth in miles.
     pub best_bandwidth_miles: f64,
@@ -76,11 +75,13 @@ pub fn select_bandwidth(
         }
         scored.push((bw, total_nll / held_out as f64));
     }
-    let (best_bandwidth_miles, best_score) = scored
+    let Some((best_bandwidth_miles, best_score)) = scored
         .iter()
         .copied()
-        .min_by(|a, b| a.1.partial_cmp(&b.1).expect("scores are finite"))
-        .expect("non-empty candidates");
+        .min_by(|a, b| a.1.total_cmp(&b.1))
+    else {
+        unreachable!("candidates were asserted non-empty");
+    };
     BandwidthReport {
         best_bandwidth_miles,
         best_score,
@@ -141,11 +142,13 @@ pub fn select_bandwidth_binned(
         }
         scored.push((bw, total_nll / held_out as f64));
     }
-    let (best_bandwidth_miles, best_score) = scored
+    let Some((best_bandwidth_miles, best_score)) = scored
         .iter()
         .copied()
-        .min_by(|a, b| a.1.partial_cmp(&b.1).expect("scores are finite"))
-        .expect("non-empty candidates");
+        .min_by(|a, b| a.1.total_cmp(&b.1))
+    else {
+        unreachable!("candidates were asserted non-empty");
+    };
     BandwidthReport {
         best_bandwidth_miles,
         best_score,
@@ -187,9 +190,9 @@ pub fn log_space(lo: f64, hi: f64, steps: usize) -> Vec<f64> {
 
 #[cfg(test)]
 mod tests {
+    #![allow(clippy::unwrap_used, clippy::expect_used)]
     use super::*;
-    use rand::rngs::StdRng;
-    use rand::{Rng, SeedableRng};
+    use riskroute_rng::StdRng;
     use riskroute_geo::distance::destination;
 
     fn pt(lat: f64, lon: f64) -> GeoPoint {
@@ -214,7 +217,7 @@ mod tests {
     #[test]
     fn split_fold_partitions_indices() {
         let order: Vec<usize> = (0..23).collect();
-        let mut seen = vec![0u32; 23];
+        let mut seen = [0u32; 23];
         for fold in 0..5 {
             let (train, test) = split_fold(&order, 5, fold);
             assert_eq!(train.len() + test.len(), 23);

@@ -99,6 +99,7 @@ impl GeoKde {
 
 #[cfg(test)]
 mod tests {
+    #![allow(clippy::unwrap_used, clippy::expect_used)]
     use super::*;
     use riskroute_geo::bbox::CONUS;
 

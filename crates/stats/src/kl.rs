@@ -79,6 +79,7 @@ fn normalize_pair(p: &[f64], q: &[f64]) -> (Vec<f64>, Vec<f64>) {
 
 #[cfg(test)]
 mod tests {
+    #![allow(clippy::unwrap_used, clippy::expect_used)]
     use super::*;
 
     #[test]

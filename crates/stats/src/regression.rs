@@ -4,10 +4,9 @@
 //! (PoP count, footprint, outdegree, …) and the observed risk-reduction /
 //! distance-increase ratios.
 
-use serde::{Deserialize, Serialize};
 
 /// An ordinary-least-squares fit `y ≈ slope·x + intercept`.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct LinearFit {
     /// Fitted slope.
     pub slope: f64,
@@ -108,7 +107,7 @@ pub fn spearman(x: &[f64], y: &[f64]) -> f64 {
 /// Average ranks (1-based; ties share the mean of their rank span).
 fn ranks(v: &[f64]) -> Vec<f64> {
     let mut idx: Vec<usize> = (0..v.len()).collect();
-    idx.sort_by(|&a, &b| v[a].partial_cmp(&v[b]).expect("finite values"));
+    idx.sort_by(|&a, &b| v[a].total_cmp(&v[b]));
     let mut out = vec![0.0; v.len()];
     let mut i = 0;
     while i < idx.len() {
@@ -127,6 +126,7 @@ fn ranks(v: &[f64]) -> Vec<f64> {
 
 #[cfg(test)]
 mod tests {
+    #![allow(clippy::unwrap_used, clippy::expect_used)]
     use super::*;
 
     #[test]

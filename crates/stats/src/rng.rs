@@ -5,9 +5,7 @@
 //! its generator here, so experiments regenerate bit-identically across runs
 //! and platforms.
 
-use rand::rngs::StdRng;
-use rand::seq::SliceRandom;
-use rand::SeedableRng;
+pub use riskroute_rng::{SliceRandom, StdRng, WeightedIndex};
 
 /// A seeded standard generator.
 pub fn seeded(seed: u64) -> StdRng {
@@ -39,8 +37,8 @@ pub fn shuffled_indices(n: usize, seed: u64) -> Vec<usize> {
 
 #[cfg(test)]
 mod tests {
+    #![allow(clippy::unwrap_used, clippy::expect_used)]
     use super::*;
-    use rand::Rng;
 
     #[test]
     fn seeded_is_reproducible() {

@@ -9,14 +9,13 @@
 use crate::model::{Network, PopId};
 use crate::peering::PeeringGraph;
 use riskroute_geo::distance::great_circle_miles;
-use serde::{Deserialize, Serialize};
 
 /// Metro-scale co-location radius in miles. PoPs of different providers in
 /// the same metro (often the same carrier hotel) sit within this distance.
 pub const DEFAULT_COLOCATION_MILES: f64 = 30.0;
 
 /// A co-located PoP pair between two networks.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct Colocation {
     /// PoP id in the subject network.
     pub own_pop: PopId,
@@ -50,7 +49,7 @@ pub fn colocations(own: &Network, other: &Network, radius_miles: f64) -> Vec<Col
 
 /// A candidate peering: another network that is co-located with `own`
 /// somewhere but not currently a peer (§6.3).
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct CandidatePeer {
     /// The other network's name.
     pub network: String,
@@ -84,6 +83,7 @@ pub fn candidate_peers<'a>(
 
 #[cfg(test)]
 mod tests {
+    #![allow(clippy::unwrap_used, clippy::expect_used)]
     use super::*;
     use crate::model::{NetworkKind, Pop};
     use riskroute_geo::GeoPoint;

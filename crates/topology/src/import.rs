@@ -421,6 +421,7 @@ fn encode_entities(s: &str) -> String {
 
 #[cfg(test)]
 mod tests {
+    #![allow(clippy::unwrap_used, clippy::expect_used)]
     use super::*;
 
     /// A Zoo-faithful miniature (Abilene-style keys and structure).

@@ -9,10 +9,9 @@
 
 use crate::model::Network;
 use crate::peering::PeeringGraph;
-use serde::{Deserialize, Serialize};
 
 /// The topology-side characteristics of one network.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct NetworkCharacteristics {
     /// Network name.
     pub name: String,
@@ -42,6 +41,7 @@ pub fn characteristics(net: &Network, peering: &PeeringGraph) -> NetworkCharacte
 
 #[cfg(test)]
 mod tests {
+    #![allow(clippy::unwrap_used, clippy::expect_used)]
     use super::*;
     use crate::model::{NetworkKind, Pop};
     use riskroute_geo::GeoPoint;

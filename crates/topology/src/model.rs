@@ -3,7 +3,6 @@
 use riskroute_geo::distance::great_circle_miles;
 use riskroute_geo::{BoundingBox, GeoPoint};
 use riskroute_graph::Graph;
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// Index of a PoP within its network (dense, `0..pop_count`).
@@ -42,7 +41,7 @@ impl fmt::Display for TopologyError {
 impl std::error::Error for TopologyError {}
 
 /// Whether a network is a nationwide Tier-1 or a smaller regional provider.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum NetworkKind {
     /// Nationwide backbone (the paper studies 7 of these, 354 PoPs total).
     Tier1,
@@ -51,7 +50,7 @@ pub enum NetworkKind {
 }
 
 /// A Point of Presence: a named physical infrastructure location.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Pop {
     /// Human-readable name, usually "City ST".
     pub name: String,
@@ -60,7 +59,7 @@ pub struct Pop {
 }
 
 /// An undirected PoP-to-PoP link with its great-circle length.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct Link {
     /// One endpoint.
     pub a: PopId,
@@ -70,9 +69,19 @@ pub struct Link {
     pub miles: f64,
 }
 
+/// Result of building a weighted graph in degraded mode: the graph plus the
+/// link indices whose weights were invalid and therefore dropped.
+#[derive(Debug, Clone)]
+pub struct WeightedGraphOutcome {
+    /// The graph with all valid-weight links attached.
+    pub graph: Graph,
+    /// Indices (into [`Network::links`]) of links dropped for invalid weight.
+    pub dropped_links: Vec<usize>,
+}
+
 /// A single provider's physical infrastructure: PoPs plus line-of-sight
 /// links (§4.1 of the paper).
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct Network {
     name: String,
     kind: NetworkKind,
@@ -174,8 +183,11 @@ impl Network {
     pub fn distance_graph(&self) -> Graph {
         let mut g = Graph::with_nodes(self.pops.len());
         for l in &self.links {
-            g.add_edge(l.a, l.b, l.miles)
-                .expect("validated links produce valid edges");
+            // Links were validated in `Network::new` and miles come from
+            // great-circle distance, so insertion cannot fail.
+            if let Err(e) = g.add_edge(l.a, l.b, l.miles) {
+                debug_assert!(false, "validated link rejected: {e}");
+            }
         }
         g
     }
@@ -193,12 +205,43 @@ impl Network {
             self.links.len(),
             "one weight per link required"
         );
+        let outcome = self.weighted_graph_sanitized(weights);
+        assert!(
+            outcome.dropped_links.is_empty(),
+            "invalid weight on link {:?}",
+            outcome.dropped_links
+        );
+        outcome.graph
+    }
+
+    /// Build a weighted graph, *dropping* any link whose supplied weight is
+    /// non-finite or negative instead of panicking. The dropped link indices
+    /// are reported so callers can surface the degradation.
+    ///
+    /// This is the degraded-mode counterpart of [`Network::weighted_graph`]:
+    /// a NaN-tainted risk weight disables the link (as a real outage would)
+    /// rather than aborting the pipeline.
+    ///
+    /// # Panics
+    /// Panics when `weights.len() != link_count()` — a structural bug, not a
+    /// data fault.
+    pub fn weighted_graph_sanitized(&self, weights: &[f64]) -> WeightedGraphOutcome {
+        assert_eq!(
+            weights.len(),
+            self.links.len(),
+            "one weight per link required"
+        );
         let mut g = Graph::with_nodes(self.pops.len());
-        for (l, &w) in self.links.iter().zip(weights) {
-            g.add_edge(l.a, l.b, w)
-                .expect("caller supplies valid weights");
+        let mut dropped = Vec::new();
+        for (i, (l, &w)) in self.links.iter().zip(weights).enumerate() {
+            if g.add_edge(l.a, l.b, w).is_err() {
+                dropped.push(i);
+            }
         }
-        g
+        WeightedGraphOutcome {
+            graph: g,
+            dropped_links: dropped,
+        }
     }
 
     /// The PoP nearest to `p`, with its distance in miles. `None` for an
@@ -208,11 +251,7 @@ impl Network {
             .iter()
             .enumerate()
             .map(|(i, pop)| (i, great_circle_miles(p, pop.location)))
-            .min_by(|a, b| {
-                a.1.partial_cmp(&b.1)
-                    .expect("distances finite")
-                    .then(a.0.cmp(&b.0))
-            })
+            .min_by(|a, b| a.1.total_cmp(&b.1).then(a.0.cmp(&b.0)))
     }
 
     /// Geographic footprint: the largest great-circle distance between any
@@ -252,8 +291,83 @@ impl Network {
     }
 }
 
+impl riskroute_json::ToJson for Network {
+    fn to_json(&self) -> riskroute_json::Json {
+        use riskroute_json::Json;
+        Json::obj([
+            ("name", Json::Str(self.name.clone())),
+            (
+                "kind",
+                Json::Str(
+                    match self.kind {
+                        NetworkKind::Tier1 => "tier1",
+                        NetworkKind::Regional => "regional",
+                    }
+                    .to_string(),
+                ),
+            ),
+            (
+                "pops",
+                Json::Arr(
+                    self.pops
+                        .iter()
+                        .map(|p| {
+                            Json::obj([
+                                ("name", Json::Str(p.name.clone())),
+                                ("lat", Json::Num(p.location.lat())),
+                                ("lon", Json::Num(p.location.lon())),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ),
+            (
+                "links",
+                Json::Arr(
+                    self.links
+                        .iter()
+                        .map(|l| Json::Arr(vec![Json::Num(l.a as f64), Json::Num(l.b as f64)]))
+                        .collect(),
+                ),
+            ),
+        ])
+    }
+}
+
+impl riskroute_json::FromJson for Network {
+    fn from_json(v: &riskroute_json::Json) -> Result<Self, riskroute_json::JsonError> {
+        use riskroute_json::JsonError;
+        let name = v.field("name")?.as_str()?.to_string();
+        let kind = match v.field("kind")?.as_str()? {
+            "tier1" => NetworkKind::Tier1,
+            "regional" => NetworkKind::Regional,
+            other => return Err(JsonError::Shape(format!("unknown network kind '{other}'"))),
+        };
+        let mut pops = Vec::new();
+        for p in v.field("pops")?.as_arr()? {
+            let lat = p.field("lat")?.as_f64()?;
+            let lon = p.field("lon")?.as_f64()?;
+            pops.push(Pop {
+                name: p.field("name")?.as_str()?.to_string(),
+                location: GeoPoint::new(lat, lon)
+                    .map_err(|e| JsonError::Shape(e.to_string()))?,
+            });
+        }
+        let mut links = Vec::new();
+        for l in v.field("links")?.as_arr()? {
+            let parts = l.as_arr()?;
+            if parts.len() != 2 {
+                return Err(JsonError::Shape("link must be [a, b]".to_string()));
+            }
+            links.push((parts[0].as_usize()?, parts[1].as_usize()?));
+        }
+        Network::new(name, kind, pops, links).map_err(|e| JsonError::Shape(e.to_string()))
+    }
+}
+
 #[cfg(test)]
 mod tests {
+    #![allow(clippy::unwrap_used, clippy::expect_used)]
     use super::*;
 
     fn pop(name: &str, lat: f64, lon: f64) -> Pop {
@@ -414,12 +528,23 @@ mod tests {
     }
 
     #[test]
-    fn serde_round_trip() {
+    fn json_round_trip() {
         let net = triangle();
-        let json = serde_json::to_string(&net).unwrap();
-        let back: Network = serde_json::from_str(&json).unwrap();
+        let json = riskroute_json::to_string(&net);
+        let back: Network = riskroute_json::from_str(&json).unwrap();
         assert_eq!(back.name(), "tri");
         assert_eq!(back.pop_count(), 3);
         assert_eq!(back.link_count(), 3);
+    }
+
+    #[test]
+    fn sanitized_weighted_graph_drops_invalid_links() {
+        let net = triangle();
+        let outcome = net.weighted_graph_sanitized(&[1.0, f64::NAN, f64::INFINITY]);
+        assert_eq!(outcome.graph.edge_count(), 1);
+        assert_eq!(outcome.dropped_links, vec![1, 2]);
+        let clean = net.weighted_graph_sanitized(&[1.0, 2.0, 3.0]);
+        assert!(clean.dropped_links.is_empty());
+        assert_eq!(clean.graph.edge_count(), 3);
     }
 }

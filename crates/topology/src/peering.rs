@@ -10,7 +10,6 @@
 use crate::model::{Network, NetworkKind};
 use crate::regional::regional_networks;
 use crate::tier1::tier1_networks;
-use serde::{Deserialize, Serialize};
 use std::collections::{HashMap, HashSet};
 
 /// The seven Tier-1 network names.
@@ -45,7 +44,7 @@ pub const REGIONAL_PEERINGS: &[(&str, &[&str])] = &[
 ];
 
 /// An undirected peering graph over network names.
-#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default)]
 pub struct PeeringGraph {
     edges: HashSet<(String, String)>,
     names: HashSet<String>,
@@ -186,6 +185,7 @@ impl Corpus {
 
 #[cfg(test)]
 mod tests {
+    #![allow(clippy::unwrap_used, clippy::expect_used)]
     use super::*;
 
     #[test]

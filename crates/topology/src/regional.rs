@@ -13,8 +13,7 @@
 use crate::gazetteer::{self, City};
 use crate::model::{Network, NetworkKind, Pop};
 use crate::tier1::build_network;
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use riskroute_rng::StdRng;
 use riskroute_geo::bbox::CONUS;
 use riskroute_geo::distance::{destination, great_circle_miles};
 use riskroute_graph::gabriel::gabriel_graph;
@@ -212,8 +211,10 @@ fn build_with_infill(
         infill_idx += 1;
     }
     let links = wire_gabriel(&pops);
-    Network::new(spec.name, NetworkKind::Regional, pops, links)
-        .expect("synthesized links are valid")
+    match Network::new(spec.name, NetworkKind::Regional, pops, links) {
+        Ok(net) => net,
+        Err(e) => unreachable!("synthesized links violate model invariants: {e}"),
+    }
 }
 
 fn wire_gabriel(pops: &[Pop]) -> Vec<(usize, usize)> {
@@ -250,6 +251,7 @@ fn derive_seed(master: u64, label: &str) -> u64 {
 
 #[cfg(test)]
 mod tests {
+    #![allow(clippy::unwrap_used, clippy::expect_used)]
     use super::*;
     use riskroute_graph::components::is_connected;
 

@@ -11,8 +11,7 @@
 
 use crate::gazetteer::{self, City};
 use crate::model::{Network, NetworkKind, Pop};
-use rand::distributions::{Distribution, WeightedIndex};
-use rand::rngs::StdRng;
+use riskroute_rng::{StdRng, WeightedIndex};
 use riskroute_geo::distance::great_circle_miles;
 use riskroute_graph::gabriel::gabriel_graph;
 
@@ -104,9 +103,12 @@ fn sample_cities(count: usize, rng: &mut StdRng) -> Vec<&'static City> {
             .iter()
             .map(|c| f64::from(c.population).powf(0.7))
             .collect();
+        // Weights are strictly positive powers of population, so the
+        // weighted index cannot fail; fall back to the top market if it
+        // somehow does.
         let idx = WeightedIndex::new(&weights)
-            .expect("positive weights")
-            .sample(rng);
+            .map(|w| w.sample(rng))
+            .unwrap_or(0);
         chosen.push(pool.swap_remove(idx));
     }
     chosen
@@ -129,7 +131,10 @@ pub(crate) fn build_network(
         })
         .collect();
     let links = wire_pops(&pops, cities, hubs, rng);
-    Network::new(name, kind, pops, links).expect("synthesized links are valid")
+    match Network::new(name, kind, pops, links) {
+        Ok(net) => net,
+        Err(e) => unreachable!("synthesized links violate model invariants: {e}"),
+    }
 }
 
 /// Two-tier wiring, matching the character of real Topology Zoo maps:
@@ -187,7 +192,6 @@ fn wire_pops(
         // coverage holes that give Eq. 4 genuine >50% shortcut candidates —
         // while the MST skeleton plus the surviving loops keep route
         // alternatives (and connectivity) intact.
-        use rand::Rng as _;
         let mesh = gabriel_graph(backbone_pops.len(), metric);
         let keep: std::collections::HashSet<usize> =
             riskroute_graph::mst::minimum_spanning_forest(&mesh)
@@ -214,11 +218,7 @@ fn wire_pops(
     hub_ids.sort_by(|&a, &b| cities[b].population.cmp(&cities[a].population));
     hub_ids.truncate(hubs.min(backbone.len()));
     hub_ids.sort_by(|&a, &b| {
-        pops[a]
-            .location
-            .lon()
-            .partial_cmp(&pops[b].location.lon())
-            .expect("finite longitudes")
+        pops[a].location.lon().total_cmp(&pops[b].location.lon())
     });
     if hub_ids.len() >= 2 {
         for w in hub_ids.windows(2) {
@@ -232,7 +232,7 @@ fn wire_pops(
             .iter()
             .map(|&b| (b, great_circle_miles(pops[s].location, pops[b].location)))
             .collect();
-        nearest.sort_by(|a, b| a.1.partial_cmp(&b.1).expect("finite").then(a.0.cmp(&b.0)));
+        nearest.sort_by(|a, b| a.1.total_cmp(&b.1).then(a.0.cmp(&b.0)));
         push(&mut links, s, nearest[0].0);
         if si % 3 == 2 && nearest.len() > 1 {
             push(&mut links, s, nearest[1].0);
@@ -254,7 +254,7 @@ pub(crate) fn knn_edges(pops: &[Pop], k: usize) -> Vec<(usize, usize)> {
             .filter(|&j| j != i)
             .map(|j| (j, great_circle_miles(pops[i].location, pops[j].location)))
             .collect();
-        dists.sort_by(|a, b| a.1.partial_cmp(&b.1).expect("finite").then(a.0.cmp(&b.0)));
+        dists.sort_by(|a, b| a.1.total_cmp(&b.1).then(a.0.cmp(&b.0)));
         for &(j, _) in dists.iter().take(k) {
             let key = (i.min(j), i.max(j));
             if !out.contains(&key) {
@@ -266,7 +266,6 @@ pub(crate) fn knn_edges(pops: &[Pop], k: usize) -> Vec<(usize, usize)> {
 }
 
 fn seeded(seed: u64) -> StdRng {
-    use rand::SeedableRng;
     StdRng::seed_from_u64(seed)
 }
 
@@ -286,6 +285,7 @@ fn riskroute_stats_seed(master: u64, label: &str) -> u64 {
 
 #[cfg(test)]
 mod tests {
+    #![allow(clippy::unwrap_used, clippy::expect_used)]
     use super::*;
     use riskroute_graph::components::is_connected;
 

@@ -1,0 +1,113 @@
+//! Property test: the GraphML importer never panics on malformed input.
+//!
+//! Degraded-mode contract for the import boundary: whatever bytes arrive —
+//! truncated downloads, bit-flipped mirrors, scrambled tags — the importer
+//! must return `Err(ImportError)` or a valid `Network`, never abort. The
+//! corpus exporter supplies a known-good document; we then break it in
+//! seeded, reproducible ways.
+
+use riskroute_rng::StdRng;
+use riskroute_topology::import::{network_from_graphml, network_to_graphml};
+use riskroute_topology::{Corpus, NetworkKind};
+
+fn reference_xml() -> String {
+    let corpus = Corpus::standard(42);
+    let net = corpus.network("NTT").expect("corpus network");
+    network_to_graphml(net)
+}
+
+/// Import must return, not panic; both outcomes are acceptable here because
+/// some mutations leave the document well-formed.
+fn import_never_panics(xml: &str) {
+    let _ = network_from_graphml(xml, "fuzz", NetworkKind::Regional);
+}
+
+#[test]
+fn truncation_at_every_boundary_is_an_error_not_a_panic() {
+    let xml = reference_xml();
+    let full = network_from_graphml(&xml, "ref", NetworkKind::Regional)
+        .expect("reference document imports")
+        .pop_count();
+    // Every prefix (stepping fine enough to land inside tags, attribute
+    // values, and float literals) must either be rejected gracefully or —
+    // the importer tolerates a missing tail — yield a *smaller* network,
+    // never a panic and never nodes invented from thin air.
+    for end in (0..xml.len()).step_by(7) {
+        let Some(prefix) = xml.get(..end) else {
+            continue; // non-char boundary; the importer takes &str anyway
+        };
+        match network_from_graphml(prefix, "fuzz", NetworkKind::Regional) {
+            Err(_) => {}
+            Ok(net) => assert!(
+                net.pop_count() <= full,
+                "prefix at byte {end} produced {} PoPs from a {full}-PoP document",
+                net.pop_count()
+            ),
+        }
+    }
+}
+
+#[test]
+fn random_byte_mutations_never_panic() {
+    let xml = reference_xml();
+    let bytes = xml.as_bytes();
+    let mut rng = StdRng::seed_from_u64(0xF00D);
+    for _ in 0..400 {
+        let mut mutated = bytes.to_vec();
+        // 1–8 independent single-byte smashes per trial.
+        let hits = rng.gen_range(1..9_usize);
+        for _ in 0..hits {
+            let at = rng.gen_range(0..mutated.len());
+            mutated[at] = rng.gen_range(0..256_usize) as u8;
+        }
+        // Only valid UTF-8 mutants reach the importer (its input is &str).
+        if let Ok(s) = std::str::from_utf8(&mutated) {
+            import_never_panics(s);
+        }
+    }
+}
+
+#[test]
+fn structural_mutations_never_panic() {
+    let xml = reference_xml();
+    let hostile: Vec<String> = vec![
+        xml.replace("<node", "<edge"),
+        xml.replace("</graph>", ""),
+        xml.replace("key=\"d0\"", "key=\"zz\""),
+        xml.replace("source=", "sauce="),
+        // Numeric rot in coordinate payloads.
+        xml.replace('.', ","),
+        xml.replace('3', "NaN"),
+        // Duplicate the whole document inside itself.
+        xml.replace("<graph ", &format!("<graph >{xml}<graph ")),
+        // Strip every closing tag.
+        xml.replace("</", "<"),
+        // Empty / trivial documents.
+        String::new(),
+        "<graphml></graphml>".into(),
+        "<graphml><graph></graph></graphml>".into(),
+        "not xml at all".into(),
+    ];
+    for (i, doc) in hostile.iter().enumerate() {
+        import_never_panics(doc);
+        let _ = i;
+    }
+}
+
+#[test]
+fn edge_endpoint_rot_is_rejected() {
+    let xml = reference_xml();
+    // Point an edge at a node id that does not exist.
+    let broken = xml.replacen("target=\"n1\"", "target=\"n999\"", 1);
+    if broken != xml {
+        assert!(
+            network_from_graphml(&broken, "fuzz", NetworkKind::Regional).is_err(),
+            "dangling edge endpoint must be an ImportError"
+        );
+    }
+    // Self-loop injection: make an edge's target equal its source.
+    let looped = xml.replacen("target=\"n1\"", "target=\"n0\"", 1);
+    if looped != xml {
+        import_never_panics(&looped);
+    }
+}

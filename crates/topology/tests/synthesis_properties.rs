@@ -1,43 +1,57 @@
-//! Property-based tests for the topology synthesizers: the corpus
+//! Randomized property tests for the topology synthesizers: the corpus
 //! invariants must hold for *every* seed, not just the harness seed.
 
-use proptest::prelude::*;
 use riskroute_geo::bbox::CONUS;
 use riskroute_graph::components::is_connected;
+use riskroute_rng::StdRng;
 use riskroute_topology::regional::{synthesize_regional, REGIONAL_SPECS};
 use riskroute_topology::tier1::{synthesize_tier1, TIER1_SPECS};
 use riskroute_topology::Corpus;
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(12))]
-
-    #[test]
-    fn tier1_synthesis_invariants_for_any_seed(seed in 0u64..10_000) {
+#[test]
+fn tier1_synthesis_invariants_for_any_seed() {
+    let mut rng = StdRng::seed_from_u64(0xa1);
+    for _ in 0..12 {
+        let seed = rng.gen_range(0..10_000u64);
         // The expensive member (Level3, 233 PoPs) dominates runtime; sample
         // the small and mid specs across seeds.
         for spec in TIER1_SPECS.iter().filter(|s| s.pops <= 40) {
             let net = synthesize_tier1(spec, seed);
-            prop_assert_eq!(net.pop_count(), spec.pops);
-            prop_assert!(is_connected(&net.distance_graph()), "{} seed {}", spec.name, seed);
+            assert_eq!(net.pop_count(), spec.pops);
+            assert!(
+                is_connected(&net.distance_graph()),
+                "{} seed {}",
+                spec.name,
+                seed
+            );
             for p in net.pops() {
-                prop_assert!(CONUS.contains(p.location));
+                assert!(CONUS.contains(p.location));
             }
             // No stacked PoPs (cities are sampled without replacement).
             let mut names: Vec<&str> = net.pops().iter().map(|p| p.name.as_str()).collect();
             names.sort_unstable();
             names.dedup();
-            prop_assert_eq!(names.len(), net.pop_count());
+            assert_eq!(names.len(), net.pop_count());
         }
     }
+}
 
-    #[test]
-    fn regional_synthesis_invariants_for_any_seed(seed in 0u64..10_000) {
+#[test]
+fn regional_synthesis_invariants_for_any_seed() {
+    let mut rng = StdRng::seed_from_u64(0xa2);
+    for _ in 0..12 {
+        let seed = rng.gen_range(0..10_000u64);
         for spec in REGIONAL_SPECS.iter().filter(|s| s.pops <= 25) {
             let net = synthesize_regional(spec, seed);
-            prop_assert_eq!(net.pop_count(), spec.pops);
-            prop_assert!(is_connected(&net.distance_graph()), "{} seed {}", spec.name, seed);
+            assert_eq!(net.pop_count(), spec.pops);
+            assert!(
+                is_connected(&net.distance_graph()),
+                "{} seed {}",
+                spec.name,
+                seed
+            );
             for p in net.pops() {
-                prop_assert!(CONUS.contains(p.location));
+                assert!(CONUS.contains(p.location));
             }
         }
     }

@@ -44,7 +44,7 @@ pub fn run(ctx: &ExperimentContext) {
         let net = ctx.corpus.network(name).expect("corpus member");
         let planner = ctx.planner_for(net, RiskWeights::PAPER);
         for &storm in ALL_STORMS {
-            let reactive = replay_storm(&planner, net, storm, 1);
+            let reactive = replay_storm(&planner, net, storm, 1).expect("valid replay args");
             let baseline = reactive
                 .ticks
                 .first()
@@ -58,7 +58,8 @@ pub fn run(ctx: &ExperimentContext) {
             ];
             let mut pro48 = None;
             for &lead in LEADS {
-                let pro = replay_storm_proactive(&planner, net, storm, 1, lead);
+                let pro = replay_storm_proactive(&planner, net, storm, 1, lead)
+                    .expect("valid replay args");
                 let fr = first_reaction(&pro, baseline);
                 if lead == 48.0 {
                     pro48 = fr;

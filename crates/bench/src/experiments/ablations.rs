@@ -74,7 +74,7 @@ pub fn run_forecast_components(ctx: &ExperimentContext) {
     let mut t = TextTable::new(&["Configuration", "Peak RR", "Mean RR over ticks"]);
     for (label, weights) in configs {
         let planner = ctx.planner_for(net, weights);
-        let replay = replay_storm(&planner, net, Storm::Sandy, 8);
+        let replay = replay_storm(&planner, net, Storm::Sandy, 8).expect("valid replay args");
         let peak = replay.peak().map_or(0.0, |p| p.report.risk_reduction_ratio);
         let mean: f64 = replay
             .ticks

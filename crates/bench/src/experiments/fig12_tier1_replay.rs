@@ -24,7 +24,7 @@ pub fn run(ctx: &ExperimentContext) {
         let mut replays = Vec::new();
         for net in &ctx.corpus.tier1 {
             let planner = ctx.planner_for(net, RiskWeights::PAPER);
-            replays.push(replay_storm(&planner, net, storm, STRIDE));
+            replays.push(replay_storm(&planner, net, storm, STRIDE).expect("valid replay args"));
         }
         // One column per tick, one row per network.
         let labels: Vec<String> = replays[0].ticks.iter().map(|t| t.label.clone()).collect();

@@ -76,7 +76,8 @@ pub fn run(ctx: &ExperimentContext) {
                 STRIDE,
                 &sources,
                 &dests,
-            );
+            )
+            .expect("valid replay args");
             if first_labels.is_none() {
                 first_labels = Some(replay.ticks.iter().map(|t| t.label.clone()).collect());
             }

@@ -24,6 +24,36 @@ impl Cli {
     }
 }
 
+/// Execution-budget and checkpoint flags shared by the long-running
+/// subcommands (`provision`, `replay`, `resume`).
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct BudgetArgs {
+    /// `--deadline-ms N`: wall-clock cap; the run stops at the next clean
+    /// stage boundary past the deadline and exits with code 9.
+    pub deadline_ms: Option<u64>,
+    /// `--max-work N`: cap on charged work units (candidate evaluations /
+    /// replay ticks) — a deterministic, machine-independent budget.
+    pub max_work: Option<u64>,
+    /// `--checkpoint <path>`: write a crash-safe snapshot (atomic
+    /// temp-file + rename) after every greedy iteration / replay tick
+    /// batch, resumable with `riskroute resume <path>`.
+    pub checkpoint: Option<String>,
+}
+
+impl BudgetArgs {
+    /// Materialize the cooperative budget token these flags describe.
+    pub fn to_budget(&self) -> riskroute::WorkBudget {
+        let mut budget = riskroute::WorkBudget::unlimited();
+        if let Some(ms) = self.deadline_ms {
+            budget = budget.with_deadline_ms(ms);
+        }
+        if let Some(units) = self.max_work {
+            budget = budget.with_max_work(units);
+        }
+        budget
+    }
+}
+
 /// The subcommands.
 #[derive(Debug, Clone, PartialEq)]
 pub enum Command {
@@ -55,6 +85,8 @@ pub enum Command {
         network: String,
         /// Number of links to propose.
         k: usize,
+        /// Budget and checkpoint flags.
+        budget: BudgetArgs,
     },
     /// Replay a hurricane against a network.
     Replay {
@@ -64,6 +96,16 @@ pub enum Command {
         storm: String,
         /// Advisory stride.
         stride: usize,
+        /// Budget and checkpoint flags.
+        budget: BudgetArgs,
+    },
+    /// Resume a provisioning or replay run from a checkpoint snapshot.
+    Resume {
+        /// Path to the snapshot file.
+        snapshot: String,
+        /// Budget and checkpoint flags for the continued run. When
+        /// `--checkpoint` is omitted, new snapshots overwrite the input.
+        budget: BudgetArgs,
     },
     /// Risk-weighted criticality ranking of a network's PoPs.
     Critical {
@@ -93,6 +135,10 @@ pub enum Command {
         network: String,
         /// Output format: "json" (default) or "graphml".
         format: String,
+        /// `--out <path>`: write to a file (atomic temp-file + rename)
+        /// instead of stdout, so a mid-write kill never leaves a truncated
+        /// export behind.
+        out: Option<String>,
     },
     /// Seeded chaos-injection harness: fault plans against the full pipeline.
     Chaos {
@@ -119,16 +165,22 @@ pub enum CliError {
     /// The chaos harness observed invariant violations (the payload lists
     /// them, one per entry).
     Chaos(Vec<String>),
+    /// The execution budget ran out before the computation finished. The
+    /// payload is the partial report plus resume instructions — the run's
+    /// completed prefix is valid (and checkpointed when `--checkpoint` was
+    /// given), it just is not the whole answer.
+    Budget(String),
 }
 
 impl CliError {
     /// The process exit code for this error family.
     ///
     /// `0` success/help, `2` usage, `3` unresolved name, `4` I/O,
-    /// `5` parse/import failures (GraphML, advisory, JSON), `6` defined
-    /// degradation surfaced as an error (unreachable pair, nothing left to
-    /// aggregate), `7` invalid values or malformed structure, `8` chaos
-    /// invariant violation.
+    /// `5` parse/import/snapshot failures (GraphML, advisory, JSON,
+    /// corrupt or stale checkpoint), `6` defined degradation surfaced as an
+    /// error (unreachable pair, nothing left to aggregate), `7` invalid
+    /// values or malformed structure, `8` chaos invariant violation,
+    /// `9` execution budget exhausted (partial result, resumable).
     pub fn exit_code(&self) -> i32 {
         use riskroute::Error as E;
         match self {
@@ -137,9 +189,14 @@ impl CliError {
             CliError::Unknown(_) => 3,
             CliError::Io(_) => 4,
             CliError::Core(e) => match e {
-                E::Import(_) | E::Advisory(_) | E::Json(_) => 5,
+                E::Import(_)
+                | E::Advisory(_)
+                | E::Json(_)
+                | E::SnapshotVersion { .. }
+                | E::SnapshotIntegrity { .. } => 5,
                 E::Unreachable { .. } | E::NoInformativePairs => 6,
                 E::InvalidWeight { .. }
+                | E::InvalidArgument { .. }
                 | E::Graph(_)
                 | E::Topology(_)
                 | E::Geo(_)
@@ -147,6 +204,7 @@ impl CliError {
                 | E::UnknownNetwork(_) => 7,
             },
             CliError::Chaos(_) => 8,
+            CliError::Budget(_) => 9,
         }
     }
 }
@@ -166,6 +224,7 @@ impl fmt::Display for CliError {
                 }
                 Ok(())
             }
+            CliError::Budget(report) => f.write_str(report),
         }
     }
 }
@@ -187,15 +246,31 @@ COMMANDS:
   corpus                             list available networks
   route <net> <src> <dst>            RiskRoute vs shortest path for a pair
   backup <net> <src> <dst> [-k N]    ranked backup paths (default k = 3)
-  provision <net> [-k N]             best new links (default k = 5)
-  replay <net> <storm> [--stride N]  hurricane replay (default stride 8)
+  provision <net> [-k N] [BUDGET]    best new links (default k = 5)
+  replay <net> <storm> [--stride N]  hurricane replay (default stride 8);
+          [BUDGET]                   accepts BUDGET flags
+  resume <snapshot> [BUDGET]         continue a checkpointed provision/replay
+                                     run; falls back to a fresh run (with a
+                                     notice) if only the job line survives
   critical <net>                     risk-weighted PoP criticality ranking
   corridors <net>                    link-corridor risk + shared-risk groups
   ospf <net>                         risk-aware OSPF weights + fidelity
   failure <net> <storm>              storm failure injection
-  export <net> [--format F]          topology on stdout (json | graphml)
+  export <net> [--format F] [--out P] topology as json | graphml, on stdout
+                                     or atomically written to a file
   chaos [--plans N] [--seed S]       seeded fault injection (default 8 plans,
                                      seed 42); nonzero exit on any violation
+
+BUDGET (provision, replay, resume):
+  --deadline-ms <N>                  wall-clock budget; stop at the next
+                                     clean stage boundary past it
+  --max-work <N>                     cap candidate evaluations / replay
+                                     ticks (deterministic budget)
+  --checkpoint <path>                write a crash-safe snapshot (atomic
+                                     rename) at every stage boundary;
+                                     resume omits this to overwrite its
+                                     input snapshot
+  A budget-stopped run prints its completed prefix and exits with code 9.
 
 GLOBALS:
   --graphml <file> --name <name>     import a Topology Zoo GraphML map
@@ -208,8 +283,9 @@ PoP selectors are indices or unique case-insensitive name substrings.
 Storms: katrina, irene, sandy. Everything is deterministic (seed 42).
 
 EXIT CODES:
-  0 ok/help   2 usage   3 unknown name   4 I/O   5 parse/import
+  0 ok/help   2 usage   3 unknown name   4 I/O   5 parse/import/snapshot
   6 unreachable or nothing to aggregate   7 invalid value   8 chaos violation
+  9 budget exhausted (partial result; resumable from its checkpoint)
 ";
 
 /// Parse a raw argument vector (without the program name).
@@ -307,6 +383,19 @@ fn parse_command(rest: &[String]) -> Result<Command, CliError> {
             .position(|a| a == name)
             .and_then(|p| rest.get(p + 1))
     };
+    let budget_flags = || -> Result<BudgetArgs, CliError> {
+        Ok(BudgetArgs {
+            deadline_ms: match flag_of("--deadline-ms") {
+                Some(v) => Some(parse_u64(Some(v), "--deadline-ms")?),
+                None => None,
+            },
+            max_work: match flag_of("--max-work") {
+                Some(v) => Some(parse_u64(Some(v), "--max-work")?),
+                None => None,
+            },
+            checkpoint: flag_of("--checkpoint").cloned(),
+        })
+    };
     match cmd.as_str() {
         "corpus" => Ok(Command::Corpus),
         "route" | "backup" => {
@@ -341,6 +430,7 @@ fn parse_command(rest: &[String]) -> Result<Command, CliError> {
                     Some(v) => parse_usize(Some(v), "-k")?,
                     None => 5,
                 },
+                budget: budget_flags()?,
             })
         }
         "replay" => {
@@ -354,6 +444,16 @@ fn parse_command(rest: &[String]) -> Result<Command, CliError> {
                     Some(v) => parse_usize(Some(v), "--stride")?,
                     None => 8,
                 },
+                budget: budget_flags()?,
+            })
+        }
+        "resume" => {
+            let [snapshot] = positional.as_slice() else {
+                return Err(bad("resume needs <snapshot>".into()));
+            };
+            Ok(Command::Resume {
+                snapshot: (*snapshot).clone(),
+                budget: budget_flags()?,
             })
         }
         "critical" => {
@@ -402,6 +502,7 @@ fn parse_command(rest: &[String]) -> Result<Command, CliError> {
             Ok(Command::Export {
                 network: (*network).clone(),
                 format,
+                out: flag_of("--out").cloned(),
             })
         }
         "chaos" => {
@@ -521,15 +622,69 @@ mod tests {
             cli.command,
             Command::Export {
                 network: "NTT".into(),
-                format: "json".into()
+                format: "json".into(),
+                out: None
             }
         );
         let cli = parse_args(&args("export NTT --format graphml")).unwrap();
         assert!(matches!(cli.command, Command::Export { ref format, .. } if format == "graphml"));
+        let cli = parse_args(&args("export NTT --out topo.json")).unwrap();
+        assert!(matches!(
+            cli.command,
+            Command::Export { ref out, .. } if out.as_deref() == Some("topo.json")
+        ));
         assert!(matches!(
             parse_args(&args("export NTT --format yaml")),
             Err(CliError::Bad(_))
         ));
+    }
+
+    #[test]
+    fn budget_flags_parse_on_provision_and_replay() {
+        let cli = parse_args(&args(
+            "provision Sprint -k 3 --deadline-ms 250 --max-work 10 --checkpoint snap.txt",
+        ))
+        .unwrap();
+        assert_eq!(
+            cli.command,
+            Command::Provision {
+                network: "Sprint".into(),
+                k: 3,
+                budget: BudgetArgs {
+                    deadline_ms: Some(250),
+                    max_work: Some(10),
+                    checkpoint: Some("snap.txt".into()),
+                },
+            }
+        );
+        let cli = parse_args(&args("replay Telepak katrina --max-work 0")).unwrap();
+        let Command::Replay { budget, .. } = cli.command else {
+            panic!("expected replay");
+        };
+        // 0 is a legal budget: exhaust at the first stage boundary.
+        assert_eq!(budget.max_work, Some(0));
+        assert_eq!(budget.deadline_ms, None);
+        assert!(matches!(
+            parse_args(&args("provision Sprint --deadline-ms soon")),
+            Err(CliError::Bad(_))
+        ));
+    }
+
+    #[test]
+    fn resume_takes_a_snapshot_path() {
+        let cli = parse_args(&args("resume snap.txt --deadline-ms 100")).unwrap();
+        assert_eq!(
+            cli.command,
+            Command::Resume {
+                snapshot: "snap.txt".into(),
+                budget: BudgetArgs {
+                    deadline_ms: Some(100),
+                    max_work: None,
+                    checkpoint: None,
+                },
+            }
+        );
+        assert!(matches!(parse_args(&args("resume")), Err(CliError::Bad(_))));
     }
 
     #[test]
@@ -596,7 +751,31 @@ mod tests {
             .exit_code(),
             7
         );
+        assert_eq!(
+            CliError::Core(E::SnapshotVersion {
+                found: 99,
+                supported: 1
+            })
+            .exit_code(),
+            5
+        );
+        assert_eq!(
+            CliError::Core(E::SnapshotIntegrity {
+                reason: "truncated".into()
+            })
+            .exit_code(),
+            5
+        );
+        assert_eq!(
+            CliError::Core(E::InvalidArgument {
+                context: "stride".into(),
+                message: "must be positive".into()
+            })
+            .exit_code(),
+            7
+        );
         assert_eq!(CliError::Chaos(vec!["v".into()]).exit_code(), 8);
+        assert_eq!(CliError::Budget("partial".into()).exit_code(), 9);
     }
 
     #[test]

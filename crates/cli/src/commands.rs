@@ -1,11 +1,15 @@
 //! Subcommand implementations: pure functions to output strings.
 
+use crate::args::BudgetArgs;
 use crate::{resolve_pop, resolve_storm, CliContext, CliError};
 use riskroute::backup::backup_paths;
+use riskroute::checkpoint::{self, LoadOutcome, Snapshot, SnapshotJob, SnapshotProgress};
 use riskroute::failure::{criticality_ranking, storm_failure};
 use riskroute::prelude::*;
-use riskroute::provisioning::greedy_links;
-use riskroute::replay::replay_storm;
+use riskroute::provisioning::{greedy_links_budgeted, greedy_links_resume, GreedyLinks};
+use riskroute::replay::{
+    raw_advisories, replay_raw_advisories_budgeted, DisasterReplay, ReplayTick,
+};
 use riskroute::{NodeRisk, RoutedPath};
 use riskroute_forecast::{ForecastRisk, StormSwath};
 use riskroute_population::PopShares;
@@ -132,20 +136,7 @@ pub fn backup(
     Ok(out)
 }
 
-/// `riskroute provision <net> -k N`
-pub fn provision(
-    ctx: &CliContext,
-    network: &str,
-    k: usize,
-    weights: RiskWeights,
-) -> Result<String, CliError> {
-    let net = ctx.network(network)?;
-    let planner = ctx.planner(net, weights);
-    let risk = planner.risk().clone();
-    let shares = PopShares::from_shares(planner.shares().shares().to_vec());
-    let result = greedy_links(net, &planner, k, move |aug| {
-        Planner::new(aug, risk.clone(), shares.clone(), weights)
-    });
+fn render_provision(net: &Network, result: &GreedyLinks) -> String {
     let mut out = format!(
         "{}: best additional links (greedy Eq. 4; original total bit-risk {:.3e})\n\n",
         net.name(),
@@ -166,26 +157,109 @@ pub fn provision(
             100.0 * link.total_bit_risk / result.original_bit_risk
         );
     }
-    Ok(out)
+    out
 }
 
-/// `riskroute replay <net> <storm> --stride N`
-pub fn replay(
+/// Append the budget-exhaustion tail shared by `provision` and `replay`:
+/// what stopped the run, how far it got, and how to continue it.
+fn push_budget_tail(
+    report: &mut String,
+    stopped: &riskroute::StopReason,
+    done: usize,
+    total: usize,
+    unit: &str,
+    checkpoint: Option<&str>,
+) {
+    let _ = writeln!(report, "\nbudget exhausted ({stopped}): {done} of {total} {unit}");
+    match checkpoint {
+        Some(path) => {
+            let _ = writeln!(
+                report,
+                "checkpoint saved; continue with `riskroute resume {path}`"
+            );
+        }
+        None => {
+            report.push_str("no --checkpoint path was given, so this partial progress was not saved\n");
+        }
+    }
+}
+
+/// `riskroute provision <net> -k N [--deadline-ms N] [--max-work N]
+/// [--checkpoint <path>]`
+pub fn provision(
     ctx: &CliContext,
     network: &str,
-    storm: &str,
-    stride: usize,
+    k: usize,
     weights: RiskWeights,
+    budget: &BudgetArgs,
 ) -> Result<String, CliError> {
     let net = ctx.network(network)?;
-    let storm = resolve_storm(storm)?;
     let planner = ctx.planner(net, weights);
-    let result = replay_storm(&planner, net, storm, stride);
+    provision_under_budget(net, &planner, k, weights, budget, None, String::new())
+}
+
+/// Shared engine for `provision` and `resume`: run (or continue) the greedy
+/// search under the budget, snapshotting after every iteration. A budget
+/// stop renders the completed prefix and surfaces as [`CliError::Budget`]
+/// (exit code 9) after writing a final snapshot.
+fn provision_under_budget(
+    net: &Network,
+    planner: &Planner,
+    k: usize,
+    weights: RiskWeights,
+    budget: &BudgetArgs,
+    prior: Option<GreedyLinks>,
+    notice: String,
+) -> Result<String, CliError> {
+    let work = budget.to_budget();
+    let risk = planner.risk().clone();
+    let shares = PopShares::from_shares(planner.shares().shares().to_vec());
+    let rebuild = move |aug: &Network| Planner::new(aug, risk.clone(), shares.clone(), weights);
+    let mut checkpoint_error: Option<String> = None;
+    let save = |links: &GreedyLinks, err: &mut Option<String>| {
+        if let Some(path) = &budget.checkpoint {
+            let snap =
+                Snapshot::provision(net.name(), k, weights.lambda_h, weights.lambda_f, links);
+            if let Err(e) = checkpoint::write_atomic(path, &snap.to_text()) {
+                err.get_or_insert(format!("cannot write checkpoint {path}: {e}"));
+            }
+        }
+    };
+    let mut on_iteration = |links: &GreedyLinks| save(links, &mut checkpoint_error);
+    let run = match prior {
+        Some(p) => greedy_links_resume(net, planner, k, rebuild, p, &work, &mut on_iteration),
+        None => greedy_links_budgeted(net, planner, k, rebuild, &work, &mut on_iteration),
+    };
+    let (result, stopped) = run.into_parts();
+    if let Some(stopped) = stopped {
+        // A deadline can expire before the first iteration ever fires the
+        // callback, so always write a final snapshot of the prefix.
+        save(&result, &mut checkpoint_error);
+        if let Some(msg) = checkpoint_error {
+            return Err(CliError::Io(msg));
+        }
+        let mut report = notice;
+        report.push_str(&render_provision(net, &result));
+        push_budget_tail(
+            &mut report,
+            &stopped,
+            result.added.len(),
+            k,
+            "links chosen",
+            budget.checkpoint.as_deref(),
+        );
+        return Err(CliError::Budget(report));
+    }
+    if let Some(msg) = checkpoint_error {
+        return Err(CliError::Io(msg));
+    }
+    Ok(format!("{notice}{}", render_provision(net, &result)))
+}
+
+fn render_replay(result: &DisasterReplay, stride: usize) -> String {
     let mut out = format!(
         "{} under Hurricane {} (every {}th advisory)\n\n",
-        net.name(),
-        result.storm,
-        stride
+        result.network, result.storm, stride
     );
     for tick in &result.ticks {
         let bar = "#".repeat(((tick.report.risk_reduction_ratio * 150.0).round() as usize).min(60));
@@ -206,7 +280,209 @@ pub fn replay(
             peak.report.risk_reduction_ratio, peak.label
         );
     }
-    Ok(out)
+    out
+}
+
+/// `riskroute replay <net> <storm> --stride N [--deadline-ms N]
+/// [--max-work N] [--checkpoint <path>]`
+pub fn replay(
+    ctx: &CliContext,
+    network: &str,
+    storm: &str,
+    stride: usize,
+    weights: RiskWeights,
+    budget: &BudgetArgs,
+) -> Result<String, CliError> {
+    let net = ctx.network(network)?;
+    let storm = resolve_storm(storm)?;
+    let planner = ctx.planner(net, weights);
+    replay_under_budget(
+        net,
+        &planner,
+        storm,
+        stride,
+        weights,
+        budget,
+        Vec::new(),
+        String::new(),
+    )
+}
+
+/// Shared engine for `replay` and `resume`; see [`provision_under_budget`].
+/// Each tick is independent (the forecast is rebuilt fresh per advisory),
+/// which is what makes a resumed replay bit-identical to an uninterrupted
+/// one.
+#[allow(clippy::too_many_arguments)]
+fn replay_under_budget(
+    net: &Network,
+    planner: &Planner,
+    storm: Storm,
+    stride: usize,
+    weights: RiskWeights,
+    budget: &BudgetArgs,
+    prior_ticks: Vec<ReplayTick>,
+    notice: String,
+) -> Result<String, CliError> {
+    let raws = raw_advisories(storm, stride)?;
+    let total = raws.len();
+    let locations: Vec<_> = net.pops().iter().map(|p| p.location).collect();
+    let all: Vec<usize> = (0..net.pop_count()).collect();
+    let storm_key = storm.name().to_lowercase();
+    let work = budget.to_budget();
+    let mut checkpoint_error: Option<String> = None;
+    let save = |replay: &DisasterReplay, next: usize, err: &mut Option<String>| {
+        if let Some(path) = &budget.checkpoint {
+            let snap = Snapshot::replay(
+                net.name(),
+                &storm_key,
+                stride,
+                weights.lambda_h,
+                weights.lambda_f,
+                replay,
+                next,
+            );
+            if let Err(e) = checkpoint::write_atomic(path, &snap.to_text()) {
+                err.get_or_insert(format!("cannot write checkpoint {path}: {e}"));
+            }
+        }
+    };
+    let mut on_batch =
+        |replay: &DisasterReplay, next: usize| save(replay, next, &mut checkpoint_error);
+    let run = replay_raw_advisories_budgeted(
+        planner,
+        net.name(),
+        &locations,
+        storm.name(),
+        &raws,
+        &all,
+        &all,
+        prior_ticks,
+        &work,
+        &mut on_batch,
+    )?;
+    let (result, stopped) = run.into_parts();
+    if let Some(stopped) = stopped {
+        // The batch callback only fires at batch boundaries; persist the
+        // exact stopping point (ticks are a prefix, so next == len).
+        save(&result, result.ticks.len(), &mut checkpoint_error);
+        if let Some(msg) = checkpoint_error {
+            return Err(CliError::Io(msg));
+        }
+        let mut report = notice;
+        report.push_str(&render_replay(&result, stride));
+        push_budget_tail(
+            &mut report,
+            &stopped,
+            result.ticks.len(),
+            total,
+            "advisories replayed",
+            budget.checkpoint.as_deref(),
+        );
+        return Err(CliError::Budget(report));
+    }
+    if let Some(msg) = checkpoint_error {
+        return Err(CliError::Io(msg));
+    }
+    Ok(format!("{notice}{}", render_replay(&result, stride)))
+}
+
+fn kind_mismatch() -> CliError {
+    CliError::Core(riskroute::Error::SnapshotIntegrity {
+        reason: "job/progress kind mismatch".into(),
+    })
+}
+
+/// `riskroute resume <snapshot> [--deadline-ms N] [--max-work N]
+/// [--checkpoint <path>]`
+///
+/// Continues a checkpointed run, bit-identically to the uninterrupted one.
+/// The snapshot's recorded λ weights are used (not the CLI globals), so a
+/// resumed run cannot silently change the job it continues. When the
+/// progress section is unusable but the job line survives — the common
+/// shape of truncation — the job restarts from scratch under a degraded-mode
+/// notice instead of failing. New snapshots overwrite the input snapshot
+/// unless `--checkpoint` redirects them.
+pub fn resume(
+    ctx: &CliContext,
+    snapshot_path: &str,
+    budget: &BudgetArgs,
+) -> Result<String, CliError> {
+    let text = std::fs::read_to_string(snapshot_path)
+        .map_err(|e| CliError::Io(format!("cannot read snapshot {snapshot_path}: {e}")))?;
+    let mut budget = budget.clone();
+    if budget.checkpoint.is_none() {
+        budget.checkpoint = Some(snapshot_path.to_string());
+    }
+    let (job, progress, notice) = match checkpoint::load_snapshot_with_fallback(&text)? {
+        LoadOutcome::Resume(snap) => (
+            snap.job,
+            Some(snap.progress),
+            format!("resuming from {snapshot_path}\n\n"),
+        ),
+        LoadOutcome::Fallback { job, error } => {
+            let notice = format!(
+                "degraded mode: snapshot {snapshot_path} is not resumable ({error}); \
+                 restarting the {} job from scratch\n\n",
+                job.kind()
+            );
+            (job, None, notice)
+        }
+    };
+    match job {
+        SnapshotJob::Provision {
+            network,
+            k,
+            lambda_h,
+            lambda_f,
+        } => {
+            let weights = RiskWeights::new(lambda_h, lambda_f);
+            let net = ctx.network(&network)?;
+            let planner = ctx.planner(net, weights);
+            let prior = match progress {
+                Some(SnapshotProgress::Provision(links)) => Some(links),
+                None => None,
+                Some(SnapshotProgress::Replay { .. }) => return Err(kind_mismatch()),
+            };
+            provision_under_budget(net, &planner, k, weights, &budget, prior, notice)
+        }
+        SnapshotJob::Replay {
+            network,
+            storm,
+            stride,
+            lambda_h,
+            lambda_f,
+        } => {
+            let weights = RiskWeights::new(lambda_h, lambda_f);
+            let net = ctx.network(&network)?;
+            let storm = resolve_storm(&storm)?;
+            let planner = ctx.planner(net, weights);
+            let prior_ticks = match progress {
+                Some(SnapshotProgress::Replay { replay, next_index }) => {
+                    if next_index != replay.ticks.len() {
+                        return Err(CliError::Core(riskroute::Error::SnapshotIntegrity {
+                            reason: format!(
+                                "next_index {next_index} does not match the {} stored ticks",
+                                replay.ticks.len()
+                            ),
+                        }));
+                    }
+                    replay.ticks
+                }
+                None => Vec::new(),
+                Some(SnapshotProgress::Provision(_)) => return Err(kind_mismatch()),
+            };
+            replay_under_budget(
+                net,
+                &planner,
+                storm,
+                stride,
+                weights,
+                &budget,
+                prior_ticks,
+                notice,
+            )
+        }
+    }
 }
 
 /// `riskroute critical <net>`
@@ -394,13 +670,33 @@ pub fn failure(ctx: &CliContext, network: &str, storm: &str) -> Result<String, C
     Ok(out)
 }
 
-/// `riskroute export <net> [--format json|graphml]`
-pub fn export(ctx: &CliContext, network: &str, format: &str) -> Result<String, CliError> {
+/// `riskroute export <net> [--format json|graphml] [--out <path>]`
+///
+/// With `--out`, the export goes through the same atomic temp-file + rename
+/// as checkpoint snapshots: a kill mid-write leaves the previous file (or
+/// nothing), never a truncated export.
+pub fn export(
+    ctx: &CliContext,
+    network: &str,
+    format: &str,
+    out: Option<&str>,
+) -> Result<String, CliError> {
     let net = ctx.network(network)?;
-    match format {
-        "json" => Ok(riskroute_json::to_string_pretty(net)),
-        "graphml" => Ok(riskroute_topology::import::network_to_graphml(net)),
-        other => Err(CliError::Bad(format!("unknown export format {other:?}"))),
+    let payload = match format {
+        "json" => riskroute_json::to_string_pretty(net),
+        "graphml" => riskroute_topology::import::network_to_graphml(net),
+        other => return Err(CliError::Bad(format!("unknown export format {other:?}"))),
+    };
+    match out {
+        None => Ok(payload),
+        Some(path) => {
+            checkpoint::write_atomic(path, &payload)
+                .map_err(|e| CliError::Io(format!("cannot write {path}: {e}")))?;
+            Ok(format!(
+                "wrote {path} ({} bytes, {format}; atomic temp-file + rename)\n",
+                payload.len()
+            ))
+        }
     }
 }
 
@@ -501,16 +797,170 @@ mod tests {
 
     #[test]
     fn provision_reports_links_or_absence() {
-        let out = provision(&ctx(), "Sprint", 2, RiskWeights::historical_only(1e5)).unwrap();
+        let out = provision(
+            &ctx(),
+            "Sprint",
+            2,
+            RiskWeights::historical_only(1e5),
+            &BudgetArgs::default(),
+        )
+        .unwrap();
         assert!(out.contains("best additional links"));
     }
 
     #[test]
     fn replay_renders_ticks() {
-        let out = replay(&ctx(), "Telepak", "katrina", 20, RiskWeights::PAPER).unwrap();
+        let out = replay(
+            &ctx(),
+            "Telepak",
+            "katrina",
+            20,
+            RiskWeights::PAPER,
+            &BudgetArgs::default(),
+        )
+        .unwrap();
         assert!(out.contains("KATRINA"));
         assert!(out.contains("rr "));
         assert!(out.contains("peak risk-reduction"));
+    }
+
+    fn tmp_dir(name: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join(name);
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    #[test]
+    fn provision_budget_exhaustion_checkpoints_and_resumes() {
+        let dir = tmp_dir("riskroute-cli-prov-resume");
+        let path = dir.join("snap.txt");
+        let path_s = path.display().to_string();
+        let ctx = ctx();
+        let weights = RiskWeights::historical_only(1e5);
+        let budget = BudgetArgs {
+            max_work: Some(0),
+            checkpoint: Some(path_s.clone()),
+            ..BudgetArgs::default()
+        };
+        let err = provision(&ctx, "Sprint", 2, weights, &budget).unwrap_err();
+        assert_eq!(err.exit_code(), 9);
+        let CliError::Budget(report) = &err else {
+            panic!("expected budget exhaustion, got {err:?}");
+        };
+        assert!(report.contains("budget exhausted"));
+        assert!(report.contains("riskroute resume"));
+        // The snapshot on disk validates and resumes to the exact
+        // uninterrupted result.
+        let text = std::fs::read_to_string(&path).unwrap();
+        riskroute::checkpoint::load_snapshot(&text).unwrap();
+        let resumed = resume(&ctx, &path_s, &BudgetArgs::default()).unwrap();
+        let direct = provision(&ctx, "Sprint", 2, weights, &BudgetArgs::default()).unwrap();
+        assert!(resumed.starts_with("resuming from "), "{resumed}");
+        assert!(
+            resumed.ends_with(&direct),
+            "resumed:\n{resumed}\ndirect:\n{direct}"
+        );
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn replay_budget_partial_resumes_bit_identically() {
+        let dir = tmp_dir("riskroute-cli-replay-resume");
+        let path = dir.join("snap.txt");
+        let path_s = path.display().to_string();
+        let ctx = ctx();
+        let budget = BudgetArgs {
+            max_work: Some(1),
+            checkpoint: Some(path_s.clone()),
+            ..BudgetArgs::default()
+        };
+        let err = replay(&ctx, "Telepak", "katrina", 20, RiskWeights::PAPER, &budget).unwrap_err();
+        assert_eq!(err.exit_code(), 9);
+        let resumed = resume(&ctx, &path_s, &BudgetArgs::default()).unwrap();
+        let direct = replay(
+            &ctx,
+            "Telepak",
+            "katrina",
+            20,
+            RiskWeights::PAPER,
+            &BudgetArgs::default(),
+        )
+        .unwrap();
+        assert!(resumed.starts_with("resuming from "), "{resumed}");
+        assert!(
+            resumed.ends_with(&direct),
+            "resumed:\n{resumed}\ndirect:\n{direct}"
+        );
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn unusable_progress_falls_back_to_a_fresh_run() {
+        let dir = tmp_dir("riskroute-cli-resume-fallback");
+        let path = dir.join("snap.txt");
+        let path_s = path.display().to_string();
+        let ctx = ctx();
+        let budget = BudgetArgs {
+            max_work: Some(1),
+            checkpoint: Some(path_s.clone()),
+            ..BudgetArgs::default()
+        };
+        let _ = replay(&ctx, "Telepak", "katrina", 20, RiskWeights::PAPER, &budget).unwrap_err();
+        // Truncate everything past the job line (the common shape of
+        // disk-level damage: files lose their tails).
+        let text = std::fs::read_to_string(&path).unwrap();
+        let cut = text.find("\nprogress ").unwrap() + 1;
+        std::fs::write(&path, &text[..cut]).unwrap();
+        let out = resume(&ctx, &path_s, &BudgetArgs::default()).unwrap();
+        assert!(out.starts_with("degraded mode:"), "{out}");
+        let direct = replay(
+            &ctx,
+            "Telepak",
+            "katrina",
+            20,
+            RiskWeights::PAPER,
+            &BudgetArgs::default(),
+        )
+        .unwrap();
+        assert!(out.ends_with(&direct), "out:\n{out}\ndirect:\n{direct}");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn garbage_snapshots_are_typed_errors() {
+        let dir = tmp_dir("riskroute-cli-resume-garbage");
+        let path = dir.join("snap.txt");
+        std::fs::write(&path, "not a snapshot\n").unwrap();
+        let ctx = ctx();
+        let err = resume(&ctx, &path.display().to_string(), &BudgetArgs::default()).unwrap_err();
+        assert!(matches!(
+            err,
+            CliError::Core(riskroute::Error::SnapshotIntegrity { .. })
+        ));
+        assert_eq!(err.exit_code(), 5);
+        let missing = resume(&ctx, "/no/such/snapshot.txt", &BudgetArgs::default()).unwrap_err();
+        assert!(matches!(missing, CliError::Io(_)));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn export_out_writes_atomically() {
+        let dir = tmp_dir("riskroute-cli-export-out");
+        let path = dir.join("ntt.json");
+        let path_s = path.display().to_string();
+        let out = export(&ctx(), "NTT", "json", Some(&path_s)).unwrap();
+        assert!(out.contains("wrote"), "{out}");
+        let back: Network =
+            riskroute_json::from_str(&std::fs::read_to_string(&path).unwrap()).unwrap();
+        assert_eq!(back.name(), "NTT");
+        // No temp droppings from the atomic write.
+        let leftovers: Vec<_> = std::fs::read_dir(&dir)
+            .unwrap()
+            .filter_map(|e| e.ok())
+            .filter(|e| e.file_name().to_string_lossy().contains(".tmp."))
+            .collect();
+        assert!(leftovers.is_empty(), "{leftovers:?}");
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]
@@ -543,7 +993,7 @@ mod tests {
 
     #[test]
     fn export_round_trips_through_json() {
-        let json = export(&ctx(), "NTT", "json").unwrap();
+        let json = export(&ctx(), "NTT", "json", None).unwrap();
         let back: Network = riskroute_json::from_str(&json).unwrap();
         assert_eq!(back.name(), "NTT");
         assert_eq!(back.pop_count(), 12);
@@ -551,7 +1001,7 @@ mod tests {
 
     #[test]
     fn export_graphml_re_imports() {
-        let xml = export(&ctx(), "NTT", "graphml").unwrap();
+        let xml = export(&ctx(), "NTT", "graphml", None).unwrap();
         let back = riskroute_topology::import::network_from_graphml(
             &xml,
             "NTT",
@@ -559,6 +1009,6 @@ mod tests {
         )
         .unwrap();
         assert_eq!(back.pop_count(), 12);
-        assert!(export(&ctx(), "NTT", "yaml").is_err());
+        assert!(export(&ctx(), "NTT", "yaml", None).is_err());
     }
 }

@@ -10,6 +10,8 @@
 //! riskroute backup Sprint "Seattle" "Miami" -k 3  # ranked alternates
 //! riskroute provision Sprint -k 5                 # best new links
 //! riskroute replay Telepak katrina                # advisory replay
+//! riskroute provision Level3 --deadline-ms 500 --checkpoint snap.txt
+//! riskroute resume snap.txt                       # continue, bit-identically
 //! riskroute critical "Deutsche Telekom"           # criticality ranking
 //! riskroute failure Telepak katrina               # failure injection
 //! riskroute export Sprint                         # topology as JSON
@@ -180,17 +182,25 @@ pub fn run(cli: &Cli) -> Result<String, CliError> {
             dst,
             k,
         } => commands::backup(&ctx, network, src, dst, *k, cli.weights()),
-        Command::Provision { network, k } => commands::provision(&ctx, network, *k, cli.weights()),
+        Command::Provision { network, k, budget } => {
+            commands::provision(&ctx, network, *k, cli.weights(), budget)
+        }
         Command::Replay {
             network,
             storm,
             stride,
-        } => commands::replay(&ctx, network, storm, *stride, cli.weights()),
+            budget,
+        } => commands::replay(&ctx, network, storm, *stride, cli.weights(), budget),
+        Command::Resume { snapshot, budget } => commands::resume(&ctx, snapshot, budget),
         Command::Critical { network } => commands::critical(&ctx, network),
         Command::Corridors { network } => commands::corridors(&ctx, network),
         Command::Ospf { network } => commands::ospf(&ctx, network, cli.weights()),
         Command::Failure { network, storm } => commands::failure(&ctx, network, storm),
-        Command::Export { network, format } => commands::export(&ctx, network, format),
+        Command::Export {
+            network,
+            format,
+            out,
+        } => commands::export(&ctx, network, format, out.as_deref()),
         Command::Chaos { .. } => unreachable!("chaos is dispatched before context build"),
     }
 }

@@ -1,0 +1,262 @@
+//! Cooperative cancellation and work budgets for long-running computations.
+//!
+//! The expensive RiskRoute computations — greedy k-link provisioning
+//! ([`crate::provisioning::greedy_links_budgeted`]) and multi-storm replay
+//! sweeps ([`crate::replay::replay_raw_advisories_budgeted`]) — accept a
+//! [`WorkBudget`] and check it at **clean stage boundaries** (a greedy
+//! iteration, a replay tick). When the budget runs out the computation does
+//! not abort: it returns [`Budgeted::Partial`] carrying everything finished
+//! so far plus a typed resume state, so a caller can checkpoint the prefix
+//! (see [`crate::checkpoint`]) and continue later from exactly where it
+//! stopped.
+//!
+//! A budget combines three independent limits, any of which stops the run:
+//!
+//! - a **wall-clock deadline** (bounded-latency mode for interactive or
+//!   deadline-scheduled callers),
+//! - a **work counter** capping the number of candidate evaluations /
+//!   replay ticks (deterministic, reproducible stopping — the chaos
+//!   harness's kill switch), and
+//! - an **external cancel flag** (preemption: an operator, supervisor, or
+//!   signal handler flips an [`AtomicBool`] shared via
+//!   [`WorkBudget::cancel_handle`]).
+//!
+//! Checks are *cooperative*: work already inside a stage completes before
+//! the stop is observed, so a `Partial` result is always a consistent
+//! prefix of the uninterrupted run. The stop checks are ordered
+//! deterministically (cancel, then work, then deadline) so that runs
+//! limited only by the work counter report identical [`StopReason`]s on
+//! every machine.
+
+use std::fmt;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Why a budgeted computation stopped early.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StopReason {
+    /// The external cancel flag was raised.
+    Cancelled,
+    /// The work counter reached its cap.
+    WorkExhausted,
+    /// The wall-clock deadline passed.
+    DeadlineExceeded,
+}
+
+impl fmt::Display for StopReason {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StopReason::Cancelled => write!(f, "cancelled by external flag"),
+            StopReason::WorkExhausted => write!(f, "work budget exhausted"),
+            StopReason::DeadlineExceeded => write!(f, "wall-clock deadline exceeded"),
+        }
+    }
+}
+
+/// Result of a budget-aware computation: either the full result, or a
+/// consistent prefix plus the state needed to resume it.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Budgeted<T, R> {
+    /// The computation ran to completion within its budget.
+    Complete(T),
+    /// The budget ran out at a stage boundary.
+    Partial {
+        /// Everything finished before the stop — a consistent prefix of the
+        /// uninterrupted run, never a torn intermediate.
+        completed: T,
+        /// Typed state from which the computation continues exactly where
+        /// it stopped (see the owning module's `*_resume` function).
+        resume_state: R,
+        /// Which limit stopped the run.
+        stopped: StopReason,
+    },
+}
+
+impl<T, R> Budgeted<T, R> {
+    /// Whether the computation finished.
+    pub fn is_complete(&self) -> bool {
+        matches!(self, Budgeted::Complete(_))
+    }
+
+    /// The completed work, whether full or partial.
+    pub fn completed(&self) -> &T {
+        match self {
+            Budgeted::Complete(t) | Budgeted::Partial { completed: t, .. } => t,
+        }
+    }
+
+    /// Consume, returning the completed work and the stop reason (if any).
+    pub fn into_parts(self) -> (T, Option<StopReason>) {
+        match self {
+            Budgeted::Complete(t) => (t, None),
+            Budgeted::Partial {
+                completed, stopped, ..
+            } => (completed, Some(stopped)),
+        }
+    }
+}
+
+/// A cooperative budget token threaded through long computations.
+///
+/// Cheap to check (`charge` is one atomic add; `exhausted` is a couple of
+/// atomic loads plus, when a deadline is set, one clock read), shareable
+/// across threads by reference, and cancellable from outside via
+/// [`cancel_handle`](WorkBudget::cancel_handle).
+#[derive(Debug)]
+pub struct WorkBudget {
+    deadline: Option<Instant>,
+    max_work: Option<u64>,
+    work_done: AtomicU64,
+    cancel: Arc<AtomicBool>,
+}
+
+impl Default for WorkBudget {
+    fn default() -> Self {
+        WorkBudget::unlimited()
+    }
+}
+
+impl WorkBudget {
+    /// A budget that never stops anything (the default for non-budgeted
+    /// entry points).
+    pub fn unlimited() -> Self {
+        WorkBudget {
+            deadline: None,
+            max_work: None,
+            work_done: AtomicU64::new(0),
+            cancel: Arc::new(AtomicBool::new(false)),
+        }
+    }
+
+    /// Cap wall-clock time at `duration` from now.
+    #[must_use]
+    pub fn with_deadline(mut self, duration: Duration) -> Self {
+        self.deadline = Some(Instant::now() + duration);
+        self
+    }
+
+    /// Cap wall-clock time at `ms` milliseconds from now. A value of 0
+    /// exhausts the budget at the first stage boundary.
+    #[must_use]
+    pub fn with_deadline_ms(self, ms: u64) -> Self {
+        self.with_deadline(Duration::from_millis(ms))
+    }
+
+    /// Cap total charged work at `units`. A value of 0 exhausts the budget
+    /// at the first stage boundary.
+    #[must_use]
+    pub fn with_max_work(mut self, units: u64) -> Self {
+        self.max_work = Some(units);
+        self
+    }
+
+    /// The shared cancel flag. Store `true` (any ordering) to request a
+    /// cooperative stop at the next stage boundary.
+    pub fn cancel_handle(&self) -> Arc<AtomicBool> {
+        Arc::clone(&self.cancel)
+    }
+
+    /// Record `units` of completed work (candidate evaluations, replay
+    /// ticks). Charging past the cap does not interrupt anything by itself;
+    /// the overshoot is observed at the next [`exhausted`](Self::exhausted)
+    /// check.
+    pub fn charge(&self, units: u64) {
+        self.work_done.fetch_add(units, Ordering::Relaxed);
+    }
+
+    /// Total work charged so far.
+    pub fn work_done(&self) -> u64 {
+        self.work_done.load(Ordering::Relaxed)
+    }
+
+    /// Whether any limit has been hit, and which. Checks are ordered
+    /// cancel → work → deadline so deterministic limits mask the
+    /// clock-dependent one.
+    pub fn exhausted(&self) -> Option<StopReason> {
+        if self.cancel.load(Ordering::Relaxed) {
+            return Some(StopReason::Cancelled);
+        }
+        if let Some(max) = self.max_work {
+            if self.work_done() >= max {
+                return Some(StopReason::WorkExhausted);
+            }
+        }
+        if let Some(deadline) = self.deadline {
+            if Instant::now() >= deadline {
+                return Some(StopReason::DeadlineExceeded);
+            }
+        }
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    #![allow(clippy::unwrap_used, clippy::expect_used)]
+    use super::*;
+
+    #[test]
+    fn unlimited_budget_never_exhausts() {
+        let b = WorkBudget::unlimited();
+        b.charge(u64::MAX / 2);
+        assert_eq!(b.exhausted(), None);
+    }
+
+    #[test]
+    fn work_cap_trips_at_the_boundary() {
+        let b = WorkBudget::unlimited().with_max_work(10);
+        b.charge(9);
+        assert_eq!(b.exhausted(), None);
+        b.charge(1);
+        assert_eq!(b.exhausted(), Some(StopReason::WorkExhausted));
+    }
+
+    #[test]
+    fn zero_budgets_exhaust_immediately() {
+        assert_eq!(
+            WorkBudget::unlimited().with_max_work(0).exhausted(),
+            Some(StopReason::WorkExhausted)
+        );
+        assert_eq!(
+            WorkBudget::unlimited().with_deadline_ms(0).exhausted(),
+            Some(StopReason::DeadlineExceeded)
+        );
+    }
+
+    #[test]
+    fn cancel_flag_wins_over_everything() {
+        let b = WorkBudget::unlimited().with_max_work(0).with_deadline_ms(0);
+        b.cancel_handle().store(true, Ordering::Relaxed);
+        assert_eq!(b.exhausted(), Some(StopReason::Cancelled));
+    }
+
+    #[test]
+    fn deadline_passes_eventually() {
+        let b = WorkBudget::unlimited().with_deadline(Duration::from_millis(1));
+        std::thread::sleep(Duration::from_millis(5));
+        assert_eq!(b.exhausted(), Some(StopReason::DeadlineExceeded));
+    }
+
+    #[test]
+    fn budgeted_accessors() {
+        let c: Budgeted<u32, ()> = Budgeted::Complete(7);
+        assert!(c.is_complete());
+        assert_eq!(*c.completed(), 7);
+        assert_eq!(c.into_parts(), (7, None));
+        let p: Budgeted<u32, ()> = Budgeted::Partial {
+            completed: 3,
+            resume_state: (),
+            stopped: StopReason::WorkExhausted,
+        };
+        assert!(!p.is_complete());
+        assert_eq!(p.into_parts(), (3, Some(StopReason::WorkExhausted)));
+    }
+
+    #[test]
+    fn stop_reasons_render() {
+        assert!(StopReason::Cancelled.to_string().contains("cancel"));
+        assert!(StopReason::WorkExhausted.to_string().contains("work"));
+        assert!(StopReason::DeadlineExceeded.to_string().contains("deadline"));
+    }
+}

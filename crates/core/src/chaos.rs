@@ -15,18 +15,37 @@
 //!
 //! Everything is keyed off the plan's seed, so a failing plan replays
 //! exactly with `FaultPlan::from_seed(seed)`.
+//!
+//! Two harness extensions cover **interruption of the process itself**
+//! (PR 2's crash-consistency work):
+//!
+//! - Each plan also injects a [`SnapshotFault`] — truncated snapshot bytes
+//!   or a stale format version — and asserts the checkpoint loader rejects
+//!   the damage with a *typed* error ([`Error::SnapshotIntegrity`] /
+//!   [`Error::SnapshotVersion`], never a panic) while
+//!   [`crate::checkpoint::load_snapshot_with_fallback`] still recovers the
+//!   job line whenever possible, so `resume` can fall back to a fresh run.
+//! - [`run_kill_resume`] kills a provisioning run and a replay sweep at a
+//!   seeded iteration via the cooperative cancel flag, round-trips the last
+//!   checkpoint through the wire format, resumes, and asserts the resumed
+//!   result is **bit-identical** to the uninterrupted run.
 
+use crate::budget::{Budgeted, WorkBudget};
+use crate::checkpoint::{self, LoadOutcome, Snapshot, SnapshotProgress};
 use crate::error::Error;
 use crate::intradomain::Planner;
 use crate::metric::{NodeRisk, RiskWeights};
-use crate::replay::{raw_advisories, replay_raw_advisories, RawAdvisory};
+use crate::provisioning::{greedy_links, greedy_links_budgeted, greedy_links_resume};
+use crate::replay::{
+    raw_advisories, replay_raw_advisories, replay_raw_advisories_budgeted, RawAdvisory,
+};
 use crate::routing::risk_sssp;
-use riskroute_forecast::ALL_STORMS;
+use riskroute_forecast::{Storm, ALL_STORMS};
 use riskroute_geo::GeoPoint;
 use riskroute_hazard::HistoricalRisk;
 use riskroute_population::{PopShares, PopulationModel};
 use riskroute_rng::StdRng;
-use riskroute_topology::{Corpus, Network, NetworkKind};
+use riskroute_topology::{Corpus, Network, NetworkKind, Pop};
 
 /// Replay stride used by the harness (every 4th advisory — enough ticks to
 /// exercise the storm's approach, peak, and decay without dominating the
@@ -36,6 +55,30 @@ const CHAOS_STRIDE: usize = 4;
 const CHAOS_BLOCKS: usize = 800;
 /// Hazard events per kind before deletion faults.
 const CHAOS_EVENT_CAP: usize = 60;
+
+/// A fault injected into the *checkpoint snapshot* after the replay runs —
+/// the crash-corruption half of the harness.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SnapshotFault {
+    /// Leave the snapshot intact (it must then load and round-trip).
+    None,
+    /// Truncate the snapshot at a seeded byte offset (a crash mid-`write`
+    /// without the atomic-rename discipline).
+    TruncateBytes,
+    /// Rewrite the header to an unsupported future format version.
+    StaleVersion,
+}
+
+impl SnapshotFault {
+    /// Stable name used in reports and CLI output.
+    pub fn name(&self) -> &'static str {
+        match self {
+            SnapshotFault::None => "none",
+            SnapshotFault::TruncateBytes => "truncate-bytes",
+            SnapshotFault::StaleVersion => "stale-version",
+        }
+    }
+}
 
 /// A deterministic, seed-derived bundle of faults to inject into one
 /// pipeline run. Identical seeds produce identical plans (and identical
@@ -56,6 +99,8 @@ pub struct FaultPlan {
     pub zero_population_fraction: f64,
     /// Fraction of PoPs whose entry cost is poisoned non-finite.
     pub poison_cost_fraction: f64,
+    /// Corruption applied to the run's checkpoint snapshot.
+    pub snapshot_fault: SnapshotFault,
 }
 
 impl FaultPlan {
@@ -73,6 +118,11 @@ impl FaultPlan {
             delete_event_fraction: rng.gen_range(0.0..0.45),
             zero_population_fraction: rng.gen_range(0.0..0.40),
             poison_cost_fraction: rng.gen_range(0.05..0.35),
+            snapshot_fault: match rng.gen_range(0..3usize) {
+                0 => SnapshotFault::None,
+                1 => SnapshotFault::TruncateBytes,
+                _ => SnapshotFault::StaleVersion,
+            },
         }
     }
 
@@ -115,6 +165,15 @@ pub struct ChaosReport {
     pub isolated_pops: usize,
     /// Whether every reported ratio stayed finite.
     pub finite_ratios: bool,
+    /// Which snapshot corruption was injected (stable name).
+    pub snapshot_fault: String,
+    /// Whether the checkpoint loader honoured its contract: a clean
+    /// snapshot loads and round-trips bit-identically; a corrupted one is
+    /// rejected with a typed error (never a panic).
+    pub snapshot_contract_held: bool,
+    /// Whether the job line was still recoverable from the (possibly
+    /// corrupted) snapshot, enabling the fresh-run fallback.
+    pub snapshot_job_recovered: bool,
 }
 
 impl ChaosReport {
@@ -123,7 +182,7 @@ impl ChaosReport {
         format!(
             "seed {:>4}  {:<16} {:<8} links -{:<3} adv x{:<3} events -{:<4} \
              shares 0x{:<3} poisoned {:<3} | ticks {:>2} degraded {:>2} \
-             stranded {:>4} isolated {:>2} finite {}",
+             stranded {:>4} isolated {:>2} finite {} | snap {:<14} held {} job {}",
             self.seed,
             self.network,
             self.storm,
@@ -137,6 +196,9 @@ impl ChaosReport {
             self.stranded_pairs,
             self.isolated_pops,
             self.finite_ratios,
+            self.snapshot_fault,
+            self.snapshot_contract_held,
+            self.snapshot_job_recovered,
         )
     }
 }
@@ -266,7 +328,7 @@ pub fn run_chaos(plan: &FaultPlan) -> Result<ChaosReport, Error> {
     );
 
     // --- Fault: corrupt the advisory feed, then replay --------------------
-    let mut raws = raw_advisories(storm, CHAOS_STRIDE);
+    let mut raws = raw_advisories(storm, CHAOS_STRIDE)?;
     let expected_ticks = raws.len();
     let corrupted_advisories = corrupt_advisories(&mut raws, plan, &mut rng);
     let locations: Vec<GeoPoint> = network.pops().iter().map(|p| p.location).collect();
@@ -279,7 +341,7 @@ pub fn run_chaos(plan: &FaultPlan) -> Result<ChaosReport, Error> {
         &raws,
         &all,
         &all,
-    );
+    )?;
     assert_eq!(
         replay.ticks.len(),
         expected_ticks,
@@ -314,6 +376,54 @@ pub fn run_chaos(plan: &FaultPlan) -> Result<ChaosReport, Error> {
         );
     }
 
+    // --- Fault: corrupt the run's checkpoint snapshot ----------------------
+    let weights = RiskWeights::PAPER;
+    let snapshot = Snapshot::replay(
+        network.name(),
+        &storm.name().to_lowercase(),
+        CHAOS_STRIDE,
+        weights.lambda_h,
+        weights.lambda_f,
+        &replay,
+        replay.ticks.len(),
+    );
+    let text = snapshot.to_text();
+    let corrupted_text = match plan.snapshot_fault {
+        SnapshotFault::None => None,
+        SnapshotFault::TruncateBytes => {
+            // Stop short of len-1: cutting only the trailing newline leaves
+            // a document that still parses, which tests nothing.
+            let cut = rng.gen_range(1..text.len() - 1);
+            let at = (0..=cut)
+                .rev()
+                .find(|&b| text.is_char_boundary(b))
+                .unwrap_or(0);
+            Some(text[..at].to_string())
+        }
+        SnapshotFault::StaleVersion => {
+            Some(text.replacen("riskroute-snapshot/1", "riskroute-snapshot/99", 1))
+        }
+    };
+    let (snapshot_contract_held, snapshot_job_recovered) = match &corrupted_text {
+        // Clean snapshot: must load and round-trip bit-identically.
+        None => (
+            checkpoint::load_snapshot(&text)
+                .map(|s| s == snapshot)
+                .unwrap_or(false),
+            true,
+        ),
+        // Corrupted snapshot: the strict loader must reject it with a typed
+        // error (reaching this line at all proves it did not panic), and the
+        // fallback loader may still salvage the job line.
+        Some(bad) => (
+            checkpoint::load_snapshot(bad).is_err(),
+            matches!(
+                checkpoint::load_snapshot_with_fallback(bad),
+                Ok(LoadOutcome::Fallback { .. })
+            ),
+        ),
+    };
+
     // --- Aggregate ratios on the degraded topology -------------------------
     let report = planner.ratio_report();
     finite_ratios &= report.risk_reduction_ratio.is_finite()
@@ -337,6 +447,9 @@ pub fn run_chaos(plan: &FaultPlan) -> Result<ChaosReport, Error> {
         stranded_pairs: report.stranded_pairs,
         isolated_pops,
         finite_ratios,
+        snapshot_fault: plan.snapshot_fault.name().to_string(),
+        snapshot_contract_held,
+        snapshot_job_recovered,
     })
 }
 
@@ -368,7 +481,299 @@ pub fn violations(report: &ChaosReport) -> Vec<String> {
     if report.total_ticks == 0 {
         v.push(format!("seed {}: replay produced no ticks", report.seed));
     }
+    if !report.snapshot_contract_held {
+        v.push(format!(
+            "seed {}: snapshot loader broke its contract under fault {:?}",
+            report.seed, report.snapshot_fault
+        ));
+    }
+    if report.snapshot_fault == SnapshotFault::StaleVersion.name() && !report.snapshot_job_recovered
+    {
+        v.push(format!(
+            "seed {}: stale-version snapshot must still yield its job for the \
+             fresh-run fallback",
+            report.seed
+        ));
+    }
     v
+}
+
+// --- Kill/resume crash-consistency harness ----------------------------------
+
+/// Evidence from one [`run_kill_resume`] crash-consistency run.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct KillResumeReport {
+    /// The seed that placed the kill points.
+    pub seed: u64,
+    /// Greedy iterations completed before the provisioning run was killed.
+    pub provision_killed_after: usize,
+    /// Whether the resumed provisioning run reproduced the uninterrupted
+    /// [`crate::provisioning::GreedyLinks`] bit-identically.
+    pub provision_identical: bool,
+    /// Replay ticks completed before the sweep was killed.
+    pub replay_killed_after: usize,
+    /// Whether the resumed replay reproduced the uninterrupted
+    /// [`crate::replay::DisasterReplay`] bit-identically.
+    pub replay_identical: bool,
+}
+
+impl KillResumeReport {
+    /// The crash-consistency invariant: both legs resumed bit-identically.
+    pub fn identical(&self) -> bool {
+        self.provision_identical && self.replay_identical
+    }
+
+    /// One-line summary for the CLI table.
+    pub fn summary_line(&self) -> String {
+        format!(
+            "seed {:>4}  provision killed@{:<2} identical {:<5}  replay killed@{:<3} identical {}",
+            self.seed,
+            self.provision_killed_after,
+            self.provision_identical,
+            self.replay_killed_after,
+            self.replay_identical,
+        )
+    }
+}
+
+fn fixture_pop(name: &str, lat: f64, lon: f64) -> Pop {
+    let location = match GeoPoint::new(lat, lon) {
+        Ok(p) => p,
+        Err(_) => unreachable!("fixture coordinates are valid"),
+    };
+    Pop {
+        name: name.into(),
+        location,
+    }
+}
+
+/// A horseshoe-with-gap topology rich enough to admit several greedy links,
+/// with one risky PoP forcing detours — the provisioning leg's fixture.
+fn provisioning_fixture() -> (Network, Planner) {
+    let net = match Network::new(
+        "chaos-horseshoe",
+        NetworkKind::Regional,
+        vec![
+            fixture_pop("P0", 35.0, -100.0),
+            fixture_pop("P1", 35.0, -97.0),
+            fixture_pop("P2", 35.0, -94.0),
+            fixture_pop("P3", 35.8, -94.0),
+            fixture_pop("P4", 35.8, -100.0),
+            fixture_pop("P5", 35.8, -97.0),
+        ],
+        vec![(0, 1), (1, 2), (2, 3), (3, 5), (5, 4)],
+    ) {
+        Ok(n) => n,
+        Err(_) => unreachable!("static fixture is valid"),
+    };
+    let risk = NodeRisk::new(vec![0.0, 0.0, 2e-3, 0.0, 0.0, 0.0], vec![0.0; 6]);
+    let shares = PopShares::from_shares(vec![1.0 / 6.0; 6]);
+    let planner = Planner::new(&net, risk, shares, RiskWeights::historical_only(1e5));
+    (net, planner)
+}
+
+/// The Gulf-coast diamond in Katrina's path — the replay leg's fixture.
+fn replay_fixture() -> (Network, Planner) {
+    let net = match Network::new(
+        "chaos-gulf",
+        NetworkKind::Regional,
+        vec![
+            fixture_pop("Houston", 29.76, -95.37),
+            fixture_pop("Little Rock", 34.75, -92.29),
+            fixture_pop("New Orleans", 29.95, -90.07),
+            fixture_pop("Atlanta", 33.75, -84.39),
+        ],
+        vec![(0, 1), (1, 3), (0, 2), (2, 3)],
+    ) {
+        Ok(n) => n,
+        Err(_) => unreachable!("static fixture is valid"),
+    };
+    let n = net.pop_count();
+    let planner = Planner::new(
+        &net,
+        NodeRisk::new(vec![0.0; n], vec![0.0; n]),
+        PopShares::from_shares(vec![1.0 / n as f64; n]),
+        RiskWeights::PAPER,
+    );
+    (net, planner)
+}
+
+/// Kill a provisioning run and a replay sweep at seeded iterations, resume
+/// each from a checkpoint round-tripped through the wire format, and check
+/// the crash-consistency invariant: the resumed result must be
+/// **bit-identical** to the uninterrupted run.
+///
+/// The kill is delivered through the cooperative cancel flag
+/// ([`WorkBudget::cancel_handle`]) exactly as an operator or signal handler
+/// would deliver it, and the resume state travels through
+/// [`Snapshot::to_text`] → [`checkpoint::load_snapshot`], so the test
+/// covers the serialization layer, not just the in-memory resume path.
+///
+/// # Errors
+/// Propagates checkpoint or replay errors — any of which is itself a
+/// harness failure, since this pipeline injects no input faults.
+pub fn run_kill_resume(seed: u64) -> Result<KillResumeReport, Error> {
+    use std::sync::atomic::Ordering;
+    let mut rng = StdRng::seed_from_u64(seed ^ 0x517c_c1b7_2722_0a95);
+
+    // --- Provisioning leg -------------------------------------------------
+    let (net, planner) = provisioning_fixture();
+    let k = 3;
+    let weights = planner.weights();
+    let rebuild = |risk: NodeRisk, shares_src: &Planner| {
+        let shares = PopShares::from_shares(shares_src.shares().shares().to_vec());
+        move |n: &Network| Planner::new(n, risk.clone(), shares.clone(), weights)
+    };
+    let uninterrupted = greedy_links(
+        &net,
+        &planner,
+        k,
+        rebuild(planner.risk().clone(), &planner),
+    );
+    let total = uninterrupted.added.len();
+    // Kill strictly before the run finishes so the resume leg is exercised.
+    let provision_killed_after = 1 + rng.gen_range(0..total.saturating_sub(1).max(1));
+    let budget = WorkBudget::unlimited();
+    let cancel = budget.cancel_handle();
+    let mut last_snapshot = String::new();
+    let run = greedy_links_budgeted(
+        &net,
+        &planner,
+        k,
+        rebuild(planner.risk().clone(), &planner),
+        &budget,
+        |links| {
+            // Checkpoint every iteration (what the CLI does), then deliver
+            // the kill at the seeded one.
+            last_snapshot =
+                Snapshot::provision(net.name(), k, weights.lambda_h, weights.lambda_f, links)
+                    .to_text();
+            if links.added.len() == provision_killed_after {
+                cancel.store(true, Ordering::Relaxed);
+            }
+        },
+    );
+    let provision_identical = match run {
+        Budgeted::Partial { completed, .. } => {
+            let loaded = checkpoint::load_snapshot(&last_snapshot)?;
+            let SnapshotProgress::Provision(prior) = loaded.progress else {
+                return Err(Error::SnapshotIntegrity {
+                    reason: "provisioning snapshot decoded to a replay progress".into(),
+                });
+            };
+            if prior != completed {
+                false
+            } else {
+                let resumed = greedy_links_resume(
+                    &net,
+                    &planner,
+                    k,
+                    rebuild(planner.risk().clone(), &planner),
+                    prior,
+                    &WorkBudget::unlimited(),
+                    |_| {},
+                );
+                let (resumed, stopped) = resumed.into_parts();
+                stopped.is_none() && resumed == uninterrupted
+            }
+        }
+        // Degenerate fixture (fewer than two links): nothing to kill.
+        Budgeted::Complete(completed) => completed == uninterrupted,
+    };
+
+    // --- Replay leg -------------------------------------------------------
+    let (net, planner) = replay_fixture();
+    let weights = planner.weights();
+    let locations: Vec<GeoPoint> = net.pops().iter().map(|p| p.location).collect();
+    let all: Vec<usize> = (0..net.pop_count()).collect();
+    let raws = raw_advisories(Storm::Katrina, CHAOS_STRIDE)?;
+    let clean = replay_raw_advisories(
+        &planner,
+        net.name(),
+        &locations,
+        Storm::Katrina.name(),
+        &raws,
+        &all,
+        &all,
+    )?;
+    let replay_killed_after = 1 + rng.gen_range(0..raws.len().saturating_sub(1).max(1));
+    let budget = WorkBudget::unlimited().with_max_work(replay_killed_after as u64);
+    let run = replay_raw_advisories_budgeted(
+        &planner,
+        net.name(),
+        &locations,
+        Storm::Katrina.name(),
+        &raws,
+        &all,
+        &all,
+        Vec::new(),
+        &budget,
+        |_, _| {},
+    )?;
+    let replay_identical = match run {
+        Budgeted::Partial {
+            completed,
+            resume_state,
+            ..
+        } => {
+            let text = Snapshot::replay(
+                net.name(),
+                "katrina",
+                CHAOS_STRIDE,
+                weights.lambda_h,
+                weights.lambda_f,
+                &completed,
+                resume_state.next_index,
+            )
+            .to_text();
+            let loaded = checkpoint::load_snapshot(&text)?;
+            let SnapshotProgress::Replay { replay, next_index } = loaded.progress else {
+                return Err(Error::SnapshotIntegrity {
+                    reason: "replay snapshot decoded to a provisioning progress".into(),
+                });
+            };
+            if next_index != replay.ticks.len() {
+                false
+            } else {
+                let resumed = replay_raw_advisories_budgeted(
+                    &planner,
+                    net.name(),
+                    &locations,
+                    Storm::Katrina.name(),
+                    &raws,
+                    &all,
+                    &all,
+                    replay.ticks,
+                    &WorkBudget::unlimited(),
+                    |_, _| {},
+                )?;
+                let (resumed, stopped) = resumed.into_parts();
+                stopped.is_none() && resumed == clean
+            }
+        }
+        Budgeted::Complete(completed) => completed == clean,
+    };
+
+    Ok(KillResumeReport {
+        seed,
+        provision_killed_after,
+        provision_identical,
+        replay_killed_after,
+        replay_identical,
+    })
+}
+
+/// Run [`run_kill_resume`] across `count` seeds rooted at `base_seed`.
+///
+/// # Errors
+/// Propagates the first failing run.
+pub fn run_kill_resume_suite(
+    base_seed: u64,
+    count: usize,
+) -> Result<Vec<KillResumeReport>, Error> {
+    (0..count as u64)
+        .map(|i| run_kill_resume(base_seed.wrapping_add(i)))
+        .collect()
 }
 
 #[cfg(test)]
@@ -429,10 +834,72 @@ mod tests {
             delete_event_fraction: 0.0,
             zero_population_fraction: 0.0,
             poison_cost_fraction: 0.1,
+            snapshot_fault: SnapshotFault::None,
         };
         let r = run_chaos(&plan).unwrap();
         assert!(r.dropped_links > 0);
         assert_eq!(r.corrupted_advisories, 0);
         assert_eq!(r.degraded_ticks, 0, "clean feed, no degraded ticks");
+        assert!(r.snapshot_contract_held, "clean snapshot must round-trip");
+    }
+
+    fn plan_with_snapshot_fault(seed: u64, fault: SnapshotFault) -> FaultPlan {
+        FaultPlan {
+            snapshot_fault: fault,
+            ..FaultPlan::from_seed(seed)
+        }
+    }
+
+    #[test]
+    fn truncated_snapshots_error_typed_never_panic() {
+        for seed in 0..4 {
+            let r =
+                run_chaos(&plan_with_snapshot_fault(seed, SnapshotFault::TruncateBytes)).unwrap();
+            assert_eq!(r.snapshot_fault, "truncate-bytes");
+            assert!(r.snapshot_contract_held, "seed {seed}: untyped rejection");
+            assert!(violations(&r).is_empty(), "{:?}", violations(&r));
+        }
+    }
+
+    #[test]
+    fn stale_version_snapshots_error_typed_and_keep_the_job() {
+        for seed in 0..4 {
+            let r =
+                run_chaos(&plan_with_snapshot_fault(seed, SnapshotFault::StaleVersion)).unwrap();
+            assert_eq!(r.snapshot_fault, "stale-version");
+            assert!(r.snapshot_contract_held, "seed {seed}: untyped rejection");
+            assert!(
+                r.snapshot_job_recovered,
+                "seed {seed}: job must survive a stale header"
+            );
+            assert!(violations(&r).is_empty(), "{:?}", violations(&r));
+        }
+    }
+
+    #[test]
+    fn kill_resume_is_bit_identical_across_seeds() {
+        // Acceptance criterion: ≥ 4 seeds, provisioning interrupted at a
+        // seeded iteration, resumed from its snapshot, bit-identical output.
+        let reports = run_kill_resume_suite(0, 5).unwrap();
+        assert_eq!(reports.len(), 5);
+        for r in &reports {
+            assert!(r.identical(), "{}", r.summary_line());
+            assert!(r.provision_killed_after >= 1);
+            assert!(r.replay_killed_after >= 1);
+        }
+        // The kill point actually moves with the seed.
+        assert!(
+            reports
+                .iter()
+                .any(|r| r.replay_killed_after != reports[0].replay_killed_after),
+            "seeded kill points must vary"
+        );
+    }
+
+    #[test]
+    fn kill_resume_is_reproducible() {
+        let a = run_kill_resume(2).unwrap();
+        let b = run_kill_resume(2).unwrap();
+        assert_eq!(a, b);
     }
 }

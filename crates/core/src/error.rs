@@ -71,6 +71,29 @@ pub enum Error {
     /// An aggregation had no informative pair to work with (fully
     /// partitioned source/destination sets).
     NoInformativePairs,
+    /// A caller-supplied argument was out of its documented domain (e.g. a
+    /// zero replay stride) — rejected up front instead of relying on
+    /// downstream behaviour.
+    InvalidArgument {
+        /// Which argument was rejected.
+        context: String,
+        /// Why it was rejected.
+        message: String,
+    },
+    /// A checkpoint snapshot was written by an unsupported format version
+    /// (see [`crate::checkpoint::SNAPSHOT_VERSION`]).
+    SnapshotVersion {
+        /// The version recorded in the snapshot header.
+        found: u64,
+        /// The version this build reads and writes.
+        supported: u64,
+    },
+    /// A checkpoint snapshot failed integrity validation (truncated bytes,
+    /// checksum mismatch, missing section, undecodable payload).
+    SnapshotIntegrity {
+        /// What the validator found.
+        reason: String,
+    },
 }
 
 impl fmt::Display for Error {
@@ -94,6 +117,19 @@ impl fmt::Display for Error {
             Error::UnknownNetwork(name) => write!(f, "unknown network {name:?}"),
             Error::NoInformativePairs => {
                 write!(f, "no informative pairs to aggregate (all stranded or trivial)")
+            }
+            Error::InvalidArgument { context, message } => {
+                write!(f, "invalid {context}: {message}")
+            }
+            Error::SnapshotVersion { found, supported } => {
+                write!(
+                    f,
+                    "snapshot format version {found} is not supported (this build reads \
+                     version {supported})"
+                )
+            }
+            Error::SnapshotIntegrity { reason } => {
+                write!(f, "snapshot failed integrity validation: {reason}")
             }
         }
     }
@@ -202,6 +238,26 @@ mod tests {
         };
         assert!(e.to_string().contains("link miles"));
         assert!(e.to_string().contains("NaN"));
+    }
+
+    #[test]
+    fn snapshot_and_argument_variants_display_their_payload() {
+        let e = Error::InvalidArgument {
+            context: "stride".into(),
+            message: "must be positive (got 0)".into(),
+        };
+        assert!(e.to_string().contains("invalid stride"));
+        assert!(std::error::Error::source(&e).is_none());
+        let e = Error::SnapshotVersion {
+            found: 9,
+            supported: 1,
+        };
+        assert!(e.to_string().contains("version 9"));
+        assert!(e.to_string().contains("version 1"));
+        let e = Error::SnapshotIntegrity {
+            reason: "checksum mismatch in progress section".into(),
+        };
+        assert!(e.to_string().contains("checksum mismatch"));
     }
 
     #[test]

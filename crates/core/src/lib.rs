@@ -36,6 +36,10 @@
 //! - **Extensions** the paper sketches: composite SLA objectives
 //!   ([`composite`], §6.4) and shared-risk analysis between providers
 //!   ([`sharedrisk`], §8).
+//! - **Budgeted execution & checkpoints** ([`budget`], [`checkpoint`]):
+//!   cooperative deadlines, work caps, and cancellation for the expensive
+//!   computations, plus crash-safe snapshot/resume of provisioning and
+//!   replay sweeps.
 //!
 //! # Quickstart
 //!
@@ -62,7 +66,9 @@
 #![warn(clippy::unwrap_used, clippy::expect_used)]
 
 pub mod backup;
+pub mod budget;
 pub mod chaos;
+pub mod checkpoint;
 pub mod composite;
 pub mod corridor;
 pub mod error;
@@ -79,6 +85,7 @@ pub mod replay;
 pub mod routing;
 pub mod sharedrisk;
 
+pub use budget::{Budgeted, StopReason, WorkBudget};
 pub use error::{render_chain, Error, Result};
 pub use intradomain::Planner;
 pub use metric::{NodeRisk, RiskWeights};
@@ -88,6 +95,8 @@ pub use routing::RoutedPath;
 /// Convenient re-exports for driving the framework end to end.
 pub mod prelude {
     pub use crate::backup::{backup_paths, lfa_next_hops};
+    pub use crate::budget::{Budgeted, StopReason, WorkBudget};
+    pub use crate::checkpoint::{LoadOutcome, Snapshot};
     pub use crate::failure::{criticality_ranking, storm_failure};
     pub use crate::interdomain::InterdomainAnalysis;
     pub use crate::intradomain::Planner;

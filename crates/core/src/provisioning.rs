@@ -14,6 +14,7 @@
 //! relocates the endpoint risk charges. Two SSSP trees per pair therefore
 //! price *every* candidate in O(1) each.
 
+use crate::budget::{Budgeted, WorkBudget};
 use crate::intradomain::Planner;
 use crate::metric::{NodeRisk, RiskWeights};
 use riskroute_geo::distance::great_circle_miles;
@@ -134,6 +135,20 @@ pub fn score_candidates(
     planner: &Planner,
     candidates: &[(PopId, PopId, f64)],
 ) -> Vec<CandidateLink> {
+    score_candidates_budgeted(network, planner, candidates, &WorkBudget::unlimited())
+}
+
+/// [`score_candidates`], charging one unit of work per candidate evaluated
+/// to `budget`. The sweep itself is one clean stage: it always completes
+/// once started (pricing is O(1) per candidate after the per-pair SSSP
+/// trees), and callers observe exhaustion at the next stage boundary.
+pub fn score_candidates_budgeted(
+    network: &Network,
+    planner: &Planner,
+    candidates: &[(PopId, PopId, f64)],
+    budget: &WorkBudget,
+) -> Vec<CandidateLink> {
+    budget.charge(candidates.len() as u64);
     let n = network.pop_count();
     let w = planner.weights();
     let risk = planner.risk();
@@ -229,17 +244,37 @@ pub fn best_additional_link_adaptive(
     network: &Network,
     planner: &Planner,
 ) -> Option<CandidateLink> {
+    best_additional_link_adaptive_budgeted(network, planner, &WorkBudget::unlimited())
+}
+
+/// [`best_additional_link_adaptive`] charging candidate evaluations to
+/// `budget`.
+pub fn best_additional_link_adaptive_budgeted(
+    network: &Network,
+    planner: &Planner,
+    budget: &WorkBudget,
+) -> Option<CandidateLink> {
     let (cands, threshold) = candidate_links_adaptive(network, planner);
     if cands.is_empty() {
         return None;
     }
-    score_candidates(network, planner, &cands)
+    score_candidates_budgeted(network, planner, &cands, budget)
         .into_iter()
         .next()
         .map(|c| CandidateLink {
             shortcut_threshold: threshold,
             ..c
         })
+}
+
+/// Resume state of a partial greedy run: the iteration to execute next.
+/// The links chosen so far travel in the `completed` field of
+/// [`Budgeted::Partial`]; feed them back through [`greedy_links_resume`]
+/// (typically via a [`crate::checkpoint::Snapshot`]) to continue.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ProvisionResume {
+    /// Index of the next greedy iteration (== links already chosen).
+    pub next_iteration: usize,
 }
 
 /// Greedy k-link augmentation (§6.3): repeatedly add the best candidate and
@@ -252,14 +287,80 @@ pub fn greedy_links(
     network: &Network,
     planner: &Planner,
     k: usize,
-    mut rebuild: impl FnMut(&Network) -> Planner,
+    rebuild: impl FnMut(&Network) -> Planner,
 ) -> GreedyLinks {
-    let original_bit_risk = planner.aggregate_bit_risk();
-    let mut current_net = network.clone();
-    let mut current_planner = planner.clone();
-    let mut added = Vec::with_capacity(k);
-    for _ in 0..k {
-        let Some(best) = best_additional_link_adaptive(&current_net, &current_planner) else {
+    let (links, _) =
+        greedy_links_budgeted(network, planner, k, rebuild, &WorkBudget::unlimited(), |_| {})
+            .into_parts();
+    links
+}
+
+/// [`greedy_links`] under a [`WorkBudget`]: the budget is checked before
+/// every greedy iteration (a clean stage boundary), and candidate
+/// evaluations inside [`score_candidates_budgeted`] are charged as work.
+/// When the budget runs out the call returns [`Budgeted::Partial`] with the
+/// links chosen so far — a consistent prefix of the uninterrupted run —
+/// instead of being killed mid-flight.
+///
+/// `on_iteration` fires after every completed iteration with the links so
+/// far; callers use it to write crash-safe checkpoints
+/// ([`crate::checkpoint::write_atomic`]) or to flip the budget's cancel
+/// flag (the chaos harness's seeded kill switch).
+pub fn greedy_links_budgeted(
+    network: &Network,
+    planner: &Planner,
+    k: usize,
+    rebuild: impl FnMut(&Network) -> Planner,
+    budget: &WorkBudget,
+    on_iteration: impl FnMut(&GreedyLinks),
+) -> Budgeted<GreedyLinks, ProvisionResume> {
+    let prior = GreedyLinks {
+        original_bit_risk: planner.aggregate_bit_risk(),
+        added: Vec::new(),
+    };
+    greedy_links_resume(network, planner, k, rebuild, prior, budget, on_iteration)
+}
+
+/// Continue a greedy run from a completed prefix (`prior`), e.g. one loaded
+/// from a checkpoint snapshot. `base_network`/`base_planner` are the
+/// **unaugmented** inputs of the original run; the prior links are
+/// reapplied first. Because every greedy iteration is a deterministic
+/// function of the augmented network, a resumed run produces bit-identical
+/// output to an uninterrupted one — the crash-consistency invariant
+/// [`crate::chaos::run_kill_resume`] enforces.
+pub fn greedy_links_resume(
+    base_network: &Network,
+    base_planner: &Planner,
+    k: usize,
+    mut rebuild: impl FnMut(&Network) -> Planner,
+    prior: GreedyLinks,
+    budget: &WorkBudget,
+    mut on_iteration: impl FnMut(&GreedyLinks),
+) -> Budgeted<GreedyLinks, ProvisionResume> {
+    let mut current_net = base_network.clone();
+    for link in &prior.added {
+        current_net = with_extra_link(&current_net, link.a, link.b);
+    }
+    let mut current_planner = if prior.added.is_empty() {
+        base_planner.clone()
+    } else {
+        rebuild(&current_net)
+    };
+    let mut result = prior;
+    while result.added.len() < k {
+        if let Some(stopped) = budget.exhausted() {
+            let resume_state = ProvisionResume {
+                next_iteration: result.added.len(),
+            };
+            return Budgeted::Partial {
+                completed: result,
+                resume_state,
+                stopped,
+            };
+        }
+        let Some(best) =
+            best_additional_link_adaptive_budgeted(&current_net, &current_planner, budget)
+        else {
             break;
         };
         current_net = with_extra_link(&current_net, best.a, best.b);
@@ -267,15 +368,13 @@ pub fn greedy_links(
         // Re-measure exactly (the sweep's total is exact already, but
         // recomputing guards the invariant under the rebuilt planner).
         let total = current_planner.aggregate_bit_risk();
-        added.push(CandidateLink {
+        result.added.push(CandidateLink {
             total_bit_risk: total,
             ..best
         });
+        on_iteration(&result);
     }
-    GreedyLinks {
-        original_bit_risk,
-        added,
-    }
+    Budgeted::Complete(result)
 }
 
 /// A copy of `network` with one extra link. Asking for a link that already
@@ -489,6 +588,128 @@ mod tests {
         });
         assert!(result.added.is_empty());
         assert!(result.fraction_series().is_empty());
+    }
+
+    /// The horseshoe-with-chord map used by the greedy tests: rich enough
+    /// to admit several rounds of candidates.
+    fn greedy_fixture() -> (Network, Planner) {
+        let net = Network::new(
+            "horseshoe",
+            NetworkKind::Regional,
+            vec![
+                pop("P0", 35.0, -100.0),
+                pop("P1", 35.0, -97.0),
+                pop("P2", 35.0, -94.0),
+                pop("P3", 35.8, -94.0),
+                pop("P4", 35.8, -100.0),
+                pop("P5", 35.8, -97.0),
+            ],
+            vec![(0, 1), (1, 2), (2, 3), (3, 5), (5, 4)],
+        )
+        .unwrap();
+        let risk = NodeRisk::new(vec![0.0, 0.0, 2e-3, 0.0, 0.0, 0.0], vec![0.0; 6]);
+        let shares = PopShares::from_shares(vec![1.0 / 6.0; 6]);
+        let planner = Planner::new(
+            &net,
+            risk,
+            shares,
+            RiskWeights::historical_only(1e5),
+        );
+        (net, planner)
+    }
+
+    fn fixture_rebuild(planner: &Planner) -> impl FnMut(&Network) -> Planner {
+        let risk = planner.risk().clone();
+        let shares = PopShares::from_shares(planner.shares().shares().to_vec());
+        let weights = planner.weights();
+        move |n: &Network| Planner::new(n, risk.clone(), shares.clone(), weights)
+    }
+
+    #[test]
+    fn exhausted_budget_returns_a_partial_prefix() {
+        use crate::budget::{Budgeted, StopReason, WorkBudget};
+        let (net, planner) = greedy_fixture();
+        let budget = WorkBudget::unlimited().with_max_work(0);
+        let run = greedy_links_budgeted(
+            &net,
+            &planner,
+            3,
+            fixture_rebuild(&planner),
+            &budget,
+            |_| {},
+        );
+        let Budgeted::Partial {
+            completed,
+            resume_state,
+            stopped,
+        } = run
+        else {
+            panic!("zero budget must stop before the first iteration");
+        };
+        assert!(completed.added.is_empty());
+        assert_eq!(resume_state.next_iteration, 0);
+        assert_eq!(stopped, StopReason::WorkExhausted);
+        assert!(completed.original_bit_risk.is_finite());
+    }
+
+    #[test]
+    fn cancelled_run_resumes_to_the_identical_result() {
+        use crate::budget::{Budgeted, StopReason, WorkBudget};
+        use std::sync::atomic::Ordering;
+        let (net, planner) = greedy_fixture();
+        let uninterrupted = greedy_links(&net, &planner, 3, fixture_rebuild(&planner));
+        assert!(
+            uninterrupted.added.len() >= 2,
+            "fixture must admit at least two greedy links"
+        );
+        // Kill after the first iteration via the cooperative cancel flag.
+        let budget = WorkBudget::unlimited();
+        let cancel = budget.cancel_handle();
+        let run = greedy_links_budgeted(
+            &net,
+            &planner,
+            3,
+            fixture_rebuild(&planner),
+            &budget,
+            |links| {
+                if links.added.len() == 1 {
+                    cancel.store(true, Ordering::Relaxed);
+                }
+            },
+        );
+        let Budgeted::Partial {
+            completed, stopped, ..
+        } = run
+        else {
+            panic!("cancel flag must interrupt the run");
+        };
+        assert_eq!(stopped, StopReason::Cancelled);
+        assert_eq!(completed.added.len(), 1);
+        // Resume with a fresh budget: the final result is bit-identical.
+        let resumed = greedy_links_resume(
+            &net,
+            &planner,
+            3,
+            fixture_rebuild(&planner),
+            completed,
+            &WorkBudget::unlimited(),
+            |_| {},
+        );
+        let Budgeted::Complete(resumed) = resumed else {
+            panic!("unlimited resume must complete");
+        };
+        assert_eq!(resumed, uninterrupted, "resume must be bit-identical");
+    }
+
+    #[test]
+    fn score_charges_one_unit_per_candidate() {
+        use crate::budget::WorkBudget;
+        let (net, planner) = greedy_fixture();
+        let cands = candidate_links_adaptive(&net, &planner).0;
+        assert!(!cands.is_empty());
+        let budget = WorkBudget::unlimited();
+        let _ = score_candidates_budgeted(&net, &planner, &cands, &budget);
+        assert_eq!(budget.work_done(), cands.len() as u64);
     }
 
     #[test]

@@ -15,11 +15,19 @@
 //! therefore identical to the clean run's; only the flagged ticks' ratios
 //! revert to the historical-only baseline.
 
+use crate::budget::{Budgeted, WorkBudget};
+use crate::error::{Error, Result};
 use crate::intradomain::Planner;
 use crate::ratios::RatioReport;
 use riskroute_forecast::{advisories_for, ForecastRisk, Storm};
 use riskroute_geo::GeoPoint;
 use riskroute_topology::Network;
+
+/// How many replay ticks are computed between checkpoint callbacks in
+/// [`replay_raw_advisories_budgeted`] — small enough that an interrupted
+/// sweep loses little work, large enough that snapshot I/O stays off the
+/// hot path.
+pub const CHECKPOINT_BATCH: usize = 8;
 
 /// An advisory as it arrives off the wire: number, timestamp label, and the
 /// raw text the §4.4 parser consumes. The chaos harness corrupts the `text`
@@ -91,6 +99,16 @@ impl DisasterReplay {
     }
 }
 
+/// Typed resume state for an interrupted replay sweep: the index of the
+/// first advisory **not yet** evaluated. Pair it with the partial
+/// [`DisasterReplay`] (whose `ticks` are a consistent prefix) to continue
+/// via [`replay_raw_advisories_budgeted`]'s `prior_ticks` argument.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ReplayResume {
+    /// Index into the raw-advisory stream of the next tick to compute.
+    pub next_index: usize,
+}
+
 /// Replay a storm over a network using explicit pair sets (merged
 /// interdomain callers restrict sources/destinations).
 ///
@@ -100,9 +118,9 @@ impl DisasterReplay {
 /// paper's configuration). Every `stride`-th advisory is evaluated
 /// (Figures 12–13 plot a subsampled series; `stride = 1` evaluates all).
 ///
-/// # Panics
-/// Panics when `stride` is zero or `locations` does not match the
-/// planner's PoP count.
+/// # Errors
+/// [`Error::InvalidArgument`] when `stride` is zero or `locations` does
+/// not match the planner's PoP count.
 pub fn replay_storm_over_pairs(
     base: &Planner,
     network_name: &str,
@@ -111,14 +129,8 @@ pub fn replay_storm_over_pairs(
     stride: usize,
     sources: &[usize],
     dests: &[usize],
-) -> DisasterReplay {
-    assert!(stride > 0, "stride must be positive");
-    assert_eq!(
-        locations.len(),
-        base.pop_count(),
-        "locations must cover every PoP"
-    );
-    let raws = raw_advisories(storm, stride);
+) -> Result<DisasterReplay> {
+    let raws = raw_advisories(storm, stride)?;
     replay_raw_advisories(base, network_name, locations, storm.name(), &raws, sources, dests)
 }
 
@@ -127,11 +139,11 @@ pub fn replay_storm_over_pairs(
 /// [`replay_raw_advisories`] consumes — and the one the chaos harness
 /// corrupts before feeding it back in.
 ///
-/// # Panics
-/// Panics when `stride` is zero.
-pub fn raw_advisories(storm: Storm, stride: usize) -> Vec<RawAdvisory> {
-    assert!(stride > 0, "stride must be positive");
-    advisories_for(storm)
+/// # Errors
+/// [`Error::InvalidArgument`] when `stride` is zero.
+pub fn raw_advisories(storm: Storm, stride: usize) -> Result<Vec<RawAdvisory>> {
+    check_stride(stride)?;
+    Ok(advisories_for(storm)
         .iter()
         .step_by(stride)
         .map(|adv| RawAdvisory {
@@ -139,7 +151,31 @@ pub fn raw_advisories(storm: Storm, stride: usize) -> Vec<RawAdvisory> {
             label: adv.timestamp.label(),
             text: adv.to_text(),
         })
-        .collect()
+        .collect())
+}
+
+fn check_stride(stride: usize) -> Result<()> {
+    if stride == 0 {
+        return Err(Error::InvalidArgument {
+            context: "stride".into(),
+            message: "must be positive (got 0)".into(),
+        });
+    }
+    Ok(())
+}
+
+fn check_locations(locations: &[GeoPoint], base: &Planner) -> Result<()> {
+    if locations.len() != base.pop_count() {
+        return Err(Error::InvalidArgument {
+            context: "locations".into(),
+            message: format!(
+                "must cover every PoP ({} locations for {} PoPs)",
+                locations.len(),
+                base.pop_count()
+            ),
+        });
+    }
+    Ok(())
 }
 
 /// Replay an explicit raw-advisory stream over explicit pair sets — the
@@ -148,8 +184,9 @@ pub fn raw_advisories(storm: Storm, stride: usize) -> Vec<RawAdvisory> {
 /// *degraded* tick (forecast term dropped, historical risk only) instead of
 /// aborting; the returned replay always has exactly `raws.len()` ticks.
 ///
-/// # Panics
-/// Panics when `locations` does not match the planner's PoP count.
+/// # Errors
+/// [`Error::InvalidArgument`] when `locations` does not match the
+/// planner's PoP count.
 pub fn replay_raw_advisories(
     base: &Planner,
     network_name: &str,
@@ -158,32 +195,105 @@ pub fn replay_raw_advisories(
     raws: &[RawAdvisory],
     sources: &[usize],
     dests: &[usize],
-) -> DisasterReplay {
-    assert_eq!(
-        locations.len(),
-        base.pop_count(),
-        "locations must cover every PoP"
-    );
-    let mut planner = base.clone();
-    let mut ticks = Vec::new();
-    for raw in raws {
-        ticks.push(tick_for_raw(&mut planner, raw, locations, sources, dests));
+) -> Result<DisasterReplay> {
+    let run = replay_raw_advisories_budgeted(
+        base,
+        network_name,
+        locations,
+        storm_name,
+        raws,
+        sources,
+        dests,
+        Vec::new(),
+        &WorkBudget::unlimited(),
+        |_, _| {},
+    )?;
+    let (replay, _) = run.into_parts();
+    Ok(replay)
+}
+
+/// Budget-aware replay of a raw-advisory stream, resumable at any tick
+/// boundary.
+///
+/// Each replay tick is an independent function of the base planner and one
+/// advisory (the forecast field is rebuilt from scratch per tick), so a
+/// sweep can stop after any tick and continue later with **bit-identical**
+/// results: pass the partial replay's `ticks` back as `prior_ticks` and the
+/// loop picks up at `prior_ticks.len()`.
+///
+/// The budget is checked before each tick and charged one work unit per
+/// tick computed. `on_batch` fires with the replay-so-far and the next
+/// tick index after every [`CHECKPOINT_BATCH`] newly computed ticks —
+/// the hook the CLI uses to write crash-safe snapshots
+/// (see [`crate::checkpoint::Snapshot::replay`]).
+///
+/// # Errors
+/// [`Error::InvalidArgument`] when `locations` does not match the
+/// planner's PoP count or `prior_ticks` is longer than `raws`.
+#[allow(clippy::too_many_arguments)]
+pub fn replay_raw_advisories_budgeted(
+    base: &Planner,
+    network_name: &str,
+    locations: &[GeoPoint],
+    storm_name: &str,
+    raws: &[RawAdvisory],
+    sources: &[usize],
+    dests: &[usize],
+    prior_ticks: Vec<ReplayTick>,
+    budget: &WorkBudget,
+    mut on_batch: impl FnMut(&DisasterReplay, usize),
+) -> Result<Budgeted<DisasterReplay, ReplayResume>> {
+    check_locations(locations, base)?;
+    if prior_ticks.len() > raws.len() {
+        return Err(Error::InvalidArgument {
+            context: "prior_ticks".into(),
+            message: format!(
+                "resume state has {} ticks but the advisory stream has only {}",
+                prior_ticks.len(),
+                raws.len()
+            ),
+        });
     }
-    DisasterReplay {
+    let start = prior_ticks.len();
+    let mut planner = base.clone();
+    let mut replay = DisasterReplay {
         storm: storm_name.to_string(),
         network: network_name.to_string(),
-        ticks,
+        ticks: prior_ticks,
+    };
+    let mut since_batch = 0usize;
+    for (i, raw) in raws.iter().enumerate().skip(start) {
+        if let Some(stopped) = budget.exhausted() {
+            return Ok(Budgeted::Partial {
+                completed: replay,
+                resume_state: ReplayResume { next_index: i },
+                stopped,
+            });
+        }
+        replay
+            .ticks
+            .push(tick_for_raw(&mut planner, raw, locations, sources, dests));
+        budget.charge(1);
+        since_batch += 1;
+        if since_batch == CHECKPOINT_BATCH {
+            since_batch = 0;
+            on_batch(&replay, i + 1);
+        }
     }
+    Ok(Budgeted::Complete(replay))
 }
 
 /// Replay a storm over one network, all PoP pairs (the Figure-12
 /// intradomain configuration).
+///
+/// # Errors
+/// Same contract as [`replay_storm_over_pairs`].
 pub fn replay_storm(
     base: &Planner,
     network: &Network,
     storm: Storm,
     stride: usize,
-) -> DisasterReplay {
+) -> Result<DisasterReplay> {
     let locations: Vec<GeoPoint> = network.pops().iter().map(|p| p.location).collect();
     let all: Vec<usize> = (0..network.pop_count()).collect();
     replay_storm_over_pairs(base, network.name(), &locations, storm, stride, &all, &all)
@@ -236,7 +346,7 @@ fn tick_for_raw(
 /// The first advisory has no predecessor to infer motion from, so the
 /// series starts at the second advisory.
 ///
-/// # Panics
+/// # Errors
 /// Same contract as [`replay_storm`].
 pub fn replay_storm_proactive(
     base: &Planner,
@@ -244,14 +354,10 @@ pub fn replay_storm_proactive(
     storm: Storm,
     stride: usize,
     lead_hours: f64,
-) -> DisasterReplay {
-    assert!(stride > 0, "stride must be positive");
+) -> Result<DisasterReplay> {
+    check_stride(stride)?;
     let locations: Vec<GeoPoint> = network.pops().iter().map(|p| p.location).collect();
-    assert_eq!(
-        locations.len(),
-        base.pop_count(),
-        "locations must cover every PoP"
-    );
+    check_locations(&locations, base)?;
     let all: Vec<usize> = (0..network.pop_count()).collect();
     let advisories = advisories_for(storm);
     let mut planner = base.clone();
@@ -279,11 +385,11 @@ pub fn replay_storm_proactive(
             degraded: false,
         });
     }
-    DisasterReplay {
+    Ok(DisasterReplay {
         storm: storm.name().to_string(),
         network: network.name().to_string(),
         ticks,
-    }
+    })
 }
 
 /// Fraction of `locations` that ever fall inside the storm's scope
@@ -363,7 +469,7 @@ mod tests {
     #[test]
     fn katrina_forces_detours_around_new_orleans() {
         let net = gulf_network();
-        let replay = replay_storm(&base_planner(&net), &net, Storm::Katrina, 4);
+        let replay = replay_storm(&base_planner(&net), &net, Storm::Katrina, 4).unwrap();
         assert_eq!(replay.storm, "KATRINA");
         assert!(!replay.ticks.is_empty());
         // Early advisories: storm far offshore, nothing in scope, ratio 0.
@@ -384,7 +490,7 @@ mod tests {
     #[test]
     fn sandy_misses_the_gulf_network() {
         let net = gulf_network();
-        let replay = replay_storm(&base_planner(&net), &net, Storm::Sandy, 6);
+        let replay = replay_storm(&base_planner(&net), &net, Storm::Sandy, 6).unwrap();
         for t in &replay.ticks {
             assert_eq!(t.pops_in_hurricane_winds, 0, "{}", t.label);
             assert!(t.report.risk_reduction_ratio.abs() < 1e-9);
@@ -395,9 +501,9 @@ mod tests {
     fn stride_controls_tick_count() {
         let net = gulf_network();
         let p = base_planner(&net);
-        let all = replay_storm(&p, &net, Storm::Katrina, 1);
+        let all = replay_storm(&p, &net, Storm::Katrina, 1).unwrap();
         assert_eq!(all.ticks.len(), 61);
-        let sparse = replay_storm(&p, &net, Storm::Katrina, 10);
+        let sparse = replay_storm(&p, &net, Storm::Katrina, 10).unwrap();
         assert_eq!(sparse.ticks.len(), 7);
         assert_eq!(sparse.ticks[1].advisory, 11);
     }
@@ -406,7 +512,7 @@ mod tests {
     fn base_planner_is_not_mutated() {
         let net = gulf_network();
         let p = base_planner(&net);
-        let _ = replay_storm(&p, &net, Storm::Katrina, 8);
+        let _ = replay_storm(&p, &net, Storm::Katrina, 8).unwrap();
         assert_eq!(p.risk().forecast(2), 0.0, "replay works on a clone");
     }
 
@@ -425,10 +531,116 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "stride must be positive")]
-    fn zero_stride_panics() {
+    fn zero_stride_is_a_typed_error() {
         let net = gulf_network();
-        let _ = replay_storm(&base_planner(&net), &net, Storm::Katrina, 0);
+        let err = replay_storm(&base_planner(&net), &net, Storm::Katrina, 0).unwrap_err();
+        assert!(
+            matches!(&err, Error::InvalidArgument { context, .. } if context == "stride"),
+            "got {err:?}"
+        );
+        let err = raw_advisories(Storm::Sandy, 0).unwrap_err();
+        assert!(matches!(err, Error::InvalidArgument { .. }));
+        let err =
+            replay_storm_proactive(&base_planner(&net), &net, Storm::Katrina, 0, 24.0)
+                .unwrap_err();
+        assert!(matches!(err, Error::InvalidArgument { .. }));
+    }
+
+    #[test]
+    fn mismatched_locations_are_a_typed_error() {
+        let net = gulf_network();
+        let planner = base_planner(&net);
+        let locs: Vec<GeoPoint> = net.pops().iter().take(2).map(|p| p.location).collect();
+        let err = replay_raw_advisories(&planner, "gulf", &locs, "KATRINA", &[], &[], &[])
+            .unwrap_err();
+        assert!(
+            matches!(&err, Error::InvalidArgument { context, .. } if context == "locations"),
+            "got {err:?}"
+        );
+    }
+
+    #[test]
+    fn budgeted_replay_stops_and_resumes_bit_identically() {
+        use crate::budget::StopReason;
+        let net = gulf_network();
+        let planner = base_planner(&net);
+        let locs: Vec<GeoPoint> = net.pops().iter().map(|p| p.location).collect();
+        let all: Vec<usize> = (0..net.pop_count()).collect();
+        let raws = raw_advisories(Storm::Katrina, 2).unwrap();
+        let clean = replay_raw_advisories(&planner, "gulf", &locs, "KATRINA", &raws, &all, &all)
+            .unwrap();
+        // Stop after 5 ticks, then resume with the partial prefix.
+        let budget = WorkBudget::unlimited().with_max_work(5);
+        let run = replay_raw_advisories_budgeted(
+            &planner, "gulf", &locs, "KATRINA", &raws, &all, &all,
+            Vec::new(), &budget, |_, _| {},
+        )
+        .unwrap();
+        let Budgeted::Partial {
+            completed,
+            resume_state,
+            stopped,
+        } = run
+        else {
+            panic!("5-unit budget must interrupt a {}-tick sweep", raws.len());
+        };
+        assert_eq!(stopped, StopReason::WorkExhausted);
+        assert_eq!(completed.ticks.len(), 5);
+        assert_eq!(resume_state.next_index, 5);
+        assert_eq!(completed.ticks[..], clean.ticks[..5], "consistent prefix");
+        let resumed = replay_raw_advisories_budgeted(
+            &planner, "gulf", &locs, "KATRINA", &raws, &all, &all,
+            completed.ticks, &WorkBudget::unlimited(), |_, _| {},
+        )
+        .unwrap();
+        let Budgeted::Complete(resumed) = resumed else {
+            panic!("unlimited resume must complete");
+        };
+        assert_eq!(resumed, clean, "resume must be bit-identical");
+    }
+
+    #[test]
+    fn batch_callback_fires_every_checkpoint_batch_ticks() {
+        let net = gulf_network();
+        let planner = base_planner(&net);
+        let locs: Vec<GeoPoint> = net.pops().iter().map(|p| p.location).collect();
+        let all: Vec<usize> = (0..net.pop_count()).collect();
+        let raws = raw_advisories(Storm::Katrina, 3).unwrap();
+        assert!(raws.len() > CHECKPOINT_BATCH);
+        let mut seen = Vec::new();
+        let _ = replay_raw_advisories_budgeted(
+            &planner, "gulf", &locs, "KATRINA", &raws, &all, &all,
+            Vec::new(), &WorkBudget::unlimited(),
+            |replay, next| {
+                assert_eq!(replay.ticks.len(), next);
+                seen.push(next);
+            },
+        )
+        .unwrap();
+        let expected: Vec<usize> = (1..=raws.len() / CHECKPOINT_BATCH)
+            .map(|k| k * CHECKPOINT_BATCH)
+            .collect();
+        assert_eq!(seen, expected);
+    }
+
+    #[test]
+    fn oversized_resume_state_is_rejected() {
+        let net = gulf_network();
+        let planner = base_planner(&net);
+        let locs: Vec<GeoPoint> = net.pops().iter().map(|p| p.location).collect();
+        let all: Vec<usize> = (0..net.pop_count()).collect();
+        let raws = raw_advisories(Storm::Katrina, 2).unwrap();
+        let clean = replay_raw_advisories(&planner, "gulf", &locs, "KATRINA", &raws, &all, &all)
+            .unwrap();
+        let err = replay_raw_advisories_budgeted(
+            &planner, "gulf", &locs, "KATRINA", &raws[..3], &all, &all,
+            clean.ticks, &WorkBudget::unlimited(), |_, _| {},
+        )
+        .unwrap_err();
+        assert!(
+            matches!(&err, Error::InvalidArgument { context, .. } if context == "prior_ticks"),
+            "got {err:?}"
+        );
     }
 
     #[test]
@@ -437,8 +649,9 @@ mod tests {
         // earlier advisory than the live-field replay does.
         let net = gulf_network();
         let planner = base_planner(&net);
-        let reactive = replay_storm(&planner, &net, Storm::Katrina, 1);
-        let proactive = replay_storm_proactive(&planner, &net, Storm::Katrina, 1, 48.0);
+        let reactive = replay_storm(&planner, &net, Storm::Katrina, 1).unwrap();
+        let proactive =
+            replay_storm_proactive(&planner, &net, Storm::Katrina, 1, 48.0).unwrap();
         let first_reaction = |r: &DisasterReplay| {
             r.ticks
                 .iter()
@@ -457,8 +670,9 @@ mod tests {
     fn proactive_with_zero_lead_tracks_reactive() {
         let net = gulf_network();
         let planner = base_planner(&net);
-        let reactive = replay_storm(&planner, &net, Storm::Katrina, 1);
-        let proactive = replay_storm_proactive(&planner, &net, Storm::Katrina, 1, 0.0);
+        let reactive = replay_storm(&planner, &net, Storm::Katrina, 1).unwrap();
+        let proactive =
+            replay_storm_proactive(&planner, &net, Storm::Katrina, 1, 0.0).unwrap();
         // Proactive at lead 0 sees the same fields one advisory later
         // (it starts at advisory 2); compare aligned ticks.
         for tick in &proactive.ticks {
@@ -485,10 +699,10 @@ mod tests {
         let planner = base_planner(&net);
         let locs: Vec<GeoPoint> = net.pops().iter().map(|p| p.location).collect();
         let all: Vec<usize> = (0..net.pop_count()).collect();
-        let mut raws = raw_advisories(Storm::Katrina, 1);
+        let mut raws = raw_advisories(Storm::Katrina, 1).unwrap();
         assert_eq!(raws.len(), 61);
-        let clean =
-            replay_raw_advisories(&planner, "gulf", &locs, "KATRINA", &raws, &all, &all);
+        let clean = replay_raw_advisories(&planner, "gulf", &locs, "KATRINA", &raws, &all, &all)
+            .unwrap();
         let mut corrupted = 0;
         for (i, raw) in raws.iter_mut().enumerate() {
             if i % 5 == 0 {
@@ -496,8 +710,8 @@ mod tests {
                 corrupted += 1;
             }
         }
-        let dirty =
-            replay_raw_advisories(&planner, "gulf", &locs, "KATRINA", &raws, &all, &all);
+        let dirty = replay_raw_advisories(&planner, "gulf", &locs, "KATRINA", &raws, &all, &all)
+            .unwrap();
         assert_eq!(dirty.ticks.len(), clean.ticks.len(), "no tick is dropped");
         assert_eq!(dirty.degraded_ticks(), corrupted);
         for (d, c) in dirty.ticks.iter().zip(&clean.ticks) {
@@ -518,7 +732,7 @@ mod tests {
     #[test]
     fn labels_carry_timestamps() {
         let net = gulf_network();
-        let replay = replay_storm(&base_planner(&net), &net, Storm::Katrina, 20);
+        let replay = replay_storm(&base_planner(&net), &net, Storm::Katrina, 20).unwrap();
         assert!(replay.ticks[0].label.contains("AUG"));
         assert!(replay.ticks[0].label.contains("2005"));
     }

@@ -33,7 +33,7 @@ fn main() {
     );
     for net in &corpus.tier1 {
         let planner = Planner::for_network(net, &population, &hazards, RiskWeights::PAPER);
-        let replay = replay_storm(&planner, net, storm, 8);
+        let replay = replay_storm(&planner, net, storm, 8).expect("valid replay args");
         println!(
             "{:<18} ({:>3} PoPs, max {:>3} under hurricane winds)",
             net.name(),

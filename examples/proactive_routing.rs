@@ -25,13 +25,15 @@ fn main() {
         net.name(),
         net.pop_count()
     );
-    let reactive = replay_storm(&planner, net, Storm::Katrina, 1);
+    let reactive = replay_storm(&planner, net, Storm::Katrina, 1).expect("valid replay args");
     println!(
         "{:<26} {:>14} {:>14} {:>14}",
         "Advisory", "reactive rr", "+24h rr", "+48h rr"
     );
-    let pro24 = replay_storm_proactive(&planner, net, Storm::Katrina, 1, 24.0);
-    let pro48 = replay_storm_proactive(&planner, net, Storm::Katrina, 1, 48.0);
+    let pro24 =
+        replay_storm_proactive(&planner, net, Storm::Katrina, 1, 24.0).expect("valid replay args");
+    let pro48 =
+        replay_storm_proactive(&planner, net, Storm::Katrina, 1, 48.0).expect("valid replay args");
     for tick in reactive.ticks.iter().step_by(4) {
         let find = |r: &riskroute::replay::DisasterReplay| {
             r.ticks

@@ -1,0 +1,23 @@
+#!/usr/bin/env bash
+# Full local CI gate: release build, the whole test suite, clippy at
+# -D warnings, and the seeded chaos suites (fault plans + kill/resume).
+# Everything is deterministic (fixed seeds), so a red run replays exactly.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "== build (release) =="
+cargo build --release --workspace
+
+echo "== tests =="
+cargo test --workspace -q
+
+echo "== clippy (-D warnings) =="
+cargo clippy --workspace --all-targets -- -D warnings
+
+echo "== chaos: fault plans (seeds 42..49) =="
+cargo run --release -p riskroute-cli -- chaos --plans 8 --seed 42
+
+echo "== chaos: kill/resume crash-consistency (seeds 0..4 via test) =="
+cargo test --release -p riskroute -q chaos::tests::kill_resume -- --nocapture
+
+echo "CI gate passed."

@@ -54,7 +54,7 @@ fn replay_reacts_only_while_the_storm_overlaps_the_network() {
     let telia = corpus.network("Teliasonera").unwrap();
     // Historical risk zeroed via weights: isolate the forecast reaction.
     let planner = Planner::for_network(telia, &population, &hazards, RiskWeights::new(0.0, 1e3));
-    let replay = replay_storm(&planner, telia, Storm::Sandy, 6);
+    let replay = replay_storm(&planner, telia, Storm::Sandy, 6).expect("valid replay args");
     for tick in &replay.ticks {
         if tick.pops_in_scope == 0 {
             assert!(
@@ -75,7 +75,7 @@ fn replay_tick_counts_and_ordering() {
     let net = corpus.network("NTT").unwrap();
     let planner = Planner::for_network(net, &population, &hazards, RiskWeights::PAPER);
     for (&storm, expected) in ALL_STORMS.iter().zip([70usize, 61, 60]) {
-        let full = replay_storm(&planner, net, storm, 1);
+        let full = replay_storm(&planner, net, storm, 1).expect("valid replay args");
         assert_eq!(full.ticks.len(), expected, "{}", storm.name());
         for (i, t) in full.ticks.iter().enumerate() {
             assert_eq!(t.advisory, i + 1);

@@ -6,11 +6,13 @@
 //! ```
 //!
 //! Outputs are echoed and written under `results/`. Every experiment is
-//! deterministic under the harness master seed.
+//! deterministic under the harness master seed. Per-experiment wall time
+//! and the hot-path counters the run generated (shortest-path runs, heap
+//! pops, relaxations, peak heap size) come from the `riskroute-obs`
+//! collector and land in `results/timings.txt`.
 
 use riskroute_bench::experiments::*;
-use riskroute_bench::ExperimentContext;
-use std::time::Instant;
+use riskroute_bench::{emit, ExperimentContext, TextTable};
 
 const USAGE: &str = "\
 usage: experiments <id>...
@@ -91,13 +93,35 @@ fn main() {
         }
     }
 
-    let t0 = Instant::now();
+    riskroute_obs::enable();
+    riskroute_obs::reset();
     eprintln!("building experiment context (corpus, census, hazards)…");
-    let ctx = ExperimentContext::standard();
-    eprintln!("context ready in {:.1?}", t0.elapsed());
+    let ctx = {
+        let _span = riskroute_obs::Span::enter("context_build");
+        ExperimentContext::standard()
+    };
+    let span_us = |snap: &riskroute_obs::MetricsSnapshot, name: &str| {
+        snap.span_stats.get(name).map_or(0, |s| s.total_us)
+    };
+    let context_us = span_us(&riskroute_obs::snapshot(), "context_build");
+    eprintln!("context ready in {:.1} ms", context_us as f64 / 1e3);
 
+    let mut timings = TextTable::new(&[
+        "experiment",
+        "wall_ms",
+        "sssp_runs",
+        "pops",
+        "relaxations",
+        "heap_peak",
+        "prov_rounds",
+        "replay_ticks",
+    ]);
+    let mut total_us = context_us;
     for id in ids {
-        let t = Instant::now();
+        // A fresh registry per experiment makes every row a self-contained
+        // delta; the experiment id names the enclosing span.
+        riskroute_obs::reset();
+        let span = riskroute_obs::Span::enter(id.to_string());
         match id {
             "table1" => table1_bandwidths::run(&ctx),
             "table2" => table2_tier1::run(&ctx),
@@ -125,7 +149,29 @@ fn main() {
                 std::process::exit(2);
             }
         }
-        eprintln!("[{id}] finished in {:.1?}", t.elapsed());
+        drop(span);
+        let snap = riskroute_obs::snapshot();
+        let counter = |n: &str| snap.counters.get(n).copied().unwrap_or(0);
+        let wall_us = span_us(&snap, id);
+        total_us += wall_us;
+        let heap_peak = snap
+            .gauges
+            .get("dijkstra_heap_peak")
+            .copied()
+            .unwrap_or(0.0)
+            .max(snap.gauges.get("risk_sssp_heap_peak").copied().unwrap_or(0.0));
+        timings.row(&[
+            id.to_string(),
+            format!("{:.1}", wall_us as f64 / 1e3),
+            (counter("dijkstra_runs") + counter("risk_sssp_runs")).to_string(),
+            (counter("dijkstra_pops") + counter("risk_sssp_pops")).to_string(),
+            (counter("dijkstra_relaxations") + counter("risk_sssp_relaxations")).to_string(),
+            format!("{heap_peak:.0}"),
+            counter("provision_rounds").to_string(),
+            counter("replay_ticks").to_string(),
+        ]);
+        eprintln!("[{id}] finished in {:.1} ms", wall_us as f64 / 1e3);
     }
-    eprintln!("total: {:.1?}", t0.elapsed());
+    emit("timings", &timings.render());
+    eprintln!("total: {:.1} ms", total_us as f64 / 1e3);
 }

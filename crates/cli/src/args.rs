@@ -13,6 +13,8 @@ pub struct Cli {
     pub lambda_h: f64,
     /// λ_f override (default 1e3).
     pub lambda_f: f64,
+    /// Observability flags (metrics/trace export, progress heartbeat).
+    pub obs: ObsArgs,
     /// The subcommand.
     pub command: Command,
 }
@@ -21,6 +23,31 @@ impl Cli {
     /// The risk weights this invocation runs under.
     pub fn weights(&self) -> RiskWeights {
         RiskWeights::new(self.lambda_h, self.lambda_f)
+    }
+}
+
+/// Observability flags, valid on any subcommand.
+///
+/// When either output path is set the global collector is enabled for the
+/// run and a snapshot is exported on the way out — even when the command
+/// fails, so a budget-exhausted run still leaves its metrics behind.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct ObsArgs {
+    /// `--metrics-out <path>`: Prometheus text exposition, written
+    /// atomically at exit.
+    pub metrics_out: Option<String>,
+    /// `--trace-out <path>`: JSONL event stream (spans + metrics), written
+    /// atomically at exit; feed it to `riskroute obs-summary`.
+    pub trace_out: Option<String>,
+    /// `--progress`: rate-limited stderr heartbeat with an ETA derived
+    /// from stage counts and `WorkBudget::work_done`.
+    pub progress: bool,
+}
+
+impl ObsArgs {
+    /// Whether the run needs the collector enabled.
+    pub fn wants_collection(&self) -> bool {
+        self.metrics_out.is_some() || self.trace_out.is_some()
     }
 }
 
@@ -147,6 +174,11 @@ pub enum Command {
         /// Base seed; plan `i` uses `seed + i`.
         seed: u64,
     },
+    /// Summarize a `--trace-out` JSONL file: per-span latency table.
+    ObsSummary {
+        /// Path to the JSONL trace.
+        path: String,
+    },
 }
 
 /// Everything that can go wrong running the CLI, grouped by exit code.
@@ -259,7 +291,10 @@ COMMANDS:
   export <net> [--format F] [--out P] topology as json | graphml, on stdout
                                      or atomically written to a file
   chaos [--plans N] [--seed S]       seeded fault injection (default 8 plans,
-                                     seed 42); nonzero exit on any violation
+                                     seed 42); nonzero exit on any violation;
+                                     reports which faults actually fired
+  obs-summary <trace.jsonl>          per-span latency table (count, total,
+                                     p50, p99) from a --trace-out file
 
 BUDGET (provision, replay, resume):
   --deadline-ms <N>                  wall-clock budget; stop at the next
@@ -279,6 +314,14 @@ GLOBALS:
   --lambda-f <x>                     forecast risk weight (default 1e3)
   -h, --help                         this text
 
+OBSERVABILITY (any command):
+  --metrics-out <path>               write Prometheus text exposition at exit
+                                     (atomic rename; written even on failure)
+  --trace-out <path>                 write a JSONL span/metric trace at exit;
+                                     summarize with `riskroute obs-summary`
+  --progress                         stderr heartbeat with ETA from stage
+                                     counts and the work budget
+
 PoP selectors are indices or unique case-insensitive name substrings.
 Storms: katrina, irene, sandy. Everything is deterministic (seed 42).
 
@@ -296,12 +339,31 @@ pub fn parse_args(args: &[String]) -> Result<Cli, CliError> {
     let mut graphml = Vec::new();
     let mut lambda_h = 1e5;
     let mut lambda_f = 1e3;
+    let mut obs = ObsArgs::default();
     let mut rest: Vec<String> = Vec::new();
     let mut i = 0;
     let bad = |m: String| CliError::Bad(m);
     while i < args.len() {
         match args[i].as_str() {
             "-h" | "--help" => return Err(CliError::Help(USAGE.to_string())),
+            "--metrics-out" => {
+                let path = args
+                    .get(i + 1)
+                    .ok_or_else(|| bad("--metrics-out needs a file path".into()))?;
+                obs.metrics_out = Some(path.clone());
+                i += 2;
+            }
+            "--trace-out" => {
+                let path = args
+                    .get(i + 1)
+                    .ok_or_else(|| bad("--trace-out needs a file path".into()))?;
+                obs.trace_out = Some(path.clone());
+                i += 2;
+            }
+            "--progress" => {
+                obs.progress = true;
+                i += 1;
+            }
             "--graphml" => {
                 let path = args
                     .get(i + 1)
@@ -342,6 +404,7 @@ pub fn parse_args(args: &[String]) -> Result<Cli, CliError> {
         graphml,
         lambda_h,
         lambda_f,
+        obs,
         command,
     })
 }
@@ -503,6 +566,14 @@ fn parse_command(rest: &[String]) -> Result<Command, CliError> {
                 network: (*network).clone(),
                 format,
                 out: flag_of("--out").cloned(),
+            })
+        }
+        "obs-summary" => {
+            let [path] = positional.as_slice() else {
+                return Err(bad("obs-summary needs <trace.jsonl>".into()));
+            };
+            Ok(Command::ObsSummary {
+                path: (*path).clone(),
             })
         }
         "chaos" => {
@@ -717,6 +788,55 @@ mod tests {
             parse_args(&args("chaos --seed -3")),
             Err(CliError::Bad(_))
         ));
+    }
+
+    #[test]
+    fn obs_flags_parse_anywhere_and_default_off() {
+        let cli = parse_args(&args("corpus")).unwrap();
+        assert_eq!(cli.obs, ObsArgs::default());
+        assert!(!cli.obs.wants_collection());
+        let cli = parse_args(&args(
+            "--metrics-out m.prom replay Telepak katrina --trace-out t.jsonl --progress",
+        ))
+        .unwrap();
+        assert_eq!(cli.obs.metrics_out.as_deref(), Some("m.prom"));
+        assert_eq!(cli.obs.trace_out.as_deref(), Some("t.jsonl"));
+        assert!(cli.obs.progress);
+        assert!(cli.obs.wants_collection());
+        assert!(matches!(cli.command, Command::Replay { .. }));
+        assert!(matches!(
+            parse_args(&args("corpus --metrics-out")),
+            Err(CliError::Bad(_))
+        ));
+        assert!(matches!(
+            parse_args(&args("corpus --trace-out")),
+            Err(CliError::Bad(_))
+        ));
+    }
+
+    #[test]
+    fn obs_summary_takes_a_path() {
+        let cli = parse_args(&args("obs-summary trace.jsonl")).unwrap();
+        assert_eq!(
+            cli.command,
+            Command::ObsSummary {
+                path: "trace.jsonl".into()
+            }
+        );
+        assert!(matches!(
+            parse_args(&args("obs-summary")),
+            Err(CliError::Bad(_))
+        ));
+    }
+
+    #[test]
+    fn usage_documents_exit_codes_and_obs() {
+        assert!(USAGE.contains("EXIT CODES"));
+        assert!(USAGE.contains("9 budget exhausted"));
+        assert!(USAGE.contains("--metrics-out"));
+        assert!(USAGE.contains("--trace-out"));
+        assert!(USAGE.contains("--progress"));
+        assert!(USAGE.contains("obs-summary"));
     }
 
     #[test]

@@ -12,6 +12,7 @@ use riskroute::replay::{
 };
 use riskroute::{NodeRisk, RoutedPath};
 use riskroute_forecast::{ForecastRisk, StormSwath};
+use riskroute_obs::Heartbeat;
 use riskroute_population::PopShares;
 use riskroute_topology::Network;
 use std::fmt::Write as _;
@@ -185,23 +186,25 @@ fn push_budget_tail(
 }
 
 /// `riskroute provision <net> -k N [--deadline-ms N] [--max-work N]
-/// [--checkpoint <path>]`
+/// [--checkpoint <path>] [--progress]`
 pub fn provision(
     ctx: &CliContext,
     network: &str,
     k: usize,
     weights: RiskWeights,
     budget: &BudgetArgs,
+    progress: bool,
 ) -> Result<String, CliError> {
     let net = ctx.network(network)?;
     let planner = ctx.planner(net, weights);
-    provision_under_budget(net, &planner, k, weights, budget, None, String::new())
+    provision_under_budget(net, &planner, k, weights, budget, None, String::new(), progress)
 }
 
 /// Shared engine for `provision` and `resume`: run (or continue) the greedy
 /// search under the budget, snapshotting after every iteration. A budget
 /// stop renders the completed prefix and surfaces as [`CliError::Budget`]
 /// (exit code 9) after writing a final snapshot.
+#[allow(clippy::too_many_arguments)]
 fn provision_under_budget(
     net: &Network,
     planner: &Planner,
@@ -210,11 +213,13 @@ fn provision_under_budget(
     budget: &BudgetArgs,
     prior: Option<GreedyLinks>,
     notice: String,
+    progress: bool,
 ) -> Result<String, CliError> {
     let work = budget.to_budget();
     let risk = planner.risk().clone();
     let shares = PopShares::from_shares(planner.shares().shares().to_vec());
     let rebuild = move |aug: &Network| Planner::new(aug, risk.clone(), shares.clone(), weights);
+    let mut heartbeat = progress.then(|| Heartbeat::new(format!("provision {}", net.name())));
     let mut checkpoint_error: Option<String> = None;
     let save = |links: &GreedyLinks, err: &mut Option<String>| {
         if let Some(path) = &budget.checkpoint {
@@ -225,12 +230,28 @@ fn provision_under_budget(
             }
         }
     };
-    let mut on_iteration = |links: &GreedyLinks| save(links, &mut checkpoint_error);
+    let mut on_iteration = |links: &GreedyLinks| {
+        if let Some(hb) = &mut heartbeat {
+            hb.tick(
+                links.added.len() as u64,
+                Some(k as u64),
+                &format!("work {}", work.work_done()),
+            );
+        }
+        save(links, &mut checkpoint_error);
+    };
     let run = match prior {
         Some(p) => greedy_links_resume(net, planner, k, rebuild, p, &work, &mut on_iteration),
         None => greedy_links_budgeted(net, planner, k, rebuild, &work, &mut on_iteration),
     };
     let (result, stopped) = run.into_parts();
+    if let Some(hb) = &mut heartbeat {
+        hb.finish(
+            result.added.len() as u64,
+            Some(k as u64),
+            &format!("work {}", work.work_done()),
+        );
+    }
     if let Some(stopped) = stopped {
         // A deadline can expire before the first iteration ever fires the
         // callback, so always write a final snapshot of the prefix.
@@ -284,7 +305,8 @@ fn render_replay(result: &DisasterReplay, stride: usize) -> String {
 }
 
 /// `riskroute replay <net> <storm> --stride N [--deadline-ms N]
-/// [--max-work N] [--checkpoint <path>]`
+/// [--max-work N] [--checkpoint <path>] [--progress]`
+#[allow(clippy::too_many_arguments)]
 pub fn replay(
     ctx: &CliContext,
     network: &str,
@@ -292,6 +314,7 @@ pub fn replay(
     stride: usize,
     weights: RiskWeights,
     budget: &BudgetArgs,
+    progress: bool,
 ) -> Result<String, CliError> {
     let net = ctx.network(network)?;
     let storm = resolve_storm(storm)?;
@@ -305,6 +328,7 @@ pub fn replay(
         budget,
         Vec::new(),
         String::new(),
+        progress,
     )
 }
 
@@ -322,6 +346,7 @@ fn replay_under_budget(
     budget: &BudgetArgs,
     prior_ticks: Vec<ReplayTick>,
     notice: String,
+    progress: bool,
 ) -> Result<String, CliError> {
     let raws = raw_advisories(storm, stride)?;
     let total = raws.len();
@@ -329,6 +354,8 @@ fn replay_under_budget(
     let all: Vec<usize> = (0..net.pop_count()).collect();
     let storm_key = storm.name().to_lowercase();
     let work = budget.to_budget();
+    let mut heartbeat =
+        progress.then(|| Heartbeat::new(format!("replay {} {storm_key}", net.name())));
     let mut checkpoint_error: Option<String> = None;
     let save = |replay: &DisasterReplay, next: usize, err: &mut Option<String>| {
         if let Some(path) = &budget.checkpoint {
@@ -346,8 +373,16 @@ fn replay_under_budget(
             }
         }
     };
-    let mut on_batch =
-        |replay: &DisasterReplay, next: usize| save(replay, next, &mut checkpoint_error);
+    let mut on_batch = |replay: &DisasterReplay, next: usize| {
+        if let Some(hb) = &mut heartbeat {
+            hb.tick(
+                next as u64,
+                Some(total as u64),
+                &format!("work {}", work.work_done()),
+            );
+        }
+        save(replay, next, &mut checkpoint_error);
+    };
     let run = replay_raw_advisories_budgeted(
         planner,
         net.name(),
@@ -361,6 +396,13 @@ fn replay_under_budget(
         &mut on_batch,
     )?;
     let (result, stopped) = run.into_parts();
+    if let Some(hb) = &mut heartbeat {
+        hb.finish(
+            result.ticks.len() as u64,
+            Some(total as u64),
+            &format!("work {}", work.work_done()),
+        );
+    }
     if let Some(stopped) = stopped {
         // The batch callback only fires at batch boundaries; persist the
         // exact stopping point (ticks are a prefix, so next == len).
@@ -406,6 +448,7 @@ pub fn resume(
     ctx: &CliContext,
     snapshot_path: &str,
     budget: &BudgetArgs,
+    show_progress: bool,
 ) -> Result<String, CliError> {
     let text = std::fs::read_to_string(snapshot_path)
         .map_err(|e| CliError::Io(format!("cannot read snapshot {snapshot_path}: {e}")))?;
@@ -443,7 +486,16 @@ pub fn resume(
                 None => None,
                 Some(SnapshotProgress::Replay { .. }) => return Err(kind_mismatch()),
             };
-            provision_under_budget(net, &planner, k, weights, &budget, prior, notice)
+            provision_under_budget(
+                net,
+                &planner,
+                k,
+                weights,
+                &budget,
+                prior,
+                notice,
+                show_progress,
+            )
         }
         SnapshotJob::Replay {
             network,
@@ -480,6 +532,7 @@ pub fn resume(
                 &budget,
                 prior_ticks,
                 notice,
+                show_progress,
             )
         }
     }
@@ -716,6 +769,16 @@ pub fn chaos(plans: usize, seed: u64) -> Result<String, CliError> {
     let mut all_violations = Vec::new();
     for report in &reports {
         let _ = writeln!(out, "{}", report.summary_line());
+        let fired = report.fired_faults();
+        let _ = writeln!(
+            out,
+            "  fired: {}",
+            if fired.is_empty() {
+                "none".to_string()
+            } else {
+                fired.join(", ")
+            }
+        );
         for v in riskroute::chaos::violations(report) {
             all_violations.push(format!("seed {}: {v}", report.seed));
         }
@@ -731,6 +794,26 @@ pub fn chaos(plans: usize, seed: u64) -> Result<String, CliError> {
          accounted for ({degraded} degraded ticks, {stranded} stranded pairs)",
         reports.len()
     );
+    Ok(out)
+}
+
+/// `riskroute obs-summary <trace.jsonl>`
+///
+/// Reads a `--trace-out` JSONL file and prints a per-span latency table
+/// (count, total, p50, p99), sorted by total time.
+pub fn obs_summary(path: &str) -> Result<String, CliError> {
+    let text = std::fs::read_to_string(path)
+        .map_err(|e| CliError::Io(format!("cannot read trace {path}: {e}")))?;
+    let lines = riskroute_obs::export::parse_jsonl(&text)
+        .map_err(|e| CliError::Core(riskroute::Error::Json(e)))?;
+    let rows = riskroute_obs::summary::summarize_lines(&lines);
+    if rows.is_empty() {
+        return Ok(format!(
+            "{path}: no span events (was the run traced with --trace-out?)\n"
+        ));
+    }
+    let mut out = format!("{path}: spans by total time\n\n");
+    out.push_str(&riskroute_obs::summary::render_table(&rows));
     Ok(out)
 }
 
@@ -774,11 +857,72 @@ mod tests {
     }
 
     #[test]
-    fn chaos_command_summarizes_plans() {
+    fn chaos_command_summarizes_plans_and_reports_fired_faults() {
         let out = chaos(2, 0).unwrap();
         assert!(out.contains("chaos harness: 2 fault plans"));
         assert!(out.contains("seed "));
         assert!(out.contains("2 plans completed: no panics"));
+        // Every plan line is followed by the list of faults that actually
+        // landed (not just pass/fail).
+        assert_eq!(out.matches("  fired: ").count(), 2, "{out}");
+    }
+
+    #[test]
+    fn obs_summary_renders_a_latency_table() {
+        let dir = tmp_dir("riskroute-cli-obs-summary");
+        let path = dir.join("trace.jsonl");
+        let path_s = path.display().to_string();
+        // A trace with two spans of one name and one of another.
+        std::fs::write(
+            &path,
+            "{\"type\":\"span\",\"name\":\"replay_tick\",\"depth\":0,\
+             \"start_us\":0,\"dur_us\":100,\"fields\":[]}\n\
+             {\"type\":\"span\",\"name\":\"replay_tick\",\"depth\":0,\
+             \"start_us\":200,\"dur_us\":300,\"fields\":[]}\n\
+             {\"type\":\"span\",\"name\":\"checkpoint_write\",\"depth\":1,\
+             \"start_us\":50,\"dur_us\":10,\"fields\":[]}\n",
+        )
+        .unwrap();
+        let out = obs_summary(&path_s).unwrap();
+        assert!(out.contains("span"), "{out}");
+        assert!(out.contains("count"), "{out}");
+        assert!(out.contains("p50_us"), "{out}");
+        assert!(out.contains("p99_us"), "{out}");
+        assert!(out.contains("replay_tick"), "{out}");
+        assert!(out.contains("checkpoint_write"), "{out}");
+        // replay_tick has more total time, so it sorts first.
+        assert!(
+            out.find("replay_tick").unwrap() < out.find("checkpoint_write").unwrap(),
+            "{out}"
+        );
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn obs_summary_error_families() {
+        let missing = obs_summary("/no/such/trace.jsonl").unwrap_err();
+        assert!(matches!(missing, CliError::Io(_)));
+        assert_eq!(missing.exit_code(), 4);
+        let dir = tmp_dir("riskroute-cli-obs-garbage");
+        let path = dir.join("bad.jsonl");
+        std::fs::write(&path, "not json at all\n").unwrap();
+        let err = obs_summary(&path.display().to_string()).unwrap_err();
+        assert!(matches!(
+            err,
+            CliError::Core(riskroute::Error::Json(_))
+        ));
+        assert_eq!(err.exit_code(), 5);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn obs_summary_empty_trace_is_a_notice_not_an_error() {
+        let dir = tmp_dir("riskroute-cli-obs-empty");
+        let path = dir.join("empty.jsonl");
+        std::fs::write(&path, "").unwrap();
+        let out = obs_summary(&path.display().to_string()).unwrap();
+        assert!(out.contains("no span events"), "{out}");
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]
@@ -803,6 +947,7 @@ mod tests {
             2,
             RiskWeights::historical_only(1e5),
             &BudgetArgs::default(),
+            false,
         )
         .unwrap();
         assert!(out.contains("best additional links"));
@@ -817,6 +962,7 @@ mod tests {
             20,
             RiskWeights::PAPER,
             &BudgetArgs::default(),
+            false,
         )
         .unwrap();
         assert!(out.contains("KATRINA"));
@@ -842,7 +988,7 @@ mod tests {
             checkpoint: Some(path_s.clone()),
             ..BudgetArgs::default()
         };
-        let err = provision(&ctx, "Sprint", 2, weights, &budget).unwrap_err();
+        let err = provision(&ctx, "Sprint", 2, weights, &budget, false).unwrap_err();
         assert_eq!(err.exit_code(), 9);
         let CliError::Budget(report) = &err else {
             panic!("expected budget exhaustion, got {err:?}");
@@ -853,8 +999,8 @@ mod tests {
         // uninterrupted result.
         let text = std::fs::read_to_string(&path).unwrap();
         riskroute::checkpoint::load_snapshot(&text).unwrap();
-        let resumed = resume(&ctx, &path_s, &BudgetArgs::default()).unwrap();
-        let direct = provision(&ctx, "Sprint", 2, weights, &BudgetArgs::default()).unwrap();
+        let resumed = resume(&ctx, &path_s, &BudgetArgs::default(), false).unwrap();
+        let direct = provision(&ctx, "Sprint", 2, weights, &BudgetArgs::default(), false).unwrap();
         assert!(resumed.starts_with("resuming from "), "{resumed}");
         assert!(
             resumed.ends_with(&direct),
@@ -874,9 +1020,9 @@ mod tests {
             checkpoint: Some(path_s.clone()),
             ..BudgetArgs::default()
         };
-        let err = replay(&ctx, "Telepak", "katrina", 20, RiskWeights::PAPER, &budget).unwrap_err();
+        let err = replay(&ctx, "Telepak", "katrina", 20, RiskWeights::PAPER, &budget, false).unwrap_err();
         assert_eq!(err.exit_code(), 9);
-        let resumed = resume(&ctx, &path_s, &BudgetArgs::default()).unwrap();
+        let resumed = resume(&ctx, &path_s, &BudgetArgs::default(), false).unwrap();
         let direct = replay(
             &ctx,
             "Telepak",
@@ -884,6 +1030,7 @@ mod tests {
             20,
             RiskWeights::PAPER,
             &BudgetArgs::default(),
+            false,
         )
         .unwrap();
         assert!(resumed.starts_with("resuming from "), "{resumed}");
@@ -905,13 +1052,13 @@ mod tests {
             checkpoint: Some(path_s.clone()),
             ..BudgetArgs::default()
         };
-        let _ = replay(&ctx, "Telepak", "katrina", 20, RiskWeights::PAPER, &budget).unwrap_err();
+        let _ = replay(&ctx, "Telepak", "katrina", 20, RiskWeights::PAPER, &budget, false).unwrap_err();
         // Truncate everything past the job line (the common shape of
         // disk-level damage: files lose their tails).
         let text = std::fs::read_to_string(&path).unwrap();
         let cut = text.find("\nprogress ").unwrap() + 1;
         std::fs::write(&path, &text[..cut]).unwrap();
-        let out = resume(&ctx, &path_s, &BudgetArgs::default()).unwrap();
+        let out = resume(&ctx, &path_s, &BudgetArgs::default(), false).unwrap();
         assert!(out.starts_with("degraded mode:"), "{out}");
         let direct = replay(
             &ctx,
@@ -920,6 +1067,7 @@ mod tests {
             20,
             RiskWeights::PAPER,
             &BudgetArgs::default(),
+            false,
         )
         .unwrap();
         assert!(out.ends_with(&direct), "out:\n{out}\ndirect:\n{direct}");
@@ -932,13 +1080,15 @@ mod tests {
         let path = dir.join("snap.txt");
         std::fs::write(&path, "not a snapshot\n").unwrap();
         let ctx = ctx();
-        let err = resume(&ctx, &path.display().to_string(), &BudgetArgs::default()).unwrap_err();
+        let err =
+            resume(&ctx, &path.display().to_string(), &BudgetArgs::default(), false).unwrap_err();
         assert!(matches!(
             err,
             CliError::Core(riskroute::Error::SnapshotIntegrity { .. })
         ));
         assert_eq!(err.exit_code(), 5);
-        let missing = resume(&ctx, "/no/such/snapshot.txt", &BudgetArgs::default()).unwrap_err();
+        let missing =
+            resume(&ctx, "/no/such/snapshot.txt", &BudgetArgs::default(), false).unwrap_err();
         assert!(matches!(missing, CliError::Io(_)));
         let _ = std::fs::remove_dir_all(&dir);
     }

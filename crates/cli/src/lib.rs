@@ -161,14 +161,51 @@ pub fn resolve_storm(name: &str) -> Result<Storm, CliError> {
 
 /// Run a parsed CLI invocation to an output string.
 ///
+/// When `--metrics-out` / `--trace-out` is given, the global collector is
+/// enabled around the command and a snapshot is exported afterwards —
+/// including on failure, so a budget-exhausted run (exit 9) still leaves
+/// its metrics behind. An export failure surfaces as [`CliError::Io`] only
+/// when the command itself succeeded; it never masks the command's error.
+///
 /// # Errors
 /// A [`CliError`] whose family determines the process exit code
 /// (see [`CliError::exit_code`]).
 pub fn run(cli: &Cli) -> Result<String, CliError> {
+    if !cli.obs.wants_collection() {
+        return run_command(cli);
+    }
+    riskroute_obs::reset();
+    riskroute_obs::enable();
+    let result = run_command(cli);
+    riskroute_obs::disable();
+    let snap = riskroute_obs::snapshot();
+    let mut export_error: Option<CliError> = None;
+    let outputs = [
+        (&cli.obs.trace_out, riskroute_obs::export::to_jsonl(&snap)),
+        (&cli.obs.metrics_out, riskroute_obs::export::to_prometheus(&snap)),
+    ];
+    for (path, payload) in &outputs {
+        if let Some(path) = path {
+            if let Err(e) = riskroute_obs::export::write_atomic(path, payload) {
+                export_error.get_or_insert(CliError::Io(format!("cannot write {path}: {e}")));
+            }
+        }
+    }
+    match (result, export_error) {
+        (Ok(_), Some(err)) => Err(err),
+        (result, _) => result,
+    }
+}
+
+fn run_command(cli: &Cli) -> Result<String, CliError> {
     // The chaos harness builds its own faulted substrates per plan; it does
-    // not need (and must not share) the CLI context.
+    // not need (and must not share) the CLI context. obs-summary only reads
+    // a trace file.
     if let Command::Chaos { plans, seed } = &cli.command {
         return commands::chaos(*plans, *seed);
+    }
+    if let Command::ObsSummary { path } = &cli.command {
+        return commands::obs_summary(path);
     }
     let ctx = CliContext::build(&cli.graphml)?;
     match &cli.command {
@@ -183,15 +220,25 @@ pub fn run(cli: &Cli) -> Result<String, CliError> {
             k,
         } => commands::backup(&ctx, network, src, dst, *k, cli.weights()),
         Command::Provision { network, k, budget } => {
-            commands::provision(&ctx, network, *k, cli.weights(), budget)
+            commands::provision(&ctx, network, *k, cli.weights(), budget, cli.obs.progress)
         }
         Command::Replay {
             network,
             storm,
             stride,
             budget,
-        } => commands::replay(&ctx, network, storm, *stride, cli.weights(), budget),
-        Command::Resume { snapshot, budget } => commands::resume(&ctx, snapshot, budget),
+        } => commands::replay(
+            &ctx,
+            network,
+            storm,
+            *stride,
+            cli.weights(),
+            budget,
+            cli.obs.progress,
+        ),
+        Command::Resume { snapshot, budget } => {
+            commands::resume(&ctx, snapshot, budget, cli.obs.progress)
+        }
         Command::Critical { network } => commands::critical(&ctx, network),
         Command::Corridors { network } => commands::corridors(&ctx, network),
         Command::Ospf { network } => commands::ospf(&ctx, network, cli.weights()),
@@ -201,7 +248,9 @@ pub fn run(cli: &Cli) -> Result<String, CliError> {
             format,
             out,
         } => commands::export(&ctx, network, format, out.as_deref()),
-        Command::Chaos { .. } => unreachable!("chaos is dispatched before context build"),
+        Command::Chaos { .. } | Command::ObsSummary { .. } => {
+            unreachable!("dispatched before context build")
+        }
     }
 }
 

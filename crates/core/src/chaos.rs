@@ -201,6 +201,29 @@ impl ChaosReport {
             self.snapshot_job_recovered,
         )
     }
+
+    /// Which fault-plan entries actually fired (injected a nonzero amount
+    /// of damage), as `"kind(count)"` labels. A plan can request a fault
+    /// that lands nowhere (e.g. a tiny fraction of a tiny network), so the
+    /// fired list — not the plan — is the ground truth of what this run
+    /// exercised.
+    pub fn fired_faults(&self) -> Vec<String> {
+        let mut fired = Vec::new();
+        let mut push = |label: &str, n: usize| {
+            if n > 0 {
+                fired.push(format!("{label}({n})"));
+            }
+        };
+        push("drop_links", self.dropped_links);
+        push("corrupt_advisories", self.corrupted_advisories);
+        push("delete_events", self.deleted_events);
+        push("zero_shares", self.zeroed_blocks);
+        push("poison_costs", self.poisoned_pops);
+        if self.snapshot_fault != SnapshotFault::None.name() {
+            fired.push(format!("snapshot({})", self.snapshot_fault));
+        }
+        fired
+    }
 }
 
 /// Pick `fraction` of `0..n` (rounded, at least one when the fraction is
@@ -433,7 +456,7 @@ pub fn run_chaos(plan: &FaultPlan) -> Result<ChaosReport, Error> {
         "an uninformative sweep must account for its pairs as stranded"
     );
 
-    Ok(ChaosReport {
+    let chaos_report = ChaosReport {
         seed: plan.seed,
         network: network.name().to_string(),
         storm: storm.name().to_string(),
@@ -450,7 +473,22 @@ pub fn run_chaos(plan: &FaultPlan) -> Result<ChaosReport, Error> {
         snapshot_fault: plan.snapshot_fault.name().to_string(),
         snapshot_contract_held,
         snapshot_job_recovered,
-    })
+    };
+    if riskroute_obs::is_enabled() {
+        riskroute_obs::counter_add("chaos_runs", 1);
+        riskroute_obs::counter_add("chaos_faults_links_dropped", dropped_links as u64);
+        riskroute_obs::counter_add(
+            "chaos_faults_advisories_corrupted",
+            corrupted_advisories as u64,
+        );
+        riskroute_obs::counter_add("chaos_faults_events_deleted", deleted_events as u64);
+        riskroute_obs::counter_add("chaos_faults_shares_zeroed", zeroed.len() as u64);
+        riskroute_obs::counter_add("chaos_faults_costs_poisoned", poisoned.len() as u64);
+        if plan.snapshot_fault != SnapshotFault::None {
+            riskroute_obs::counter_add("chaos_faults_snapshot", 1);
+        }
+    }
+    Ok(chaos_report)
 }
 
 /// Run a whole suite of seeded plans; every plan must complete (the no-panic

@@ -209,18 +209,28 @@ pub fn fnv1a_64(bytes: &[u8]) -> u64 {
 /// Any I/O error from the write or rename; the temp file is cleaned up on
 /// a failed rename.
 pub fn write_atomic(path: impl AsRef<Path>, contents: &str) -> std::io::Result<()> {
+    let span = riskroute_obs::span!("checkpoint_write");
+    let start = riskroute_obs::is_enabled().then(std::time::Instant::now);
     let path = path.as_ref();
     let mut tmp = path.as_os_str().to_owned();
     tmp.push(format!(".tmp.{}", std::process::id()));
     let tmp = std::path::PathBuf::from(tmp);
     std::fs::write(&tmp, contents)?;
-    match std::fs::rename(&tmp, path) {
+    let result = match std::fs::rename(&tmp, path) {
         Ok(()) => Ok(()),
         Err(e) => {
             let _ = std::fs::remove_file(&tmp);
             Err(e)
         }
+    };
+    let mut span = span;
+    if let Some(start) = start {
+        span.field("bytes", contents.len());
+        riskroute_obs::counter_add("checkpoint_writes", 1);
+        riskroute_obs::counter_add("checkpoint_bytes_written", contents.len() as u64);
+        riskroute_obs::histogram_observe("checkpoint_write_seconds", start.elapsed().as_secs_f64());
     }
+    result
 }
 
 fn integrity(reason: impl Into<String>) -> Error {
@@ -241,6 +251,12 @@ fn shape(e: &JsonError) -> Error {
 /// magic, truncated sections, checksum mismatches, undecodable JSON, or a
 /// job/progress kind mismatch.
 pub fn load_snapshot(text: &str) -> Result<Snapshot, Error> {
+    let mut span = riskroute_obs::span!("checkpoint_load");
+    if span.is_active() {
+        span.field("bytes", text.len());
+        riskroute_obs::counter_add("checkpoint_loads", 1);
+        riskroute_obs::counter_add("checkpoint_bytes_read", text.len() as u64);
+    }
     let mut lines = text.lines();
     let header = lines.next().ok_or_else(|| integrity("empty snapshot"))?;
     let version_text = header

@@ -45,6 +45,7 @@ impl InterdomainTopology {
     /// Panics on duplicate network names or an empty network list.
     pub fn merge(networks: &[&Network], peering: &PeeringGraph, colocation_miles: f64) -> Self {
         assert!(!networks.is_empty(), "need at least one network");
+        let span = riskroute_obs::span!("interdomain_merge", networks = networks.len());
         let mut name_index = HashMap::new();
         let mut names = Vec::with_capacity(networks.len());
         let mut ranges = Vec::with_capacity(networks.len());
@@ -115,6 +116,13 @@ impl InterdomainTopology {
             // screened above — structural validity holds by construction.
             Err(_) => unreachable!("merged topology is structurally valid"),
         };
+        let mut span = span;
+        if span.is_active() {
+            span.field("merged_pops", merged.pop_count());
+            span.field("handoff_links", handoff_links);
+            riskroute_obs::counter_add("interdomain_merges", 1);
+            riskroute_obs::counter_add("interdomain_handoff_links", handoff_links as u64);
+        }
         InterdomainTopology {
             merged,
             provenance,

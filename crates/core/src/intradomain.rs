@@ -196,6 +196,7 @@ impl Planner {
     /// the cross-component pairs are surfaced as `stranded` instead of
     /// aborting the aggregation.
     pub fn pair_sweep(&self, sources: &[usize], dests: &[usize]) -> PairSweep {
+        let span = riskroute_obs::span!("pair_sweep");
         let mut outcomes = Vec::with_capacity(sources.len() * dests.len());
         let mut stranded = Vec::new();
         for &i in sources {
@@ -226,6 +227,15 @@ impl Planner {
                     shortest,
                 });
             }
+        }
+        let mut span = span;
+        if span.is_active() {
+            span.field("pairs_routed", outcomes.len());
+            span.field("pairs_stranded", stranded.len());
+            riskroute_obs::counter_add("pairs_routed", outcomes.len() as u64);
+            riskroute_obs::counter_add("pairs_stranded", stranded.len() as u64);
+            let bit_risk: f64 = outcomes.iter().map(|o| o.risk_route.bit_risk_miles).sum();
+            riskroute_obs::gauge_set("pair_sweep_bit_risk_miles", bit_risk);
         }
         PairSweep { outcomes, stranded }
     }
@@ -258,6 +268,7 @@ impl Planner {
     /// Total aggregated bit-risk miles `Σ_{i<j} min_p r_{i,j}(p)` — the
     /// objective of the provisioning analysis (Eq. 4).
     pub fn aggregate_bit_risk(&self) -> f64 {
+        let span = riskroute_obs::span!("aggregate_bit_risk");
         let n = self.pop_count();
         let mut total = 0.0;
         for i in 0..n {
@@ -266,6 +277,12 @@ impl Planner {
                     total += p.bit_risk_miles;
                 }
             }
+        }
+        let mut span = span;
+        if span.is_active() {
+            span.field("total_bit_risk_miles", total);
+            riskroute_obs::counter_add("aggregate_bit_risk_runs", 1);
+            riskroute_obs::gauge_set("aggregate_bit_risk_miles", total);
         }
         total
     }

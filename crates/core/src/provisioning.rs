@@ -149,6 +149,7 @@ pub fn score_candidates_budgeted(
     budget: &WorkBudget,
 ) -> Vec<CandidateLink> {
     budget.charge(candidates.len() as u64);
+    riskroute_obs::counter_add("provision_candidates_scored", candidates.len() as u64);
     let n = network.pop_count();
     let w = planner.weights();
     let risk = planner.risk();
@@ -348,7 +349,9 @@ pub fn greedy_links_resume(
     };
     let mut result = prior;
     while result.added.len() < k {
+        riskroute_obs::counter_add("provision_budget_checks", 1);
         if let Some(stopped) = budget.exhausted() {
+            riskroute_obs::counter_add("provision_budget_stops", 1);
             let resume_state = ProvisionResume {
                 next_iteration: result.added.len(),
             };
@@ -358,6 +361,12 @@ pub fn greedy_links_resume(
                 stopped,
             };
         }
+        let round = result.added.len();
+        let mut round_span = riskroute_obs::span!("provision_round", round = round);
+        let prev_total = result
+            .added
+            .last()
+            .map_or(result.original_bit_risk, |l| l.total_bit_risk);
         let Some(best) =
             best_additional_link_adaptive_budgeted(&current_net, &current_planner, budget)
         else {
@@ -368,6 +377,14 @@ pub fn greedy_links_resume(
         // Re-measure exactly (the sweep's total is exact already, but
         // recomputing guards the invariant under the rebuilt planner).
         let total = current_planner.aggregate_bit_risk();
+        if round_span.is_active() {
+            let gain = prev_total - total;
+            round_span.field("gain_bit_risk_miles", gain);
+            round_span.field("total_bit_risk_miles", total);
+            riskroute_obs::counter_add("provision_rounds", 1);
+            riskroute_obs::gauge_set("provision_best_gain", gain);
+            riskroute_obs::gauge_set("provision_total_bit_risk_miles", total);
+        }
         result.added.push(CandidateLink {
             total_bit_risk: total,
             ..best

@@ -270,9 +270,18 @@ pub fn replay_raw_advisories_budgeted(
                 stopped,
             });
         }
-        replay
-            .ticks
-            .push(tick_for_raw(&mut planner, raw, locations, sources, dests));
+        let mut tick_span = riskroute_obs::span!("replay_tick");
+        let tick = tick_for_raw(&mut planner, raw, locations, sources, dests);
+        if tick_span.is_active() {
+            tick_span.field("advisory", tick.advisory);
+            tick_span.field("degraded", u64::from(tick.degraded));
+            riskroute_obs::counter_add("replay_ticks", 1);
+            if tick.degraded {
+                riskroute_obs::counter_add("replay_degraded_ticks", 1);
+            }
+        }
+        drop(tick_span);
+        replay.ticks.push(tick);
         budget.charge(1);
         since_batch += 1;
         if since_batch == CHECKPOINT_BATCH {

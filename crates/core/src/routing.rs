@@ -159,7 +159,13 @@ pub fn risk_sssp(adj: &Adjacency, source: usize, entry_cost: impl Fn(usize) -> f
         cost: 0.0,
         node: source,
     });
+    // Hot loop: count into plain locals, publish once at the end — the
+    // disabled-mode overhead stays a single branch.
+    let mut pops: u64 = 0;
+    let mut relaxations: u64 = 0;
+    let mut heap_peak: usize = heap.len();
     while let Some(Entry { cost, node }) = heap.pop() {
+        pops += 1;
         if settled[node] {
             continue;
         }
@@ -172,12 +178,20 @@ pub fn risk_sssp(adj: &Adjacency, source: usize, entry_cost: impl Fn(usize) -> f
             if next < dist[v] {
                 dist[v] = next;
                 pred[v] = Some(node);
+                relaxations += 1;
                 heap.push(Entry {
                     cost: next,
                     node: v,
                 });
+                heap_peak = heap_peak.max(heap.len());
             }
         }
+    }
+    if riskroute_obs::is_enabled() {
+        riskroute_obs::counter_add("risk_sssp_runs", 1);
+        riskroute_obs::counter_add("risk_sssp_pops", pops);
+        riskroute_obs::counter_add("risk_sssp_relaxations", relaxations);
+        riskroute_obs::gauge_max("risk_sssp_heap_peak", heap_peak as f64);
     }
     RiskTree { source, dist, pred }
 }

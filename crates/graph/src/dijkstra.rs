@@ -129,7 +129,14 @@ fn sssp_with_target(g: &Graph, source: NodeId, target: Option<NodeId>) -> Shorte
         node: source,
     });
 
+    // Hot loop: accumulate plain locals and publish to the collector once
+    // at the end, so the disabled-mode cost stays a single branch.
+    let mut pops: u64 = 0;
+    let mut relaxations: u64 = 0;
+    let mut heap_peak: usize = heap.len();
+
     while let Some(HeapEntry { cost, node }) = heap.pop() {
+        pops += 1;
         if settled[node] {
             continue;
         }
@@ -145,12 +152,21 @@ fn sssp_with_target(g: &Graph, source: NodeId, target: Option<NodeId>) -> Shorte
             if next < dist[v] {
                 dist[v] = next;
                 pred[v] = Some(node);
+                relaxations += 1;
                 heap.push(HeapEntry {
                     cost: next,
                     node: v,
                 });
+                heap_peak = heap_peak.max(heap.len());
             }
         }
+    }
+
+    if riskroute_obs::is_enabled() {
+        riskroute_obs::counter_add("dijkstra_runs", 1);
+        riskroute_obs::counter_add("dijkstra_pops", pops);
+        riskroute_obs::counter_add("dijkstra_relaxations", relaxations);
+        riskroute_obs::gauge_max("dijkstra_heap_peak", heap_peak as f64);
     }
 
     ShortestPathTree { source, dist, pred }

@@ -30,6 +30,7 @@ pub fn k_shortest_paths(g: &Graph, s: NodeId, t: NodeId, k: usize) -> Vec<Ranked
     };
     let mut found = vec![RankedPath { cost, nodes }];
     let mut candidates: Vec<RankedPath> = Vec::new();
+    let mut spur_searches: u64 = 0;
 
     while found.len() < k {
         let Some(last) = found.last().cloned() else {
@@ -51,6 +52,7 @@ pub fn k_shortest_paths(g: &Graph, s: NodeId, t: NodeId, k: usize) -> Vec<Ranked
             }
             let banned_nodes: Vec<NodeId> = root[..spur_idx].to_vec();
 
+            spur_searches += 1;
             if let Some((spur_cost, spur_nodes)) =
                 masked_shortest_path(g, spur_node, t, &banned_edges, &banned_nodes)
             {
@@ -85,6 +87,11 @@ pub fn k_shortest_paths(g: &Graph, s: NodeId, t: NodeId, k: usize) -> Vec<Ranked
             break; // unreachable: candidates checked non-empty above
         };
         found.push(candidates.swap_remove(best));
+    }
+    if riskroute_obs::is_enabled() {
+        riskroute_obs::counter_add("yen_runs", 1);
+        riskroute_obs::counter_add("yen_spur_searches", spur_searches);
+        riskroute_obs::counter_add("yen_paths_found", found.len() as u64);
     }
     found
 }

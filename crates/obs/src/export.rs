@@ -1,0 +1,468 @@
+//! Snapshot exporters: JSON Lines (via `riskroute-json`) and the
+//! Prometheus text-exposition format, plus atomic file writes.
+//!
+//! # JSONL layout
+//!
+//! One self-describing object per line, discriminated by `"type"`:
+//!
+//! ```text
+//! {"type":"meta","dropped_events":0}
+//! {"type":"span","name":"pair_sweep","depth":0,"start_us":12,"dur_us":340,
+//!  "fields":[["pairs",12],["net","Level3"]]}
+//! {"type":"counter","name":"dijkstra_pops","value":8123}
+//! {"type":"gauge","name":"dijkstra_heap_peak","value":41}
+//! {"type":"histogram","name":"checkpoint_write_seconds","sum":0.01,"count":3,
+//!  "bounds":[...],"counts":[...]}
+//! ```
+//!
+//! Numbers travel as JSON doubles, so integer values above 2^53 lose
+//! precision; nothing in this pipeline approaches that.
+
+use crate::{FieldValue, Histogram, MetricsSnapshot, SpanRecord, SpanStat};
+use riskroute_json::{Json, JsonError};
+use std::fmt::Write as _;
+use std::path::Path;
+
+/// One parsed line of a JSONL export.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ObsLine {
+    /// Export header: events discarded by the buffer cap.
+    Meta {
+        /// Count of discarded span events.
+        dropped_events: u64,
+    },
+    /// A span event.
+    Span(SpanRecord),
+    /// A counter reading.
+    Counter {
+        /// Counter name.
+        name: String,
+        /// Final value.
+        value: u64,
+    },
+    /// A gauge reading.
+    Gauge {
+        /// Gauge name.
+        name: String,
+        /// Final value.
+        value: f64,
+    },
+    /// A histogram reading.
+    Histogram {
+        /// Histogram name.
+        name: String,
+        /// The exported histogram.
+        histogram: Histogram,
+    },
+}
+
+fn field_value_to_json(v: &FieldValue) -> Json {
+    match v {
+        FieldValue::U64(n) => Json::Num(*n as f64),
+        FieldValue::F64(x) => Json::Num(*x),
+        FieldValue::Str(s) => Json::Str(s.clone()),
+    }
+}
+
+fn field_value_from_json(v: &Json) -> Result<FieldValue, JsonError> {
+    match v {
+        Json::Num(n) if n.fract() == 0.0 && *n >= 0.0 && *n <= 2f64.powi(53) => {
+            Ok(FieldValue::U64(*n as u64))
+        }
+        Json::Num(n) => Ok(FieldValue::F64(*n)),
+        Json::Str(s) => Ok(FieldValue::Str(s.clone())),
+        other => Err(JsonError::Shape(format!(
+            "expected number or string field value, got {other:?}"
+        ))),
+    }
+}
+
+fn span_to_json(s: &SpanRecord) -> Json {
+    // Fields travel as [key, value] pairs (not an object) so insertion
+    // order survives the round trip.
+    let fields: Vec<Json> = s
+        .fields
+        .iter()
+        .map(|(k, v)| Json::Arr(vec![Json::Str(k.clone()), field_value_to_json(v)]))
+        .collect();
+    Json::obj([
+        ("type", Json::Str("span".into())),
+        ("name", Json::Str(s.name.clone())),
+        ("depth", Json::Num(f64::from(s.depth))),
+        ("start_us", Json::Num(s.start_us as f64)),
+        ("dur_us", Json::Num(s.duration_us as f64)),
+        ("fields", Json::Arr(fields)),
+    ])
+}
+
+fn num_arr<T: Copy + Into<f64>>(xs: &[T]) -> Json {
+    Json::Arr(xs.iter().map(|&x| Json::Num(x.into())).collect())
+}
+
+/// Render a snapshot as JSON Lines.
+pub fn to_jsonl(snap: &MetricsSnapshot) -> String {
+    let mut out = String::new();
+    let meta = Json::obj([
+        ("type", Json::Str("meta".into())),
+        ("dropped_events", Json::Num(snap.dropped_events as f64)),
+    ]);
+    let _ = writeln!(out, "{}", meta.to_string_compact());
+    for s in &snap.spans {
+        let _ = writeln!(out, "{}", span_to_json(s).to_string_compact());
+    }
+    for (name, &value) in &snap.counters {
+        let line = Json::obj([
+            ("type", Json::Str("counter".into())),
+            ("name", Json::Str(name.clone())),
+            ("value", Json::Num(value as f64)),
+        ]);
+        let _ = writeln!(out, "{}", line.to_string_compact());
+    }
+    for (name, &value) in &snap.gauges {
+        let line = Json::obj([
+            ("type", Json::Str("gauge".into())),
+            ("name", Json::Str(name.clone())),
+            ("value", Json::Num(value)),
+        ]);
+        let _ = writeln!(out, "{}", line.to_string_compact());
+    }
+    for (name, h) in &snap.histograms {
+        let counts: Vec<f64> = h.counts().iter().map(|&c| c as f64).collect();
+        let line = Json::obj([
+            ("type", Json::Str("histogram".into())),
+            ("name", Json::Str(name.clone())),
+            ("sum", Json::Num(h.sum())),
+            ("count", Json::Num(h.count() as f64)),
+            ("bounds", num_arr(h.bounds())),
+            ("counts", num_arr(&counts)),
+        ]);
+        let _ = writeln!(out, "{}", line.to_string_compact());
+    }
+    out
+}
+
+fn parse_span(v: &Json) -> Result<SpanRecord, JsonError> {
+    let mut fields = Vec::new();
+    for pair in v.field("fields")?.as_arr()? {
+        let [k, fv] = pair.as_arr()? else {
+            return Err(JsonError::Shape("span field is not a [key, value] pair".into()));
+        };
+        fields.push((k.as_str()?.to_string(), field_value_from_json(fv)?));
+    }
+    Ok(SpanRecord {
+        name: v.field("name")?.as_str()?.to_string(),
+        depth: v.field("depth")?.as_usize()? as u32,
+        start_us: v.field("start_us")?.as_usize()? as u64,
+        duration_us: v.field("dur_us")?.as_usize()? as u64,
+        fields,
+    })
+}
+
+fn parse_histogram(v: &Json) -> Result<(String, Histogram), JsonError> {
+    let name = v.field("name")?.as_str()?.to_string();
+    let bounds = v
+        .field("bounds")?
+        .as_arr()?
+        .iter()
+        .map(Json::as_f64)
+        .collect::<Result<Vec<f64>, _>>()?;
+    let counts = v
+        .field("counts")?
+        .as_arr()?
+        .iter()
+        .map(|c| c.as_usize().map(|n| n as u64))
+        .collect::<Result<Vec<u64>, _>>()?;
+    let sum = v.field("sum")?.as_f64()?;
+    let histogram = Histogram::from_parts(bounds, counts, sum).ok_or_else(|| {
+        JsonError::Shape(format!("histogram {name:?}: counts do not match bounds"))
+    })?;
+    Ok((name, histogram))
+}
+
+/// Parse a JSONL export back into typed lines. Blank lines are skipped;
+/// any malformed line fails the whole parse (exports are machine-written).
+pub fn parse_jsonl(text: &str) -> Result<Vec<ObsLine>, JsonError> {
+    let mut out = Vec::new();
+    for line in text.lines() {
+        if line.trim().is_empty() {
+            continue;
+        }
+        let v = riskroute_json::parse(line)?;
+        let kind = v.field("type")?.as_str()?.to_string();
+        out.push(match kind.as_str() {
+            "meta" => ObsLine::Meta {
+                dropped_events: v.field("dropped_events")?.as_usize()? as u64,
+            },
+            "span" => ObsLine::Span(parse_span(&v)?),
+            "counter" => ObsLine::Counter {
+                name: v.field("name")?.as_str()?.to_string(),
+                value: v.field("value")?.as_usize()? as u64,
+            },
+            "gauge" => ObsLine::Gauge {
+                name: v.field("name")?.as_str()?.to_string(),
+                value: v.field("value")?.as_f64()?,
+            },
+            "histogram" => {
+                let (name, histogram) = parse_histogram(&v)?;
+                ObsLine::Histogram { name, histogram }
+            }
+            other => {
+                return Err(JsonError::Shape(format!("unknown line type {other:?}")));
+            }
+        });
+    }
+    Ok(out)
+}
+
+/// Reassemble a [`MetricsSnapshot`] from parsed JSONL lines (span_stats
+/// are rebuilt from the span events, so they reflect only buffered spans).
+pub fn snapshot_from_lines(lines: &[ObsLine]) -> MetricsSnapshot {
+    let mut snap = MetricsSnapshot::default();
+    for line in lines {
+        match line {
+            ObsLine::Meta { dropped_events } => snap.dropped_events = *dropped_events,
+            ObsLine::Span(s) => {
+                let stat = snap.span_stats.entry(s.name.clone()).or_insert(SpanStat {
+                    count: 0,
+                    total_us: 0,
+                });
+                stat.count += 1;
+                stat.total_us += s.duration_us;
+                snap.spans.push(s.clone());
+            }
+            ObsLine::Counter { name, value } => {
+                snap.counters.insert(name.clone(), *value);
+            }
+            ObsLine::Gauge { name, value } => {
+                snap.gauges.insert(name.clone(), *value);
+            }
+            ObsLine::Histogram { name, histogram } => {
+                snap.histograms.insert(name.clone(), histogram.clone());
+            }
+        }
+    }
+    snap
+}
+
+/// Restrict a metric name to the Prometheus charset `[a-zA-Z0-9_:]`,
+/// mapping anything else to `_` (and prefixing `_` if it starts with a
+/// digit).
+pub fn sanitize_metric_name(name: &str) -> String {
+    let mut out = String::with_capacity(name.len());
+    for (i, c) in name.chars().enumerate() {
+        let ok = c.is_ascii_alphabetic() || c == '_' || c == ':' || (i > 0 && c.is_ascii_digit());
+        if i == 0 && c.is_ascii_digit() {
+            out.push('_');
+        }
+        out.push(if ok || c.is_ascii_digit() { c } else { '_' });
+    }
+    if out.is_empty() {
+        out.push('_');
+    }
+    out
+}
+
+/// Escape a Prometheus label value: `\` → `\\`, `"` → `\"`, newline →
+/// `\n`.
+pub fn escape_label_value(value: &str) -> String {
+    let mut out = String::with_capacity(value.len());
+    for c in value.chars() {
+        match c {
+            '\\' => out.push_str("\\\\"),
+            '"' => out.push_str("\\\""),
+            '\n' => out.push_str("\\n"),
+            other => out.push(other),
+        }
+    }
+    out
+}
+
+/// Render a snapshot in the Prometheus text-exposition format. All series
+/// carry the `riskroute_` prefix; per-span latency totals become a
+/// `riskroute_span_seconds` summary with a `span` label.
+pub fn to_prometheus(snap: &MetricsSnapshot) -> String {
+    let mut out = String::new();
+    for (name, &value) in &snap.counters {
+        let n = format!("riskroute_{}", sanitize_metric_name(name));
+        let _ = writeln!(out, "# TYPE {n} counter");
+        let _ = writeln!(out, "{n} {value}");
+    }
+    for (name, &value) in &snap.gauges {
+        let n = format!("riskroute_{}", sanitize_metric_name(name));
+        let _ = writeln!(out, "# TYPE {n} gauge");
+        let _ = writeln!(out, "{n} {value}");
+    }
+    for (name, h) in &snap.histograms {
+        let n = format!("riskroute_{}", sanitize_metric_name(name));
+        let _ = writeln!(out, "# TYPE {n} histogram");
+        let cumulative = h.cumulative();
+        for (bound, cum) in h.bounds().iter().zip(&cumulative) {
+            let _ = writeln!(out, "{n}_bucket{{le=\"{bound}\"}} {cum}");
+        }
+        let total = cumulative.last().copied().unwrap_or(0);
+        let _ = writeln!(out, "{n}_bucket{{le=\"+Inf\"}} {total}");
+        let _ = writeln!(out, "{n}_sum {}", h.sum());
+        let _ = writeln!(out, "{n}_count {}", h.count());
+    }
+    if !snap.span_stats.is_empty() {
+        let _ = writeln!(out, "# TYPE riskroute_span_seconds summary");
+        for (name, stat) in &snap.span_stats {
+            let label = escape_label_value(name);
+            let _ = writeln!(
+                out,
+                "riskroute_span_seconds_sum{{span=\"{label}\"}} {}",
+                stat.total_us as f64 / 1e6
+            );
+            let _ = writeln!(
+                out,
+                "riskroute_span_seconds_count{{span=\"{label}\"}} {}",
+                stat.count
+            );
+        }
+    }
+    out
+}
+
+/// Write `contents` atomically: to a `.tmp.<pid>` sibling first, then
+/// rename over `path` (the checkpoint pattern — readers never observe a
+/// partial file).
+///
+/// # Errors
+/// Any I/O error from the write or the rename; the temp file is removed
+/// if the rename fails.
+pub fn write_atomic(path: impl AsRef<Path>, contents: &str) -> std::io::Result<()> {
+    let path = path.as_ref();
+    let mut tmp = path.as_os_str().to_owned();
+    tmp.push(format!(".tmp.{}", std::process::id()));
+    let tmp = std::path::PathBuf::from(tmp);
+    std::fs::write(&tmp, contents)?;
+    match std::fs::rename(&tmp, path) {
+        Ok(()) => Ok(()),
+        Err(e) => {
+            let _ = std::fs::remove_file(&tmp);
+            Err(e)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    #![allow(clippy::unwrap_used, clippy::expect_used)]
+    use super::*;
+
+    fn sample_snapshot() -> MetricsSnapshot {
+        let mut snap = MetricsSnapshot {
+            dropped_events: 2,
+            ..MetricsSnapshot::default()
+        };
+        snap.spans.push(SpanRecord {
+            name: "pair_sweep".into(),
+            depth: 0,
+            start_us: 10,
+            duration_us: 340,
+            fields: vec![
+                ("pairs".into(), FieldValue::U64(12)),
+                ("ratio".into(), FieldValue::F64(2.5)),
+                ("net".into(), FieldValue::Str("Level3".into())),
+            ],
+        });
+        snap.counters.insert("dijkstra_pops".into(), 8123);
+        snap.gauges.insert("heap_peak".into(), 41.0);
+        let mut h = Histogram::new(vec![0.001, 0.01]);
+        h.observe(0.0005);
+        h.observe(0.5);
+        snap.histograms.insert("write_seconds".into(), h);
+        snap.span_stats.insert(
+            "pair_sweep".into(),
+            SpanStat {
+                count: 1,
+                total_us: 340,
+            },
+        );
+        snap
+    }
+
+    #[test]
+    fn jsonl_round_trips_through_riskroute_json() {
+        let snap = sample_snapshot();
+        let text = to_jsonl(&snap);
+        let lines = parse_jsonl(&text).unwrap();
+        let back = snapshot_from_lines(&lines);
+        assert_eq!(back.dropped_events, 2);
+        assert_eq!(back.spans, snap.spans);
+        assert_eq!(back.counters, snap.counters);
+        assert_eq!(back.gauges, snap.gauges);
+        assert_eq!(back.histograms, snap.histograms);
+        assert_eq!(back.span_stats, snap.span_stats);
+    }
+
+    #[test]
+    fn parse_rejects_garbage_and_unknown_types() {
+        assert!(parse_jsonl("not json").is_err());
+        assert!(parse_jsonl("{\"type\":\"mystery\"}").is_err());
+        assert!(parse_jsonl("{\"no_type\":1}").is_err());
+        // Blank lines are fine.
+        assert_eq!(parse_jsonl("\n\n").unwrap(), vec![]);
+    }
+
+    #[test]
+    fn prometheus_escaping_and_sanitizing() {
+        assert_eq!(sanitize_metric_name("a.b-c d"), "a_b_c_d");
+        assert_eq!(sanitize_metric_name("9lives"), "_9lives");
+        assert_eq!(sanitize_metric_name(""), "_");
+        assert_eq!(
+            escape_label_value("a\"b\\c\nd"),
+            "a\\\"b\\\\c\\nd"
+        );
+    }
+
+    #[test]
+    fn prometheus_renders_all_families() {
+        let mut snap = sample_snapshot();
+        snap.span_stats.insert(
+            "odd \"name\"\\path".into(),
+            SpanStat {
+                count: 3,
+                total_us: 3_000_000,
+            },
+        );
+        let text = to_prometheus(&snap);
+        assert!(text.contains("# TYPE riskroute_dijkstra_pops counter"));
+        assert!(text.contains("riskroute_dijkstra_pops 8123"));
+        assert!(text.contains("# TYPE riskroute_heap_peak gauge"));
+        assert!(text.contains("riskroute_write_seconds_bucket{le=\"0.001\"} 1"));
+        assert!(text.contains("riskroute_write_seconds_bucket{le=\"+Inf\"} 2"));
+        assert!(text.contains("riskroute_write_seconds_count 2"));
+        assert!(text.contains("riskroute_span_seconds_sum{span=\"pair_sweep\"} 0.00034"));
+        assert!(text.contains("riskroute_span_seconds_count{span=\"odd \\\"name\\\"\\\\path\"} 3"));
+    }
+
+    #[test]
+    fn cumulative_bucket_counts_are_monotone() {
+        let snap = sample_snapshot();
+        let text = to_prometheus(&snap);
+        let mut last = 0;
+        for line in text.lines().filter(|l| l.contains("_bucket")) {
+            let v: u64 = line.rsplit(' ').next().unwrap().parse().unwrap();
+            assert!(v >= last);
+            last = v;
+        }
+    }
+
+    #[test]
+    fn write_atomic_replaces_and_cleans_up() {
+        let dir = std::env::temp_dir().join("riskroute-obs-atomic");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("metrics.prom");
+        write_atomic(&path, "one\n").unwrap();
+        write_atomic(&path, "two\n").unwrap();
+        assert_eq!(std::fs::read_to_string(&path).unwrap(), "two\n");
+        // No stray temp files.
+        let leftovers: Vec<_> = std::fs::read_dir(&dir)
+            .unwrap()
+            .filter_map(|e| e.ok())
+            .filter(|e| e.file_name().to_string_lossy().contains(".tmp."))
+            .collect();
+        assert!(leftovers.is_empty());
+    }
+}

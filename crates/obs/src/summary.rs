@@ -1,0 +1,145 @@
+//! Per-span latency summaries over recorded trace events.
+
+use crate::export::ObsLine;
+use std::collections::BTreeMap;
+
+/// Aggregated latency statistics for one span name, with exact
+/// nearest-rank percentiles computed from the raw event durations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SpanSummary {
+    /// Span name.
+    pub name: String,
+    /// Number of recorded events.
+    pub count: u64,
+    /// Summed duration in microseconds.
+    pub total_us: u64,
+    /// Median duration (nearest-rank) in microseconds.
+    pub p50_us: u64,
+    /// 99th-percentile duration (nearest-rank) in microseconds.
+    pub p99_us: u64,
+}
+
+/// Nearest-rank percentile of an ascending-sorted sample: the value at
+/// rank `ceil(q·n)` (1-based), clamped into the sample.
+fn nearest_rank(sorted: &[u64], q: f64) -> u64 {
+    if sorted.is_empty() {
+        return 0;
+    }
+    let rank = (q * sorted.len() as f64).ceil() as usize;
+    sorted[rank.clamp(1, sorted.len()) - 1]
+}
+
+/// Summarize `(name, duration_us)` samples into per-name statistics,
+/// sorted by total time descending (name ascending on ties).
+pub fn summarize(samples: impl IntoIterator<Item = (String, u64)>) -> Vec<SpanSummary> {
+    let mut by_name: BTreeMap<String, Vec<u64>> = BTreeMap::new();
+    for (name, dur) in samples {
+        by_name.entry(name).or_default().push(dur);
+    }
+    let mut out: Vec<SpanSummary> = by_name
+        .into_iter()
+        .map(|(name, mut durs)| {
+            durs.sort_unstable();
+            SpanSummary {
+                name,
+                count: durs.len() as u64,
+                total_us: durs.iter().sum(),
+                p50_us: nearest_rank(&durs, 0.50),
+                p99_us: nearest_rank(&durs, 0.99),
+            }
+        })
+        .collect();
+    out.sort_by(|a, b| b.total_us.cmp(&a.total_us).then(a.name.cmp(&b.name)));
+    out
+}
+
+/// Summarize the span events of a parsed JSONL trace.
+pub fn summarize_lines(lines: &[ObsLine]) -> Vec<SpanSummary> {
+    summarize(lines.iter().filter_map(|l| match l {
+        ObsLine::Span(s) => Some((s.name.clone(), s.duration_us)),
+        _ => None,
+    }))
+}
+
+/// Render summaries as an aligned plain-text table:
+/// span · count · total ms · p50 µs · p99 µs.
+pub fn render_table(rows: &[SpanSummary]) -> String {
+    let header = ["span", "count", "total_ms", "p50_us", "p99_us"];
+    let mut cells: Vec<[String; 5]> = vec![header.map(String::from)];
+    for r in rows {
+        cells.push([
+            r.name.clone(),
+            r.count.to_string(),
+            format!("{:.3}", r.total_us as f64 / 1e3),
+            r.p50_us.to_string(),
+            r.p99_us.to_string(),
+        ]);
+    }
+    let mut widths = [0usize; 5];
+    for row in &cells {
+        for (w, c) in widths.iter_mut().zip(row) {
+            *w = (*w).max(c.len());
+        }
+    }
+    let mut out = String::new();
+    for row in &cells {
+        let mut line = String::new();
+        for (i, (c, w)) in row.iter().zip(&widths).enumerate() {
+            if i > 0 {
+                line.push_str("  ");
+            }
+            if i == 0 {
+                line.push_str(&format!("{c:<w$}"));
+            } else {
+                line.push_str(&format!("{c:>w$}"));
+            }
+        }
+        out.push_str(line.trim_end());
+        out.push('\n');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    #![allow(clippy::unwrap_used, clippy::expect_used)]
+    use super::*;
+
+    #[test]
+    fn nearest_rank_percentiles_are_exact() {
+        let durs: Vec<u64> = (1..=100).collect();
+        assert_eq!(nearest_rank(&durs, 0.50), 50);
+        assert_eq!(nearest_rank(&durs, 0.99), 99);
+        assert_eq!(nearest_rank(&[7], 0.50), 7);
+        assert_eq!(nearest_rank(&[7], 0.99), 7);
+        assert_eq!(nearest_rank(&[], 0.5), 0);
+    }
+
+    #[test]
+    fn summarize_groups_and_sorts_by_total() {
+        let rows = summarize([
+            ("fast".to_string(), 1),
+            ("fast".to_string(), 3),
+            ("slow".to_string(), 1000),
+        ]);
+        assert_eq!(rows[0].name, "slow");
+        assert_eq!(rows[1].name, "fast");
+        assert_eq!(rows[1].count, 2);
+        assert_eq!(rows[1].total_us, 4);
+        assert_eq!(rows[1].p50_us, 1);
+        assert_eq!(rows[1].p99_us, 3);
+    }
+
+    #[test]
+    fn table_renders_aligned_columns() {
+        let rows = summarize([("work".to_string(), 1500), ("work".to_string(), 2500)]);
+        let table = render_table(&rows);
+        let mut lines = table.lines();
+        let header = lines.next().unwrap();
+        assert!(header.starts_with("span"));
+        assert!(header.contains("p99_us"));
+        let row = lines.next().unwrap();
+        assert!(row.starts_with("work"));
+        assert!(row.contains("4.000"), "total 4000 µs renders as 4.000 ms: {row}");
+    }
+}

@@ -14,6 +14,37 @@ cargo test --workspace -q
 echo "== clippy (-D warnings) =="
 cargo clippy --workspace --all-targets -- -D warnings
 
+echo "== obs: collector overhead guard (enabled vs disabled) =="
+# A fixed ~2 s provisioning workload, best-of-3 each way. The disabled
+# direction is branch-only by construction; this guards the *enabled*
+# direction: metrics + trace collection must cost < 10% wall clock.
+OBS_TMP="$(mktemp -d)"
+trap 'rm -rf "$OBS_TMP"' EXIT
+best_of_3_ms() {
+  local best=
+  for _ in 1 2 3; do
+    local s e ms
+    s=$(date +%s%N)
+    "$@" >/dev/null
+    e=$(date +%s%N)
+    ms=$(( (e - s) / 1000000 ))
+    if [ -z "$best" ] || [ "$ms" -lt "$best" ]; then best=$ms; fi
+  done
+  echo "$best"
+}
+off_ms=$(best_of_3_ms target/release/riskroute provision Level3 -k 1)
+on_ms=$(best_of_3_ms target/release/riskroute \
+  --metrics-out "$OBS_TMP/metrics.prom" --trace-out "$OBS_TMP/trace.jsonl" \
+  provision Level3 -k 1)
+echo "disabled ${off_ms} ms, enabled ${on_ms} ms"
+# The exports must actually have been produced with real content.
+grep -q 'riskroute_provision_rounds' "$OBS_TMP/metrics.prom"
+grep -q '"type":"span"' "$OBS_TMP/trace.jsonl"
+if [ $(( on_ms * 10 )) -gt $(( off_ms * 11 )) ]; then
+  echo "FAIL: enabled-collector overhead exceeds 10% (${off_ms} ms -> ${on_ms} ms)"
+  exit 1
+fi
+
 echo "== chaos: fault plans (seeds 42..49) =="
 cargo run --release -p riskroute-cli -- chaos --plans 8 --seed 42
 

@@ -39,6 +39,7 @@ ids:
   ablation3   shortcut-threshold ablation
   ablation4   forecast lead-time ablation (proactive vs reactive)
   ablation5   risk-aware OSPF weights vs exact RiskRoute
+  threadscale thread-scaling curve for the all-pairs routing sweep
   tables      table1 table2 table3
   figures     fig1..fig13
   ablations   ablation1..ablation5
@@ -88,6 +89,7 @@ fn main() {
                 "ablation3",
                 "ablation4",
                 "ablation5",
+                "threadscale",
             ]),
             other => ids.push(other),
         }
@@ -117,6 +119,9 @@ fn main() {
         "replay_ticks",
     ]);
     let mut total_us = context_us;
+    // The thread-scaling experiment returns its speedup curve so it can
+    // ride along in results/timings.txt next to the per-experiment rows.
+    let mut scaling_curve: Option<String> = None;
     for id in ids {
         // A fresh registry per experiment makes every row a self-contained
         // delta; the experiment id names the enclosing span.
@@ -144,6 +149,7 @@ fn main() {
             "ablation3" => ablations::run_filter_threshold(&ctx),
             "ablation4" => ablation_leadtime::run(&ctx),
             "ablation5" => ablation_ospf::run(&ctx),
+            "threadscale" => scaling_curve = Some(thread_scaling::run(&ctx)),
             unknown => {
                 eprintln!("unknown experiment id {unknown:?}\n{USAGE}");
                 std::process::exit(2);
@@ -172,6 +178,11 @@ fn main() {
         ]);
         eprintln!("[{id}] finished in {:.1} ms", wall_us as f64 / 1e3);
     }
-    emit("timings", &timings.render());
+    let mut timings_out = timings.render();
+    if let Some(curve) = scaling_curve {
+        timings_out.push_str("\nthread scaling\n");
+        timings_out.push_str(&curve);
+    }
+    emit("timings", &timings_out);
     eprintln!("total: {:.1} ms", total_us as f64 / 1e3);
 }

@@ -14,5 +14,6 @@ pub mod figs_forecast;
 pub mod figs_maps;
 pub mod figs_provisioning;
 pub mod table1_bandwidths;
+pub mod thread_scaling;
 pub mod table2_tier1;
 pub mod table3_regression;

@@ -1,7 +1,7 @@
 //! Argument parsing (hand-rolled; the CLI's surface is small and the
 //! workspace stays dependency-light).
 
-use riskroute::RiskWeights;
+use riskroute::{Parallelism, RiskWeights};
 use std::fmt;
 
 /// A parsed invocation.
@@ -13,6 +13,10 @@ pub struct Cli {
     pub lambda_h: f64,
     /// λ_f override (default 1e3).
     pub lambda_f: f64,
+    /// `--threads <N|auto>`: worker count for the parallel sweeps
+    /// (default sequential). Every setting produces byte-identical output;
+    /// the knob only trades wall-clock for cores.
+    pub threads: Parallelism,
     /// Observability flags (metrics/trace export, progress heartbeat).
     pub obs: ObsArgs,
     /// The subcommand.
@@ -211,8 +215,9 @@ impl CliError {
     /// `5` parse/import/snapshot failures (GraphML, advisory, JSON,
     /// corrupt or stale checkpoint), `6` defined degradation surfaced as an
     /// error (unreachable pair, nothing left to aggregate), `7` invalid
-    /// values or malformed structure, `8` chaos invariant violation,
-    /// `9` execution budget exhausted (partial result, resumable).
+    /// values or malformed structure (including a poisoned parallel worker
+    /// pool), `8` chaos invariant violation, `9` execution budget exhausted
+    /// (partial result, resumable).
     pub fn exit_code(&self) -> i32 {
         use riskroute::Error as E;
         match self {
@@ -233,7 +238,8 @@ impl CliError {
                 | E::Topology(_)
                 | E::Geo(_)
                 | E::NotAdjacent { .. }
-                | E::UnknownNetwork(_) => 7,
+                | E::UnknownNetwork(_)
+                | E::WorkerPanic { .. } => 7,
             },
             CliError::Chaos(_) => 8,
             CliError::Budget(_) => 9,
@@ -312,6 +318,12 @@ GLOBALS:
                                      (repeatable; imported names shadow corpus)
   --lambda-h <x>                     historical risk weight (default 1e5)
   --lambda-f <x>                     forecast risk weight (default 1e3)
+  --threads <N|auto>                 worker threads for the pair sweeps,
+                                     candidate scoring, and replay ticks
+                                     (default 1 = sequential; auto = one per
+                                     core). Output is byte-identical at any
+                                     setting — parallel sweeps reduce in the
+                                     sequential order
   -h, --help                         this text
 
 OBSERVABILITY (any command):
@@ -339,6 +351,7 @@ pub fn parse_args(args: &[String]) -> Result<Cli, CliError> {
     let mut graphml = Vec::new();
     let mut lambda_h = 1e5;
     let mut lambda_f = 1e3;
+    let mut threads = Parallelism::Sequential;
     let mut obs = ObsArgs::default();
     let mut rest: Vec<String> = Vec::new();
     let mut i = 0;
@@ -389,6 +402,10 @@ pub fn parse_args(args: &[String]) -> Result<Cli, CliError> {
                 lambda_f = parse_f64(args.get(i + 1), "--lambda-f")?;
                 i += 2;
             }
+            "--threads" => {
+                threads = parse_threads(args.get(i + 1))?;
+                i += 2;
+            }
             _ => {
                 rest.push(args[i].clone());
                 i += 1;
@@ -404,9 +421,24 @@ pub fn parse_args(args: &[String]) -> Result<Cli, CliError> {
         graphml,
         lambda_h,
         lambda_f,
+        threads,
         obs,
         command,
     })
+}
+
+fn parse_threads(v: Option<&String>) -> Result<Parallelism, CliError> {
+    let v = v.ok_or_else(|| CliError::Bad("--threads needs a count or \"auto\"".into()))?;
+    if v == "auto" {
+        return Ok(Parallelism::Auto);
+    }
+    let n = v
+        .parse::<usize>()
+        .map_err(|_| CliError::Bad("--threads needs a positive integer or \"auto\"".into()))?;
+    if n == 0 {
+        return Err(CliError::Bad("--threads must be at least 1".into()));
+    }
+    Ok(Parallelism::from_worker_count(n))
 }
 
 fn parse_f64(v: Option<&String>, flag: &str) -> Result<f64, CliError> {
@@ -815,6 +847,32 @@ mod tests {
     }
 
     #[test]
+    fn threads_flag_parses_and_validates() {
+        let cli = parse_args(&args("corpus")).unwrap();
+        assert_eq!(cli.threads, Parallelism::Sequential, "default is sequential");
+        let cli = parse_args(&args("--threads 1 corpus")).unwrap();
+        assert_eq!(cli.threads, Parallelism::Sequential, "1 IS the sequential path");
+        let cli = parse_args(&args("--threads 4 corpus")).unwrap();
+        assert_eq!(cli.threads, Parallelism::Threads(4));
+        let cli = parse_args(&args("--threads auto corpus")).unwrap();
+        assert_eq!(cli.threads, Parallelism::Auto);
+        let cli = parse_args(&args("provision Sprint -k 2 --threads 8")).unwrap();
+        assert_eq!(cli.threads, Parallelism::Threads(8), "valid after the command too");
+        assert!(matches!(
+            parse_args(&args("--threads 0 corpus")),
+            Err(CliError::Bad(_))
+        ));
+        assert!(matches!(
+            parse_args(&args("--threads many corpus")),
+            Err(CliError::Bad(_))
+        ));
+        assert!(matches!(
+            parse_args(&args("corpus --threads")),
+            Err(CliError::Bad(_))
+        ));
+    }
+
+    #[test]
     fn obs_summary_takes_a_path() {
         let cli = parse_args(&args("obs-summary trace.jsonl")).unwrap();
         assert_eq!(
@@ -833,6 +891,7 @@ mod tests {
     fn usage_documents_exit_codes_and_obs() {
         assert!(USAGE.contains("EXIT CODES"));
         assert!(USAGE.contains("9 budget exhausted"));
+        assert!(USAGE.contains("--threads"));
         assert!(USAGE.contains("--metrics-out"));
         assert!(USAGE.contains("--trace-out"));
         assert!(USAGE.contains("--progress"));
@@ -894,6 +953,7 @@ mod tests {
             .exit_code(),
             7
         );
+        assert_eq!(CliError::Core(E::WorkerPanic { panicked: 2 }).exit_code(), 7);
         assert_eq!(CliError::Chaos(vec!["v".into()]).exit_code(), 8);
         assert_eq!(CliError::Budget("partial".into()).exit_code(), 9);
     }

@@ -47,6 +47,9 @@ pub struct CliContext {
     pub population: PopulationModel,
     /// Hazard model.
     pub hazards: HistoricalRisk,
+    /// Worker-count knob applied to every planner the context hands out
+    /// (`--threads`; byte-identical output at any setting).
+    pub parallelism: Parallelism,
 }
 
 impl CliContext {
@@ -69,6 +72,7 @@ impl CliContext {
             imported,
             population: PopulationModel::synthesize(CLI_SEED, CLI_BLOCKS),
             hazards: HistoricalRisk::standard(CLI_SEED, Some(CLI_EVENT_CAP)),
+            parallelism: Parallelism::Sequential,
         })
     }
 
@@ -96,9 +100,11 @@ impl CliContext {
             })
     }
 
-    /// Planner for a network at the given weights.
+    /// Planner for a network at the given weights, carrying the context's
+    /// parallelism knob.
     pub fn planner(&self, net: &Network, weights: RiskWeights) -> Planner {
         Planner::for_network(net, &self.population, &self.hazards, weights)
+            .with_parallelism(self.parallelism)
     }
 }
 
@@ -207,7 +213,8 @@ fn run_command(cli: &Cli) -> Result<String, CliError> {
     if let Command::ObsSummary { path } = &cli.command {
         return commands::obs_summary(path);
     }
-    let ctx = CliContext::build(&cli.graphml)?;
+    let mut ctx = CliContext::build(&cli.graphml)?;
+    ctx.parallelism = cli.threads;
     match &cli.command {
         Command::Corpus => Ok(commands::corpus(&ctx)),
         Command::Route { network, src, dst } => {

@@ -170,6 +170,17 @@ impl WorkBudget {
         self.work_done.load(Ordering::Relaxed)
     }
 
+    /// Work units left before the cap trips, or `None` when uncapped.
+    ///
+    /// Parallel sweeps size their dispatch waves by this *before* handing
+    /// work to the pool, so a deterministic (max-work) cut lands on the
+    /// same stage boundary regardless of thread count — exactly where the
+    /// sequential loop, which checks [`exhausted`](Self::exhausted) before
+    /// every unit, would have stopped.
+    pub fn work_remaining(&self) -> Option<u64> {
+        self.max_work.map(|max| max.saturating_sub(self.work_done()))
+    }
+
     /// Whether any limit has been hit, and which. Checks are ordered
     /// cancel → work → deadline so deterministic limits mask the
     /// clock-dependent one.

@@ -43,6 +43,7 @@ use crate::routing::risk_sssp;
 use riskroute_forecast::{Storm, ALL_STORMS};
 use riskroute_geo::GeoPoint;
 use riskroute_hazard::HistoricalRisk;
+use riskroute_par::Parallelism;
 use riskroute_population::{PopShares, PopulationModel};
 use riskroute_rng::StdRng;
 use riskroute_topology::{Corpus, Network, NetworkKind, Pop};
@@ -310,6 +311,18 @@ fn corrupt_advisories(raws: &mut [RawAdvisory], plan: &FaultPlan, rng: &mut StdR
 /// Panics only when a degradation invariant is violated — which is exactly
 /// the regression the harness exists to catch.
 pub fn run_chaos(plan: &FaultPlan) -> Result<ChaosReport, Error> {
+    run_chaos_at(plan, Parallelism::Sequential)
+}
+
+/// [`run_chaos`] with the pipeline's sweeps running under an explicit
+/// [`Parallelism`] setting — the harness's *threads* dimension. The report
+/// must be identical at every setting (the determinism contract), so the
+/// suite runs each plan at two worker counts and diffs the reports: any
+/// divergence is a data race or a broken ordered reduction.
+///
+/// # Errors
+/// Same contract as [`run_chaos`].
+pub fn run_chaos_at(plan: &FaultPlan, parallelism: Parallelism) -> Result<ChaosReport, Error> {
     let mut rng = StdRng::seed_from_u64(plan.seed);
 
     // --- Substrate: corpus topology, population, hazards ----------------
@@ -348,7 +361,8 @@ pub fn run_chaos(plan: &FaultPlan) -> Result<ChaosReport, Error> {
         NodeRisk::from_historical(&network, &hazards),
         PopShares::from_shares(shares),
         RiskWeights::PAPER,
-    );
+    )
+    .with_parallelism(parallelism);
 
     // --- Fault: corrupt the advisory feed, then replay --------------------
     let mut raws = raw_advisories(storm, CHAOS_STRIDE)?;
@@ -491,15 +505,41 @@ pub fn run_chaos(plan: &FaultPlan) -> Result<ChaosReport, Error> {
     Ok(chaos_report)
 }
 
+/// Worker counts the suites exercise for the *threads* dimension: the exact
+/// sequential path plus a small pool (2 workers keeps chunk hand-offs and
+/// steals in play without starving CI machines).
+pub const CHAOS_THREAD_MATRIX: &[Parallelism] =
+    &[Parallelism::Sequential, Parallelism::Threads(2)];
+
 /// Run a whole suite of seeded plans; every plan must complete (the no-panic
-/// invariant) and every report must have finite ratios.
+/// invariant) and every report must have finite ratios. Each plan runs at
+/// every [`CHAOS_THREAD_MATRIX`] worker count and the reports are diffed —
+/// the returned reports are the sequential ones.
 ///
 /// # Errors
-/// Propagates the first [`run_chaos`] error.
+/// Propagates the first [`run_chaos_at`] error.
+///
+/// # Panics
+/// Panics when a parallel run's report diverges from the sequential one —
+/// evidence of a data race or a broken ordered reduction.
 pub fn run_chaos_suite(base_seed: u64, count: usize) -> Result<Vec<ChaosReport>, Error> {
     FaultPlan::suite(base_seed, count)
         .iter()
-        .map(run_chaos)
+        .map(|plan| {
+            let sequential = run_chaos_at(plan, Parallelism::Sequential)?;
+            for &par in CHAOS_THREAD_MATRIX {
+                if par.is_sequential() {
+                    continue;
+                }
+                let parallel = run_chaos_at(plan, par)?;
+                assert_eq!(
+                    parallel, sequential,
+                    "seed {}: chaos report diverged at {par}",
+                    plan.seed
+                );
+            }
+            Ok(sequential)
+        })
         .collect()
 }
 
@@ -651,11 +691,26 @@ fn replay_fixture() -> (Network, Planner) {
 /// Propagates checkpoint or replay errors — any of which is itself a
 /// harness failure, since this pipeline injects no input faults.
 pub fn run_kill_resume(seed: u64) -> Result<KillResumeReport, Error> {
+    run_kill_resume_at(seed, Parallelism::Sequential)
+}
+
+/// [`run_kill_resume`] with both legs' sweeps running under an explicit
+/// [`Parallelism`] setting. A parallel run must place its seeded kill at
+/// the same boundary and resume to the same bits as the sequential one —
+/// the suite diffs the reports across [`CHAOS_THREAD_MATRIX`].
+///
+/// # Errors
+/// Same contract as [`run_kill_resume`].
+pub fn run_kill_resume_at(
+    seed: u64,
+    parallelism: Parallelism,
+) -> Result<KillResumeReport, Error> {
     use std::sync::atomic::Ordering;
     let mut rng = StdRng::seed_from_u64(seed ^ 0x517c_c1b7_2722_0a95);
 
     // --- Provisioning leg -------------------------------------------------
     let (net, planner) = provisioning_fixture();
+    let planner = planner.with_parallelism(parallelism);
     let k = 3;
     let weights = planner.weights();
     let rebuild = |risk: NodeRisk, shares_src: &Planner| {
@@ -721,6 +776,7 @@ pub fn run_kill_resume(seed: u64) -> Result<KillResumeReport, Error> {
 
     // --- Replay leg -------------------------------------------------------
     let (net, planner) = replay_fixture();
+    let planner = planner.with_parallelism(parallelism);
     let weights = planner.weights();
     let locations: Vec<GeoPoint> = net.pops().iter().map(|p| p.location).collect();
     let all: Vec<usize> = (0..net.pop_count()).collect();
@@ -801,16 +857,35 @@ pub fn run_kill_resume(seed: u64) -> Result<KillResumeReport, Error> {
     })
 }
 
-/// Run [`run_kill_resume`] across `count` seeds rooted at `base_seed`.
+/// Run [`run_kill_resume`] across `count` seeds rooted at `base_seed`,
+/// each seed at every [`CHAOS_THREAD_MATRIX`] worker count; the returned
+/// reports are the sequential ones.
 ///
 /// # Errors
 /// Propagates the first failing run.
+///
+/// # Panics
+/// Panics when a parallel run's report diverges from the sequential one.
 pub fn run_kill_resume_suite(
     base_seed: u64,
     count: usize,
 ) -> Result<Vec<KillResumeReport>, Error> {
     (0..count as u64)
-        .map(|i| run_kill_resume(base_seed.wrapping_add(i)))
+        .map(|i| {
+            let seed = base_seed.wrapping_add(i);
+            let sequential = run_kill_resume_at(seed, Parallelism::Sequential)?;
+            for &par in CHAOS_THREAD_MATRIX {
+                if par.is_sequential() {
+                    continue;
+                }
+                let parallel = run_kill_resume_at(seed, par)?;
+                assert_eq!(
+                    parallel, sequential,
+                    "seed {seed}: kill/resume report diverged at {par}"
+                );
+            }
+            Ok(sequential)
+        })
         .collect()
 }
 
@@ -932,6 +1007,22 @@ mod tests {
                 .any(|r| r.replay_killed_after != reports[0].replay_killed_after),
             "seeded kill points must vary"
         );
+    }
+
+    #[test]
+    fn chaos_reports_are_thread_count_invariant() {
+        let plan = FaultPlan::from_seed(5);
+        let seq = run_chaos_at(&plan, Parallelism::Sequential).unwrap();
+        let par = run_chaos_at(&plan, Parallelism::Threads(2)).unwrap();
+        assert_eq!(seq, par, "threads dimension must not change the report");
+    }
+
+    #[test]
+    fn kill_resume_is_thread_count_invariant() {
+        let seq = run_kill_resume_at(9, Parallelism::Sequential).unwrap();
+        let par = run_kill_resume_at(9, Parallelism::Threads(2)).unwrap();
+        assert_eq!(seq, par);
+        assert!(seq.identical());
     }
 
     #[test]

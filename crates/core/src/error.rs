@@ -94,6 +94,14 @@ pub enum Error {
         /// What the validator found.
         reason: String,
     },
+    /// A parallel worker panicked mid-task: the pool caught the panic,
+    /// drained, and surfaced it as a value instead of aborting the process
+    /// (see `riskroute-par`'s poisoning contract).
+    WorkerPanic {
+        /// Number of tasks whose panic was caught (0 when a worker died
+        /// without a caught panic — defensive, unreachable via safe code).
+        panicked: usize,
+    },
 }
 
 impl fmt::Display for Error {
@@ -130,6 +138,12 @@ impl fmt::Display for Error {
             }
             Error::SnapshotIntegrity { reason } => {
                 write!(f, "snapshot failed integrity validation: {reason}")
+            }
+            Error::WorkerPanic { panicked } => {
+                write!(
+                    f,
+                    "parallel worker pool poisoned: {panicked} task(s) panicked"
+                )
             }
         }
     }
@@ -182,6 +196,17 @@ impl From<ParseError> for Error {
 impl From<JsonError> for Error {
     fn from(e: JsonError) -> Self {
         Error::Json(e)
+    }
+}
+
+impl From<riskroute_par::PoolError> for Error {
+    fn from(e: riskroute_par::PoolError) -> Self {
+        match e {
+            riskroute_par::PoolError::WorkerPanicked { panicked } => {
+                Error::WorkerPanic { panicked }
+            }
+            riskroute_par::PoolError::WorkerLost => Error::WorkerPanic { panicked: 0 },
+        }
     }
 }
 

@@ -6,8 +6,28 @@ use crate::metric::{ImpactModel, NodeRisk, RiskWeights};
 use crate::ratios::{PairOutcome, RatioReport};
 use crate::routing::{evaluate_path, risk_sssp, Adjacency, RiskTree, RoutedPath};
 use riskroute_hazard::HistoricalRisk;
+use riskroute_par::Parallelism;
 use riskroute_population::{PopShares, PopulationModel};
 use riskroute_topology::Network;
+
+/// How many unordered PoP pairs a parallel sweep dispatches per wave.
+/// Purely a memory bound on the in-flight per-pair contribution vectors —
+/// the reduction folds in pair order regardless of wave size or thread
+/// count, so this constant never affects results.
+pub(crate) const PAIR_WAVE: usize = 256;
+
+/// The `i < j` pair list in lexicographic order — the canonical reduction
+/// order every parallel sweep must replay to stay bit-identical to the
+/// sequential nested loops.
+pub(crate) fn unordered_pairs(n: usize) -> Vec<(usize, usize)> {
+    let mut pairs = Vec::with_capacity(n.saturating_mul(n.saturating_sub(1)) / 2);
+    for i in 0..n {
+        for j in (i + 1)..n {
+            pairs.push((i, j));
+        }
+    }
+    pairs
+}
 
 /// The result of a degraded-mode pair sweep: the outcomes that routed plus
 /// the (src, dst) pairs stranded by a partition.
@@ -31,6 +51,7 @@ pub struct Planner {
     shares: PopShares,
     weights: RiskWeights,
     impact_model: ImpactModel,
+    parallelism: Parallelism,
 }
 
 impl Planner {
@@ -55,7 +76,31 @@ impl Planner {
             shares,
             weights,
             impact_model: ImpactModel::default(),
+            parallelism: Parallelism::Sequential,
         }
+    }
+
+    /// Set the parallelism knob for the planner's sweeps
+    /// ([`pair_sweep`](Self::pair_sweep), [`aggregate_bit_risk`](Self::aggregate_bit_risk),
+    /// and the provisioning scorer); returns the planner for chaining.
+    ///
+    /// Every setting produces **bit-identical** results — parallel sweeps
+    /// reduce in the sequential order (see `riskroute-par`) — so the knob
+    /// only trades wall-clock for cores.
+    #[must_use]
+    pub fn with_parallelism(mut self, parallelism: Parallelism) -> Self {
+        self.parallelism = parallelism;
+        self
+    }
+
+    /// Set the parallelism knob in place.
+    pub fn set_parallelism(&mut self, parallelism: Parallelism) {
+        self.parallelism = parallelism;
+    }
+
+    /// The active parallelism knob.
+    pub fn parallelism(&self) -> Parallelism {
+        self.parallelism
     }
 
     /// Switch the impact model (§5's traffic-flow alternative); returns the
@@ -190,6 +235,44 @@ impl Planner {
         risk_sssp(&self.adjacency, root, |_| 0.0)
     }
 
+    /// Route one source against every destination, appending routed pairs
+    /// to `outcomes` and unroutable ones to `stranded` — the per-source unit
+    /// of work shared verbatim by the sequential and parallel sweeps.
+    fn sweep_source(
+        &self,
+        i: usize,
+        dests: &[usize],
+        outcomes: &mut Vec<PairOutcome>,
+        stranded: &mut Vec<(usize, usize)>,
+    ) {
+        let dist_tree = risk_sssp(&self.adjacency, i, |_| 0.0);
+        for &j in dests {
+            if i == j {
+                continue;
+            }
+            let beta = self.impact(i, j);
+            let Some(sp_nodes) = dist_tree.path_to(j) else {
+                stranded.push((i, j));
+                continue;
+            };
+            let Ok(shortest) = evaluate_path(&self.adjacency, &sp_nodes, self.entry_cost(beta))
+            else {
+                stranded.push((i, j));
+                continue;
+            };
+            let Some(risk_route) = self.risk_route(i, j) else {
+                stranded.push((i, j));
+                continue;
+            };
+            outcomes.push(PairOutcome {
+                src: i,
+                dst: j,
+                risk_route,
+                shortest,
+            });
+        }
+    }
+
     /// Pair outcomes plus the pairs that could not be routed — the
     /// degraded-mode sweep. When a storm (or a chaos fault plan) partitions
     /// the topology, routing proceeds *within* each connected component and
@@ -199,33 +282,25 @@ impl Planner {
         let span = riskroute_obs::span!("pair_sweep");
         let mut outcomes = Vec::with_capacity(sources.len() * dests.len());
         let mut stranded = Vec::new();
-        for &i in sources {
-            let dist_tree = risk_sssp(&self.adjacency, i, |_| 0.0);
-            for &j in dests {
-                if i == j {
-                    continue;
+        match self.parallelism {
+            Parallelism::Sequential => {
+                for &i in sources {
+                    self.sweep_source(i, dests, &mut outcomes, &mut stranded);
                 }
-                let beta = self.impact(i, j);
-                let Some(sp_nodes) = dist_tree.path_to(j) else {
-                    stranded.push((i, j));
-                    continue;
-                };
-                let Ok(shortest) =
-                    evaluate_path(&self.adjacency, &sp_nodes, self.entry_cost(beta))
-                else {
-                    stranded.push((i, j));
-                    continue;
-                };
-                let Some(risk_route) = self.risk_route(i, j) else {
-                    stranded.push((i, j));
-                    continue;
-                };
-                outcomes.push(PairOutcome {
-                    src: i,
-                    dst: j,
-                    risk_route,
-                    shortest,
+            }
+            par => {
+                // One task per source; concatenating the per-source lists in
+                // source order reproduces the sequential push order exactly.
+                let per_source = riskroute_par::par_map_collect(par, sources, |_, &i| {
+                    let mut outcomes = Vec::with_capacity(dests.len());
+                    let mut stranded = Vec::new();
+                    self.sweep_source(i, dests, &mut outcomes, &mut stranded);
+                    (outcomes, stranded)
                 });
+                for (o, s) in per_source {
+                    outcomes.extend(o);
+                    stranded.extend(s);
+                }
             }
         }
         let mut span = span;
@@ -271,10 +346,28 @@ impl Planner {
         let span = riskroute_obs::span!("aggregate_bit_risk");
         let n = self.pop_count();
         let mut total = 0.0;
-        for i in 0..n {
-            for j in (i + 1)..n {
-                if let Some(p) = self.risk_route(i, j) {
-                    total += p.bit_risk_miles;
+        match self.parallelism {
+            Parallelism::Sequential => {
+                for i in 0..n {
+                    for j in (i + 1)..n {
+                        if let Some(p) = self.risk_route(i, j) {
+                            total += p.bit_risk_miles;
+                        }
+                    }
+                }
+            }
+            par => {
+                // Per-pair contributions computed in parallel, folded
+                // strictly in lexicographic pair order: float addition is
+                // non-associative, so only replaying the sequential order
+                // keeps the sum bit-identical.
+                for wave in unordered_pairs(n).chunks(PAIR_WAVE) {
+                    let vals = riskroute_par::par_map_collect(par, wave, |_, &(i, j)| {
+                        self.risk_route(i, j).map(|p| p.bit_risk_miles)
+                    });
+                    for v in vals.into_iter().flatten() {
+                        total += v;
+                    }
                 }
             }
         }

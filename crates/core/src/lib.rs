@@ -88,6 +88,7 @@ pub mod sharedrisk;
 pub use budget::{Budgeted, StopReason, WorkBudget};
 pub use error::{render_chain, Error, Result};
 pub use intradomain::Planner;
+pub use riskroute_par::Parallelism;
 pub use metric::{NodeRisk, RiskWeights};
 pub use ratios::{PairOutcome, RatioReport};
 pub use routing::RoutedPath;
@@ -106,6 +107,7 @@ pub mod prelude {
     pub use crate::replay::DisasterReplay;
     pub use crate::routing::RoutedPath;
     pub use riskroute_forecast::{advisories_for, Storm};
+    pub use riskroute_par::Parallelism;
     pub use riskroute_hazard::HistoricalRisk;
     pub use riskroute_population::{PopShares, PopulationModel};
     pub use riskroute_topology::{Corpus, Network, NetworkKind};

@@ -15,9 +15,10 @@
 //! price *every* candidate in O(1) each.
 
 use crate::budget::{Budgeted, WorkBudget};
-use crate::intradomain::Planner;
+use crate::intradomain::{unordered_pairs, Planner, PAIR_WAVE};
 use crate::metric::{NodeRisk, RiskWeights};
 use riskroute_geo::distance::great_circle_miles;
+use riskroute_par::Parallelism;
 use riskroute_topology::{Network, PopId};
 
 /// The paper's footnote-3 shortcut threshold: a candidate link must cut the
@@ -90,10 +91,10 @@ pub fn candidate_links_with_threshold(
         "threshold must be in (0, 1)"
     );
     let n = network.pop_count();
-    let mut out = Vec::new();
-    for i in 0..n {
+    let per_source = |i: usize| {
         // Pure-distance tree from i (β = 0 ⇒ entry costs vanish).
         let tree = planner.risk_tree_distance(i);
+        let mut out = Vec::new();
         for j in (i + 1)..n {
             if network.has_link(i, j) {
                 continue;
@@ -106,8 +107,21 @@ pub fn candidate_links_with_threshold(
                 out.push((i, j, direct));
             }
         }
+        out
+    };
+    match planner.parallelism() {
+        Parallelism::Sequential => (0..n).flat_map(per_source).collect(),
+        par => {
+            // One SSSP tree per source in parallel; concatenating the
+            // per-source lists in source order reproduces the sequential
+            // push order exactly (pure filtering, no float accumulation).
+            let sources: Vec<usize> = (0..n).collect();
+            riskroute_par::par_map_collect(par, &sources, |_, &i| per_source(i))
+                .into_iter()
+                .flatten()
+                .collect()
+        }
     }
-    out
 }
 
 /// Candidates at the strictest rung of [`THRESHOLD_LADDER`] that admits
@@ -155,21 +169,53 @@ pub fn score_candidates_budgeted(
     let risk = planner.risk();
     let mut totals = vec![0.0_f64; candidates.len()];
 
-    for i in 0..n {
-        for j in (i + 1)..n {
-            let beta = planner.impact(i, j);
-            let tree_i = planner.risk_tree(i, beta);
-            let tree_j = planner.risk_tree(j, beta);
-            let old = tree_i.dist(j);
-            for (c, &(a, b, miles)) in candidates.iter().enumerate() {
-                let via = best_via(&tree_i, &tree_j, a, b, miles, beta, risk, w, i, j);
-                let new = old.min(via);
-                // Unreachable pairs stay unreachable only if the candidate
-                // does not bridge them; skip still-infinite contributions so
-                // totals remain comparable (all candidates see the same
-                // pair set).
-                if new.is_finite() {
-                    totals[c] += new;
+    match planner.parallelism() {
+        Parallelism::Sequential => {
+            for i in 0..n {
+                for j in (i + 1)..n {
+                    let beta = planner.impact(i, j);
+                    let tree_i = planner.risk_tree(i, beta);
+                    let tree_j = planner.risk_tree(j, beta);
+                    let old = tree_i.dist(j);
+                    for (c, &(a, b, miles)) in candidates.iter().enumerate() {
+                        let via = best_via(&tree_i, &tree_j, a, b, miles, beta, risk, w, i, j);
+                        let new = old.min(via);
+                        // Unreachable pairs stay unreachable only if the
+                        // candidate does not bridge them; skip still-infinite
+                        // contributions so totals remain comparable (all
+                        // candidates see the same pair set).
+                        if new.is_finite() {
+                            totals[c] += new;
+                        }
+                    }
+                }
+            }
+        }
+        par => {
+            // Each pair's two SSSP trees are priced in parallel; the
+            // per-candidate `old.min(via)` vectors are then folded
+            // sequentially in pair-major order — the exact nesting of the
+            // sequential loop above — because float addition is
+            // non-associative and the totals feed a total-ordered argmax.
+            for wave in unordered_pairs(n).chunks(PAIR_WAVE) {
+                let contribs = riskroute_par::par_map_collect(par, wave, |_, &(i, j)| {
+                    let beta = planner.impact(i, j);
+                    let tree_i = planner.risk_tree(i, beta);
+                    let tree_j = planner.risk_tree(j, beta);
+                    let old = tree_i.dist(j);
+                    candidates
+                        .iter()
+                        .map(|&(a, b, miles)| {
+                            old.min(best_via(&tree_i, &tree_j, a, b, miles, beta, risk, w, i, j))
+                        })
+                        .collect::<Vec<f64>>()
+                });
+                for per_pair in contribs {
+                    for (c, new) in per_pair.into_iter().enumerate() {
+                        if new.is_finite() {
+                            totals[c] += new;
+                        }
+                    }
                 }
             }
         }
@@ -186,6 +232,14 @@ pub fn score_candidates_budgeted(
             shortcut_threshold: SHORTCUT_THRESHOLD,
         })
         .collect();
+    // Tie-break audit: the greedy argmax picks `scored[0]`, so the ranking
+    // key must be total regardless of input order or NaN totals. `total_cmp`
+    // is a total order over f64 (NaN sorts after every finite total, so a
+    // poisoned candidate can never win), and exact ties — symmetric
+    // topologies produce bit-identical totals — fall through to the
+    // deterministic `(a, b)` endpoint key. Equivalent to the issue's
+    // `(gain, src, dst)` key since gain = original − total with original
+    // fixed across candidates.
     scored.sort_by(|x, y| {
         x.total_bit_risk
             .total_cmp(&y.total_bit_risk)
@@ -197,6 +251,11 @@ pub fn score_candidates_budgeted(
 
 /// Best bit-risk route i→j forced through new link (a, b), in either
 /// orientation.
+///
+/// NaN audit: `tree` distances are never NaN (`risk_sssp` sanitizes costs),
+/// and `rev` maps unreachable to `+∞`, so `min` here is safe — a NaN could
+/// only enter via a non-finite `miles`, which the candidate enumerators
+/// never produce (great-circle distances are finite).
 #[allow(clippy::too_many_arguments)]
 fn best_via(
     tree_i: &crate::routing::RiskTree,
@@ -342,10 +401,13 @@ pub fn greedy_links_resume(
     for link in &prior.added {
         current_net = with_extra_link(&current_net, link.a, link.b);
     }
+    // Rebuilt planners inherit the base planner's parallelism knob:
+    // `rebuild` closures predate the knob and construct Sequential planners,
+    // and the knob never changes results — only wall-clock.
     let mut current_planner = if prior.added.is_empty() {
         base_planner.clone()
     } else {
-        rebuild(&current_net)
+        rebuild(&current_net).with_parallelism(base_planner.parallelism())
     };
     let mut result = prior;
     while result.added.len() < k {
@@ -373,7 +435,7 @@ pub fn greedy_links_resume(
             break;
         };
         current_net = with_extra_link(&current_net, best.a, best.b);
-        current_planner = rebuild(&current_net);
+        current_planner = rebuild(&current_net).with_parallelism(base_planner.parallelism());
         // Re-measure exactly (the sweep's total is exact already, but
         // recomputing guards the invariant under the rebuilt planner).
         let total = current_planner.aggregate_bit_risk();
@@ -727,6 +789,34 @@ mod tests {
         let budget = WorkBudget::unlimited();
         let _ = score_candidates_budgeted(&net, &planner, &cands, &budget);
         assert_eq!(budget.work_done(), cands.len() as u64);
+    }
+
+    #[test]
+    fn exactly_tied_candidates_rank_deterministically() {
+        let (net, planner) = line_network();
+        // Duplicating an existing link can never improve any route, so both
+        // candidates score exactly Σ old — bitwise-identical totals that
+        // force the argmax onto the (a, b) tie-break key.
+        let m01 = great_circle_miles(net.location(0), net.location(1));
+        let m34 = great_circle_miles(net.location(3), net.location(4));
+        let fwd = vec![(0usize, 1usize, m01), (3usize, 4usize, m34)];
+        let rev: Vec<_> = fwd.iter().rev().copied().collect();
+        let s_fwd = score_candidates(&net, &planner, &fwd);
+        let s_rev = score_candidates(&net, &planner, &rev);
+        assert_eq!(
+            s_fwd[0].total_bit_risk.to_bits(),
+            s_fwd[1].total_bit_risk.to_bits(),
+            "fixture must tie exactly"
+        );
+        assert_eq!(
+            (s_fwd[0].a, s_fwd[0].b),
+            (0, 1),
+            "ties must break on the (a, b) endpoint key"
+        );
+        assert_eq!(s_fwd, s_rev, "ranking must not depend on input order");
+        // The tie-break is also thread-count invariant.
+        let par_planner = planner.clone().with_parallelism(Parallelism::Threads(2));
+        assert_eq!(score_candidates(&net, &par_planner, &rev), s_fwd);
     }
 
     #[test]

@@ -21,6 +21,7 @@ use crate::intradomain::Planner;
 use crate::ratios::RatioReport;
 use riskroute_forecast::{advisories_for, ForecastRisk, Storm};
 use riskroute_geo::GeoPoint;
+use riskroute_par::Parallelism;
 use riskroute_topology::Network;
 
 /// How many replay ticks are computed between checkpoint callbacks in
@@ -262,31 +263,88 @@ pub fn replay_raw_advisories_budgeted(
         ticks: prior_ticks,
     };
     let mut since_batch = 0usize;
-    for (i, raw) in raws.iter().enumerate().skip(start) {
-        if let Some(stopped) = budget.exhausted() {
-            return Ok(Budgeted::Partial {
-                completed: replay,
-                resume_state: ReplayResume { next_index: i },
-                stopped,
-            });
-        }
-        let mut tick_span = riskroute_obs::span!("replay_tick");
-        let tick = tick_for_raw(&mut planner, raw, locations, sources, dests);
-        if tick_span.is_active() {
-            tick_span.field("advisory", tick.advisory);
-            tick_span.field("degraded", u64::from(tick.degraded));
-            riskroute_obs::counter_add("replay_ticks", 1);
-            if tick.degraded {
-                riskroute_obs::counter_add("replay_degraded_ticks", 1);
+    match base.parallelism() {
+        Parallelism::Sequential => {
+            for (i, raw) in raws.iter().enumerate().skip(start) {
+                if let Some(stopped) = budget.exhausted() {
+                    return Ok(Budgeted::Partial {
+                        completed: replay,
+                        resume_state: ReplayResume { next_index: i },
+                        stopped,
+                    });
+                }
+                let mut tick_span = riskroute_obs::span!("replay_tick");
+                let tick = tick_for_raw(&mut planner, raw, locations, sources, dests);
+                if tick_span.is_active() {
+                    tick_span.field("advisory", tick.advisory);
+                    tick_span.field("degraded", u64::from(tick.degraded));
+                    riskroute_obs::counter_add("replay_ticks", 1);
+                    if tick.degraded {
+                        riskroute_obs::counter_add("replay_degraded_ticks", 1);
+                    }
+                }
+                drop(tick_span);
+                replay.ticks.push(tick);
+                budget.charge(1);
+                since_batch += 1;
+                if since_batch == CHECKPOINT_BATCH {
+                    since_batch = 0;
+                    on_batch(&replay, i + 1);
+                }
             }
         }
-        drop(tick_span);
-        replay.ticks.push(tick);
-        budget.charge(1);
-        since_batch += 1;
-        if since_batch == CHECKPOINT_BATCH {
-            since_batch = 0;
-            on_batch(&replay, i + 1);
+        par => {
+            // Ticks are dispatched in waves sized by the distance to the
+            // next checkpoint boundary AND the remaining work budget, so a
+            // deterministic (max-work) cut lands on exactly the tick index
+            // where the sequential loop would have stopped, and `on_batch`
+            // fires on exactly the sequential boundaries. Wall-clock limits
+            // (deadline, cancel) are observed between waves — a clean batch
+            // boundary; their cut point is timing-dependent either way.
+            let mut i = start;
+            while i < raws.len() {
+                if let Some(stopped) = budget.exhausted() {
+                    return Ok(Budgeted::Partial {
+                        completed: replay,
+                        resume_state: ReplayResume { next_index: i },
+                        stopped,
+                    });
+                }
+                // ≥ 1: since_batch < CHECKPOINT_BATCH, i < len, and an
+                // unexhausted work cap has at least one unit left.
+                let mut take = (CHECKPOINT_BATCH - since_batch).min(raws.len() - i);
+                if let Some(left) = budget.work_remaining() {
+                    take = take.min(usize::try_from(left).unwrap_or(usize::MAX));
+                }
+                let wave = &raws[i..i + take];
+                let ticks = riskroute_par::try_par_map_collect(par, wave, |_, raw| {
+                    // Each tick is an independent function of the base
+                    // planner and one advisory; within-tick sweeps run
+                    // sequentially since the fan-out is already tick-level.
+                    let mut p = base.clone();
+                    p.set_parallelism(Parallelism::Sequential);
+                    let mut tick_span = riskroute_obs::span!("replay_tick");
+                    let tick = tick_for_raw(&mut p, raw, locations, sources, dests);
+                    if tick_span.is_active() {
+                        tick_span.field("advisory", tick.advisory);
+                        tick_span.field("degraded", u64::from(tick.degraded));
+                        riskroute_obs::counter_add("replay_ticks", 1);
+                        if tick.degraded {
+                            riskroute_obs::counter_add("replay_degraded_ticks", 1);
+                        }
+                    }
+                    budget.charge(1);
+                    tick
+                })
+                .map_err(Error::from)?;
+                replay.ticks.extend(ticks);
+                i += take;
+                since_batch += take;
+                if since_batch == CHECKPOINT_BATCH {
+                    since_batch = 0;
+                    on_batch(&replay, i);
+                }
+            }
         }
     }
     Ok(Budgeted::Complete(replay))

@@ -45,6 +45,20 @@ if [ $(( on_ms * 10 )) -gt $(( off_ms * 11 )) ]; then
   exit 1
 fi
 
+echo "== parallel: sequential/threaded equivalence suite =="
+cargo test --release -q --test parallel_equivalence --test pool_properties
+
+echo "== parallel: --threads 1 vs --threads 4 byte-for-byte =="
+# Same fixed provisioning workload at both settings; the outputs must be
+# byte-identical (the parallel reduction replays the sequential fold order).
+target/release/riskroute provision Level3 -k 2 --threads 1 > "$OBS_TMP/prov-t1.txt"
+target/release/riskroute provision Level3 -k 2 --threads 4 > "$OBS_TMP/prov-t4.txt"
+diff "$OBS_TMP/prov-t1.txt" "$OBS_TMP/prov-t4.txt"
+target/release/riskroute replay Telepak katrina --stride 4 --threads 1 > "$OBS_TMP/replay-t1.txt"
+target/release/riskroute replay Telepak katrina --stride 4 --threads 4 > "$OBS_TMP/replay-t4.txt"
+diff "$OBS_TMP/replay-t1.txt" "$OBS_TMP/replay-t4.txt"
+echo "threaded outputs are byte-identical"
+
 echo "== chaos: fault plans (seeds 42..49) =="
 cargo run --release -p riskroute-cli -- chaos --plans 8 --seed 42
 

@@ -40,6 +40,7 @@ ids:
   ablation4   forecast lead-time ablation (proactive vs reactive)
   ablation5   risk-aware OSPF weights vs exact RiskRoute
   threadscale thread-scaling curve for the all-pairs routing sweep
+  ssspscale   SSSP-engine cache/arena scaling (sweep + 5-round greedy)
   tables      table1 table2 table3
   figures     fig1..fig13
   ablations   ablation1..ablation5
@@ -90,6 +91,7 @@ fn main() {
                 "ablation4",
                 "ablation5",
                 "threadscale",
+                "ssspscale",
             ]),
             other => ids.push(other),
         }
@@ -119,9 +121,10 @@ fn main() {
         "replay_ticks",
     ]);
     let mut total_us = context_us;
-    // The thread-scaling experiment returns its speedup curve so it can
-    // ride along in results/timings.txt next to the per-experiment rows.
+    // The scaling experiments return their curves so they can ride along
+    // in results/timings.txt next to the per-experiment rows.
     let mut scaling_curve: Option<String> = None;
+    let mut sssp_curve: Option<String> = None;
     for id in ids {
         // A fresh registry per experiment makes every row a self-contained
         // delta; the experiment id names the enclosing span.
@@ -150,6 +153,7 @@ fn main() {
             "ablation4" => ablation_leadtime::run(&ctx),
             "ablation5" => ablation_ospf::run(&ctx),
             "threadscale" => scaling_curve = Some(thread_scaling::run(&ctx)),
+            "ssspscale" => sssp_curve = Some(ssspscale::run(&ctx)),
             unknown => {
                 eprintln!("unknown experiment id {unknown:?}\n{USAGE}");
                 std::process::exit(2);
@@ -181,6 +185,10 @@ fn main() {
     let mut timings_out = timings.render();
     if let Some(curve) = scaling_curve {
         timings_out.push_str("\nthread scaling\n");
+        timings_out.push_str(&curve);
+    }
+    if let Some(curve) = sssp_curve {
+        timings_out.push_str("\nsssp scaling\n");
         timings_out.push_str(&curve);
     }
     emit("timings", &timings_out);

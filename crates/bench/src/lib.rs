@@ -38,3 +38,18 @@ pub fn emit(name: &str, content: &str) {
     println!("{content}");
     println!("(written to {})", path.display());
 }
+
+/// Write `content` to `results/<filename>` verbatim (no `.txt` suffix, no
+/// stdout echo) — for machine-readable artifacts such as
+/// `BENCH_sssp.json`.
+///
+/// # Panics
+/// Panics on I/O errors, like [`emit`].
+pub fn emit_named(filename: &str, content: &str) {
+    let dir = PathBuf::from(RESULTS_DIR);
+    fs::create_dir_all(&dir).expect("create results directory");
+    let path = dir.join(filename);
+    let mut f = fs::File::create(&path).expect("create result file");
+    f.write_all(content.as_bytes()).expect("write result file");
+    println!("(written to {})", path.display());
+}

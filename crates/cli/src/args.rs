@@ -17,6 +17,10 @@ pub struct Cli {
     /// (default sequential). Every setting produces byte-identical output;
     /// the knob only trades wall-clock for cores.
     pub threads: Parallelism,
+    /// `--no-route-cache` clears this (default `true`): disable the exact
+    /// route-tree cache. A debugging knob — outputs are byte-identical
+    /// either way; disabling only costs wall-clock.
+    pub route_cache: bool,
     /// Observability flags (metrics/trace export, progress heartbeat).
     pub obs: ObsArgs,
     /// The subcommand.
@@ -324,6 +328,9 @@ GLOBALS:
                                      core). Output is byte-identical at any
                                      setting — parallel sweeps reduce in the
                                      sequential order
+  --no-route-cache                   disable the exact route-tree cache
+                                     (debugging; output is byte-identical,
+                                     runs just recompute every tree)
   -h, --help                         this text
 
 OBSERVABILITY (any command):
@@ -352,6 +359,7 @@ pub fn parse_args(args: &[String]) -> Result<Cli, CliError> {
     let mut lambda_h = 1e5;
     let mut lambda_f = 1e3;
     let mut threads = Parallelism::Sequential;
+    let mut route_cache = true;
     let mut obs = ObsArgs::default();
     let mut rest: Vec<String> = Vec::new();
     let mut i = 0;
@@ -406,6 +414,10 @@ pub fn parse_args(args: &[String]) -> Result<Cli, CliError> {
                 threads = parse_threads(args.get(i + 1))?;
                 i += 2;
             }
+            "--no-route-cache" => {
+                route_cache = false;
+                i += 1;
+            }
             _ => {
                 rest.push(args[i].clone());
                 i += 1;
@@ -422,6 +434,7 @@ pub fn parse_args(args: &[String]) -> Result<Cli, CliError> {
         lambda_h,
         lambda_f,
         threads,
+        route_cache,
         obs,
         command,
     })
@@ -873,6 +886,16 @@ mod tests {
     }
 
     #[test]
+    fn route_cache_flag_defaults_on_and_parses() {
+        let cli = parse_args(&args("corpus")).unwrap();
+        assert!(cli.route_cache, "cache is on by default");
+        let cli = parse_args(&args("--no-route-cache corpus")).unwrap();
+        assert!(!cli.route_cache);
+        let cli = parse_args(&args("provision Sprint -k 2 --no-route-cache")).unwrap();
+        assert!(!cli.route_cache, "valid after the command too");
+    }
+
+    #[test]
     fn obs_summary_takes_a_path() {
         let cli = parse_args(&args("obs-summary trace.jsonl")).unwrap();
         assert_eq!(
@@ -892,6 +915,7 @@ mod tests {
         assert!(USAGE.contains("EXIT CODES"));
         assert!(USAGE.contains("9 budget exhausted"));
         assert!(USAGE.contains("--threads"));
+        assert!(USAGE.contains("--no-route-cache"));
         assert!(USAGE.contains("--metrics-out"));
         assert!(USAGE.contains("--trace-out"));
         assert!(USAGE.contains("--progress"));

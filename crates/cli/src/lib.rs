@@ -50,6 +50,9 @@ pub struct CliContext {
     /// Worker-count knob applied to every planner the context hands out
     /// (`--threads`; byte-identical output at any setting).
     pub parallelism: Parallelism,
+    /// Route-tree cache knob applied to every planner the context hands
+    /// out (`--no-route-cache` clears it; byte-identical output either way).
+    pub route_cache: bool,
 }
 
 impl CliContext {
@@ -73,6 +76,7 @@ impl CliContext {
             population: PopulationModel::synthesize(CLI_SEED, CLI_BLOCKS),
             hazards: HistoricalRisk::standard(CLI_SEED, Some(CLI_EVENT_CAP)),
             parallelism: Parallelism::Sequential,
+            route_cache: true,
         })
     }
 
@@ -105,6 +109,7 @@ impl CliContext {
     pub fn planner(&self, net: &Network, weights: RiskWeights) -> Planner {
         Planner::for_network(net, &self.population, &self.hazards, weights)
             .with_parallelism(self.parallelism)
+            .with_route_cache(self.route_cache)
     }
 }
 
@@ -215,6 +220,7 @@ fn run_command(cli: &Cli) -> Result<String, CliError> {
     }
     let mut ctx = CliContext::build(&cli.graphml)?;
     ctx.parallelism = cli.threads;
+    ctx.route_cache = cli.route_cache;
     match &cli.command {
         Command::Corpus => Ok(commands::corpus(&ctx)),
         Command::Route { network, src, dst } => {

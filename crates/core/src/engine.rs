@@ -1,0 +1,539 @@
+//! The dedicated shortest-path engine behind [`crate::Planner`].
+//!
+//! Every RiskRoute quantity — Eq. 3 routes, Eq. 4 provisioning scores,
+//! Eq. 5/6 ratios — bottoms out in β-scaled SSSP, so this module owns the
+//! three layers that make those runs cheap without changing a single bit of
+//! output:
+//!
+//! 1. **CSR snapshot** ([`CsrGraph`]): an immutable compressed-sparse-row
+//!    image of [`Adjacency`] — flat `offsets`/`targets`/`weights` arrays —
+//!    so the Dijkstra inner loop walks two cache-friendly slices instead of
+//!    chasing `Vec<Vec<(usize, f64)>>` pointers. Edge order within each
+//!    node is preserved exactly, which keeps relaxation order (and
+//!    therefore every tie-broken predecessor) identical to the reference
+//!    [`risk_sssp`](crate::routing::risk_sssp).
+//!
+//! 2. **Scratch-arena Dijkstra** ([`SsspArena`]): per-worker reusable
+//!    dist/pred/cost/heap buffers with generation-stamped lazy reset — a
+//!    run bumps one `u32` generation instead of clearing four arrays, and a
+//!    slot is live only when its stamp matches. Arenas are pooled through
+//!    [`riskroute_par::ScratchPool`] so scoped pool workers reuse them
+//!    across drains; steady-state runs allocate nothing but the output
+//!    tree.
+//!
+//! 3. **Exact route-tree cache** ([`RouteTreeCache`]): completed trees
+//!    keyed by `(root, β.to_bits(), stamp)` where the stamp names one
+//!    immutable (topology, cost-function) state — any risk/weight mutation
+//!    mints a fresh stamp, so a stale entry can never be *returned*, only
+//!    evicted. After greedy provisioning adds a link `(a, b)` the planner
+//!    re-keys still-valid trees into the new state via a strict
+//!    edge-addition test (`Planner::adopt_route_cache`): a tree rooted at
+//!    `r` survives when
+//!    `dist(r,a) + w + c(b) > dist(r,b)` **and**
+//!    `dist(r,b) + w + c(a) > dist(r,a)` (`c(v) = β·ρ(v)`). Strict
+//!    inequality — not the `≥` that preserves distances alone — is what
+//!    preserves the predecessor array bit-for-bit: on an exact tie a fresh
+//!    run could route through the new link and flip the printed path even
+//!    though the distance is unchanged. The cache is exact, never
+//!    approximate: outputs are byte-identical with it on or off.
+
+use crate::routing::{Adjacency, Entry, RiskTree, NO_PRED};
+use std::collections::hash_map::Entry as MapEntry;
+use std::collections::{BinaryHeap, HashMap};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, MutexGuard};
+
+/// Process-global source of cost-state stamps (see [`next_stamp`]).
+static NEXT_STAMP: AtomicU64 = AtomicU64::new(1);
+
+/// Mint a fresh, process-unique stamp naming one immutable
+/// (topology, cost-function) planner state. Two planner values share a
+/// stamp only when their trees are interchangeable bit-for-bit.
+pub(crate) fn next_stamp() -> u64 {
+    NEXT_STAMP.fetch_add(1, Ordering::Relaxed)
+}
+
+/// Sanitize one β-scaled entry cost exactly like the reference SSSP:
+/// non-finite or negative costs make the node unroutable.
+pub(crate) fn sanitize_cost(c: f64) -> f64 {
+    if c.is_finite() && c >= 0.0 {
+        c
+    } else {
+        f64::INFINITY
+    }
+}
+
+/// Immutable compressed-sparse-row snapshot of an [`Adjacency`].
+///
+/// `targets[offsets[u]..offsets[u+1]]` lists u's neighbors in the exact
+/// order the nested-Vec adjacency stores them (append order of
+/// `from_links`), with `weights` holding the matching link miles.
+#[derive(Debug, Clone)]
+pub struct CsrGraph {
+    offsets: Vec<u32>,
+    targets: Vec<u32>,
+    weights: Vec<f64>,
+}
+
+impl CsrGraph {
+    /// Flatten an adjacency into CSR form, preserving per-node edge order.
+    ///
+    /// # Panics
+    /// Panics when node or edge counts exceed the packed `u32` index range.
+    pub fn from_adjacency(adj: &Adjacency) -> Self {
+        let n = adj.node_count();
+        let m: usize = (0..n).map(|u| adj.neighbors(u).len()).sum();
+        assert!(
+            n < u32::MAX as usize && m < u32::MAX as usize,
+            "graph exceeds the packed CSR index range"
+        );
+        let mut offsets = Vec::with_capacity(n + 1);
+        let mut targets = Vec::with_capacity(m);
+        let mut weights = Vec::with_capacity(m);
+        offsets.push(0u32);
+        for u in 0..n {
+            for &(v, miles) in adj.neighbors(u) {
+                targets.push(v as u32);
+                weights.push(miles);
+            }
+            offsets.push(targets.len() as u32);
+        }
+        CsrGraph {
+            offsets,
+            targets,
+            weights,
+        }
+    }
+
+    /// Number of nodes.
+    pub fn node_count(&self) -> usize {
+        self.offsets.len() - 1
+    }
+
+    /// Number of directed edges (twice the undirected link count).
+    pub fn edge_count(&self) -> usize {
+        self.targets.len()
+    }
+
+    #[inline]
+    fn edge_range(&self, u: usize) -> std::ops::Range<usize> {
+        self.offsets[u] as usize..self.offsets[u + 1] as usize
+    }
+}
+
+/// Reusable per-worker Dijkstra scratch state with generation-stamped lazy
+/// reset: `dist`/`pred` slots are live only when `touched[v] == gen`, and a
+/// node is settled only when `settled[v] == gen`, so "resetting" for the
+/// next run is a single generation bump. A full clear happens only when the
+/// `u32` generation wraps (once per ~4 billion runs).
+pub(crate) struct SsspArena {
+    dist: Vec<f64>,
+    pred: Vec<u32>,
+    costs: Vec<f64>,
+    rho_sum: Vec<f64>,
+    touched: Vec<u32>,
+    settled: Vec<u32>,
+    gen: u32,
+    heap: BinaryHeap<Entry>,
+}
+
+impl SsspArena {
+    pub(crate) fn new() -> Self {
+        SsspArena {
+            dist: Vec::new(),
+            pred: Vec::new(),
+            costs: Vec::new(),
+            rho_sum: Vec::new(),
+            touched: Vec::new(),
+            settled: Vec::new(),
+            gen: 0,
+            heap: BinaryHeap::new(),
+        }
+    }
+
+    /// Open a new run over `n` nodes: grow buffers if the graph outgrew the
+    /// arena, bump the generation (full clear on wrap), empty the heap.
+    fn begin(&mut self, n: usize) {
+        if self.touched.len() < n {
+            self.dist.resize(n, f64::INFINITY);
+            self.pred.resize(n, NO_PRED);
+            self.costs.resize(n, 0.0);
+            self.rho_sum.resize(n, 0.0);
+            self.touched.resize(n, 0);
+            self.settled.resize(n, 0);
+        }
+        if self.gen == u32::MAX {
+            self.touched.fill(0);
+            self.settled.fill(0);
+            self.gen = 0;
+        }
+        self.gen += 1;
+        self.heap.clear();
+    }
+
+    #[inline]
+    fn dist_of(&self, v: usize) -> f64 {
+        if self.touched[v] == self.gen {
+            self.dist[v]
+        } else {
+            f64::INFINITY
+        }
+    }
+}
+
+/// The process-wide arena pool: scoped pool workers (and the sequential
+/// path) check arenas out per run and return them for the next, so
+/// steady-state SSSP allocates nothing but the output tree.
+static ARENAS: riskroute_par::ScratchPool<SsspArena> =
+    riskroute_par::ScratchPool::named("sssp_arena");
+
+/// β-scaled SSSP from `source` over the CSR snapshot, using a pooled
+/// scratch arena. Bit-for-bit equivalent to
+/// [`risk_sssp`](crate::routing::risk_sssp) with entry cost
+/// `v ↦ β·ρ(v)` — same relaxation order, same heap tie-breaks, same
+/// sanitization — and additionally records β-independent ρ-sums down the
+/// tree when `beta == 0` (one distance tree then serves every pair metric
+/// in O(1), see `Planner::sweep_source`).
+///
+/// # Panics
+/// Panics when `source` is out of range.
+pub(crate) fn sssp(csr: &CsrGraph, source: usize, beta: f64, rho: &[f64]) -> RiskTree {
+    ARENAS.with(SsspArena::new, |arena| run(arena, csr, source, beta, rho))
+}
+
+fn run(arena: &mut SsspArena, csr: &CsrGraph, source: usize, beta: f64, rho: &[f64]) -> RiskTree {
+    let n = csr.node_count();
+    assert!(source < n, "source {source} out of range ({n} nodes)");
+    arena.begin(n);
+    // β = 0 is the distance tree: the reference path used a literal zero
+    // entry cost (never touching ρ), and that is also the tree for which
+    // the β-independent ρ-sum channel is recorded.
+    let track_rho = beta == 0.0;
+    if track_rho {
+        arena.costs[..n].fill(0.0);
+    } else {
+        for (slot, &r) in arena.costs[..n].iter_mut().zip(rho) {
+            *slot = sanitize_cost(beta * r);
+        }
+    }
+
+    let gen = arena.gen;
+    arena.touched[source] = gen;
+    arena.dist[source] = 0.0;
+    arena.pred[source] = NO_PRED;
+    arena.heap.push(Entry {
+        cost: 0.0,
+        node: source,
+    });
+    // Hot loop: count into plain locals, publish once at the end.
+    let mut pops: u64 = 0;
+    let mut relaxations: u64 = 0;
+    let mut heap_peak: usize = arena.heap.len();
+    while let Some(Entry { cost, node }) = arena.heap.pop() {
+        pops += 1;
+        if arena.settled[node] == gen {
+            continue;
+        }
+        arena.settled[node] = gen;
+        if track_rho {
+            // pred[node] is final once the node settles, so the ρ-sum can
+            // accumulate in path order (matching evaluate_path's order).
+            arena.rho_sum[node] = if node == source {
+                0.0
+            } else {
+                arena.rho_sum[arena.pred[node] as usize] + rho[node]
+            };
+        }
+        for e in csr.edge_range(node) {
+            let v = csr.targets[e] as usize;
+            if arena.settled[v] == gen {
+                continue;
+            }
+            let next = cost + csr.weights[e] + arena.costs[v];
+            if next < arena.dist_of(v) {
+                arena.touched[v] = gen;
+                arena.dist[v] = next;
+                arena.pred[v] = node as u32;
+                relaxations += 1;
+                arena.heap.push(Entry {
+                    cost: next,
+                    node: v,
+                });
+                heap_peak = heap_peak.max(arena.heap.len());
+            }
+        }
+    }
+    if riskroute_obs::is_enabled() {
+        riskroute_obs::counter_add("risk_sssp_runs", 1);
+        riskroute_obs::counter_add("risk_sssp_pops", pops);
+        riskroute_obs::counter_add("risk_sssp_relaxations", relaxations);
+        riskroute_obs::gauge_max("risk_sssp_heap_peak", heap_peak as f64);
+    }
+
+    // Extract the compact output tree; untouched slots read as unreachable.
+    let mut dist = Vec::with_capacity(n);
+    let mut pred = Vec::with_capacity(n);
+    for v in 0..n {
+        if arena.touched[v] == gen {
+            dist.push(arena.dist[v]);
+            pred.push(arena.pred[v]);
+        } else {
+            dist.push(f64::INFINITY);
+            pred.push(NO_PRED);
+        }
+    }
+    let rho_sum = if track_rho {
+        (0..n)
+            .map(|v| {
+                if arena.settled[v] == gen {
+                    arena.rho_sum[v]
+                } else {
+                    f64::INFINITY
+                }
+            })
+            .collect()
+    } else {
+        Vec::new()
+    };
+    RiskTree::from_parts(source, dist, pred, rho_sum)
+}
+
+/// Key of one cached route tree: the SSSP root, the exact β bits (the cost
+/// function is linear in β, so distinct bit patterns are distinct
+/// metrics), and the planner cost-state stamp the tree was computed under.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub(crate) struct TreeKey {
+    /// SSSP root node.
+    pub(crate) root: u32,
+    /// `β.to_bits()` of the pair metric.
+    pub(crate) beta_bits: u64,
+    /// Cost-state stamp (see [`next_stamp`]).
+    pub(crate) stamp: u64,
+}
+
+/// Roughly how much memory the cache may pin before it starts refusing
+/// inserts (entries are ~`12·n + 96` bytes each).
+const CACHE_BUDGET_BYTES: usize = 256 << 20;
+
+struct CacheInner {
+    map: HashMap<TreeKey, Arc<RiskTree>>,
+    /// Stamp for which the cache already proved full after purging stale
+    /// generations — inserts under it are skipped without rescanning.
+    full_stamp: u64,
+}
+
+/// Exact, shared route-tree cache (see the module docs). Clones of a
+/// planner share one cache through an `Arc`; the per-entry stamp keeps
+/// divergent clones from ever observing each other's trees.
+pub(crate) struct RouteTreeCache {
+    inner: Mutex<CacheInner>,
+    max_entries: usize,
+}
+
+impl RouteTreeCache {
+    /// A cache sized so `max_entries` trees of an `n_nodes` graph stay
+    /// within [`CACHE_BUDGET_BYTES`].
+    pub(crate) fn with_budget(n_nodes: usize) -> Self {
+        let per_tree = 96 + 12 * n_nodes.max(1);
+        let max_entries = (CACHE_BUDGET_BYTES / per_tree).clamp(1024, 1 << 20);
+        RouteTreeCache {
+            inner: Mutex::new(CacheInner {
+                map: HashMap::new(),
+                full_stamp: 0,
+            }),
+            max_entries,
+        }
+    }
+
+    fn lock(&self) -> MutexGuard<'_, CacheInner> {
+        // Nothing inside the critical sections can panic; recover from
+        // poisoning defensively rather than propagating an unwrap.
+        self.inner.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
+    }
+
+    /// Look up a tree, counting the hit or miss.
+    pub(crate) fn get(&self, key: &TreeKey) -> Option<Arc<RiskTree>> {
+        let found = self.lock().map.get(key).cloned();
+        if riskroute_obs::is_enabled() {
+            let counter = if found.is_some() {
+                "route_cache_hits"
+            } else {
+                "route_cache_misses"
+            };
+            riskroute_obs::counter_add(counter, 1);
+        }
+        found
+    }
+
+    /// Insert a freshly computed (or revalidated) tree. At capacity, stale
+    /// stamps are purged once per stamp transition; if the current stamp
+    /// alone fills the cache, further inserts under it are skipped (counted
+    /// as `route_cache_insert_skips`) — correctness is unaffected, those
+    /// trees are simply recomputed on demand.
+    pub(crate) fn insert(&self, key: TreeKey, tree: Arc<RiskTree>) {
+        let mut inner = self.lock();
+        if inner.map.len() >= self.max_entries {
+            if inner.full_stamp == key.stamp {
+                drop(inner);
+                riskroute_obs::counter_add("route_cache_insert_skips", 1);
+                return;
+            }
+            inner.map.retain(|k, _| k.stamp == key.stamp);
+            if inner.map.len() >= self.max_entries {
+                inner.full_stamp = key.stamp;
+                drop(inner);
+                riskroute_obs::counter_add("route_cache_insert_skips", 1);
+                return;
+            }
+        }
+        // First writer wins on concurrent duplicate computes — the values
+        // are identical by construction, so either Arc is fine.
+        if let MapEntry::Vacant(slot) = inner.map.entry(key) {
+            slot.insert(tree);
+        }
+    }
+
+    /// Snapshot every entry computed under `stamp` (the adoption walk after
+    /// greedy adds a link).
+    pub(crate) fn entries_with_stamp(&self, stamp: u64) -> Vec<(TreeKey, Arc<RiskTree>)> {
+        self.lock()
+            .map
+            .iter()
+            .filter(|(k, _)| k.stamp == stamp)
+            .map(|(k, t)| (*k, Arc::clone(t)))
+            .collect()
+    }
+
+    /// Number of cached trees (all stamps).
+    pub(crate) fn len(&self) -> usize {
+        self.lock().map.len()
+    }
+}
+
+impl std::fmt::Debug for RouteTreeCache {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("RouteTreeCache")
+            .field("entries", &self.len())
+            .field("max_entries", &self.max_entries)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    #![allow(clippy::unwrap_used, clippy::expect_used)]
+    use super::*;
+    use crate::routing::risk_sssp;
+
+    fn square() -> Adjacency {
+        Adjacency::from_links(
+            4,
+            vec![(0, 1, 10.0), (1, 2, 10.0), (2, 3, 10.0), (3, 0, 10.0)],
+        )
+    }
+
+    #[test]
+    fn csr_preserves_edge_order_and_counts() {
+        let adj = Adjacency::from_links(3, vec![(0, 1, 5.0), (0, 2, 7.0), (0, 1, 3.0)]);
+        let csr = CsrGraph::from_adjacency(&adj);
+        assert_eq!(csr.node_count(), 3);
+        assert_eq!(csr.edge_count(), 6);
+        let edges: Vec<(u32, f64)> = csr
+            .edge_range(0)
+            .map(|e| (csr.targets[e], csr.weights[e]))
+            .collect();
+        assert_eq!(edges, vec![(1, 5.0), (2, 7.0), (1, 3.0)]);
+    }
+
+    #[test]
+    fn engine_matches_reference_sssp_bit_for_bit() {
+        let adj = square();
+        let rho = [0.0, 100.0, 0.0, 0.25];
+        let csr = CsrGraph::from_adjacency(&adj);
+        for source in 0..4 {
+            for beta in [0.0, 1.0, 2.5] {
+                let fast = sssp(&csr, source, beta, &rho);
+                let slow = risk_sssp(&adj, source, |v| beta * rho[v]);
+                for t in 0..4 {
+                    assert_eq!(fast.dist(t).to_bits(), slow.dist(t).to_bits());
+                    assert_eq!(fast.path_to(t), slow.path_to(t));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn engine_handles_unreachable_and_poisoned_nodes() {
+        let adj = Adjacency::from_links(4, vec![(0, 1, 5.0), (1, 2, 5.0)]);
+        let csr = CsrGraph::from_adjacency(&adj);
+        // ρ(2) scaled by β overflows to +inf → node 2 unroutable; node 3
+        // has no links at all.
+        let rho = [0.0, 0.0, f64::MAX, 0.0];
+        let tree = sssp(&csr, 0, f64::MAX, &rho);
+        assert!(!tree.reachable(2));
+        assert!(!tree.reachable(3));
+        assert!(tree.reachable(1));
+        // β = 0 keeps the distance tree oblivious to ρ, as the reference
+        // zero-cost closure was.
+        let dist_tree = sssp(&csr, 0, 0.0, &rho);
+        assert!(dist_tree.reachable(2));
+        assert_eq!(dist_tree.dist(2), 10.0);
+    }
+
+    #[test]
+    fn rho_sums_accumulate_in_path_order() {
+        let adj = square();
+        let rho = [1.0, 100.0, 7.0, 3.0];
+        let csr = CsrGraph::from_adjacency(&adj);
+        let tree = sssp(&csr, 0, 0.0, &rho);
+        // 0→2 ties (via 1 or via 3); heap tie-break settles the smaller
+        // node first, so the path goes via 1: ρ-sum = ρ(1) + ρ(2).
+        let path = tree.path_to(2).unwrap();
+        let expect: f64 = path.iter().skip(1).map(|&v| rho[v]).sum();
+        assert_eq!(tree.path_rho_sum(2), expect);
+        assert_eq!(tree.path_rho_sum(0), 0.0);
+    }
+
+    #[test]
+    fn arena_generations_isolate_consecutive_runs() {
+        let adj = square();
+        let rho = [0.0; 4];
+        let csr = CsrGraph::from_adjacency(&adj);
+        // Repeated runs from different sources through the pooled arenas
+        // must not leak state between generations.
+        for _ in 0..3 {
+            for s in 0..4 {
+                let tree = sssp(&csr, s, 0.0, &rho);
+                assert_eq!(tree.dist(s), 0.0);
+                assert_eq!(tree.source(), s);
+                for t in 0..4 {
+                    let hops = tree.path_to(t).unwrap().len() - 1;
+                    assert_eq!(tree.dist(t), 10.0 * hops as f64);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn cache_isolates_stamps_and_counts_hits() {
+        let cache = RouteTreeCache::with_budget(4);
+        let adj = square();
+        let csr = CsrGraph::from_adjacency(&adj);
+        let tree = Arc::new(sssp(&csr, 0, 0.0, &[0.0; 4]));
+        let key = TreeKey {
+            root: 0,
+            beta_bits: 0,
+            stamp: next_stamp(),
+        };
+        assert!(cache.get(&key).is_none());
+        cache.insert(key, Arc::clone(&tree));
+        assert!(cache.get(&key).is_some());
+        let other_stamp = TreeKey {
+            stamp: next_stamp(),
+            ..key
+        };
+        assert!(cache.get(&other_stamp).is_none(), "stamps never alias");
+        assert_eq!(cache.entries_with_stamp(key.stamp).len(), 1);
+        assert_eq!(cache.len(), 1);
+    }
+}

@@ -1,14 +1,16 @@
 //! Intradomain RiskRoute (§6.1): minimum bit-risk-mile routing within one
 //! provider and the aggregate trade-off against shortest-path routing.
 
+use crate::engine::{self, CsrGraph, RouteTreeCache, TreeKey};
 use crate::error::Error;
 use crate::metric::{ImpactModel, NodeRisk, RiskWeights};
 use crate::ratios::{PairOutcome, RatioReport};
-use crate::routing::{evaluate_path, risk_sssp, Adjacency, RiskTree, RoutedPath};
+use crate::routing::{evaluate_path, Adjacency, RiskTree, RoutedPath};
 use riskroute_hazard::HistoricalRisk;
 use riskroute_par::Parallelism;
 use riskroute_population::{PopShares, PopulationModel};
 use riskroute_topology::Network;
+use std::sync::Arc;
 
 /// How many unordered PoP pairs a parallel sweep dispatches per wave.
 /// Purely a memory bound on the in-flight per-pair contribution vectors —
@@ -29,6 +31,14 @@ pub(crate) fn unordered_pairs(n: usize) -> Vec<(usize, usize)> {
     pairs
 }
 
+/// Precompute the λ-combined per-PoP risk `ρ(v) = λ_h·o_h(v) + λ_f·o_f(v)`
+/// for one cost state — the exact per-node value `entry_cost` closures
+/// computed on the fly before the engine refactor, so β·ρ(v) is bitwise
+/// unchanged.
+fn compute_rho(risk: &NodeRisk, weights: RiskWeights) -> Vec<f64> {
+    (0..risk.len()).map(|v| risk.scaled(v, weights)).collect()
+}
+
 /// The result of a degraded-mode pair sweep: the outcomes that routed plus
 /// the (src, dst) pairs stranded by a partition.
 #[derive(Debug, Clone, Default)]
@@ -44,14 +54,31 @@ pub struct PairSweep {
 /// Holds the topology adjacency, per-PoP risk vectors, population shares,
 /// and the λ weights; answers RiskRoute (Eq. 3) and shortest-path queries,
 /// and aggregates the §7 ratio reports.
+///
+/// All SSSP goes through the [`crate::engine`] module: an immutable CSR
+/// snapshot of the adjacency, pooled scratch-arena Dijkstra, and an exact
+/// route-tree cache shared by clones of this planner. The cache is keyed
+/// by a cost-state `stamp` minted whenever risk or weights change, so a
+/// stale tree can never be observed; [`Self::with_route_cache`] turns
+/// reuse off for debugging without changing a single output bit.
 #[derive(Debug, Clone)]
 pub struct Planner {
     adjacency: Adjacency,
+    csr: Arc<CsrGraph>,
     risk: NodeRisk,
     shares: PopShares,
     weights: RiskWeights,
     impact_model: ImpactModel,
     parallelism: Parallelism,
+    /// Precomputed λ-combined per-PoP risk `ρ(v) = risk.scaled(v, weights)`
+    /// under the current cost state (shared with clones; rebuilt on any
+    /// risk/weight mutation).
+    rho: Arc<Vec<f64>>,
+    /// Cost-state stamp naming the (topology, ρ) state all cached trees
+    /// were computed under (see [`engine::next_stamp`]).
+    stamp: u64,
+    cache: Arc<RouteTreeCache>,
+    route_cache: bool,
 }
 
 impl Planner {
@@ -70,13 +97,21 @@ impl Planner {
             network.pop_count(),
             network.links().iter().map(|l| (l.a, l.b, l.miles)),
         );
+        let csr = Arc::new(CsrGraph::from_adjacency(&adjacency));
+        let rho = Arc::new(compute_rho(&risk, weights));
+        let cache = Arc::new(RouteTreeCache::with_budget(network.pop_count()));
         Planner {
             adjacency,
+            csr,
             risk,
             shares,
             weights,
             impact_model: ImpactModel::default(),
             parallelism: Parallelism::Sequential,
+            rho,
+            stamp: engine::next_stamp(),
+            cache,
+            route_cache: true,
         }
     }
 
@@ -144,10 +179,22 @@ impl Planner {
         &self.risk
     }
 
-    /// Mutable access to the risk vectors (replay updates the forecast
-    /// component per advisory).
-    pub fn risk_mut(&mut self) -> &mut NodeRisk {
-        &mut self.risk
+    /// Replace the forecast risk vector (replay updates it per advisory).
+    ///
+    /// A forecast bitwise-equal to the active one is a no-op — in
+    /// particular the cost-state stamp is kept, so repeated quiet ticks
+    /// (zero-forecast advisories before and after a storm) keep hitting the
+    /// shared route-tree cache. Any actual change rebuilds ρ and mints a
+    /// fresh stamp, retiring every cached tree.
+    ///
+    /// # Panics
+    /// Panics on length mismatch or invalid values.
+    pub fn set_forecast(&mut self, forecast: Vec<f64>) {
+        if self.risk.forecast_slice() == forecast.as_slice() {
+            return;
+        }
+        self.risk.set_forecast(forecast);
+        self.refresh_cost_state();
     }
 
     /// The population shares.
@@ -160,9 +207,43 @@ impl Planner {
         self.weights
     }
 
-    /// Replace the λ weights.
+    /// Replace the λ weights. A changed value rebuilds ρ and retires every
+    /// cached route tree (unchanged values are a no-op).
     pub fn set_weights(&mut self, weights: RiskWeights) {
+        if weights == self.weights {
+            return;
+        }
         self.weights = weights;
+        self.refresh_cost_state();
+    }
+
+    /// Enable or disable the route-tree cache (the CLI's
+    /// `--no-route-cache` debug flag). The cache is exact, so this knob —
+    /// like [`Self::with_parallelism`] — never changes any output bit, only
+    /// how often SSSP actually runs.
+    #[must_use]
+    pub fn with_route_cache(mut self, enabled: bool) -> Self {
+        self.route_cache = enabled;
+        self
+    }
+
+    /// Whether the route-tree cache is consulted.
+    pub fn route_cache(&self) -> bool {
+        self.route_cache
+    }
+
+    /// The precomputed λ-combined per-PoP risk vector ρ under the current
+    /// cost state (provisioning's O(1) via-pricing reads it).
+    pub(crate) fn rho(&self) -> &[f64] {
+        &self.rho
+    }
+
+    /// Rebuild ρ and mint a fresh cost-state stamp after a risk or weight
+    /// mutation; cached trees under the old stamp can no longer be
+    /// returned to this planner.
+    fn refresh_cost_state(&mut self) {
+        self.rho = Arc::new(compute_rho(&self.risk, self.weights));
+        self.stamp = engine::next_stamp();
     }
 
     /// Outage impact β(i,j) under the active [`ImpactModel`]
@@ -196,7 +277,7 @@ impl Planner {
     /// `None` when unreachable.
     pub fn risk_route(&self, i: usize, j: usize) -> Option<RoutedPath> {
         let beta = self.impact(i, j);
-        let tree = risk_sssp(&self.adjacency, i, self.entry_cost(beta));
+        let tree = self.risk_tree(i, beta);
         let nodes = tree.path_to(j)?;
         // Tree paths traverse real links by construction.
         evaluate_path(&self.adjacency, &nodes, self.entry_cost(beta)).ok()
@@ -217,27 +298,69 @@ impl Planner {
     /// bit-risk metric* of the (i, j) pair so it is directly comparable to
     /// [`risk_route`](Self::risk_route). `None` when unreachable.
     pub fn shortest_route(&self, i: usize, j: usize) -> Option<RoutedPath> {
-        let tree = risk_sssp(&self.adjacency, i, |_| 0.0);
-        let nodes = tree.path_to(j)?;
+        let tree = self.risk_tree_distance(i);
         let beta = self.impact(i, j);
-        evaluate_path(&self.adjacency, &nodes, self.entry_cost(beta)).ok()
+        self.routed_from_distance_tree(&tree, j, beta)
+    }
+
+    /// Assemble the shortest-path [`RoutedPath`] for destination `j`
+    /// straight from a distance tree: `dist(j)` *is* the path's bit-miles
+    /// (each hop added `miles + 0.0` in path order), and the β-independent
+    /// ρ-sum recorded at settle time turns the pair's risk-miles into one
+    /// multiply — no per-destination path re-walk.
+    fn routed_from_distance_tree(
+        &self,
+        tree: &RiskTree,
+        j: usize,
+        beta: f64,
+    ) -> Option<RoutedPath> {
+        let nodes = tree.path_to(j)?;
+        let bit_miles = tree.dist(j);
+        let risk_miles = beta * tree.path_rho_sum(j);
+        Some(RoutedPath {
+            nodes,
+            bit_miles,
+            risk_miles,
+            bit_risk_miles: bit_miles + risk_miles,
+        })
     }
 
     /// Full SSSP under the (i, j) pair's bit-risk weighting, rooted at `root`
-    /// (used by the provisioning sweep).
-    pub(crate) fn risk_tree(&self, root: usize, beta: f64) -> RiskTree {
-        risk_sssp(&self.adjacency, root, self.entry_cost(beta))
+    /// (used by the provisioning sweep). Served from the route-tree cache
+    /// when enabled; computed trees are shared behind an `Arc` with every
+    /// clone of this planner in the same cost state.
+    pub(crate) fn risk_tree(&self, root: usize, beta: f64) -> Arc<RiskTree> {
+        let key = TreeKey {
+            root: root as u32,
+            beta_bits: beta.to_bits(),
+            stamp: self.stamp,
+        };
+        if self.route_cache {
+            if let Some(tree) = self.cache.get(&key) {
+                return tree;
+            }
+        }
+        let tree = Arc::new(engine::sssp(&self.csr, root, beta, &self.rho));
+        if self.route_cache {
+            self.cache.insert(key, Arc::clone(&tree));
+        }
+        tree
     }
 
     /// Pure bit-mile SSSP tree from `root` (the shortest-path baseline and
-    /// the provisioning candidate filter both use it).
-    pub(crate) fn risk_tree_distance(&self, root: usize) -> RiskTree {
-        risk_sssp(&self.adjacency, root, |_| 0.0)
+    /// the provisioning candidate filter both use it). β = 0 trees carry
+    /// the ρ-sum channel, so one tree serves every pair metric.
+    pub(crate) fn risk_tree_distance(&self, root: usize) -> Arc<RiskTree> {
+        self.risk_tree(root, 0.0)
     }
 
     /// Route one source against every destination, appending routed pairs
     /// to `outcomes` and unroutable ones to `stranded` — the per-source unit
     /// of work shared verbatim by the sequential and parallel sweeps.
+    ///
+    /// The shortest-path leg is O(1) per destination: path miles and the
+    /// ρ-sum are β-independent, so both were accumulated down the distance
+    /// tree once for the whole source.
     fn sweep_source(
         &self,
         i: usize,
@@ -245,18 +368,13 @@ impl Planner {
         outcomes: &mut Vec<PairOutcome>,
         stranded: &mut Vec<(usize, usize)>,
     ) {
-        let dist_tree = risk_sssp(&self.adjacency, i, |_| 0.0);
+        let dist_tree = self.risk_tree_distance(i);
         for &j in dests {
             if i == j {
                 continue;
             }
             let beta = self.impact(i, j);
-            let Some(sp_nodes) = dist_tree.path_to(j) else {
-                stranded.push((i, j));
-                continue;
-            };
-            let Ok(shortest) = evaluate_path(&self.adjacency, &sp_nodes, self.entry_cost(beta))
-            else {
+            let Some(shortest) = self.routed_from_distance_tree(&dist_tree, j, beta) else {
                 stranded.push((i, j));
                 continue;
             };
@@ -378,6 +496,114 @@ impl Planner {
             riskroute_obs::gauge_set("aggregate_bit_risk_miles", total);
         }
         total
+    }
+
+    /// Carry still-valid route trees from `prev` into this planner after
+    /// greedy provisioning rebuilt it with one extra `(a, b)` link.
+    ///
+    /// A cached tree rooted at `r` under metric β provably survives the
+    /// edge addition when the new link cannot improve *any* distance, i.e.
+    /// (with `c(v) = β·ρ(v)` and `w` the new link's miles)
+    ///
+    /// ```text
+    /// dist(r,a) + w + c(b) > dist(r,b)   and
+    /// dist(r,b) + w + c(a) > dist(r,a)
+    /// ```
+    ///
+    /// The inequalities are **strict** even though `≥` would preserve the
+    /// distances: on an exact tie a fresh Dijkstra run could relax through
+    /// the new link and flip the predecessor (and thus the printed path)
+    /// without changing the distance, breaking the byte-identical
+    /// cache-on/cache-off contract. Under strict inequality every
+    /// improving relaxation of the fresh run is one the old run performed
+    /// (the new link's relaxations are always strictly dominated later),
+    /// so dist *and* pred come out bit-for-bit equal — surviving trees are
+    /// simply re-keyed to this planner's stamp. An edge between two nodes
+    /// unreachable from `r` also survives: it cannot create any new path
+    /// from `r`.
+    ///
+    /// Adoption is skipped entirely (correct, just slower) unless `prev`
+    /// has bitwise-identical ρ and an adjacency equal to this one minus
+    /// exactly the appended link — greedy's `with_extra_link` appends the
+    /// new link last, which is also what keeps relaxation order (and so
+    /// every tie-break) aligned between the old and new graphs.
+    pub(crate) fn adopt_route_cache(&mut self, prev: &Planner, a: usize, b: usize) {
+        if !(self.route_cache && prev.route_cache) {
+            return;
+        }
+        let n = self.adjacency.node_count();
+        if n != prev.adjacency.node_count()
+            || self.rho.len() != prev.rho.len()
+            || !self
+                .rho
+                .iter()
+                .zip(prev.rho.iter())
+                .all(|(x, y)| x.to_bits() == y.to_bits())
+        {
+            return;
+        }
+        let identical = self.adjacency == prev.adjacency;
+        let mut new_miles = f64::INFINITY;
+        if !identical {
+            if a >= n || b >= n || a == b {
+                return;
+            }
+            for u in 0..n {
+                let new_list = self.adjacency.neighbors(u);
+                let old_list = prev.adjacency.neighbors(u);
+                if u == a || u == b {
+                    let expect = if u == a { b } else { a };
+                    if new_list.len() != old_list.len() + 1
+                        || new_list[..old_list.len()] != *old_list
+                    {
+                        return;
+                    }
+                    match new_list.last() {
+                        Some(&(tail, miles)) if tail == expect => new_miles = miles,
+                        _ => return,
+                    }
+                } else if new_list != old_list {
+                    return;
+                }
+            }
+        }
+        let mut kept: u64 = 0;
+        let mut dropped: u64 = 0;
+        for (key, tree) in prev.cache.entries_with_stamp(prev.stamp) {
+            let survives = if identical {
+                true
+            } else {
+                let beta = f64::from_bits(key.beta_bits);
+                let (ca, cb) = if beta == 0.0 {
+                    // Distance trees use a literal zero entry cost.
+                    (0.0, 0.0)
+                } else {
+                    (
+                        engine::sanitize_cost(beta * self.rho[a]),
+                        engine::sanitize_cost(beta * self.rho[b]),
+                    )
+                };
+                let (da, db) = (tree.dist(a), tree.dist(b));
+                (!da.is_finite() && !db.is_finite())
+                    || (da + new_miles + cb > db && db + new_miles + ca > da)
+            };
+            if survives {
+                self.cache.insert(
+                    TreeKey {
+                        stamp: self.stamp,
+                        ..key
+                    },
+                    tree,
+                );
+                kept += 1;
+            } else {
+                dropped += 1;
+            }
+        }
+        if riskroute_obs::is_enabled() {
+            riskroute_obs::counter_add("route_cache_revalidated", kept);
+            riskroute_obs::counter_add("route_cache_invalidated", dropped);
+        }
     }
 }
 

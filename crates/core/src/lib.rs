@@ -71,6 +71,7 @@ pub mod chaos;
 pub mod checkpoint;
 pub mod composite;
 pub mod corridor;
+pub mod engine;
 pub mod error;
 pub mod failure;
 pub mod interdomain;

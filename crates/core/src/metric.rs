@@ -157,6 +157,12 @@ impl NodeRisk {
         self.forecast[v]
     }
 
+    /// The whole forecast vector (replay compares candidate forecasts
+    /// against the active one to decide whether anything changed).
+    pub fn forecast_slice(&self) -> &[f64] {
+        &self.forecast
+    }
+
     /// Replace the forecast vector (e.g. per advisory during replay).
     ///
     /// # Panics

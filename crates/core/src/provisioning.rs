@@ -16,7 +16,6 @@
 
 use crate::budget::{Budgeted, WorkBudget};
 use crate::intradomain::{unordered_pairs, Planner, PAIR_WAVE};
-use crate::metric::{NodeRisk, RiskWeights};
 use riskroute_geo::distance::great_circle_miles;
 use riskroute_par::Parallelism;
 use riskroute_topology::{Network, PopId};
@@ -165,8 +164,7 @@ pub fn score_candidates_budgeted(
     budget.charge(candidates.len() as u64);
     riskroute_obs::counter_add("provision_candidates_scored", candidates.len() as u64);
     let n = network.pop_count();
-    let w = planner.weights();
-    let risk = planner.risk();
+    let rho = planner.rho();
     let mut totals = vec![0.0_f64; candidates.len()];
 
     match planner.parallelism() {
@@ -176,10 +174,10 @@ pub fn score_candidates_budgeted(
                     let beta = planner.impact(i, j);
                     let tree_i = planner.risk_tree(i, beta);
                     let tree_j = planner.risk_tree(j, beta);
+                    let pricer = ViaPricer::new(&tree_i, &tree_j, rho, beta, j);
                     let old = tree_i.dist(j);
                     for (c, &(a, b, miles)) in candidates.iter().enumerate() {
-                        let via = best_via(&tree_i, &tree_j, a, b, miles, beta, risk, w, i, j);
-                        let new = old.min(via);
+                        let new = old.min(pricer.best_via(a, b, miles));
                         // Unreachable pairs stay unreachable only if the
                         // candidate does not bridge them; skip still-infinite
                         // contributions so totals remain comparable (all
@@ -202,12 +200,11 @@ pub fn score_candidates_budgeted(
                     let beta = planner.impact(i, j);
                     let tree_i = planner.risk_tree(i, beta);
                     let tree_j = planner.risk_tree(j, beta);
+                    let pricer = ViaPricer::new(&tree_i, &tree_j, rho, beta, j);
                     let old = tree_i.dist(j);
                     candidates
                         .iter()
-                        .map(|&(a, b, miles)| {
-                            old.min(best_via(&tree_i, &tree_j, a, b, miles, beta, risk, w, i, j))
-                        })
+                        .map(|&(a, b, miles)| old.min(pricer.best_via(a, b, miles)))
                         .collect::<Vec<f64>>()
                 });
                 for per_pair in contribs {
@@ -249,41 +246,67 @@ pub fn score_candidates_budgeted(
     scored
 }
 
-/// Best bit-risk route i→j forced through new link (a, b), in either
-/// orientation.
+/// Prices "route i→j forced through new link (a, b)" in O(1) per candidate
+/// from one (i, j) pair's two SSSP trees. Carries everything β-dependent
+/// precomputed so the per-candidate call takes only the candidate itself.
 ///
-/// NaN audit: `tree` distances are never NaN (`risk_sssp` sanitizes costs),
-/// and `rev` maps unreachable to `+∞`, so `min` here is safe — a NaN could
-/// only enter via a non-finite `miles`, which the candidate enumerators
-/// never produce (great-circle distances are finite).
-#[allow(clippy::too_many_arguments)]
-fn best_via(
-    tree_i: &crate::routing::RiskTree,
-    tree_j: &crate::routing::RiskTree,
-    a: usize,
-    b: usize,
-    miles: f64,
+/// NaN audit: tree distances are never NaN (the engine sanitizes costs),
+/// and `rev` maps unreachable to `+∞`, so the `min` in
+/// [`ViaPricer::best_via`] is safe — a NaN could only enter via a
+/// non-finite `miles`, which the candidate enumerators never produce
+/// (great-circle distances are finite).
+struct ViaPricer<'a> {
+    tree_i: &'a crate::routing::RiskTree,
+    tree_j: &'a crate::routing::RiskTree,
+    rho: &'a [f64],
     beta: f64,
-    risk: &NodeRisk,
-    w: RiskWeights,
-    i: usize,
-    j: usize,
-) -> f64 {
-    let rho = |v: usize| beta * risk.scaled(v, w);
-    // dist(x→j) = dist(j→x) + β(ρ(j) − ρ(x)): reversing a path relocates the
-    // uncharged-endpoint from j to x.
-    let rev = |x: usize| {
-        let d = tree_j.dist(x);
+    /// β·ρ(j), fixed across candidates for the pair.
+    rho_j: f64,
+}
+
+impl<'a> ViaPricer<'a> {
+    fn new(
+        tree_i: &'a crate::routing::RiskTree,
+        tree_j: &'a crate::routing::RiskTree,
+        rho: &'a [f64],
+        beta: f64,
+        j: usize,
+    ) -> Self {
+        let rho_j = beta * rho[j];
+        ViaPricer {
+            tree_i,
+            tree_j,
+            rho,
+            beta,
+            rho_j,
+        }
+    }
+
+    /// β·ρ(v): the pair-scaled entry cost of PoP v.
+    #[inline]
+    fn rho_at(&self, v: usize) -> f64 {
+        self.beta * self.rho[v]
+    }
+
+    /// dist(x→j) = dist(j→x) + β(ρ(j) − ρ(x)): reversing a path relocates
+    /// the uncharged-endpoint from j to x.
+    #[inline]
+    fn rev(&self, x: usize) -> f64 {
+        let d = self.tree_j.dist(x);
         if d.is_finite() {
-            d + rho(j) - rho(x)
+            d + self.rho_j - self.rho_at(x)
         } else {
             f64::INFINITY
         }
-    };
-    let via_ab = tree_i.dist(a) + miles + rho(b) + rev(b);
-    let via_ba = tree_i.dist(b) + miles + rho(a) + rev(a);
-    let _ = i;
-    via_ab.min(via_ba)
+    }
+
+    /// Best bit-risk route i→j forced through new link (a, b), in either
+    /// orientation.
+    fn best_via(&self, a: usize, b: usize, miles: f64) -> f64 {
+        let via_ab = self.tree_i.dist(a) + miles + self.rho_at(b) + self.rev(b);
+        let via_ba = self.tree_i.dist(b) + miles + self.rho_at(a) + self.rev(a);
+        via_ab.min(via_ba)
+    }
 }
 
 /// Eq. 4: the single best additional link, or `None` when no candidate
@@ -401,13 +424,16 @@ pub fn greedy_links_resume(
     for link in &prior.added {
         current_net = with_extra_link(&current_net, link.a, link.b);
     }
-    // Rebuilt planners inherit the base planner's parallelism knob:
-    // `rebuild` closures predate the knob and construct Sequential planners,
-    // and the knob never changes results — only wall-clock.
+    // Rebuilt planners inherit the base planner's parallelism and
+    // route-cache knobs: `rebuild` closures predate both and construct
+    // default planners, and neither knob ever changes results — only
+    // wall-clock.
     let mut current_planner = if prior.added.is_empty() {
         base_planner.clone()
     } else {
-        rebuild(&current_net).with_parallelism(base_planner.parallelism())
+        rebuild(&current_net)
+            .with_parallelism(base_planner.parallelism())
+            .with_route_cache(base_planner.route_cache())
     };
     let mut result = prior;
     while result.added.len() < k {
@@ -435,7 +461,15 @@ pub fn greedy_links_resume(
             break;
         };
         current_net = with_extra_link(&current_net, best.a, best.b);
-        current_planner = rebuild(&current_net).with_parallelism(base_planner.parallelism());
+        let mut next_planner = rebuild(&current_net)
+            .with_parallelism(base_planner.parallelism())
+            .with_route_cache(base_planner.route_cache());
+        // Trees the new link provably cannot improve survive into the next
+        // round's cache (strict edge-addition test; see
+        // `Planner::adopt_route_cache`), so re-measuring the augmented
+        // network — and the next round's scoring — skips most SSSP re-runs.
+        next_planner.adopt_route_cache(&current_planner, best.a, best.b);
+        current_planner = next_planner;
         // Re-measure exactly (the sweep's total is exact already, but
         // recomputing guards the invariant under the rebuilt planner).
         let total = current_planner.aggregate_bit_risk();
@@ -477,6 +511,7 @@ pub fn with_extra_link(network: &Network, a: PopId, b: PopId) -> Network {
 mod tests {
     #![allow(clippy::unwrap_used, clippy::expect_used)]
     use super::*;
+    use crate::metric::{NodeRisk, RiskWeights};
     use riskroute_geo::GeoPoint;
     use riskroute_population::PopShares;
     use riskroute_topology::{NetworkKind, Pop};

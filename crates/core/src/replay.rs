@@ -389,7 +389,7 @@ fn tick_for_raw(
             }
             Err(_) => (vec![0.0; locations.len()], 0, 0, true),
         };
-    planner.risk_mut().set_forecast(forecast);
+    planner.set_forecast(forecast);
     let sweep = planner.pair_sweep(sources, dests);
     let report =
         RatioReport::aggregate_with_stranded(sweep.outcomes.iter(), sweep.stranded.len());
@@ -439,7 +439,7 @@ pub fn replay_storm_proactive(
             .iter()
             .filter(|&&p| field.in_hurricane_winds(p))
             .count();
-        planner.risk_mut().set_forecast(forecast);
+        planner.set_forecast(forecast);
         let sweep = planner.pair_sweep(&all, &all);
         let report =
             RatioReport::aggregate_with_stranded(sweep.outcomes.iter(), sweep.stranded.len());

@@ -61,15 +61,42 @@ pub struct RoutedPath {
     pub bit_risk_miles: f64,
 }
 
+/// Sentinel in the packed predecessor array: "no predecessor" (the source
+/// itself, or an unreachable node).
+pub(crate) const NO_PRED: u32 = u32::MAX;
+
 /// A single-source shortest-path tree under a directed node-entry weight.
+///
+/// Predecessors are packed as `u32` (with [`NO_PRED`] as the sentinel) so a
+/// cached tree costs 12 bytes per node instead of 24 — the route-tree cache
+/// in [`crate::engine`] holds tens of thousands of these.
 #[derive(Debug, Clone)]
 pub struct RiskTree {
     source: usize,
     dist: Vec<f64>,
-    pred: Vec<Option<usize>>,
+    pred: Vec<u32>,
+    /// β-independent ρ-sums down the tree (`rho_sum[t] = Σ ρ(v)` over the
+    /// path source→t, source excluded). Only populated for β = 0 trees,
+    /// where one distance tree serves every pair metric; empty otherwise.
+    rho_sum: Vec<f64>,
 }
 
 impl RiskTree {
+    /// Assemble a tree from raw engine output.
+    pub(crate) fn from_parts(
+        source: usize,
+        dist: Vec<f64>,
+        pred: Vec<u32>,
+        rho_sum: Vec<f64>,
+    ) -> Self {
+        RiskTree {
+            source,
+            dist,
+            pred,
+            rho_sum,
+        }
+    }
+
     /// The source node.
     pub fn source(&self) -> usize {
         self.source
@@ -85,6 +112,16 @@ impl RiskTree {
         self.dist[t].is_finite()
     }
 
+    /// Σ ρ(v) along the tree path source→t (source excluded). Valid only on
+    /// β = 0 trees, for reachable `t`.
+    pub(crate) fn path_rho_sum(&self, t: usize) -> f64 {
+        debug_assert!(
+            !self.rho_sum.is_empty(),
+            "path_rho_sum queried on a tree built without ρ-sums"
+        );
+        self.rho_sum[t]
+    }
+
     /// Node sequence source→t, or `None` when unreachable.
     pub fn path_to(&self, t: usize) -> Option<Vec<usize>> {
         if !self.reachable(t) {
@@ -92,7 +129,8 @@ impl RiskTree {
         }
         let mut path = vec![t];
         let mut cur = t;
-        while let Some(p) = self.pred[cur] {
+        while self.pred[cur] != NO_PRED {
+            let p = self.pred[cur] as usize;
             path.push(p);
             cur = p;
         }
@@ -102,9 +140,9 @@ impl RiskTree {
 }
 
 #[derive(PartialEq)]
-struct Entry {
-    cost: f64,
-    node: usize,
+pub(crate) struct Entry {
+    pub(crate) cost: f64,
+    pub(crate) node: usize,
 }
 
 impl Eq for Entry {}
@@ -139,6 +177,7 @@ impl PartialOrd for Entry {
 pub fn risk_sssp(adj: &Adjacency, source: usize, entry_cost: impl Fn(usize) -> f64) -> RiskTree {
     let n = adj.node_count();
     assert!(source < n, "source {source} out of range ({n} nodes)");
+    assert!(n < NO_PRED as usize, "node count exceeds the packed-pred limit");
     let costs: Vec<f64> = (0..n)
         .map(|v| {
             let c = entry_cost(v);
@@ -151,7 +190,7 @@ pub fn risk_sssp(adj: &Adjacency, source: usize, entry_cost: impl Fn(usize) -> f
         .collect();
 
     let mut dist = vec![f64::INFINITY; n];
-    let mut pred: Vec<Option<usize>> = vec![None; n];
+    let mut pred: Vec<u32> = vec![NO_PRED; n];
     let mut settled = vec![false; n];
     let mut heap = BinaryHeap::new();
     dist[source] = 0.0;
@@ -177,7 +216,7 @@ pub fn risk_sssp(adj: &Adjacency, source: usize, entry_cost: impl Fn(usize) -> f
             let next = cost + miles + costs[v];
             if next < dist[v] {
                 dist[v] = next;
-                pred[v] = Some(node);
+                pred[v] = node as u32;
                 relaxations += 1;
                 heap.push(Entry {
                     cost: next,
@@ -193,7 +232,7 @@ pub fn risk_sssp(adj: &Adjacency, source: usize, entry_cost: impl Fn(usize) -> f
         riskroute_obs::counter_add("risk_sssp_relaxations", relaxations);
         riskroute_obs::gauge_max("risk_sssp_heap_peak", heap_peak as f64);
     }
-    RiskTree { source, dist, pred }
+    RiskTree::from_parts(source, dist, pred, Vec::new())
 }
 
 /// Evaluate a node sequence under the metric, decomposing bit-miles and

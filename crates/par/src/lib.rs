@@ -48,6 +48,7 @@
 use std::fmt;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
 
 /// Upper bound on spawned workers, far above any sane `--threads` value;
 /// protects against absurd requests turning into fork bombs.
@@ -304,6 +305,78 @@ where
     Ok(out)
 }
 
+/// Most reusable scratch objects a pool will hold onto; checked-in items
+/// beyond this are dropped instead of stacked (a worker count far above
+/// this is already clamped by [`MAX_WORKERS`], so the cap only matters if
+/// callers leak guards across wildly bursty scopes).
+const SCRATCH_POOL_CAP: usize = 64;
+
+/// A lock-guarded stack of reusable worker scratch state.
+///
+/// `riskroute-par` spawns scoped workers per drain, so `thread_local!`
+/// scratch dies with each scope. This pool outlives the scopes: a worker
+/// checks an item out with [`ScratchPool::with`], mutates it, and the item
+/// returns to the stack for the next drain — steady-state runs reuse the
+/// same buffers instead of reallocating per task. Intended for `static`
+/// use (`new` is `const`).
+///
+/// Checkout/check-in each hold the lock only to pop/push, so contention is
+/// bounded by two short critical sections per task. If the closure panics
+/// the item is dropped, never returned dirty.
+pub struct ScratchPool<T> {
+    name: &'static str,
+    stack: Mutex<Vec<T>>,
+}
+
+impl<T> ScratchPool<T> {
+    /// A new empty pool; `name` prefixes the obs counters
+    /// (`{name}_reuses` / `{name}_allocs`).
+    pub const fn named(name: &'static str) -> Self {
+        ScratchPool {
+            name,
+            stack: Mutex::new(Vec::new()),
+        }
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, Vec<T>> {
+        // A panic can never happen inside the push/pop critical sections,
+        // but recover from poisoning defensively anyway.
+        self.stack.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
+    }
+
+    /// Run `f` with a pooled scratch item, creating one via `make` when the
+    /// pool is empty. The item is returned to the pool afterwards (dropped
+    /// if `f` panics or the pool is at capacity).
+    pub fn with<R>(&self, make: impl FnOnce() -> T, f: impl FnOnce(&mut T) -> R) -> R {
+        let pooled = self.lock().pop();
+        let reused = pooled.is_some();
+        if riskroute_obs::is_enabled() {
+            let counter = if reused {
+                format!("{}_reuses", self.name)
+            } else {
+                format!("{}_allocs", self.name)
+            };
+            riskroute_obs::counter_add(&counter, 1);
+        }
+        let mut item = pooled.unwrap_or_else(make);
+        let out = f(&mut item);
+        let mut stack = self.lock();
+        if stack.len() < SCRATCH_POOL_CAP {
+            stack.push(item);
+        }
+        out
+    }
+}
+
+impl<T> fmt::Debug for ScratchPool<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("ScratchPool")
+            .field("name", &self.name)
+            .field("pooled", &self.lock().len())
+            .finish()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     #![allow(clippy::unwrap_used, clippy::expect_used)]
@@ -410,6 +483,46 @@ mod tests {
             assert!(x != 1);
             x
         });
+    }
+
+    #[test]
+    fn scratch_pool_reuses_checked_in_items() {
+        let pool: ScratchPool<Vec<u64>> = ScratchPool::named("test_scratch");
+        let mut allocs = 0;
+        pool.with(
+            || {
+                allocs += 1;
+                vec![1]
+            },
+            |v| v.push(2),
+        );
+        pool.with(
+            || {
+                allocs += 1;
+                Vec::new()
+            },
+            |v| assert_eq!(v, &[1, 2], "the mutated item came back"),
+        );
+        assert_eq!(allocs, 1, "second checkout reused the pooled item");
+    }
+
+    #[test]
+    fn scratch_pool_drops_items_on_panic() {
+        let pool: ScratchPool<u32> = ScratchPool::named("test_scratch_panic");
+        let poisoned = catch_unwind(AssertUnwindSafe(|| {
+            pool.with(|| 7, |_| panic!("seeded"));
+        }));
+        assert!(poisoned.is_err());
+        // The panicking checkout was dropped, not returned dirty.
+        let mut allocs = 0;
+        pool.with(
+            || {
+                allocs += 1;
+                9
+            },
+            |v| assert_eq!(*v, 9),
+        );
+        assert_eq!(allocs, 1);
     }
 
     #[test]

@@ -48,6 +48,9 @@ fi
 echo "== parallel: sequential/threaded equivalence suite =="
 cargo test --release -q --test parallel_equivalence --test pool_properties
 
+echo "== sssp engine: cache-on/cache-off equivalence suite =="
+cargo test --release -q --test route_cache_equivalence
+
 echo "== parallel: --threads 1 vs --threads 4 byte-for-byte =="
 # Same fixed provisioning workload at both settings; the outputs must be
 # byte-identical (the parallel reduction replays the sequential fold order).
@@ -58,6 +61,33 @@ target/release/riskroute replay Telepak katrina --stride 4 --threads 1 > "$OBS_T
 target/release/riskroute replay Telepak katrina --stride 4 --threads 4 > "$OBS_TMP/replay-t4.txt"
 diff "$OBS_TMP/replay-t1.txt" "$OBS_TMP/replay-t4.txt"
 echo "threaded outputs are byte-identical"
+
+echo "== sssp engine: cache vs --no-route-cache byte-for-byte =="
+# The route-tree cache is exact: enabling it must not change a single byte
+# of output, at any worker count.
+target/release/riskroute provision Level3 -k 2 --threads 1 --no-route-cache > "$OBS_TMP/prov-nc1.txt"
+diff "$OBS_TMP/prov-t1.txt" "$OBS_TMP/prov-nc1.txt"
+target/release/riskroute provision Level3 -k 2 --threads 4 --no-route-cache > "$OBS_TMP/prov-nc4.txt"
+diff "$OBS_TMP/prov-t4.txt" "$OBS_TMP/prov-nc4.txt"
+target/release/riskroute replay Telepak katrina --stride 4 --threads 1 --no-route-cache > "$OBS_TMP/replay-nc1.txt"
+diff "$OBS_TMP/replay-t1.txt" "$OBS_TMP/replay-nc1.txt"
+target/release/riskroute replay Telepak katrina --stride 4 --threads 4 --no-route-cache > "$OBS_TMP/replay-nc4.txt"
+diff "$OBS_TMP/replay-t4.txt" "$OBS_TMP/replay-nc4.txt"
+echo "cache-off outputs are byte-identical"
+
+echo "== sssp engine: sssp_runs regression guard =="
+# The fixture provisioning workload is deterministic, so its SSSP-run count
+# is exact; scripts/sssp_baseline.txt records the count at the time the
+# route-tree cache landed. A higher count means a cache/invalidation
+# regression (recompute the baseline deliberately if the workload changes).
+target/release/riskroute provision Level3 -k 1 --metrics-out "$OBS_TMP/sssp.prom" >/dev/null
+sssp_runs=$(awk '$1 == "riskroute_risk_sssp_runs" { print $2 }' "$OBS_TMP/sssp.prom")
+sssp_baseline=$(cat scripts/sssp_baseline.txt)
+echo "sssp_runs ${sssp_runs} (baseline ${sssp_baseline})"
+if [ -z "$sssp_runs" ] || [ "$sssp_runs" -gt "$sssp_baseline" ]; then
+  echo "FAIL: sssp_runs ${sssp_runs:-<missing>} exceeds baseline ${sssp_baseline}"
+  exit 1
+fi
 
 echo "== chaos: fault plans (seeds 42..49) =="
 cargo run --release -p riskroute-cli -- chaos --plans 8 --seed 42

@@ -41,6 +41,7 @@ ids:
   ablation5   risk-aware OSPF weights vs exact RiskRoute
   threadscale thread-scaling curve for the all-pairs routing sweep
   ssspscale   SSSP-engine cache/arena scaling (sweep + 5-round greedy)
+  forkscale   scenario-fork N-1 sweep vs naive per-scenario rebuild
   tables      table1 table2 table3
   figures     fig1..fig13
   ablations   ablation1..ablation5
@@ -92,6 +93,7 @@ fn main() {
                 "ablation5",
                 "threadscale",
                 "ssspscale",
+                "forkscale",
             ]),
             other => ids.push(other),
         }
@@ -125,6 +127,7 @@ fn main() {
     // in results/timings.txt next to the per-experiment rows.
     let mut scaling_curve: Option<String> = None;
     let mut sssp_curve: Option<String> = None;
+    let mut fork_curve: Option<String> = None;
     for id in ids {
         // A fresh registry per experiment makes every row a self-contained
         // delta; the experiment id names the enclosing span.
@@ -154,6 +157,7 @@ fn main() {
             "ablation5" => ablation_ospf::run(&ctx),
             "threadscale" => scaling_curve = Some(thread_scaling::run(&ctx)),
             "ssspscale" => sssp_curve = Some(ssspscale::run(&ctx)),
+            "forkscale" => fork_curve = Some(forkscale::run(&ctx)),
             unknown => {
                 eprintln!("unknown experiment id {unknown:?}\n{USAGE}");
                 std::process::exit(2);
@@ -189,6 +193,10 @@ fn main() {
     }
     if let Some(curve) = sssp_curve {
         timings_out.push_str("\nsssp scaling\n");
+        timings_out.push_str(&curve);
+    }
+    if let Some(curve) = fork_curve {
+        timings_out.push_str("\nfork scaling\n");
         timings_out.push_str(&curve);
     }
     emit("timings", &timings_out);

@@ -13,6 +13,7 @@ pub mod fig13_regional_replay;
 pub mod figs_forecast;
 pub mod figs_maps;
 pub mod figs_provisioning;
+pub mod forkscale;
 pub mod ssspscale;
 pub mod table1_bandwidths;
 pub mod thread_scaling;

@@ -134,6 +134,21 @@ pub enum Command {
         /// Budget and checkpoint flags.
         budget: BudgetArgs,
     },
+    /// Deterministic failure-scenario resilience sweep (N-1, sampled N-2,
+    /// or a Monte-Carlo hazard ensemble).
+    Sweep {
+        /// Network name.
+        network: String,
+        /// Sweep mode: "n1", "n2", or "ensemble".
+        mode: String,
+        /// Scenario sample count (N-2 draws / ensemble members; ignored by
+        /// the exhaustive N-1 mode).
+        samples: usize,
+        /// Sampling / ensemble master seed.
+        seed: u64,
+        /// Budget and checkpoint flags.
+        budget: BudgetArgs,
+    },
     /// Resume a provisioning or replay run from a checkpoint snapshot.
     Resume {
         /// Path to the snapshot file.
@@ -291,9 +306,14 @@ COMMANDS:
   provision <net> [-k N] [BUDGET]    best new links (default k = 5)
   replay <net> <storm> [--stride N]  hurricane replay (default stride 8);
           [BUDGET]                   accepts BUDGET flags
-  resume <snapshot> [BUDGET]         continue a checkpointed provision/replay
-                                     run; falls back to a fresh run (with a
-                                     notice) if only the job line survives
+  sweep <net> [--mode M] [--samples N] deterministic resilience sweep: full
+        [--seed S] [BUDGET]          N-1 (default), sampled N-2, or a seeded
+                                     hazard ensemble; ranked criticality
+                                     report, byte-identical at any --threads
+  resume <snapshot> [BUDGET]         continue a checkpointed provision/replay/
+                                     sweep run; falls back to a fresh run
+                                     (with a notice) if only the job line
+                                     survives
   critical <net>                     risk-weighted PoP criticality ranking
   corridors <net>                    link-corridor risk + shared-risk groups
   ospf <net>                         risk-aware OSPF weights + fidelity
@@ -306,7 +326,7 @@ COMMANDS:
   obs-summary <trace.jsonl>          per-span latency table (count, total,
                                      p50, p99) from a --trace-out file
 
-BUDGET (provision, replay, resume):
+BUDGET (provision, replay, sweep, resume):
   --deadline-ms <N>                  wall-clock budget; stop at the next
                                      clean stage boundary past it
   --max-work <N>                     cap candidate evaluations / replay
@@ -551,6 +571,30 @@ fn parse_command(rest: &[String]) -> Result<Command, CliError> {
                 stride: match flag_of("--stride") {
                     Some(v) => parse_usize(Some(v), "--stride")?,
                     None => 8,
+                },
+                budget: budget_flags()?,
+            })
+        }
+        "sweep" => {
+            let [network] = positional.as_slice() else {
+                return Err(bad("sweep needs <network>".into()));
+            };
+            let mode = flag_of("--mode").cloned().unwrap_or_else(|| "n1".into());
+            if !matches!(mode.as_str(), "n1" | "n2" | "ensemble") {
+                return Err(bad(format!(
+                    "unknown sweep mode {mode:?} (expected n1, n2, or ensemble)"
+                )));
+            }
+            Ok(Command::Sweep {
+                network: (*network).clone(),
+                mode,
+                samples: match flag_of("--samples") {
+                    Some(v) => parse_usize(Some(v), "--samples")?,
+                    None => 64,
+                },
+                seed: match flag_of("--seed") {
+                    Some(v) => parse_u64(Some(v), "--seed")?,
+                    None => crate::CLI_SEED,
                 },
                 budget: budget_flags()?,
             })
@@ -801,6 +845,53 @@ mod tests {
             }
         );
         assert!(matches!(parse_args(&args("resume")), Err(CliError::Bad(_))));
+    }
+
+    #[test]
+    fn sweep_defaults_and_flags() {
+        let cli = parse_args(&args("sweep Level3")).unwrap();
+        assert_eq!(
+            cli.command,
+            Command::Sweep {
+                network: "Level3".into(),
+                mode: "n1".into(),
+                samples: 64,
+                seed: crate::CLI_SEED,
+                budget: BudgetArgs::default(),
+            }
+        );
+        let cli = parse_args(&args(
+            "sweep Level3 --mode ensemble --samples 32 --seed 7 \
+             --max-work 5 --checkpoint sweep.snap --threads 4",
+        ))
+        .unwrap();
+        assert_eq!(cli.threads, Parallelism::Threads(4));
+        assert_eq!(
+            cli.command,
+            Command::Sweep {
+                network: "Level3".into(),
+                mode: "ensemble".into(),
+                samples: 32,
+                seed: 7,
+                budget: BudgetArgs {
+                    deadline_ms: None,
+                    max_work: Some(5),
+                    checkpoint: Some("sweep.snap".into()),
+                },
+            }
+        );
+        assert!(matches!(
+            parse_args(&args("sweep Level3 --mode n3")),
+            Err(CliError::Bad(_))
+        ));
+        assert!(matches!(
+            parse_args(&args("sweep")),
+            Err(CliError::Bad(_))
+        ));
+        assert!(matches!(
+            parse_args(&args("sweep Level3 --samples 0")),
+            Err(CliError::Bad(_))
+        ));
     }
 
     #[test]

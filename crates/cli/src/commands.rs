@@ -10,6 +10,9 @@ use riskroute::provisioning::{greedy_links_budgeted, greedy_links_resume, Greedy
 use riskroute::replay::{
     raw_advisories, replay_raw_advisories_budgeted, DisasterReplay, ReplayTick,
 };
+use riskroute::scenario::{
+    run_sweep_budgeted, scenario_specs, FailElement, SweepOutcome, SweepPrior,
+};
 use riskroute::{NodeRisk, RoutedPath};
 use riskroute_forecast::{ForecastRisk, StormSwath};
 use riskroute_obs::Heartbeat;
@@ -428,6 +431,187 @@ fn replay_under_budget(
     Ok(format!("{notice}{}", render_replay(&result, stride)))
 }
 
+fn element_name(net: &Network, e: &FailElement) -> String {
+    match *e {
+        FailElement::Node(v) => net.pops()[v].name.clone(),
+        FailElement::Link(a, b) => {
+            format!("{} <-> {}", net.pops()[a].name, net.pops()[b].name)
+        }
+    }
+}
+
+fn render_sweep(net: &Network, outcome: &SweepOutcome) -> String {
+    let mode_desc = match outcome.mode {
+        SweepMode::N1 => "full N-1".to_string(),
+        SweepMode::N2 { samples, seed } => {
+            format!("sampled N-2 ({samples} draws, seed {seed})")
+        }
+        SweepMode::Ensemble { samples, seed } => {
+            format!("hazard ensemble ({samples} members, seed {seed})")
+        }
+    };
+    let mut out = format!(
+        "{}: {mode_desc} resilience sweep, {} scenarios evaluated\n",
+        outcome.network,
+        outcome.records.len()
+    );
+    let _ = writeln!(
+        out,
+        "baseline: {:.4e} bit-risk miles, {} routable pairs, {} stranded\n",
+        outcome.baseline.bit_risk_total,
+        outcome.baseline.routable_pairs,
+        outcome.baseline.stranded_pairs
+    );
+    let ranked = outcome.ranked();
+    if ranked.is_empty() {
+        out.push_str("(no scenarios evaluated)\n");
+        return out;
+    }
+    out.push_str("criticality ranking (by stranded pairs, then bit-risk miles):\n");
+    let _ = writeln!(
+        out,
+        "{:<4} {:<44} {:>14} {:>11}",
+        "rank", "scenario", "d bit-risk", "d stranded"
+    );
+    out.push_str(&"-".repeat(76));
+    out.push('\n');
+    for (pos, (_, rec)) in ranked.iter().enumerate().take(15) {
+        let _ = writeln!(
+            out,
+            "{:<4} {:<44} {:>+14.4e} {:>+11}",
+            pos + 1,
+            rec.label,
+            outcome.delta_bit_risk(rec),
+            outcome.delta_stranded(rec)
+        );
+    }
+    if ranked.len() > 15 {
+        let _ = writeln!(out, "… and {} more scenarios", ranked.len() - 15);
+    }
+    if matches!(outcome.mode, SweepMode::Ensemble { .. }) {
+        if let Some((p5, p50, p95)) = outcome.risk_bands() {
+            let _ = writeln!(
+                out,
+                "\nensemble bit-risk bands: p5 {p5:.4e}  p50 {p50:.4e}  p95 {p95:.4e}"
+            );
+        }
+    }
+    if matches!(outcome.mode, SweepMode::N2 { .. }) {
+        out.push_str("\nworst-case fork per element:\n");
+        for (e, dbr, dst) in outcome.worst_per_element().iter().take(10) {
+            let _ = writeln!(
+                out,
+                "  {:<44} {:>+14.4e} {:>+6} stranded",
+                element_name(net, e),
+                dbr,
+                dst
+            );
+        }
+    }
+    out
+}
+
+/// `riskroute sweep <net> [--mode n1|n2|ensemble] [--samples N] [--seed S]
+/// [--deadline-ms N] [--max-work N] [--checkpoint <path>] [--progress]`
+#[allow(clippy::too_many_arguments)]
+pub fn sweep(
+    ctx: &CliContext,
+    network: &str,
+    mode_label: &str,
+    samples: usize,
+    seed: u64,
+    weights: RiskWeights,
+    budget: &BudgetArgs,
+    progress: bool,
+) -> Result<String, CliError> {
+    let net = ctx.network(network)?;
+    // args.rs validates the label; this guards programmatic callers.
+    let mode = SweepMode::from_parts(mode_label, samples, seed)
+        .ok_or_else(|| CliError::Bad(format!("unknown sweep mode {mode_label:?}")))?;
+    let planner = ctx.planner(net, weights);
+    sweep_under_budget(net, &planner, mode, weights, budget, None, String::new(), progress)
+}
+
+/// Shared engine for `sweep` and `resume`; see [`provision_under_budget`].
+/// Every scenario is an independent fork of the base planner, evaluated
+/// in canonical order, which is what makes a resumed sweep bit-identical
+/// to an uninterrupted one at any worker count.
+#[allow(clippy::too_many_arguments)]
+fn sweep_under_budget(
+    net: &Network,
+    planner: &Planner,
+    mode: SweepMode,
+    weights: RiskWeights,
+    budget: &BudgetArgs,
+    prior: Option<SweepPrior>,
+    notice: String,
+    progress: bool,
+) -> Result<String, CliError> {
+    let total = scenario_specs(net, mode).len();
+    let work = budget.to_budget();
+    let mut heartbeat =
+        progress.then(|| Heartbeat::new(format!("sweep {} {}", net.name(), mode.label())));
+    let mut checkpoint_error: Option<String> = None;
+    let save = |outcome: &SweepOutcome, next: usize, err: &mut Option<String>| {
+        if let Some(path) = &budget.checkpoint {
+            let snap = Snapshot::sweep(
+                net.name(),
+                mode,
+                weights.lambda_h,
+                weights.lambda_f,
+                outcome.baseline,
+                &outcome.records,
+                next,
+            );
+            if let Err(e) = checkpoint::write_atomic(path, &snap.to_text()) {
+                err.get_or_insert(format!("cannot write checkpoint {path}: {e}"));
+            }
+        }
+    };
+    let mut on_batch = |outcome: &SweepOutcome, next: usize| {
+        if let Some(hb) = &mut heartbeat {
+            hb.tick(
+                next as u64,
+                Some(total as u64),
+                &format!("work {}", work.work_done()),
+            );
+        }
+        save(outcome, next, &mut checkpoint_error);
+    };
+    let run = run_sweep_budgeted(planner, net, mode, prior, &work, &mut on_batch)?;
+    let (outcome, stopped) = run.into_parts();
+    if let Some(hb) = &mut heartbeat {
+        hb.finish(
+            outcome.records.len() as u64,
+            Some(total as u64),
+            &format!("work {}", work.work_done()),
+        );
+    }
+    if let Some(stopped) = stopped {
+        // The batch callback only fires at batch boundaries; persist the
+        // exact stopping point (records are a prefix, so next == len).
+        save(&outcome, outcome.records.len(), &mut checkpoint_error);
+        if let Some(msg) = checkpoint_error {
+            return Err(CliError::Io(msg));
+        }
+        let mut report = notice;
+        report.push_str(&render_sweep(net, &outcome));
+        push_budget_tail(
+            &mut report,
+            &stopped,
+            outcome.records.len(),
+            total,
+            "scenarios evaluated",
+            budget.checkpoint.as_deref(),
+        );
+        return Err(CliError::Budget(report));
+    }
+    if let Some(msg) = checkpoint_error {
+        return Err(CliError::Io(msg));
+    }
+    Ok(format!("{notice}{}", render_sweep(net, &outcome)))
+}
+
 fn kind_mismatch() -> CliError {
     CliError::Core(riskroute::Error::SnapshotIntegrity {
         reason: "job/progress kind mismatch".into(),
@@ -484,7 +668,7 @@ pub fn resume(
             let prior = match progress {
                 Some(SnapshotProgress::Provision(links)) => Some(links),
                 None => None,
-                Some(SnapshotProgress::Replay { .. }) => return Err(kind_mismatch()),
+                Some(_) => return Err(kind_mismatch()),
             };
             provision_under_budget(
                 net,
@@ -521,7 +705,7 @@ pub fn resume(
                     replay.ticks
                 }
                 None => Vec::new(),
-                Some(SnapshotProgress::Provision(_)) => return Err(kind_mismatch()),
+                Some(_) => return Err(kind_mismatch()),
             };
             replay_under_budget(
                 net,
@@ -531,6 +715,52 @@ pub fn resume(
                 weights,
                 &budget,
                 prior_ticks,
+                notice,
+                show_progress,
+            )
+        }
+        SnapshotJob::Sweep {
+            network,
+            mode,
+            samples,
+            seed,
+            lambda_h,
+            lambda_f,
+        } => {
+            let weights = RiskWeights::new(lambda_h, lambda_f);
+            let net = ctx.network(&network)?;
+            let mode = SweepMode::from_parts(&mode, samples, seed).ok_or_else(|| {
+                CliError::Core(riskroute::Error::SnapshotIntegrity {
+                    reason: format!("unknown sweep mode {mode:?} in snapshot"),
+                })
+            })?;
+            let planner = ctx.planner(net, weights);
+            let prior = match progress {
+                Some(SnapshotProgress::Sweep {
+                    baseline,
+                    records,
+                    next_index,
+                }) => {
+                    if next_index != records.len() {
+                        return Err(CliError::Core(riskroute::Error::SnapshotIntegrity {
+                            reason: format!(
+                                "next_index {next_index} does not match the {} stored records",
+                                records.len()
+                            ),
+                        }));
+                    }
+                    Some(SweepPrior { baseline, records })
+                }
+                None => None,
+                Some(_) => return Err(kind_mismatch()),
+            };
+            sweep_under_budget(
+                net,
+                &planner,
+                mode,
+                weights,
+                &budget,
+                prior,
                 notice,
                 show_progress,
             )
@@ -1029,6 +1259,117 @@ mod tests {
             "katrina",
             20,
             RiskWeights::PAPER,
+            &BudgetArgs::default(),
+            false,
+        )
+        .unwrap();
+        assert!(resumed.starts_with("resuming from "), "{resumed}");
+        assert!(
+            resumed.ends_with(&direct),
+            "resumed:\n{resumed}\ndirect:\n{direct}"
+        );
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn sweep_renders_a_ranked_criticality_report() {
+        let out = sweep(
+            &ctx(),
+            "Telepak",
+            "n1",
+            0,
+            0,
+            RiskWeights::historical_only(1e5),
+            &BudgetArgs::default(),
+            false,
+        )
+        .unwrap();
+        assert!(out.contains("full N-1 resilience sweep"), "{out}");
+        assert!(out.contains("baseline:"), "{out}");
+        assert!(out.contains("criticality ranking"), "{out}");
+        assert!(out.contains("d stranded"), "{out}");
+    }
+
+    #[test]
+    fn sweep_ensemble_reports_risk_bands() {
+        let out = sweep(
+            &ctx(),
+            "Telepak",
+            "ensemble",
+            4,
+            7,
+            RiskWeights::PAPER,
+            &BudgetArgs::default(),
+            false,
+        )
+        .unwrap();
+        assert!(out.contains("hazard ensemble (4 members, seed 7)"), "{out}");
+        assert!(out.contains("ensemble bit-risk bands: p5"), "{out}");
+    }
+
+    #[test]
+    fn sweep_n2_lists_worst_fork_per_element() {
+        let out = sweep(
+            &ctx(),
+            "Telepak",
+            "n2",
+            6,
+            42,
+            RiskWeights::historical_only(1e5),
+            &BudgetArgs::default(),
+            false,
+        )
+        .unwrap();
+        assert!(out.contains("sampled N-2 (6 draws, seed 42)"), "{out}");
+        assert!(out.contains("worst-case fork per element:"), "{out}");
+    }
+
+    #[test]
+    fn sweep_rejects_unknown_mode() {
+        let err = sweep(
+            &ctx(),
+            "Telepak",
+            "n3",
+            0,
+            0,
+            RiskWeights::PAPER,
+            &BudgetArgs::default(),
+            false,
+        )
+        .unwrap_err();
+        assert!(matches!(err, CliError::Bad(_)));
+        assert_eq!(err.exit_code(), 2);
+    }
+
+    #[test]
+    fn sweep_budget_exhaustion_checkpoints_and_resumes() {
+        let dir = tmp_dir("riskroute-cli-sweep-resume");
+        let path = dir.join("snap.txt");
+        let path_s = path.display().to_string();
+        let ctx = ctx();
+        let weights = RiskWeights::historical_only(1e5);
+        let budget = BudgetArgs {
+            max_work: Some(3),
+            checkpoint: Some(path_s.clone()),
+            ..BudgetArgs::default()
+        };
+        let err = sweep(&ctx, "Telepak", "n1", 0, 0, weights, &budget, false).unwrap_err();
+        assert_eq!(err.exit_code(), 9);
+        let CliError::Budget(report) = &err else {
+            panic!("expected budget exhaustion, got {err:?}");
+        };
+        assert!(report.contains("scenarios evaluated"));
+        assert!(report.contains("riskroute resume"));
+        let text = std::fs::read_to_string(&path).unwrap();
+        riskroute::checkpoint::load_snapshot(&text).unwrap();
+        let resumed = resume(&ctx, &path_s, &BudgetArgs::default(), false).unwrap();
+        let direct = sweep(
+            &ctx,
+            "Telepak",
+            "n1",
+            0,
+            0,
+            weights,
             &BudgetArgs::default(),
             false,
         )

@@ -249,6 +249,22 @@ fn run_command(cli: &Cli) -> Result<String, CliError> {
             budget,
             cli.obs.progress,
         ),
+        Command::Sweep {
+            network,
+            mode,
+            samples,
+            seed,
+            budget,
+        } => commands::sweep(
+            &ctx,
+            network,
+            mode,
+            *samples,
+            *seed,
+            cli.weights(),
+            budget,
+            cli.obs.progress,
+        ),
         Command::Resume { snapshot, budget } => {
             commands::resume(&ctx, snapshot, budget, cli.obs.progress)
         }

@@ -29,6 +29,13 @@
 //!   seeded iteration via the cooperative cancel flag, round-trips the last
 //!   checkpoint through the wire format, resumes, and asserts the resumed
 //!   result is **bit-identical** to the uninterrupted run.
+//!
+//! A third extension covers the **scenario-fork engine**
+//! ([`crate::scenario`]): [`run_fork_faults`] kills an N-1 resilience sweep
+//! mid-run and resumes it through a wire-format sweep snapshot (bit-identical
+//! resume), forks with *every* node deactivated (must degrade to all-stranded
+//! accounting, never panic), and forks with an empty delta (must alias the
+//! base planner — same cost stamp, same bits, cache reuse included).
 
 use crate::budget::{Budgeted, WorkBudget};
 use crate::checkpoint::{self, LoadOutcome, Snapshot, SnapshotProgress};
@@ -40,6 +47,10 @@ use crate::replay::{
     raw_advisories, replay_raw_advisories, replay_raw_advisories_budgeted, RawAdvisory,
 };
 use crate::routing::risk_sssp;
+use crate::scenario::{
+    base_exposure, run_sweep, run_sweep_budgeted, scenario_specs, ScenarioDelta, ScenarioFork,
+    SweepMode, SweepPrior,
+};
 use riskroute_forecast::{Storm, ALL_STORMS};
 use riskroute_geo::GeoPoint;
 use riskroute_hazard::HistoricalRisk;
@@ -889,6 +900,190 @@ pub fn run_kill_resume_suite(
         .collect()
 }
 
+// --- Scenario-fork fault harness ---------------------------------------------
+
+/// Evidence from one [`run_fork_faults`] run over the scenario-fork engine.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ForkFaultReport {
+    /// The seed that placed the mid-sweep kill.
+    pub seed: u64,
+    /// Scenarios evaluated before the N-1 sweep was killed.
+    pub sweep_killed_after: usize,
+    /// Whether the sweep resumed from its wire-format snapshot to bits
+    /// identical with the uninterrupted run.
+    pub sweep_identical: bool,
+    /// Stranded pairs reported by the fork with every node deactivated.
+    pub all_off_stranded: usize,
+    /// Whether the all-nodes-off fork degraded correctly: zero routable
+    /// pairs, every pair stranded, zero accumulated bit-risk, no panic.
+    pub all_off_ok: bool,
+    /// Whether the empty-delta fork aliased the base planner: same cost
+    /// stamp and bit-identical exposure.
+    pub empty_delta_ok: bool,
+}
+
+impl ForkFaultReport {
+    /// The fork-fault invariant: every leg held.
+    pub fn identical(&self) -> bool {
+        self.sweep_identical && self.all_off_ok && self.empty_delta_ok
+    }
+
+    /// One-line summary for the CLI table.
+    pub fn summary_line(&self) -> String {
+        format!(
+            "seed {:>4}  sweep killed@{:<3} identical {:<5}  all-off stranded {:>3} ok {:<5}  \
+             empty-delta alias {}",
+            self.seed,
+            self.sweep_killed_after,
+            self.sweep_identical,
+            self.all_off_stranded,
+            self.all_off_ok,
+            self.empty_delta_ok,
+        )
+    }
+}
+
+/// Inject fork-level faults into the scenario engine: kill an N-1 sweep at
+/// a seeded scenario and resume it through a wire-format snapshot, fork
+/// with every node deactivated, and fork with an empty delta — asserting
+/// bit-identical resume, all-stranded degradation, and base aliasing
+/// respectively.
+///
+/// # Errors
+/// Propagates sweep or checkpoint errors — any of which is itself a harness
+/// failure, since this pipeline injects no input faults.
+pub fn run_fork_faults(seed: u64) -> Result<ForkFaultReport, Error> {
+    run_fork_faults_at(seed, Parallelism::Sequential)
+}
+
+/// [`run_fork_faults`] with the sweep fanned out under an explicit
+/// [`Parallelism`] setting; the suite diffs reports across
+/// [`CHAOS_THREAD_MATRIX`].
+///
+/// # Errors
+/// Same contract as [`run_fork_faults`].
+pub fn run_fork_faults_at(
+    seed: u64,
+    parallelism: Parallelism,
+) -> Result<ForkFaultReport, Error> {
+    let mut rng = StdRng::seed_from_u64(seed ^ 0x2545_f491_4f6c_dd1d);
+
+    // --- Fault: kill the N-1 sweep mid-run, resume from the snapshot ------
+    let (net, planner) = provisioning_fixture();
+    let planner = planner.with_parallelism(parallelism);
+    let weights = planner.weights();
+    let mode = SweepMode::N1;
+    let clean = run_sweep(&planner, &net, mode)?;
+    let total = scenario_specs(&net, mode).len();
+    let sweep_killed_after = 1 + rng.gen_range(0..total.saturating_sub(1).max(1));
+    let budget = WorkBudget::unlimited().with_max_work(sweep_killed_after as u64);
+    let run = run_sweep_budgeted(&planner, &net, mode, None, &budget, |_, _| {})?;
+    let sweep_identical = match run {
+        Budgeted::Partial {
+            completed,
+            resume_state,
+            ..
+        } => {
+            let text = Snapshot::sweep(
+                net.name(),
+                mode,
+                weights.lambda_h,
+                weights.lambda_f,
+                completed.baseline,
+                &completed.records,
+                resume_state.next_index,
+            )
+            .to_text();
+            let loaded = checkpoint::load_snapshot(&text)?;
+            let SnapshotProgress::Sweep {
+                baseline,
+                records,
+                next_index,
+            } = loaded.progress
+            else {
+                return Err(Error::SnapshotIntegrity {
+                    reason: "sweep snapshot decoded to another progress kind".into(),
+                });
+            };
+            if next_index != records.len() {
+                false
+            } else {
+                let resumed = run_sweep_budgeted(
+                    &planner,
+                    &net,
+                    mode,
+                    Some(SweepPrior { baseline, records }),
+                    &WorkBudget::unlimited(),
+                    |_, _| {},
+                )?;
+                let (resumed, stopped) = resumed.into_parts();
+                stopped.is_none() && resumed == clean
+            }
+        }
+        // Degenerate fixture (a single scenario): nothing to kill.
+        Budgeted::Complete(completed) => completed == clean,
+    };
+
+    // --- Fault: fork with every node deactivated ---------------------------
+    let n = net.pop_count();
+    let all_off = (0..n).fold(ScenarioDelta::new(), |d, v| d.deactivate_node(v));
+    let exp = ScenarioFork::fork(&planner, all_off).exposure();
+    let all_off_stranded = exp.stranded_pairs;
+    let all_off_ok =
+        exp.routable_pairs == 0 && exp.stranded_pairs == n * (n - 1) / 2 && exp.bit_risk_total == 0.0;
+
+    // --- Fault: fork with an empty delta -----------------------------------
+    let base_exp = base_exposure(&planner);
+    let fork = ScenarioFork::fork(&planner, ScenarioDelta::new());
+    let fork_exp = fork.exposure();
+    let empty_delta_ok = fork.is_base_alias()
+        && fork.planner().cost_stamp() == planner.cost_stamp()
+        && fork_exp.bit_risk_total.to_bits() == base_exp.bit_risk_total.to_bits()
+        && fork_exp.routable_pairs == base_exp.routable_pairs
+        && fork_exp.stranded_pairs == base_exp.stranded_pairs;
+
+    Ok(ForkFaultReport {
+        seed,
+        sweep_killed_after,
+        sweep_identical,
+        all_off_stranded,
+        all_off_ok,
+        empty_delta_ok,
+    })
+}
+
+/// Run [`run_fork_faults`] across `count` seeds rooted at `base_seed`, each
+/// seed at every [`CHAOS_THREAD_MATRIX`] worker count; the returned reports
+/// are the sequential ones.
+///
+/// # Errors
+/// Propagates the first failing run.
+///
+/// # Panics
+/// Panics when a parallel run's report diverges from the sequential one.
+pub fn run_fork_fault_suite(
+    base_seed: u64,
+    count: usize,
+) -> Result<Vec<ForkFaultReport>, Error> {
+    (0..count as u64)
+        .map(|i| {
+            let seed = base_seed.wrapping_add(i);
+            let sequential = run_fork_faults_at(seed, Parallelism::Sequential)?;
+            for &par in CHAOS_THREAD_MATRIX {
+                if par.is_sequential() {
+                    continue;
+                }
+                let parallel = run_fork_faults_at(seed, par)?;
+                assert_eq!(
+                    parallel, sequential,
+                    "seed {seed}: fork-fault report diverged at {par}"
+                );
+            }
+            Ok(sequential)
+        })
+        .collect()
+}
+
 #[cfg(test)]
 mod tests {
     #![allow(clippy::unwrap_used, clippy::expect_used)]
@@ -1029,6 +1224,38 @@ mod tests {
     fn kill_resume_is_reproducible() {
         let a = run_kill_resume(2).unwrap();
         let b = run_kill_resume(2).unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn kill_resume_of_forked_sweeps_is_bit_identical_across_seeds() {
+        let reports = run_fork_fault_suite(0, 4).unwrap();
+        assert_eq!(reports.len(), 4);
+        for r in &reports {
+            assert!(r.identical(), "{}", r.summary_line());
+            assert!(r.sweep_killed_after >= 1);
+        }
+        // The kill point actually moves with the seed.
+        assert!(
+            reports
+                .iter()
+                .any(|r| r.sweep_killed_after != reports[0].sweep_killed_after),
+            "seeded kill points must vary"
+        );
+    }
+
+    #[test]
+    fn fork_fault_reports_are_thread_count_invariant() {
+        let seq = run_fork_faults_at(6, Parallelism::Sequential).unwrap();
+        let par = run_fork_faults_at(6, Parallelism::Threads(2)).unwrap();
+        assert_eq!(seq, par);
+        assert!(seq.identical());
+    }
+
+    #[test]
+    fn fork_faults_are_reproducible() {
+        let a = run_fork_faults(1).unwrap();
+        let b = run_fork_faults(1).unwrap();
         assert_eq!(a, b);
     }
 }

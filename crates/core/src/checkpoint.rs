@@ -45,6 +45,7 @@ use crate::error::Error;
 use crate::provisioning::{CandidateLink, GreedyLinks};
 use crate::ratios::RatioReport;
 use crate::replay::{DisasterReplay, ReplayTick};
+use crate::scenario::{ExposureReport, FailElement, ScenarioSpec, SweepMode, SweepRecord};
 use riskroute_json::{Json, JsonError};
 use std::path::Path;
 
@@ -82,6 +83,21 @@ pub enum SnapshotJob {
         /// Forecast risk weight λ_f.
         lambda_f: f64,
     },
+    /// A scenario resilience sweep (`riskroute sweep`).
+    Sweep {
+        /// Network name.
+        network: String,
+        /// Sweep mode label (`"n1"`, `"n2"`, or `"ensemble"`).
+        mode: String,
+        /// Sample count (0 for exhaustive N-1).
+        samples: usize,
+        /// Sampling / ensemble master seed (0 for N-1).
+        seed: u64,
+        /// Historical risk weight λ_h.
+        lambda_h: f64,
+        /// Forecast risk weight λ_f.
+        lambda_f: f64,
+    },
 }
 
 impl SnapshotJob {
@@ -90,6 +106,7 @@ impl SnapshotJob {
         match self {
             SnapshotJob::Provision { .. } => "provision",
             SnapshotJob::Replay { .. } => "replay",
+            SnapshotJob::Sweep { .. } => "sweep",
         }
     }
 }
@@ -104,6 +121,15 @@ pub enum SnapshotProgress {
         /// The replay prefix.
         replay: DisasterReplay,
         /// Index into the strided advisory stream to evaluate next.
+        next_index: usize,
+    },
+    /// Scenarios evaluated so far by a resilience sweep.
+    Sweep {
+        /// The unfailed network's exposure (the sweep's Δ reference).
+        baseline: ExposureReport,
+        /// Evaluated scenario records, in canonical scenario order.
+        records: Vec<SweepRecord>,
+        /// Index into the canonical scenario list to evaluate next.
         next_index: usize,
     },
 }
@@ -173,6 +199,33 @@ impl Snapshot {
             },
             progress: SnapshotProgress::Replay {
                 replay: replay.clone(),
+                next_index,
+            },
+        }
+    }
+
+    /// Snapshot a scenario sweep.
+    pub fn sweep(
+        network: &str,
+        mode: SweepMode,
+        lambda_h: f64,
+        lambda_f: f64,
+        baseline: ExposureReport,
+        records: &[SweepRecord],
+        next_index: usize,
+    ) -> Snapshot {
+        Snapshot {
+            job: SnapshotJob::Sweep {
+                network: network.to_string(),
+                mode: mode.label().to_string(),
+                samples: mode.samples(),
+                seed: mode.seed(),
+                lambda_h,
+                lambda_f,
+            },
+            progress: SnapshotProgress::Sweep {
+                baseline,
+                records: records.to_vec(),
                 next_index,
             },
         }
@@ -285,6 +338,7 @@ pub fn load_snapshot(text: &str) -> Result<Snapshot, Error> {
         (&job, &progress),
         (SnapshotJob::Provision { .. }, SnapshotProgress::Provision(_))
             | (SnapshotJob::Replay { .. }, SnapshotProgress::Replay { .. })
+            | (SnapshotJob::Sweep { .. }, SnapshotProgress::Sweep { .. })
     );
     if !consistent {
         return Err(integrity("job/progress kind mismatch"));
@@ -369,6 +423,24 @@ fn job_to_json(job: &SnapshotJob) -> Json {
             ("lambda_h", Json::Num(*lambda_h)),
             ("lambda_f", Json::Num(*lambda_f)),
         ]),
+        SnapshotJob::Sweep {
+            network,
+            mode,
+            samples,
+            seed,
+            lambda_h,
+            lambda_f,
+        } => Json::obj([
+            ("kind", Json::Str("sweep".into())),
+            ("network", Json::Str(network.clone())),
+            ("mode", Json::Str(mode.clone())),
+            ("samples", Json::Num(*samples as f64)),
+            // u64 seeds exceed f64's exact-integer range; a decimal string
+            // round-trips every value.
+            ("seed", Json::Str(seed.to_string())),
+            ("lambda_h", Json::Num(*lambda_h)),
+            ("lambda_f", Json::Num(*lambda_f)),
+        ]),
     }
 }
 
@@ -392,8 +464,25 @@ fn job_from_json(v: &Json) -> Result<SnapshotJob, Error> {
             lambda_h,
             lambda_f,
         }),
+        "sweep" => Ok(SnapshotJob::Sweep {
+            network,
+            mode: get("mode")?.as_str().map_err(|e| shape(&e))?.to_string(),
+            samples: get("samples")?.as_usize().map_err(|e| shape(&e))?,
+            seed: seed_from_json(get("seed")?)?,
+            lambda_h,
+            lambda_f,
+        }),
         other => Err(integrity(format!("unknown job kind {other:?}"))),
     }
+}
+
+/// Decode a decimal-string u64 seed (see [`job_to_json`] for why seeds are
+/// not JSON numbers).
+fn seed_from_json(v: &Json) -> Result<u64, Error> {
+    v.as_str()
+        .map_err(|e| shape(&e))?
+        .parse()
+        .map_err(|_| integrity("seed is not a decimal u64"))
 }
 
 fn candidate_to_json(c: &CandidateLink) -> Json {
@@ -466,6 +555,103 @@ fn tick_from_json(v: &Json) -> Result<ReplayTick, Error> {
     })
 }
 
+fn element_to_json(e: &FailElement) -> Json {
+    match e {
+        FailElement::Node(v) => Json::obj([
+            ("kind", Json::Str("node".into())),
+            ("v", Json::Num(*v as f64)),
+        ]),
+        FailElement::Link(a, b) => Json::obj([
+            ("kind", Json::Str("link".into())),
+            ("a", Json::Num(*a as f64)),
+            ("b", Json::Num(*b as f64)),
+        ]),
+    }
+}
+
+fn element_from_json(v: &Json) -> Result<FailElement, Error> {
+    let get = |key: &str| v.field(key).map_err(|e| shape(&e));
+    match get("kind")?.as_str().map_err(|e| shape(&e))? {
+        "node" => Ok(FailElement::Node(
+            get("v")?.as_usize().map_err(|e| shape(&e))?,
+        )),
+        "link" => Ok(FailElement::Link(
+            get("a")?.as_usize().map_err(|e| shape(&e))?,
+            get("b")?.as_usize().map_err(|e| shape(&e))?,
+        )),
+        other => Err(integrity(format!("unknown fail element kind {other:?}"))),
+    }
+}
+
+fn spec_to_json(spec: &ScenarioSpec) -> Json {
+    match spec {
+        ScenarioSpec::One(e) => Json::obj([
+            ("kind", Json::Str("one".into())),
+            ("e", element_to_json(e)),
+        ]),
+        ScenarioSpec::Two(e1, e2) => Json::obj([
+            ("kind", Json::Str("two".into())),
+            ("e1", element_to_json(e1)),
+            ("e2", element_to_json(e2)),
+        ]),
+        ScenarioSpec::Member { index, seed } => Json::obj([
+            ("kind", Json::Str("member".into())),
+            ("index", Json::Num(*index as f64)),
+            ("seed", Json::Str(seed.to_string())),
+        ]),
+    }
+}
+
+fn spec_from_json(v: &Json) -> Result<ScenarioSpec, Error> {
+    let get = |key: &str| v.field(key).map_err(|e| shape(&e));
+    match get("kind")?.as_str().map_err(|e| shape(&e))? {
+        "one" => Ok(ScenarioSpec::One(element_from_json(get("e")?)?)),
+        "two" => Ok(ScenarioSpec::Two(
+            element_from_json(get("e1")?)?,
+            element_from_json(get("e2")?)?,
+        )),
+        "member" => Ok(ScenarioSpec::Member {
+            index: get("index")?.as_usize().map_err(|e| shape(&e))?,
+            seed: seed_from_json(get("seed")?)?,
+        }),
+        other => Err(integrity(format!("unknown scenario spec kind {other:?}"))),
+    }
+}
+
+fn exposure_to_json(e: &ExposureReport) -> Json {
+    Json::obj([
+        ("bit_risk_total", Json::Num(e.bit_risk_total)),
+        ("routable_pairs", Json::Num(e.routable_pairs as f64)),
+        ("stranded_pairs", Json::Num(e.stranded_pairs as f64)),
+    ])
+}
+
+fn exposure_from_json(v: &Json) -> Result<ExposureReport, Error> {
+    let get = |key: &str| v.field(key).map_err(|e| shape(&e));
+    Ok(ExposureReport {
+        bit_risk_total: get("bit_risk_total")?.as_f64().map_err(|e| shape(&e))?,
+        routable_pairs: get("routable_pairs")?.as_usize().map_err(|e| shape(&e))?,
+        stranded_pairs: get("stranded_pairs")?.as_usize().map_err(|e| shape(&e))?,
+    })
+}
+
+fn sweep_record_to_json(r: &SweepRecord) -> Json {
+    Json::obj([
+        ("spec", spec_to_json(&r.spec)),
+        ("label", Json::Str(r.label.clone())),
+        ("exposure", exposure_to_json(&r.exposure)),
+    ])
+}
+
+fn sweep_record_from_json(v: &Json) -> Result<SweepRecord, Error> {
+    let get = |key: &str| v.field(key).map_err(|e| shape(&e));
+    Ok(SweepRecord {
+        spec: spec_from_json(get("spec")?)?,
+        label: get("label")?.as_str().map_err(|e| shape(&e))?.to_string(),
+        exposure: exposure_from_json(get("exposure")?)?,
+    })
+}
+
 fn progress_to_json(progress: &SnapshotProgress) -> Json {
     match progress {
         SnapshotProgress::Provision(links) => Json::obj([
@@ -484,6 +670,19 @@ fn progress_to_json(progress: &SnapshotProgress) -> Json {
             (
                 "ticks",
                 Json::Arr(replay.ticks.iter().map(tick_to_json).collect()),
+            ),
+        ]),
+        SnapshotProgress::Sweep {
+            baseline,
+            records,
+            next_index,
+        } => Json::obj([
+            ("kind", Json::Str("sweep".into())),
+            ("baseline", exposure_to_json(baseline)),
+            ("next_index", Json::Num(*next_index as f64)),
+            (
+                "records",
+                Json::Arr(records.iter().map(sweep_record_to_json).collect()),
             ),
         ]),
     }
@@ -518,6 +717,19 @@ fn progress_from_json(v: &Json) -> Result<SnapshotProgress, Error> {
                     network: get("network")?.as_str().map_err(|e| shape(&e))?.to_string(),
                     ticks,
                 },
+                next_index: get("next_index")?.as_usize().map_err(|e| shape(&e))?,
+            })
+        }
+        "sweep" => {
+            let records = get("records")?
+                .as_arr()
+                .map_err(|e| shape(&e))?
+                .iter()
+                .map(sweep_record_from_json)
+                .collect::<Result<Vec<_>, _>>()?;
+            Ok(SnapshotProgress::Sweep {
+                baseline: exposure_from_json(get("baseline")?)?,
+                records,
                 next_index: get("next_index")?.as_usize().map_err(|e| shape(&e))?,
             })
         }
@@ -577,13 +789,84 @@ mod tests {
         )
     }
 
+    fn sample_sweep() -> Snapshot {
+        Snapshot::sweep(
+            "Level3",
+            SweepMode::Ensemble {
+                samples: 64,
+                // Exercises the > 2^53 range that a JSON number would lose.
+                seed: u64::MAX - 12345,
+            },
+            1e5,
+            1e3,
+            ExposureReport {
+                bit_risk_total: 9_876_543.210987654,
+                routable_pairs: 27_028,
+                stranded_pairs: 0,
+            },
+            &[
+                SweepRecord {
+                    spec: ScenarioSpec::One(FailElement::Node(17)),
+                    label: "node 17 (Denver)".into(),
+                    exposure: ExposureReport {
+                        bit_risk_total: 9_900_001.000000001,
+                        routable_pairs: 26_796,
+                        stranded_pairs: 232,
+                    },
+                },
+                SweepRecord {
+                    spec: ScenarioSpec::Two(FailElement::Link(3, 9), FailElement::Node(4)),
+                    label: "link 3-9 (A - B) + node 4 (C)".into(),
+                    exposure: ExposureReport {
+                        bit_risk_total: 0.123_456_789_012_345_68,
+                        routable_pairs: 5,
+                        stranded_pairs: 27_023,
+                    },
+                },
+                SweepRecord {
+                    spec: ScenarioSpec::Member {
+                        index: 63,
+                        seed: u64::MAX - 12345,
+                    },
+                    label: "member 63".into(),
+                    exposure: ExposureReport {
+                        bit_risk_total: 1e300,
+                        routable_pairs: 27_028,
+                        stranded_pairs: 0,
+                    },
+                },
+            ],
+            3,
+        )
+    }
+
     #[test]
     fn snapshots_round_trip_bit_identically() {
-        for snapshot in [sample_provision(), sample_replay()] {
+        for snapshot in [sample_provision(), sample_replay(), sample_sweep()] {
             let text = snapshot.to_text();
             let back = load_snapshot(&text).unwrap();
             assert_eq!(back, snapshot, "exact round trip, f64s included");
         }
+    }
+
+    #[test]
+    fn sweep_seeds_survive_beyond_f64_precision() {
+        let text = sample_sweep().to_text();
+        let back = load_snapshot(&text).unwrap();
+        let SnapshotJob::Sweep { seed, .. } = back.job else {
+            panic!("sweep job expected");
+        };
+        assert_eq!(seed, u64::MAX - 12345);
+    }
+
+    #[test]
+    fn sweep_kind_mismatch_is_rejected() {
+        let franken = Snapshot {
+            job: sample_sweep().job,
+            progress: sample_replay().progress,
+        };
+        let err = load_snapshot(&franken.to_text()).unwrap_err();
+        assert!(err.to_string().contains("kind mismatch"));
     }
 
     #[test]

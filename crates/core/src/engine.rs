@@ -105,6 +105,35 @@ impl CsrGraph {
         }
     }
 
+    /// A masked copy of this snapshot: directed edges `(u, v)` for which
+    /// `keep(u, v)` returns `false` are dropped, and every surviving edge
+    /// keeps its position relative to the others. Identical by construction
+    /// to `from_adjacency` of the equivalently masked [`Adjacency`], so a
+    /// scenario fork's Dijkstra replays the base relaxation order restricted
+    /// to kept edges — the property that keeps fork tie-breaks bit-exact.
+    pub(crate) fn masked(&self, keep: impl Fn(usize, usize) -> bool) -> CsrGraph {
+        let n = self.node_count();
+        let mut offsets = Vec::with_capacity(n + 1);
+        let mut targets = Vec::with_capacity(self.targets.len());
+        let mut weights = Vec::with_capacity(self.weights.len());
+        offsets.push(0u32);
+        for u in 0..n {
+            for e in self.edge_range(u) {
+                let v = self.targets[e] as usize;
+                if keep(u, v) {
+                    targets.push(self.targets[e]);
+                    weights.push(self.weights[e]);
+                }
+            }
+            offsets.push(targets.len() as u32);
+        }
+        CsrGraph {
+            offsets,
+            targets,
+            weights,
+        }
+    }
+
     /// Number of nodes.
     pub fn node_count(&self) -> usize {
         self.offsets.len() - 1

@@ -498,6 +498,90 @@ impl Planner {
         total
     }
 
+    /// Copy-on-write fork of this planner for a failure scenario. The
+    /// adjacency and CSR snapshot are masked through `keep` (directed
+    /// entries it rejects are dropped, order preserved), an optional
+    /// forecast override replaces the forecast risk channel, and the fork
+    /// mints a **fresh** cost-state stamp plus a **private** route-tree
+    /// cache.
+    ///
+    /// The private cache matters: at capacity [`RouteTreeCache::insert`]
+    /// purges every entry whose stamp differs from the inserting key's, so
+    /// a fork writing into the *base's* shared cache could evict the base
+    /// trees mid-sweep. Keys alone already guarantee no fork tree is ever
+    /// *returned* to the base; the private cache also keeps fork churn from
+    /// evicting base state. Deactivated nodes keep their indices (they
+    /// simply lose all edges), so shares, risk, and pair indexing stay
+    /// aligned with the base network.
+    ///
+    /// # Panics
+    /// Panics when a forecast override has the wrong length or invalid
+    /// values (same contract as [`Self::set_forecast`]).
+    pub(crate) fn fork_masked(
+        &self,
+        keep: &dyn Fn(usize, usize) -> bool,
+        forecast_override: Option<&[f64]>,
+    ) -> Planner {
+        let adjacency = self.adjacency.masked(keep);
+        let csr = Arc::new(self.csr.masked(keep));
+        let mut risk = self.risk.clone();
+        if let Some(f) = forecast_override {
+            risk.set_forecast(f.to_vec());
+        }
+        let rho = Arc::new(compute_rho(&risk, self.weights));
+        let cache = Arc::new(RouteTreeCache::with_budget(self.pop_count()));
+        Planner {
+            adjacency,
+            csr,
+            risk,
+            shares: self.shares.clone(),
+            weights: self.weights,
+            impact_model: self.impact_model,
+            parallelism: self.parallelism,
+            rho,
+            stamp: engine::next_stamp(),
+            cache,
+            route_cache: self.route_cache,
+        }
+    }
+
+    /// The cached β = 0 distance tree rooted at `root` under the current
+    /// cost state, if any (scenario forks probe the base cache for trees to
+    /// adopt).
+    pub(crate) fn cached_distance_tree(&self, root: usize) -> Option<Arc<RiskTree>> {
+        if !self.route_cache {
+            return None;
+        }
+        self.cache.get(&TreeKey {
+            root: root as u32,
+            beta_bits: 0.0f64.to_bits(),
+            stamp: self.stamp,
+        })
+    }
+
+    /// Seed a β = 0 tree into this planner's cache under its current stamp
+    /// (scenario forks store adopted base trees so the sweep never
+    /// recomputes them).
+    pub(crate) fn seed_distance_tree(&self, root: usize, tree: Arc<RiskTree>) {
+        if !self.route_cache {
+            return;
+        }
+        self.cache.insert(
+            TreeKey {
+                root: root as u32,
+                beta_bits: 0.0f64.to_bits(),
+                stamp: self.stamp,
+            },
+            tree,
+        );
+    }
+
+    /// The current cost-state stamp (scenario forks assert empty-delta
+    /// forks share the base stamp).
+    pub(crate) fn cost_stamp(&self) -> u64 {
+        self.stamp
+    }
+
     /// Carry still-valid route trees from `prev` into this planner after
     /// greedy provisioning rebuilt it with one extra `(a, b)` link.
     ///

@@ -36,10 +36,15 @@
 //! - **Extensions** the paper sketches: composite SLA objectives
 //!   ([`composite`], §6.4) and shared-risk analysis between providers
 //!   ([`sharedrisk`], §8).
+//! - **Scenario forks & resilience sweeps** ([`scenario`]): copy-on-write
+//!   failure forks of a planner (deactivated PoPs/links, forecast
+//!   overrides) that compose for N-2, plus deterministic N-1/N-2 sweep
+//!   drivers and seeded Monte-Carlo hazard ensembles producing ranked
+//!   criticality reports.
 //! - **Budgeted execution & checkpoints** ([`budget`], [`checkpoint`]):
 //!   cooperative deadlines, work caps, and cancellation for the expensive
-//!   computations, plus crash-safe snapshot/resume of provisioning and
-//!   replay sweeps.
+//!   computations, plus crash-safe snapshot/resume of provisioning,
+//!   replay, and scenario sweeps.
 //!
 //! # Quickstart
 //!
@@ -84,6 +89,7 @@ pub mod provisioning;
 pub mod ratios;
 pub mod replay;
 pub mod routing;
+pub mod scenario;
 pub mod sharedrisk;
 
 pub use budget::{Budgeted, StopReason, WorkBudget};
@@ -93,6 +99,11 @@ pub use riskroute_par::Parallelism;
 pub use metric::{NodeRisk, RiskWeights};
 pub use ratios::{PairOutcome, RatioReport};
 pub use routing::RoutedPath;
+pub use scenario::{
+    base_exposure, run_sweep, run_sweep_budgeted, scenario_specs, ExposureReport, FailElement,
+    ScenarioDelta, ScenarioFork, ScenarioSpec, SweepMode, SweepOutcome, SweepPrior, SweepRecord,
+    SweepResume,
+};
 
 /// Convenient re-exports for driving the framework end to end.
 pub mod prelude {
@@ -107,6 +118,9 @@ pub mod prelude {
     pub use crate::ratios::RatioReport;
     pub use crate::replay::DisasterReplay;
     pub use crate::routing::RoutedPath;
+    pub use crate::scenario::{
+        run_sweep, ScenarioDelta, ScenarioFork, SweepMode, SweepOutcome,
+    };
     pub use riskroute_forecast::{advisories_for, Storm};
     pub use riskroute_par::Parallelism;
     pub use riskroute_hazard::HistoricalRisk;

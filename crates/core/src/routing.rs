@@ -46,6 +46,23 @@ impl Adjacency {
     pub fn neighbors(&self, u: usize) -> &[(usize, f64)] {
         &self.adj[u]
     }
+
+    /// Order-preserving masked copy: directed entries `(u, v)` for which
+    /// `keep(u, v)` returns `false` are dropped; every surviving entry
+    /// keeps its position relative to the others. Because relaxation order
+    /// follows per-node entry order, a masked adjacency relaxes kept edges
+    /// in exactly the base order — the property scenario forks rely on for
+    /// bit-identical tie-breaks.
+    pub(crate) fn masked(&self, keep: impl Fn(usize, usize) -> bool) -> Adjacency {
+        Adjacency {
+            adj: self
+                .adj
+                .iter()
+                .enumerate()
+                .map(|(u, nb)| nb.iter().copied().filter(|&(v, _)| keep(u, v)).collect())
+                .collect(),
+        }
+    }
 }
 
 /// A routed path with its metric decomposition.
@@ -120,6 +137,22 @@ impl RiskTree {
             "path_rho_sum queried on a tree built without ρ-sums"
         );
         self.rho_sum[t]
+    }
+
+    /// The raw distance array (scenario-fork tree projection).
+    pub(crate) fn dist_slice(&self) -> &[f64] {
+        &self.dist
+    }
+
+    /// The raw packed predecessor array ([`NO_PRED`] sentinel; scenario-fork
+    /// tree projection validates pred edges against a failure delta).
+    pub(crate) fn pred_slice(&self) -> &[u32] {
+        &self.pred
+    }
+
+    /// The raw ρ-sum channel (empty unless this is a β = 0 tree).
+    pub(crate) fn rho_sum_slice(&self) -> &[f64] {
+        &self.rho_sum
     }
 
     /// Node sequence source→t, or `None` when unreachable.

@@ -1,0 +1,86 @@
+//! The empty-delta fork must be *free*: byte-identical exposure to the
+//! un-forked planner AND the same SSSP count, because it aliases the base
+//! snapshot (same cost stamp, shared route-tree cache) instead of
+//! rebuilding anything.
+//!
+//! This file holds exactly one `#[test]`: the obs collector is
+//! process-global, and a sibling test running in parallel would pollute
+//! the counter deltas this regression pins down.
+
+use riskroute::prelude::*;
+use riskroute::scenario::{base_exposure, ScenarioDelta, ScenarioFork};
+use riskroute::NodeRisk;
+use riskroute_geo::GeoPoint;
+use riskroute_population::PopShares;
+use riskroute_topology::{Network, NetworkKind, Pop};
+
+fn fixture() -> (Network, Planner) {
+    let pop = |name: &str, lat: f64, lon: f64| Pop {
+        name: name.into(),
+        location: GeoPoint::new(lat, lon).unwrap(),
+    };
+    let net = Network::new(
+        "alias-net",
+        NetworkKind::Regional,
+        vec![
+            pop("West", 35.0, -100.0),
+            pop("North", 37.5, -97.0),
+            pop("South", 35.0, -97.0),
+            pop("East", 35.0, -94.0),
+            pop("Stub", 35.5, -92.0),
+        ],
+        vec![(0, 1), (1, 3), (0, 2), (2, 3), (3, 4)],
+    )
+    .unwrap();
+    let risk = NodeRisk::new(vec![0.0, 0.0, 5e-3, 0.0, 1e-3], vec![0.0; 5]);
+    let shares = PopShares::from_shares(vec![0.2; 5]);
+    let planner = Planner::new(&net, risk, shares, RiskWeights::PAPER);
+    (net, planner)
+}
+
+fn counter(snap: &riskroute_obs::MetricsSnapshot, name: &str) -> u64 {
+    snap.counters.get(name).copied().unwrap_or(0)
+}
+
+#[test]
+fn empty_delta_fork_reuses_the_base_cache_and_sssp_count() {
+    let (_net, planner) = fixture();
+    // Cold pass: warms the base route-tree cache (one SSSP per source).
+    let cold = base_exposure(&planner);
+
+    // Warm un-forked pass under the collector: the reference SSSP count.
+    riskroute_obs::reset();
+    riskroute_obs::enable();
+    let warm = base_exposure(&planner);
+    riskroute_obs::disable();
+    let warm_snap = riskroute_obs::snapshot();
+    let warm_sssp = counter(&warm_snap, "risk_sssp_runs");
+    assert_eq!(warm, cold, "warm pass must reproduce the cold pass");
+    assert_eq!(
+        warm_sssp, 0,
+        "warm base pass must be served entirely from the route-tree cache"
+    );
+
+    // fork(∅) under the collector: must alias the base (same stamp) and
+    // match the warm pass in output AND in SSSP count — zero rebuilds.
+    riskroute_obs::reset();
+    riskroute_obs::enable();
+    let fork = ScenarioFork::fork(&planner, ScenarioDelta::new());
+    let forked = fork.exposure();
+    riskroute_obs::disable();
+    let fork_snap = riskroute_obs::snapshot();
+
+    assert!(fork.is_base_alias(), "empty delta must alias the base");
+    assert_eq!(forked, warm, "fork(empty) exposure diverged from the base");
+    assert_eq!(
+        counter(&fork_snap, "risk_sssp_runs"),
+        warm_sssp,
+        "fork(empty) ran SSSPs the un-forked warm pass did not"
+    );
+    assert_eq!(counter(&fork_snap, "forks_created"), 1);
+    assert_eq!(
+        counter(&fork_snap, "forks_reused_cache"),
+        1,
+        "the alias fork must count as a cache reuse"
+    );
+}

@@ -277,6 +277,38 @@ fn gaussian_offset(center: GeoPoint, sigma: f64, rng: &mut StdRng) -> GeoPoint {
     destination(center, bearing, r)
 }
 
+/// Sample the events of one Monte-Carlo ensemble member.
+///
+/// Member `member` of an ensemble seeded with `master_seed` draws from its
+/// own decorrelated stream: the member seed is `master_seed` XOR-mixed with
+/// a SplitMix64-style odd multiplier of `member + 1`, so member `m` sees
+/// the same events regardless of how many members the ensemble has, and no
+/// member shares a stream with the base corpus sampler for any seed.
+pub fn sample_member_events(
+    kind: EventKind,
+    count: usize,
+    master_seed: u64,
+    member: usize,
+) -> Vec<DisasterEvent> {
+    let member_seed = master_seed ^ (member as u64 + 1).wrapping_mul(0x9e37_79b9_7f4a_7c15);
+    sample_events(kind, count, member_seed)
+}
+
+/// Sample a full ensemble: `members` independent draws of `count` events.
+///
+/// Equivalent to calling [`sample_member_events`] for each index in
+/// `0..members`; the per-member streams are stable under ensemble growth.
+pub fn sample_ensemble(
+    kind: EventKind,
+    members: usize,
+    count: usize,
+    master_seed: u64,
+) -> Vec<Vec<DisasterEvent>> {
+    (0..members)
+        .map(|m| sample_member_events(kind, count, master_seed, m))
+        .collect()
+}
+
 /// Sample every corpus at the paper's exact counts (§4.3).
 pub fn sample_paper_corpora(master_seed: u64) -> Vec<Vec<DisasterEvent>> {
     ALL_EVENT_KINDS
@@ -386,6 +418,24 @@ mod tests {
         let ev = sample_events(EventKind::NoaaWind, 4000, 42);
         let east = ev.iter().filter(|e| e.location.lon() > -105.0).count() as f64 / ev.len() as f64;
         assert!(east > 0.85, "east mass {east}");
+    }
+
+    #[test]
+    fn ensemble_members_are_stable_under_ensemble_growth() {
+        let small = sample_ensemble(EventKind::FemaHurricane, 2, 50, 42);
+        let large = sample_ensemble(EventKind::FemaHurricane, 5, 50, 42);
+        assert_eq!(small[0], large[0]);
+        assert_eq!(small[1], large[1]);
+        assert_ne!(large[0], large[1], "members must decorrelate");
+        assert_eq!(
+            sample_member_events(EventKind::FemaHurricane, 50, 42, 3),
+            large[3]
+        );
+        // No member collides with the base sampler's stream.
+        let base = sample_events(EventKind::FemaHurricane, 50, 42);
+        for member in &large {
+            assert_ne!(*member, base);
+        }
     }
 
     #[test]

@@ -29,7 +29,9 @@ pub mod seasonal;
 pub mod surface;
 pub mod training;
 
-pub use events::{DisasterEvent, EventKind, ALL_EVENT_KINDS};
+pub use events::{
+    sample_ensemble, sample_member_events, DisasterEvent, EventKind, ALL_EVENT_KINDS,
+};
 pub use seasonal::{seasonal_weight, SeasonalRisk};
 pub use surface::{HistoricalRisk, RiskSurface};
 pub use training::{train_bandwidth, TrainedBandwidth};

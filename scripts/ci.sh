@@ -51,6 +51,9 @@ cargo test --release -q --test parallel_equivalence --test pool_properties
 echo "== sssp engine: cache-on/cache-off equivalence suite =="
 cargo test --release -q --test route_cache_equivalence
 
+echo "== scenario forks: sweep equivalence suite =="
+cargo test --release -q --test scenario_equivalence
+
 echo "== parallel: --threads 1 vs --threads 4 byte-for-byte =="
 # Same fixed provisioning workload at both settings; the outputs must be
 # byte-identical (the parallel reduction replays the sequential fold order).
@@ -60,6 +63,11 @@ diff "$OBS_TMP/prov-t1.txt" "$OBS_TMP/prov-t4.txt"
 target/release/riskroute replay Telepak katrina --stride 4 --threads 1 > "$OBS_TMP/replay-t1.txt"
 target/release/riskroute replay Telepak katrina --stride 4 --threads 4 > "$OBS_TMP/replay-t4.txt"
 diff "$OBS_TMP/replay-t1.txt" "$OBS_TMP/replay-t4.txt"
+# The full N-1 sweep on the 233-PoP paper topology fans scenario forks
+# over the worker pool; the ranked report must not move by a byte.
+target/release/riskroute sweep Level3 --mode n1 --threads 1 > "$OBS_TMP/sweep-t1.txt"
+target/release/riskroute sweep Level3 --mode n1 --threads 4 > "$OBS_TMP/sweep-t4.txt"
+diff "$OBS_TMP/sweep-t1.txt" "$OBS_TMP/sweep-t4.txt"
 echo "threaded outputs are byte-identical"
 
 echo "== sssp engine: cache vs --no-route-cache byte-for-byte =="

@@ -61,7 +61,7 @@ impl ObsArgs {
 
 /// Execution-budget and checkpoint flags shared by the long-running
 /// subcommands (`provision`, `replay`, `resume`).
-#[derive(Debug, Clone, PartialEq, Eq, Default)]
+#[derive(Debug, Clone, Default)]
 pub struct BudgetArgs {
     /// `--deadline-ms N`: wall-clock cap; the run stops at the next clean
     /// stage boundary past the deadline and exits with code 9.
@@ -73,6 +73,26 @@ pub struct BudgetArgs {
     /// temp-file + rename) after every greedy iteration / replay tick
     /// batch, resumable with `riskroute resume <path>`.
     pub checkpoint: Option<String>,
+    /// An externally owned cancel flag wired into the budget (no CLI flag;
+    /// the serve daemon injects its drain-shed flag here so one store
+    /// sheds every in-flight request at its next stage boundary).
+    pub cancel: Option<std::sync::Arc<std::sync::atomic::AtomicBool>>,
+}
+
+// Manual impl: `Arc<AtomicBool>` has no `PartialEq`; two flags are the
+// same exactly when they are the same allocation.
+impl PartialEq for BudgetArgs {
+    fn eq(&self, other: &Self) -> bool {
+        let cancel_eq = match (&self.cancel, &other.cancel) {
+            (None, None) => true,
+            (Some(a), Some(b)) => std::sync::Arc::ptr_eq(a, b),
+            _ => false,
+        };
+        self.deadline_ms == other.deadline_ms
+            && self.max_work == other.max_work
+            && self.checkpoint == other.checkpoint
+            && cancel_eq
+    }
 }
 
 impl BudgetArgs {
@@ -84,6 +104,9 @@ impl BudgetArgs {
         }
         if let Some(units) = self.max_work {
             budget = budget.with_max_work(units);
+        }
+        if let Some(cancel) = &self.cancel {
+            budget = budget.with_cancel(std::sync::Arc::clone(cancel));
         }
         budget
     }
@@ -167,10 +190,42 @@ pub enum Command {
         /// Network name.
         network: String,
     },
+    /// The §7 aggregate ratio report (risk reduction / distance increase).
+    Ratio {
+        /// Network name.
+        network: String,
+    },
     /// Risk-aware OSPF link weights plus a fidelity evaluation.
     Ospf {
         /// Network name.
         network: String,
+    },
+    /// Run the warm-engine NDJSON query daemon.
+    Serve {
+        /// `--listen <addr>`: TCP bind address (port 0 picks an ephemeral
+        /// port; the resolved address is printed on startup).
+        listen: String,
+        /// `--unix <path>`: serve on a Unix-domain socket instead of TCP
+        /// (Unix only).
+        unix: Option<String>,
+        /// `--max-inflight N`: queries executing at once before admission
+        /// control sheds with `overloaded`.
+        max_inflight: usize,
+        /// `--max-connections N`: open connections before accepts are
+        /// refused.
+        max_connections: usize,
+        /// `--frame-cap-bytes N`: per-request frame size cap.
+        frame_cap_bytes: usize,
+        /// `--read-timeout-ms N`: stalled-writer disconnect timeout.
+        read_timeout_ms: u64,
+        /// `--write-timeout-ms N`: stalled-reader disconnect timeout.
+        write_timeout_ms: u64,
+        /// `--drain-ms N`: the finish window and then the shed window of a
+        /// graceful drain.
+        drain_ms: u64,
+        /// `--deadline-ms N`: default per-request wall-clock deadline
+        /// applied when a request does not set its own.
+        deadline_ms: Option<u64>,
     },
     /// Storm failure injection.
     Failure {
@@ -221,10 +276,20 @@ pub enum CliError {
     /// them, one per entry).
     Chaos(Vec<String>),
     /// The execution budget ran out before the computation finished. The
-    /// payload is the partial report plus resume instructions — the run's
+    /// report is the partial result plus resume instructions — the run's
     /// completed prefix is valid (and checkpointed when `--checkpoint` was
     /// given), it just is not the whole answer.
-    Budget(String),
+    Budget {
+        /// The rendered partial report.
+        report: String,
+        /// Which limit stopped the run (the serve daemon forwards this as
+        /// the typed `stopped` response field).
+        stopped: riskroute::StopReason,
+    },
+    /// The serve daemon's drain deadline expired with work still stuck —
+    /// in-flight connections were abandoned (their threads detached) so
+    /// the process could exit instead of hanging.
+    Drain(String),
 }
 
 impl CliError {
@@ -236,7 +301,8 @@ impl CliError {
     /// error (unreachable pair, nothing left to aggregate), `7` invalid
     /// values or malformed structure (including a poisoned parallel worker
     /// pool), `8` chaos invariant violation, `9` execution budget exhausted
-    /// (partial result, resumable).
+    /// (partial result, resumable), `10` forced serve drain (the daemon had
+    /// to abandon stuck in-flight work to exit).
     pub fn exit_code(&self) -> i32 {
         use riskroute::Error as E;
         match self {
@@ -261,7 +327,8 @@ impl CliError {
                 | E::WorkerPanic { .. } => 7,
             },
             CliError::Chaos(_) => 8,
-            CliError::Budget(_) => 9,
+            CliError::Budget { .. } => 9,
+            CliError::Drain(_) => 10,
         }
     }
 }
@@ -281,7 +348,8 @@ impl fmt::Display for CliError {
                 }
                 Ok(())
             }
-            CliError::Budget(report) => f.write_str(report),
+            CliError::Budget { report, .. } => f.write_str(report),
+            CliError::Drain(m) => write!(f, "forced drain: {m}"),
         }
     }
 }
@@ -316,6 +384,7 @@ COMMANDS:
                                      survives
   critical <net>                     risk-weighted PoP criticality ranking
   corridors <net>                    link-corridor risk + shared-risk groups
+  ratio <net>                        §7 aggregate ratio report (Eq. 5 / Eq. 6)
   ospf <net>                         risk-aware OSPF weights + fidelity
   failure <net> <storm>              storm failure injection
   export <net> [--format F] [--out P] topology as json | graphml, on stdout
@@ -325,6 +394,16 @@ COMMANDS:
                                      reports which faults actually fired
   obs-summary <trace.jsonl>          per-span latency table (count, total,
                                      p50, p99) from a --trace-out file
+  serve [--listen A] [--unix P]      warm-engine NDJSON query daemon (one
+        [--max-inflight N]           request per line; ops: ping, route,
+        [--max-connections N]        ratio, provision, replay, sweep, corpus,
+        [--frame-cap-bytes N]        shutdown). Default --listen
+        [--read-timeout-ms N]        127.0.0.1:4167; GET /metrics on the same
+        [--write-timeout-ms N]       listener scrapes Prometheus text.
+        [--drain-ms N]               Responses are byte-identical to the
+        [--deadline-ms N]            one-shot CLI at any --threads setting;
+                                     --deadline-ms sets a default per-request
+                                     budget (typed partial responses)
 
 BUDGET (provision, replay, sweep, resume):
   --deadline-ms <N>                  wall-clock budget; stop at the next
@@ -368,6 +447,7 @@ EXIT CODES:
   0 ok/help   2 usage   3 unknown name   4 I/O   5 parse/import/snapshot
   6 unreachable or nothing to aggregate   7 invalid value   8 chaos violation
   9 budget exhausted (partial result; resumable from its checkpoint)
+  10 forced serve drain (stuck in-flight work abandoned at shutdown)
 ";
 
 /// Parse a raw argument vector (without the program name).
@@ -522,6 +602,7 @@ fn parse_command(rest: &[String]) -> Result<Command, CliError> {
                 None => None,
             },
             checkpoint: flag_of("--checkpoint").cloned(),
+            cancel: None,
         })
     };
     match cmd.as_str() {
@@ -624,12 +705,66 @@ fn parse_command(rest: &[String]) -> Result<Command, CliError> {
                 network: (*network).clone(),
             })
         }
+        "ratio" => {
+            let [network] = positional.as_slice() else {
+                return Err(bad("ratio needs <network>".into()));
+            };
+            Ok(Command::Ratio {
+                network: (*network).clone(),
+            })
+        }
         "ospf" => {
             let [network] = positional.as_slice() else {
                 return Err(bad("ospf needs <network>".into()));
             };
             Ok(Command::Ospf {
                 network: (*network).clone(),
+            })
+        }
+        "serve" => {
+            if !positional.is_empty() {
+                return Err(bad("serve takes only flags (see usage)".into()));
+            }
+            let max_inflight = match flag_of("--max-inflight") {
+                Some(v) => parse_usize(Some(v), "--max-inflight")?,
+                None => 8,
+            };
+            let max_connections = match flag_of("--max-connections") {
+                Some(v) => parse_usize(Some(v), "--max-connections")?,
+                None => 64,
+            };
+            if max_inflight == 0 || max_connections == 0 {
+                return Err(bad(
+                    "serve needs --max-inflight and --max-connections of at least 1".into(),
+                ));
+            }
+            Ok(Command::Serve {
+                listen: flag_of("--listen")
+                    .cloned()
+                    .unwrap_or_else(|| "127.0.0.1:4167".into()),
+                unix: flag_of("--unix").cloned(),
+                max_inflight,
+                max_connections,
+                frame_cap_bytes: match flag_of("--frame-cap-bytes") {
+                    Some(v) => parse_usize(Some(v), "--frame-cap-bytes")?,
+                    None => 1 << 20,
+                },
+                read_timeout_ms: match flag_of("--read-timeout-ms") {
+                    Some(v) => parse_u64(Some(v), "--read-timeout-ms")?,
+                    None => 10_000,
+                },
+                write_timeout_ms: match flag_of("--write-timeout-ms") {
+                    Some(v) => parse_u64(Some(v), "--write-timeout-ms")?,
+                    None => 5_000,
+                },
+                drain_ms: match flag_of("--drain-ms") {
+                    Some(v) => parse_u64(Some(v), "--drain-ms")?,
+                    None => 2_000,
+                },
+                deadline_ms: match flag_of("--deadline-ms") {
+                    Some(v) => Some(parse_u64(Some(v), "--deadline-ms")?),
+                    None => None,
+                },
             })
         }
         "failure" => {
@@ -814,6 +949,7 @@ mod tests {
                     deadline_ms: Some(250),
                     max_work: Some(10),
                     checkpoint: Some("snap.txt".into()),
+                    cancel: None,
                 },
             }
         );
@@ -841,6 +977,7 @@ mod tests {
                     deadline_ms: Some(100),
                     max_work: None,
                     checkpoint: None,
+                    cancel: None,
                 },
             }
         );
@@ -877,6 +1014,7 @@ mod tests {
                     deadline_ms: None,
                     max_work: Some(5),
                     checkpoint: Some("sweep.snap".into()),
+                    cancel: None,
                 },
             }
         );
@@ -1002,9 +1140,73 @@ mod tests {
     }
 
     #[test]
+    fn serve_defaults_and_flags() {
+        let cli = parse_args(&args("serve")).unwrap();
+        assert_eq!(
+            cli.command,
+            Command::Serve {
+                listen: "127.0.0.1:4167".into(),
+                unix: None,
+                max_inflight: 8,
+                max_connections: 64,
+                frame_cap_bytes: 1 << 20,
+                read_timeout_ms: 10_000,
+                write_timeout_ms: 5_000,
+                drain_ms: 2_000,
+                deadline_ms: None,
+            }
+        );
+        let cli = parse_args(&args(
+            "serve --listen 127.0.0.1:0 --max-inflight 2 --drain-ms 300 \
+             --deadline-ms 250 --frame-cap-bytes 4096 --threads 4",
+        ))
+        .unwrap();
+        assert_eq!(cli.threads, Parallelism::Threads(4));
+        let Command::Serve {
+            listen,
+            max_inflight,
+            drain_ms,
+            deadline_ms,
+            frame_cap_bytes,
+            ..
+        } = cli.command
+        else {
+            panic!("expected serve");
+        };
+        assert_eq!(listen, "127.0.0.1:0");
+        assert_eq!(max_inflight, 2);
+        assert_eq!(drain_ms, 300);
+        assert_eq!(deadline_ms, Some(250));
+        assert_eq!(frame_cap_bytes, 4096);
+        assert!(matches!(
+            parse_args(&args("serve extra")),
+            Err(CliError::Bad(_))
+        ));
+        assert!(matches!(
+            parse_args(&args("serve --max-inflight 0")),
+            Err(CliError::Bad(_))
+        ));
+    }
+
+    #[test]
+    fn ratio_takes_a_network() {
+        let cli = parse_args(&args("ratio Sprint")).unwrap();
+        assert_eq!(
+            cli.command,
+            Command::Ratio {
+                network: "Sprint".into()
+            }
+        );
+        assert!(matches!(parse_args(&args("ratio")), Err(CliError::Bad(_))));
+    }
+
+    #[test]
     fn usage_documents_exit_codes_and_obs() {
         assert!(USAGE.contains("EXIT CODES"));
         assert!(USAGE.contains("9 budget exhausted"));
+        assert!(USAGE.contains("10 forced serve drain"));
+        assert!(USAGE.contains("serve [--listen A]"));
+        assert!(USAGE.contains("ratio <net>"));
         assert!(USAGE.contains("--threads"));
         assert!(USAGE.contains("--no-route-cache"));
         assert!(USAGE.contains("--metrics-out"));
@@ -1070,7 +1272,15 @@ mod tests {
         );
         assert_eq!(CliError::Core(E::WorkerPanic { panicked: 2 }).exit_code(), 7);
         assert_eq!(CliError::Chaos(vec!["v".into()]).exit_code(), 8);
-        assert_eq!(CliError::Budget("partial".into()).exit_code(), 9);
+        assert_eq!(
+            CliError::Budget {
+                report: "partial".into(),
+                stopped: riskroute::StopReason::WorkExhausted,
+            }
+            .exit_code(),
+            9
+        );
+        assert_eq!(CliError::Drain("2 connections stuck".into()).exit_code(), 10);
     }
 
     #[test]

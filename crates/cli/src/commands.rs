@@ -17,6 +17,7 @@ use riskroute::{NodeRisk, RoutedPath};
 use riskroute_forecast::{ForecastRisk, StormSwath};
 use riskroute_obs::Heartbeat;
 use riskroute_population::PopShares;
+use riskroute_serve::{QueryCx, QueryHandler, Reply, Request, ServeConfig, Server};
 use riskroute_topology::Network;
 use std::fmt::Write as _;
 
@@ -272,7 +273,7 @@ fn provision_under_budget(
             "links chosen",
             budget.checkpoint.as_deref(),
         );
-        return Err(CliError::Budget(report));
+        return Err(CliError::Budget { report, stopped });
     }
     if let Some(msg) = checkpoint_error {
         return Err(CliError::Io(msg));
@@ -423,7 +424,7 @@ fn replay_under_budget(
             "advisories replayed",
             budget.checkpoint.as_deref(),
         );
-        return Err(CliError::Budget(report));
+        return Err(CliError::Budget { report, stopped });
     }
     if let Some(msg) = checkpoint_error {
         return Err(CliError::Io(msg));
@@ -604,7 +605,7 @@ fn sweep_under_budget(
             "scenarios evaluated",
             budget.checkpoint.as_deref(),
         );
-        return Err(CliError::Budget(report));
+        return Err(CliError::Budget { report, stopped });
     }
     if let Some(msg) = checkpoint_error {
         return Err(CliError::Io(msg));
@@ -766,6 +767,324 @@ pub fn resume(
             )
         }
     }
+}
+
+/// `riskroute ratio <net>`
+pub fn ratio(ctx: &CliContext, network: &str, weights: RiskWeights) -> Result<String, CliError> {
+    let net = ctx.network(network)?;
+    let planner = ctx.planner(net, weights);
+    let report = planner.ratio_report();
+    if !report.is_informative() {
+        return Err(CliError::Core(riskroute::Error::NoInformativePairs));
+    }
+    let mut out = format!(
+        "{}: network-wide RiskRoute ratios (lambda_h {:.0e}, lambda_f {:.0e})\n\n",
+        net.name(),
+        weights.lambda_h,
+        weights.lambda_f
+    );
+    let _ = writeln!(
+        out,
+        "pairs aggregated: {} ordered PoP pairs ({} stranded)",
+        report.pairs, report.stranded_pairs
+    );
+    let _ = writeln!(
+        out,
+        "risk reduction ratio (Eq. 5):    {:.4}",
+        report.risk_reduction_ratio
+    );
+    let _ = writeln!(
+        out,
+        "distance increase ratio (Eq. 6): {:.4}",
+        report.distance_increase_ratio
+    );
+    Ok(out)
+}
+
+/// Options for `riskroute serve`, mirrored from
+/// [`Command::Serve`](crate::Command::Serve).
+#[derive(Debug, Clone)]
+pub struct ServeOptions {
+    /// TCP listen address (ignored when `unix` is set).
+    pub listen: String,
+    /// Unix-domain socket path, when serving over a Unix socket.
+    pub unix: Option<String>,
+    /// Maximum queries executing at once.
+    pub max_inflight: usize,
+    /// Maximum concurrently open connections.
+    pub max_connections: usize,
+    /// Per-frame byte cap.
+    pub frame_cap_bytes: usize,
+    /// Mid-frame stall timeout.
+    pub read_timeout_ms: u64,
+    /// Response-write stall timeout.
+    pub write_timeout_ms: u64,
+    /// Drain window (finish, then shed) at shutdown.
+    pub drain_ms: u64,
+    /// Default per-request wall-clock deadline (requests may override).
+    pub deadline_ms: Option<u64>,
+}
+
+/// The daemon's [`QueryHandler`]: answers queries with the same pure
+/// command functions as one-shot invocations, over one warm context, which
+/// is what makes serve responses byte-identical to the CLI.
+pub struct ServeHandler {
+    ctx: CliContext,
+    weights: RiskWeights,
+    default_deadline_ms: Option<u64>,
+}
+
+fn opt_field<'a>(request: &'a Request, name: &str) -> Option<&'a riskroute_json::Json> {
+    request.body.as_obj().ok().and_then(|m| m.get(name))
+}
+
+fn req_str<'a>(request: &'a Request, name: &str) -> Result<&'a str, CliError> {
+    let v = opt_field(request, name).ok_or_else(|| {
+        CliError::Bad(format!("op {:?} needs a {name:?} field", request.op))
+    })?;
+    v.as_str()
+        .map_err(|_| CliError::Bad(format!("field {name:?} must be a string")))
+}
+
+fn opt_usize(request: &Request, name: &str) -> Result<Option<usize>, CliError> {
+    opt_field(request, name)
+        .map(|v| {
+            v.as_usize().map_err(|_| {
+                CliError::Bad(format!("field {name:?} must be a non-negative integer"))
+            })
+        })
+        .transpose()
+}
+
+fn opt_u64(request: &Request, name: &str) -> Result<Option<u64>, CliError> {
+    Ok(opt_usize(request, name)?.map(|v| v as u64))
+}
+
+fn opt_f64(request: &Request, name: &str) -> Result<Option<f64>, CliError> {
+    opt_field(request, name)
+        .map(|v| {
+            v.as_f64()
+                .map_err(|_| CliError::Bad(format!("field {name:?} must be a number")))
+        })
+        .transpose()
+}
+
+/// The stable kebab-case `kind` a [`CliError`] maps to on the wire.
+fn error_kind(err: &CliError) -> &'static str {
+    match err {
+        CliError::Help(_) => "help",
+        CliError::Bad(_) => "bad-request",
+        CliError::Unknown(_) => "unknown-name",
+        CliError::Io(_) => "io-error",
+        CliError::Core(_) => "engine-error",
+        CliError::Chaos(_) => "chaos-violation",
+        CliError::Budget { .. } => "budget-exhausted",
+        CliError::Drain(_) => "forced-drain",
+    }
+}
+
+impl ServeHandler {
+    /// A handler answering over `ctx` at `weights`, with an optional
+    /// daemon-wide default per-request deadline.
+    pub fn new(ctx: CliContext, weights: RiskWeights, default_deadline_ms: Option<u64>) -> Self {
+        ServeHandler {
+            ctx,
+            weights,
+            default_deadline_ms,
+        }
+    }
+
+    /// Per-request λ overrides fall back to the daemon's global weights.
+    fn weights_for(&self, request: &Request) -> Result<RiskWeights, CliError> {
+        let lh = opt_f64(request, "lambda_h")?;
+        let lf = opt_f64(request, "lambda_f")?;
+        if lh.is_none() && lf.is_none() {
+            return Ok(self.weights);
+        }
+        Ok(RiskWeights::new(
+            lh.unwrap_or(self.weights.lambda_h),
+            lf.unwrap_or(self.weights.lambda_f),
+        ))
+    }
+
+    /// Per-request budget: request fields override the daemon default
+    /// deadline; every budget is wired to the daemon's shed flag so a
+    /// drain past its deadline stops in-flight work at the next stage
+    /// boundary as a typed partial. No checkpointing in serve.
+    fn budget_for(&self, request: &Request, cx: &QueryCx) -> Result<BudgetArgs, CliError> {
+        Ok(BudgetArgs {
+            deadline_ms: opt_u64(request, "deadline_ms")?.or(self.default_deadline_ms),
+            max_work: opt_u64(request, "max_work")?,
+            checkpoint: None,
+            cancel: Some(std::sync::Arc::clone(&cx.cancel)),
+        })
+    }
+
+    /// Defaults for optional fields match the CLI flag defaults, so a
+    /// field-free request answers exactly like the flag-free command.
+    fn answer(&self, request: &Request, cx: &QueryCx) -> Result<String, CliError> {
+        let weights = self.weights_for(request)?;
+        match request.op.as_str() {
+            "corpus" => Ok(corpus(&self.ctx)),
+            "route" => route(
+                &self.ctx,
+                req_str(request, "network")?,
+                req_str(request, "src")?,
+                req_str(request, "dst")?,
+                weights,
+            ),
+            "ratio" => ratio(&self.ctx, req_str(request, "network")?, weights),
+            "provision" => {
+                let budget = self.budget_for(request, cx)?;
+                provision(
+                    &self.ctx,
+                    req_str(request, "network")?,
+                    opt_usize(request, "k")?.unwrap_or(5),
+                    weights,
+                    &budget,
+                    false,
+                )
+            }
+            "replay" => {
+                let budget = self.budget_for(request, cx)?;
+                replay(
+                    &self.ctx,
+                    req_str(request, "network")?,
+                    req_str(request, "storm")?,
+                    opt_usize(request, "stride")?.unwrap_or(8),
+                    weights,
+                    &budget,
+                    false,
+                )
+            }
+            "sweep" => {
+                let budget = self.budget_for(request, cx)?;
+                sweep(
+                    &self.ctx,
+                    req_str(request, "network")?,
+                    opt_field(request, "mode")
+                        .map(|v| v.as_str().map(str::to_string))
+                        .transpose()
+                        .map_err(|_| CliError::Bad("field \"mode\" must be a string".into()))?
+                        .as_deref()
+                        .unwrap_or("n1"),
+                    opt_usize(request, "samples")?.unwrap_or(64),
+                    opt_u64(request, "seed")?.unwrap_or(crate::CLI_SEED),
+                    weights,
+                    &budget,
+                    false,
+                )
+            }
+            other => Err(CliError::Bad(format!(
+                "unknown op {other:?} (expected ping, route, ratio, provision, \
+                 replay, sweep, corpus, or shutdown)"
+            ))),
+        }
+    }
+}
+
+impl QueryHandler for ServeHandler {
+    fn handle(&self, request: &Request, cx: &QueryCx) -> Reply {
+        match self.answer(request, cx) {
+            Ok(output) => Reply::Ok { output },
+            Err(CliError::Budget { report, stopped }) => Reply::Partial {
+                output: report,
+                stopped: stopped.to_string(),
+            },
+            Err(err) => Reply::Err {
+                kind: error_kind(&err).to_string(),
+                exit_code: i64::from(err.exit_code()),
+                message: err.to_string(),
+            },
+        }
+    }
+}
+
+#[cfg(unix)]
+fn bind_unix_server(
+    path: &str,
+    handler: std::sync::Arc<dyn QueryHandler>,
+    config: ServeConfig,
+) -> Result<(Server, String), CliError> {
+    let server = Server::bind_unix(path, handler, config)
+        .map_err(|e| CliError::Io(format!("cannot bind {path}: {e}")))?;
+    Ok((server, format!("unix:{path}")))
+}
+
+#[cfg(not(unix))]
+fn bind_unix_server(
+    path: &str,
+    _handler: std::sync::Arc<dyn QueryHandler>,
+    _config: ServeConfig,
+) -> Result<(Server, String), CliError> {
+    let _ = path;
+    Err(CliError::Bad(
+        "--unix is only available on Unix platforms".into(),
+    ))
+}
+
+/// `riskroute serve [--listen A] [--unix P] [--max-inflight N] …`
+///
+/// Loads the engine once (the context moves into the handler), announces
+/// the resolved endpoint on stdout, and runs the accept loop until a
+/// protocol `shutdown` request drains it. A clean drain returns a summary;
+/// a forced drain (in-flight work outlived both drain windows) surfaces as
+/// [`CliError::Drain`] and exit code 10.
+pub fn serve(
+    ctx: CliContext,
+    opts: ServeOptions,
+    weights: RiskWeights,
+) -> Result<String, CliError> {
+    // The scrape endpoint must have live counters whether or not
+    // --metrics-out asked for a file export.
+    riskroute_obs::enable();
+    let config = ServeConfig {
+        max_connections: opts.max_connections,
+        max_inflight: opts.max_inflight,
+        frame_cap_bytes: opts.frame_cap_bytes,
+        read_timeout_ms: opts.read_timeout_ms,
+        write_timeout_ms: opts.write_timeout_ms,
+        drain_ms: opts.drain_ms,
+        ..ServeConfig::default()
+    };
+    let handler: std::sync::Arc<dyn QueryHandler> = std::sync::Arc::new(ServeHandler {
+        ctx,
+        weights,
+        default_deadline_ms: opts.deadline_ms,
+    });
+    let (server, endpoint) = match &opts.unix {
+        Some(path) => bind_unix_server(path, handler, config)?,
+        None => {
+            let server = Server::bind_tcp(&opts.listen, handler, config)
+                .map_err(|e| CliError::Io(format!("cannot bind {}: {e}", opts.listen)))?;
+            let endpoint = server
+                .local_addr()
+                .map_or_else(|| opts.listen.clone(), |a| a.to_string());
+            (server, endpoint)
+        }
+    };
+    // Announced and flushed before the accept loop blocks, so wrappers can
+    // parse the resolved ephemeral port.
+    println!("listening on {endpoint}");
+    let _ = std::io::Write::flush(&mut std::io::stdout());
+    let report = server.run();
+    if report.forced {
+        return Err(CliError::Drain(format!(
+            "{} connection(s) still active at the end of the shed grace window \
+             ({} connections, {} requests served before shutdown)",
+            report.abandoned_connections, report.connections_total, report.requests_total
+        )));
+    }
+    Ok(format!(
+        "drained cleanly: {} connections, {} requests{}\n",
+        report.connections_total,
+        report.requests_total,
+        if report.shed {
+            " (in-flight work shed at the drain deadline)"
+        } else {
+            ""
+        }
+    ))
 }
 
 /// `riskroute critical <net>`
@@ -1220,7 +1539,7 @@ mod tests {
         };
         let err = provision(&ctx, "Sprint", 2, weights, &budget, false).unwrap_err();
         assert_eq!(err.exit_code(), 9);
-        let CliError::Budget(report) = &err else {
+        let CliError::Budget { report, .. } = &err else {
             panic!("expected budget exhaustion, got {err:?}");
         };
         assert!(report.contains("budget exhausted"));
@@ -1355,7 +1674,7 @@ mod tests {
         };
         let err = sweep(&ctx, "Telepak", "n1", 0, 0, weights, &budget, false).unwrap_err();
         assert_eq!(err.exit_code(), 9);
-        let CliError::Budget(report) = &err else {
+        let CliError::Budget { report, .. } = &err else {
             panic!("expected budget exhaustion, got {err:?}");
         };
         assert!(report.contains("scenarios evaluated"));
@@ -1452,6 +1771,14 @@ mod tests {
             .collect();
         assert!(leftovers.is_empty(), "{leftovers:?}");
         let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn ratio_reports_network_wide_ratios() {
+        let out = ratio(&ctx(), "Sprint", RiskWeights::historical_only(1e5)).unwrap();
+        assert!(out.contains("risk reduction ratio (Eq. 5)"), "{out}");
+        assert!(out.contains("distance increase ratio (Eq. 6)"), "{out}");
+        assert!(out.contains("ordered PoP pairs"), "{out}");
     }
 
     #[test]

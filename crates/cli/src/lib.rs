@@ -53,6 +53,10 @@ pub struct CliContext {
     /// Route-tree cache knob applied to every planner the context hands
     /// out (`--no-route-cache` clears it; byte-identical output either way).
     pub route_cache: bool,
+    /// Warm engine pool keyed by `(network, weights)`. One-shot commands
+    /// build at most one entry; the `serve` daemon reuses entries across
+    /// requests, which is its whole point.
+    pub pool: PlannerPool,
 }
 
 impl CliContext {
@@ -77,6 +81,7 @@ impl CliContext {
             hazards: HistoricalRisk::standard(CLI_SEED, Some(CLI_EVENT_CAP)),
             parallelism: Parallelism::Sequential,
             route_cache: true,
+            pool: PlannerPool::new(),
         })
     }
 
@@ -105,9 +110,14 @@ impl CliContext {
     }
 
     /// Planner for a network at the given weights, carrying the context's
-    /// parallelism knob.
+    /// parallelism knob. Pulled from the warm pool (built on first use);
+    /// pooled reuse is byte-identical to a cold build because the shared
+    /// route-tree cache is stamp-keyed and exact.
     pub fn planner(&self, net: &Network, weights: RiskWeights) -> Planner {
-        Planner::for_network(net, &self.population, &self.hazards, weights)
+        self.pool
+            .planner_for(net.name(), weights, || {
+                Planner::for_network(net, &self.population, &self.hazards, weights)
+            })
             .with_parallelism(self.parallelism)
             .with_route_cache(self.route_cache)
     }
@@ -268,6 +278,32 @@ fn run_command(cli: &Cli) -> Result<String, CliError> {
         Command::Resume { snapshot, budget } => {
             commands::resume(&ctx, snapshot, budget, cli.obs.progress)
         }
+        Command::Ratio { network } => commands::ratio(&ctx, network, cli.weights()),
+        Command::Serve {
+            listen,
+            unix,
+            max_inflight,
+            max_connections,
+            frame_cap_bytes,
+            read_timeout_ms,
+            write_timeout_ms,
+            drain_ms,
+            deadline_ms,
+        } => commands::serve(
+            ctx,
+            commands::ServeOptions {
+                listen: listen.clone(),
+                unix: unix.clone(),
+                max_inflight: *max_inflight,
+                max_connections: *max_connections,
+                frame_cap_bytes: *frame_cap_bytes,
+                read_timeout_ms: *read_timeout_ms,
+                write_timeout_ms: *write_timeout_ms,
+                drain_ms: *drain_ms,
+                deadline_ms: *deadline_ms,
+            },
+            cli.weights(),
+        ),
         Command::Critical { network } => commands::critical(&ctx, network),
         Command::Corridors { network } => commands::corridors(&ctx, network),
         Command::Ospf { network } => commands::ospf(&ctx, network, cli.weights()),

@@ -157,6 +157,17 @@ impl WorkBudget {
         Arc::clone(&self.cancel)
     }
 
+    /// Adopt an externally owned cancel flag instead of the private one.
+    ///
+    /// This lets one flag fan out over many budgets — the serve daemon
+    /// wires its drain-shed flag into every in-flight request budget so a
+    /// single store sheds them all at their next stage boundary.
+    #[must_use]
+    pub fn with_cancel(mut self, cancel: Arc<AtomicBool>) -> Self {
+        self.cancel = cancel;
+        self
+    }
+
     /// Record `units` of completed work (candidate evaluations, replay
     /// ticks). Charging past the cap does not interrupt anything by itself;
     /// the overshoot is observed at the next [`exhausted`](Self::exhausted)

@@ -1084,6 +1084,192 @@ pub fn run_fork_fault_suite(
         .collect()
 }
 
+/// Connection-level fault kinds the serve daemon must absorb without
+/// process exit (the fourth harness extension — transport chaos).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ConnFault {
+    /// Random non-protocol bytes terminated by a newline.
+    GarbageBytes,
+    /// A valid request frame cut mid-document, then disconnect.
+    TruncatedFrame,
+    /// A complete request, then disconnect before reading the response.
+    MidRequestDisconnect,
+    /// A partial frame, then the client stalls without ever finishing it.
+    StalledWriter,
+    /// A frame nested deeper than the wire parse limit allows.
+    DeepNesting,
+    /// A single frame larger than the connection's frame cap.
+    OversizedFrame,
+}
+
+impl ConnFault {
+    /// Stable kebab-case name (used in reports and counter assertions).
+    pub fn name(self) -> &'static str {
+        match self {
+            ConnFault::GarbageBytes => "garbage-bytes",
+            ConnFault::TruncatedFrame => "truncated-frame",
+            ConnFault::MidRequestDisconnect => "mid-request-disconnect",
+            ConnFault::StalledWriter => "stalled-writer",
+            ConnFault::DeepNesting => "deep-nesting",
+            ConnFault::OversizedFrame => "oversized-frame",
+        }
+    }
+
+    /// The obs counter this fault must drive when thrown at a live daemon.
+    pub fn expected_counter(self) -> &'static str {
+        match self {
+            ConnFault::GarbageBytes | ConnFault::DeepNesting => "serve_frames_malformed",
+            ConnFault::TruncatedFrame => "serve_frames_truncated",
+            // The request itself is well-formed; the daemon must still have
+            // executed it (and survived the dead peer on write-back).
+            ConnFault::MidRequestDisconnect => "serve_requests_total",
+            ConnFault::StalledWriter => "serve_clients_stalled",
+            ConnFault::OversizedFrame => "serve_frames_oversized",
+        }
+    }
+}
+
+/// All connection fault kinds, in suite order.
+pub const ALL_CONN_FAULTS: &[ConnFault] = &[
+    ConnFault::GarbageBytes,
+    ConnFault::TruncatedFrame,
+    ConnFault::MidRequestDisconnect,
+    ConnFault::StalledWriter,
+    ConnFault::DeepNesting,
+    ConnFault::OversizedFrame,
+];
+
+/// A seed-derived adversarial client script for one connection: the exact
+/// bytes written and how the client behaves afterwards. The serve chaos
+/// suite replays these against a live daemon; everything is a pure
+/// function of the seed, so a failing plan replays exactly.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ConnFaultPlan {
+    /// The driving seed.
+    pub seed: u64,
+    /// Which fault this connection injects.
+    pub fault: ConnFault,
+    /// The bytes the chaotic client writes before its fault behavior.
+    pub payload: Vec<u8>,
+    /// Whether the client reads responses before closing (`false` models
+    /// a peer that vanishes or stalls).
+    pub reads_response: bool,
+}
+
+/// The frame cap the serve chaos suite configures, so
+/// [`ConnFault::OversizedFrame`] payloads are reliably over it without
+/// being expensive to generate.
+pub const CHAOS_FRAME_CAP: usize = 4 << 10;
+
+/// The wire nesting limit the suite assumes (matches
+/// `riskroute_json::ParseLimits::strict`).
+pub const CHAOS_WIRE_DEPTH: usize = 32;
+
+impl ConnFaultPlan {
+    /// Derive the plan for `seed` deterministically.
+    pub fn from_seed(seed: u64) -> Self {
+        let mut rng = StdRng::seed_from_u64(seed ^ 0x51ed_270b_8d3c_91a7);
+        let fault = ALL_CONN_FAULTS[rng.gen_range(0..ALL_CONN_FAULTS.len())];
+        let base = br#"{"op":"ratio","network":"Sprint"}"#;
+        let (payload, reads_response) = match fault {
+            ConnFault::GarbageBytes => {
+                let len = rng.gen_range(16..200usize);
+                let mut bytes: Vec<u8> =
+                    (0..len).map(|_| rng.gen_range(0x21..0x7fusize) as u8).collect();
+                // Never start with 'G': the daemon multiplexes an HTTP
+                // scrape endpoint on a "GET " prefix, and this fault must
+                // exercise the NDJSON parse path.
+                bytes[0] = b'?';
+                bytes.push(b'\n');
+                (bytes, true)
+            }
+            ConnFault::TruncatedFrame => {
+                let cut = rng.gen_range(1..base.len());
+                (base[..cut].to_vec(), false)
+            }
+            ConnFault::MidRequestDisconnect => {
+                let mut bytes = base.to_vec();
+                bytes.push(b'\n');
+                (bytes, false)
+            }
+            ConnFault::StalledWriter => {
+                let cut = rng.gen_range(1..base.len());
+                (base[..cut].to_vec(), false)
+            }
+            ConnFault::DeepNesting => {
+                let depth = CHAOS_WIRE_DEPTH + 1 + rng.gen_range(0..32usize);
+                let mut doc = String::from(r#"{"op":"#);
+                doc.push_str(&"[".repeat(depth));
+                doc.push('0');
+                doc.push_str(&"]".repeat(depth));
+                doc.push('}');
+                doc.push('\n');
+                (doc.into_bytes(), true)
+            }
+            ConnFault::OversizedFrame => {
+                let pad = CHAOS_FRAME_CAP + rng.gen_range(1..1024usize);
+                let mut doc = String::from(r#"{"op":"ping","pad":""#);
+                doc.push_str(&"x".repeat(pad));
+                doc.push_str("\"}\n");
+                (doc.into_bytes(), true)
+            }
+        };
+        ConnFaultPlan {
+            seed,
+            fault,
+            payload,
+            reads_response,
+        }
+    }
+
+    /// A deterministic suite of `count` plans seeded `base_seed..`,
+    /// extended so every [`ConnFault`] kind appears at least once (tail
+    /// plans use seeds `base_seed + 1000 + kind_index`).
+    pub fn suite(base_seed: u64, count: usize) -> Vec<ConnFaultPlan> {
+        let mut plans: Vec<ConnFaultPlan> = (0..count as u64)
+            .map(|i| ConnFaultPlan::from_seed(base_seed + i))
+            .collect();
+        for (i, &fault) in ALL_CONN_FAULTS.iter().enumerate() {
+            if !plans.iter().any(|p| p.fault == fault) {
+                let mut extra = ConnFaultPlan::from_seed(base_seed + 1000 + i as u64);
+                // from_seed picks the fault from the seed; force the kind
+                // while keeping the payload deterministic for it.
+                if extra.fault != fault {
+                    extra = ConnFaultPlan::forced(base_seed + 1000 + i as u64, fault);
+                }
+                plans.push(extra);
+            }
+        }
+        plans
+    }
+
+    /// Derive a plan for a specific fault kind (payload still seeded).
+    pub fn forced(seed: u64, fault: ConnFault) -> Self {
+        // Scan nearby derived seeds until the kind matches; bounded because
+        // the kind draw is uniform over six variants.
+        for probe in 0..1024u64 {
+            let plan = ConnFaultPlan::from_seed(seed.wrapping_add(probe.wrapping_mul(7919)));
+            if plan.fault == fault {
+                return ConnFaultPlan { seed, ..plan };
+            }
+        }
+        // Statistically unreachable (p ≈ (5/6)^1024); fall back to the
+        // plain derivation so callers still get a valid plan.
+        ConnFaultPlan::from_seed(seed)
+    }
+
+    /// One-line description for suite logs.
+    pub fn summary_line(&self) -> String {
+        format!(
+            "conn seed {:>4}  fault {:<22}  payload {:>5} B  reads_response {}",
+            self.seed,
+            self.fault.name(),
+            self.payload.len(),
+            self.reads_response
+        )
+    }
+}
+
 #[cfg(test)]
 mod tests {
     #![allow(clippy::unwrap_used, clippy::expect_used)]

@@ -691,6 +691,78 @@ impl Planner {
     }
 }
 
+/// A warm pool of engine handles keyed by `(network, λ_h, λ_f)`.
+///
+/// [`Planner`] construction pays for KDE-backed risk fitting, population
+/// assignment, and the CSR snapshot; clones, by contrast, share the CSR and
+/// the exact route-tree cache by `Arc`. A long-lived process (the
+/// `riskroute serve` daemon) keeps one pool so every request against the
+/// same network and weights reuses the warm engine — and because the cache
+/// is stamp-keyed and exact, pooled answers stay byte-identical to a cold
+/// one-shot run.
+#[derive(Debug, Default)]
+pub struct PlannerPool {
+    inner: std::sync::Mutex<std::collections::HashMap<PoolKey, Planner>>,
+}
+
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+struct PoolKey {
+    network: String,
+    lambda_h_bits: u64,
+    lambda_f_bits: u64,
+}
+
+impl PlannerPool {
+    /// An empty pool.
+    pub fn new() -> Self {
+        PlannerPool::default()
+    }
+
+    /// Fetch the warm planner for `(network, weights)`, building it with
+    /// `build` on first use. Returns a clone sharing the pooled planner's
+    /// CSR snapshot and route-tree cache; per-call knobs
+    /// ([`Planner::with_parallelism`], [`Planner::with_route_cache`]) apply
+    /// to the clone without disturbing the pool.
+    pub fn planner_for(
+        &self,
+        network: &str,
+        weights: RiskWeights,
+        build: impl FnOnce() -> Planner,
+    ) -> Planner {
+        let key = PoolKey {
+            network: network.to_string(),
+            lambda_h_bits: weights.lambda_h.to_bits(),
+            lambda_f_bits: weights.lambda_f.to_bits(),
+        };
+        let mut inner = self
+            .inner
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        if riskroute_obs::is_enabled() {
+            let name = if inner.contains_key(&key) {
+                "planner_pool_hits"
+            } else {
+                "planner_pool_misses"
+            };
+            riskroute_obs::counter_add(name, 1);
+        }
+        inner.entry(key).or_insert_with(build).clone()
+    }
+
+    /// Number of distinct warm engines held.
+    pub fn len(&self) -> usize {
+        self.inner
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+            .len()
+    }
+
+    /// Whether the pool is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
 #[cfg(test)]
 mod tests {
     #![allow(clippy::unwrap_used, clippy::expect_used)]

@@ -94,7 +94,7 @@ pub mod sharedrisk;
 
 pub use budget::{Budgeted, StopReason, WorkBudget};
 pub use error::{render_chain, Error, Result};
-pub use intradomain::Planner;
+pub use intradomain::{Planner, PlannerPool};
 pub use riskroute_par::Parallelism;
 pub use metric::{NodeRisk, RiskWeights};
 pub use ratios::{PairOutcome, RatioReport};
@@ -112,7 +112,7 @@ pub mod prelude {
     pub use crate::checkpoint::{LoadOutcome, Snapshot};
     pub use crate::failure::{criticality_ranking, storm_failure};
     pub use crate::interdomain::InterdomainAnalysis;
-    pub use crate::intradomain::Planner;
+    pub use crate::intradomain::{Planner, PlannerPool};
     pub use crate::metric::{NodeRisk, RiskWeights};
     pub use crate::provisioning::{best_additional_link, greedy_links};
     pub use crate::ratios::RatioReport;

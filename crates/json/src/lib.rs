@@ -43,6 +43,20 @@ pub enum JsonError {
     },
     /// The document parsed but did not match the expected shape.
     Shape(String),
+    /// Nesting exceeded the parse limit (guards against stack overflow on
+    /// crafted `[[[[…` payloads).
+    TooDeep {
+        /// The depth limit in force.
+        limit: usize,
+    },
+    /// The input was larger than the parse limit allows (guards against
+    /// unbounded allocation before a single byte is parsed).
+    TooLarge {
+        /// Input size in bytes.
+        size: usize,
+        /// The byte limit in force.
+        limit: usize,
+    },
 }
 
 impl fmt::Display for JsonError {
@@ -52,11 +66,49 @@ impl fmt::Display for JsonError {
                 write!(f, "JSON syntax error at byte {offset}: {message}")
             }
             JsonError::Shape(msg) => write!(f, "JSON shape error: {msg}"),
+            JsonError::TooDeep { limit } => {
+                write!(f, "JSON document exceeds nesting limit of {limit}")
+            }
+            JsonError::TooLarge { size, limit } => {
+                write!(f, "JSON document of {size} bytes exceeds size limit of {limit}")
+            }
         }
     }
 }
 
 impl std::error::Error for JsonError {}
+
+/// Resource limits applied while parsing untrusted input.
+///
+/// [`parse`] uses [`ParseLimits::STANDARD`] — generous bounds that every
+/// artifact in the workspace fits — while network-facing callers (the
+/// `riskroute serve` daemon) pass tighter caps so a crafted frame can
+/// neither overflow the stack nor allocate without bound.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ParseLimits {
+    /// Maximum container nesting depth.
+    pub max_depth: usize,
+    /// Maximum input size in bytes, checked before parsing starts.
+    pub max_bytes: usize,
+}
+
+impl ParseLimits {
+    /// The limits [`parse`] applies: 128 levels, 64 MiB.
+    pub const STANDARD: ParseLimits = ParseLimits {
+        max_depth: 128,
+        max_bytes: 64 << 20,
+    };
+
+    /// Tight limits for untrusted wire input: 32 levels and a caller-chosen
+    /// byte cap.
+    #[must_use]
+    pub fn strict(max_bytes: usize) -> ParseLimits {
+        ParseLimits {
+            max_depth: 32,
+            max_bytes,
+        }
+    }
+}
 
 impl Json {
     /// Interpret as `f64`.
@@ -257,19 +309,32 @@ fn write_escaped(s: &str, out: &mut String) {
     out.push('"');
 }
 
-/// Parse a JSON document. Never panics; trailing garbage is an error.
+/// Parse a JSON document under [`ParseLimits::STANDARD`]. Never panics;
+/// trailing garbage is an error.
 pub fn parse(text: &str) -> Result<Json, JsonError> {
+    parse_with_limits(text, ParseLimits::STANDARD)
+}
+
+/// Parse a JSON document under explicit resource limits. Never panics;
+/// oversized input fails with [`JsonError::TooLarge`] before any work,
+/// over-deep nesting with [`JsonError::TooDeep`], and trailing garbage is
+/// a syntax error.
+pub fn parse_with_limits(text: &str, limits: ParseLimits) -> Result<Json, JsonError> {
+    if text.len() > limits.max_bytes {
+        return Err(JsonError::TooLarge {
+            size: text.len(),
+            limit: limits.max_bytes,
+        });
+    }
     let bytes = text.as_bytes();
     let mut pos = 0;
-    let value = parse_value(bytes, &mut pos, 0)?;
+    let value = parse_value(bytes, &mut pos, 0, limits.max_depth)?;
     skip_ws(bytes, &mut pos);
     if pos != bytes.len() {
         return Err(err(pos, "trailing characters after document"));
     }
     Ok(value)
 }
-
-const MAX_DEPTH: usize = 128;
 
 fn err(offset: usize, message: &str) -> JsonError {
     JsonError::Syntax {
@@ -284,15 +349,17 @@ fn skip_ws(b: &[u8], pos: &mut usize) {
     }
 }
 
-fn parse_value(b: &[u8], pos: &mut usize, depth: usize) -> Result<Json, JsonError> {
-    if depth > MAX_DEPTH {
-        return Err(err(*pos, "nesting too deep"));
-    }
+fn parse_value(b: &[u8], pos: &mut usize, depth: usize, max_depth: usize) -> Result<Json, JsonError> {
     skip_ws(b, pos);
+    // The limit counts container levels exactly: a document nested
+    // `max_depth` deep parses, one level more is `TooDeep`.
+    if depth >= max_depth && matches!(b.get(*pos), Some(b'{') | Some(b'[')) {
+        return Err(JsonError::TooDeep { limit: max_depth });
+    }
     match b.get(*pos) {
         None => Err(err(*pos, "unexpected end of input")),
-        Some(b'{') => parse_object(b, pos, depth),
-        Some(b'[') => parse_array(b, pos, depth),
+        Some(b'{') => parse_object(b, pos, depth, max_depth),
+        Some(b'[') => parse_array(b, pos, depth, max_depth),
         Some(b'"') => Ok(Json::Str(parse_string(b, pos)?)),
         Some(b't') => parse_lit(b, pos, "true", Json::Bool(true)),
         Some(b'f') => parse_lit(b, pos, "false", Json::Bool(false)),
@@ -386,7 +453,7 @@ fn parse_string(b: &[u8], pos: &mut usize) -> Result<String, JsonError> {
     }
 }
 
-fn parse_array(b: &[u8], pos: &mut usize, depth: usize) -> Result<Json, JsonError> {
+fn parse_array(b: &[u8], pos: &mut usize, depth: usize, max_depth: usize) -> Result<Json, JsonError> {
     *pos += 1; // '['
     let mut items = Vec::new();
     skip_ws(b, pos);
@@ -395,7 +462,7 @@ fn parse_array(b: &[u8], pos: &mut usize, depth: usize) -> Result<Json, JsonErro
         return Ok(Json::Arr(items));
     }
     loop {
-        items.push(parse_value(b, pos, depth + 1)?);
+        items.push(parse_value(b, pos, depth + 1, max_depth)?);
         skip_ws(b, pos);
         match b.get(*pos) {
             Some(b',') => *pos += 1,
@@ -408,7 +475,7 @@ fn parse_array(b: &[u8], pos: &mut usize, depth: usize) -> Result<Json, JsonErro
     }
 }
 
-fn parse_object(b: &[u8], pos: &mut usize, depth: usize) -> Result<Json, JsonError> {
+fn parse_object(b: &[u8], pos: &mut usize, depth: usize, max_depth: usize) -> Result<Json, JsonError> {
     *pos += 1; // '{'
     let mut map = BTreeMap::new();
     skip_ws(b, pos);
@@ -427,7 +494,7 @@ fn parse_object(b: &[u8], pos: &mut usize, depth: usize) -> Result<Json, JsonErr
             return Err(err(*pos, "expected ':'"));
         }
         *pos += 1;
-        let value = parse_value(b, pos, depth + 1)?;
+        let value = parse_value(b, pos, depth + 1, max_depth)?;
         map.insert(key, value);
         skip_ws(b, pos);
         match b.get(*pos) {
@@ -505,8 +572,110 @@ mod tests {
     #[test]
     fn deep_nesting_is_bounded() {
         let deep = "[".repeat(500) + &"]".repeat(500);
-        assert!(parse(&deep).is_err());
+        assert_eq!(parse(&deep), Err(JsonError::TooDeep { limit: 128 }));
         let ok = "[".repeat(50) + &"]".repeat(50);
         assert!(parse(&ok).is_ok());
+    }
+
+    #[test]
+    fn depth_limit_is_exact() {
+        let limits = ParseLimits::strict(1 << 20);
+        // depth counts containers: 32 nested arrays are allowed, 33 are not.
+        let at_limit = "[".repeat(32) + &"]".repeat(32);
+        assert!(parse_with_limits(&at_limit, limits).is_ok());
+        let over = "[".repeat(33) + &"]".repeat(33);
+        assert_eq!(
+            parse_with_limits(&over, limits),
+            Err(JsonError::TooDeep { limit: 32 })
+        );
+        // Objects count the same way.
+        let over_obj = "{\"k\":".repeat(33) + "null" + &"}".repeat(33);
+        assert_eq!(
+            parse_with_limits(&over_obj, limits),
+            Err(JsonError::TooDeep { limit: 32 })
+        );
+    }
+
+    #[test]
+    fn size_limit_rejects_before_parsing() {
+        let limits = ParseLimits::strict(16);
+        let big = format!("\"{}\"", "x".repeat(64));
+        assert_eq!(
+            parse_with_limits(&big, limits),
+            Err(JsonError::TooLarge { size: 66, limit: 16 })
+        );
+        // Even syntactically invalid oversized input fails with TooLarge —
+        // the cap is checked before any parsing work happens.
+        let junk = "\u{1}".repeat(64);
+        assert_eq!(
+            parse_with_limits(&junk, limits),
+            Err(JsonError::TooLarge { size: 64, limit: 16 })
+        );
+        assert!(parse_with_limits("[1,2,3]", limits).is_ok());
+    }
+
+    /// Seeded fuzz over the adversarial classes the serve daemon faces:
+    /// malformed mutations, truncations, and deeply nested payloads. The
+    /// parser must never panic and every failure must be a typed error.
+    #[test]
+    fn fuzz_adversarial_documents() {
+        let base = r#"{"op":"route","network":"Sprint","src":"0","dst":"5","deadline_ms":250}"#;
+        let limits = ParseLimits::strict(4096);
+        let mut state = 0x5851f42d4c957f2du64;
+        let mut next = move || {
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            state
+        };
+        for round in 0..4_000u32 {
+            let r = next();
+            let doc: String = match r % 4 {
+                // Byte mutations of a valid frame.
+                0 => {
+                    let mut bytes = base.as_bytes().to_vec();
+                    for _ in 0..1 + (r >> 32) % 4 {
+                        let k = next();
+                        let idx = (k >> 33) as usize % bytes.len();
+                        bytes[idx] = (k & 0xff) as u8;
+                    }
+                    match String::from_utf8(bytes) {
+                        Ok(s) => s,
+                        Err(_) => continue,
+                    }
+                }
+                // Truncations (the wire sees these on mid-frame disconnects).
+                1 => base[..(r >> 16) as usize % (base.len() + 1)].to_string(),
+                // Deep nesting around the strict limit.
+                2 => {
+                    let depth = 24 + (r >> 16) as usize % 24;
+                    let open: String = (0..depth)
+                        .map(|i| if i % 2 == 0 { "[" } else { "{\"k\":" })
+                        .collect();
+                    let close: String = (0..depth)
+                        .rev()
+                        .map(|i| if i % 2 == 0 { "]" } else { "}" })
+                        .collect();
+                    format!("{open}0{close}")
+                }
+                // Random printable garbage.
+                _ => (0..(r >> 16) % 96)
+                    .map(|i| {
+                        let k = next();
+                        char::from_u32(0x20 + ((k >> (i % 32)) & 0x5e) as u32).unwrap_or('?')
+                    })
+                    .collect(),
+            };
+            // Must not panic, and failures must be typed.
+            match parse_with_limits(&doc, limits) {
+                Ok(_) => {}
+                Err(
+                    JsonError::Syntax { .. }
+                    | JsonError::TooDeep { .. }
+                    | JsonError::TooLarge { .. },
+                ) => {}
+                Err(other) => panic!("round {round}: unexpected error class {other:?}"),
+            }
+        }
     }
 }

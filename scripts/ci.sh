@@ -103,4 +103,83 @@ cargo run --release -p riskroute-cli -- chaos --plans 8 --seed 42
 echo "== chaos: kill/resume crash-consistency (seeds 0..4 via test) =="
 cargo test --release -p riskroute -q chaos::tests::kill_resume -- --nocapture
 
+echo "== serve: warm-daemon smoke gate =="
+# Spawn the daemon on an ephemeral port with a tiny connection cap (so the
+# overload path is deterministically reachable below). It announces the
+# resolved address on stdout before the accept loop starts.
+target/release/riskroute serve --listen 127.0.0.1:0 --max-connections 2 \
+  > "$OBS_TMP/serve.log" 2>&1 &
+SERVE_PID=$!
+trap 'kill "$SERVE_PID" 2>/dev/null || true; rm -rf "$OBS_TMP"' EXIT
+SERVE_ADDR=
+for _ in $(seq 1 100); do
+  SERVE_ADDR=$(awk '/^listening on /{ print $3; exit }' "$OBS_TMP/serve.log")
+  [ -n "$SERVE_ADDR" ] && break
+  sleep 0.1
+done
+if [ -z "$SERVE_ADDR" ]; then
+  echo "FAIL: daemon never announced its listen address"
+  cat "$OBS_TMP/serve.log"
+  exit 1
+fi
+echo "daemon at $SERVE_ADDR"
+SERVE_HOST=${SERVE_ADDR%:*}
+SERVE_PORT=${SERVE_ADDR##*:}
+serve_query() {  # one NDJSON request line in, the one-line answer out
+  exec 9<>"/dev/tcp/$SERVE_HOST/$SERVE_PORT"
+  printf '%s\n' "$1" >&9
+  IFS= read -r serve_reply <&9
+  exec 9<&- 9>&-
+  printf '%s\n' "$serve_reply"
+}
+# Mixed batch: valid queries, a malformed frame, an unknown op. Every line
+# gets a typed one-line answer and the daemon stays up throughout.
+serve_query '{"op":"ping"}'                        | grep -q '"output":"pong"'
+serve_query '{"id":1,"op":"ratio","network":"Telepak"}' | grep -q '"status":"ok"'
+serve_query '{"op":"route","network":"Sprint","src":"0","dst":"5"}' | grep -q '"status":"ok"'
+serve_query '{ not json'                           | grep -q '"kind":"malformed-frame"'
+serve_query '{"op":"no-such-op"}'                  | grep -q '"kind":"bad-request"'
+# Overload: two held connections fill --max-connections 2 (the answered
+# pings prove both slots are admitted); the third connect is refused with
+# an overloaded line and a retry hint, not a hang or a dropped socket.
+exec 7<>"/dev/tcp/$SERVE_HOST/$SERVE_PORT"
+printf '%s\n' '{"op":"ping"}' >&7
+IFS= read -r _ <&7
+exec 8<>"/dev/tcp/$SERVE_HOST/$SERVE_PORT"
+printf '%s\n' '{"op":"ping"}' >&8
+IFS= read -r _ <&8
+serve_query '{"op":"ping"}' | grep -q '"status":"overloaded"'
+exec 7<&- 7>&- 8<&- 8>&-
+# The freed slots come back within the read tick; then a Prometheus scrape
+# on the same listener must report the counters the batch just drove.
+SERVE_RECOVERED=
+for _ in $(seq 1 50); do
+  if serve_query '{"op":"ping"}' | grep -q '"output":"pong"'; then
+    SERVE_RECOVERED=1
+    break
+  fi
+  sleep 0.1
+done
+[ -n "$SERVE_RECOVERED" ] || { echo "FAIL: daemon did not recover after overload"; exit 1; }
+exec 9<>"/dev/tcp/$SERVE_HOST/$SERVE_PORT"
+printf 'GET /metrics HTTP/1.0\r\n\r\n' >&9
+cat <&9 > "$OBS_TMP/serve-metrics.txt"
+exec 9<&- 9>&-
+grep -q 'riskroute_serve_requests_total' "$OBS_TMP/serve-metrics.txt"
+grep -q 'riskroute_serve_frames_malformed' "$OBS_TMP/serve-metrics.txt"
+grep -q 'riskroute_serve_connections_rejected' "$OBS_TMP/serve-metrics.txt"
+# Protocol shutdown: acknowledged with a draining line, then the process
+# must drain cleanly (exit 0; a forced drain exits 10 and fails the gate).
+serve_query '{"op":"shutdown"}' | grep -q '"status":"draining"'
+SERVE_EXIT=0
+wait "$SERVE_PID" || SERVE_EXIT=$?
+trap 'rm -rf "$OBS_TMP"' EXIT
+if [ "$SERVE_EXIT" -ne 0 ]; then
+  echo "FAIL: serve exited $SERVE_EXIT instead of draining cleanly"
+  cat "$OBS_TMP/serve.log"
+  exit 1
+fi
+grep -q 'drained cleanly' "$OBS_TMP/serve.log"
+echo "serve daemon drained cleanly"
+
 echo "CI gate passed."

@@ -42,6 +42,7 @@ ids:
   threadscale thread-scaling curve for the all-pairs routing sweep
   ssspscale   SSSP-engine cache/arena scaling (sweep + 5-round greedy)
   forkscale   scenario-fork N-1 sweep vs naive per-scenario rebuild
+  obsscale    enabled-tracing overhead on the fig11 sweep + serve path
   tables      table1 table2 table3
   figures     fig1..fig13
   ablations   ablation1..ablation5
@@ -94,6 +95,7 @@ fn main() {
                 "threadscale",
                 "ssspscale",
                 "forkscale",
+                "obsscale",
             ]),
             other => ids.push(other),
         }
@@ -128,6 +130,7 @@ fn main() {
     let mut scaling_curve: Option<String> = None;
     let mut sssp_curve: Option<String> = None;
     let mut fork_curve: Option<String> = None;
+    let mut obs_curve: Option<String> = None;
     for id in ids {
         // A fresh registry per experiment makes every row a self-contained
         // delta; the experiment id names the enclosing span.
@@ -158,6 +161,7 @@ fn main() {
             "threadscale" => scaling_curve = Some(thread_scaling::run(&ctx)),
             "ssspscale" => sssp_curve = Some(ssspscale::run(&ctx)),
             "forkscale" => fork_curve = Some(forkscale::run(&ctx)),
+            "obsscale" => obs_curve = Some(obsscale::run(&ctx)),
             unknown => {
                 eprintln!("unknown experiment id {unknown:?}\n{USAGE}");
                 std::process::exit(2);
@@ -197,6 +201,10 @@ fn main() {
     }
     if let Some(curve) = fork_curve {
         timings_out.push_str("\nfork scaling\n");
+        timings_out.push_str(&curve);
+    }
+    if let Some(curve) = obs_curve {
+        timings_out.push_str("\ntracing overhead\n");
         timings_out.push_str(&curve);
     }
     emit("timings", &timings_out);

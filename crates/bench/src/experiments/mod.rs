@@ -14,6 +14,7 @@ pub mod figs_forecast;
 pub mod figs_maps;
 pub mod figs_provisioning;
 pub mod forkscale;
+pub mod obsscale;
 pub mod ssspscale;
 pub mod table1_bandwidths;
 pub mod thread_scaling;

@@ -257,6 +257,45 @@ pub enum Command {
         /// Path to the JSONL trace.
         path: String,
     },
+    /// Convert a `--trace-out` JSONL file to Chrome trace-event JSON.
+    ObsTrace {
+        /// Path to the JSONL trace.
+        path: String,
+        /// Output path for the trace-event JSON.
+        out: String,
+    },
+    /// Lint a Prometheus text-exposition file.
+    ObsLint {
+        /// Path to the exposition text.
+        path: String,
+    },
+}
+
+impl Command {
+    /// The command's wire name, used as the trace label when observability
+    /// collection is enabled.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Command::Corpus => "corpus",
+            Command::Route { .. } => "route",
+            Command::Backup { .. } => "backup",
+            Command::Provision { .. } => "provision",
+            Command::Replay { .. } => "replay",
+            Command::Sweep { .. } => "sweep",
+            Command::Resume { .. } => "resume",
+            Command::Critical { .. } => "critical",
+            Command::Corridors { .. } => "corridors",
+            Command::Ratio { .. } => "ratio",
+            Command::Ospf { .. } => "ospf",
+            Command::Serve { .. } => "serve",
+            Command::Failure { .. } => "failure",
+            Command::Export { .. } => "export",
+            Command::Chaos { .. } => "chaos",
+            Command::ObsSummary { .. } => "obs-summary",
+            Command::ObsTrace { .. } => "obs-trace",
+            Command::ObsLint { .. } => "obs-lint",
+        }
+    }
 }
 
 /// Everything that can go wrong running the CLI, grouped by exit code.
@@ -393,7 +432,14 @@ COMMANDS:
                                      seed 42); nonzero exit on any violation;
                                      reports which faults actually fired
   obs-summary <trace.jsonl>          per-span latency table (count, total,
-                                     p50, p99) from a --trace-out file
+                                     p50, p99, p999) plus per-trace
+                                     attribution from a --trace-out file
+  obs trace <trace.jsonl> [--out P]  convert a --trace-out file to Chrome
+                                     trace-event JSON (default out
+                                     trace.json; open in chrome://tracing)
+  obs lint <metrics.prom>            lint Prometheus text exposition (names,
+                                     labels, bucket cumulativity); exit 5 on
+                                     the first malformed line
   serve [--listen A] [--unix P]      warm-engine NDJSON query daemon (one
         [--max-inflight N]           request per line; ops: ping, route,
         [--max-connections N]        ratio, provision, replay, sweep, corpus,
@@ -800,6 +846,22 @@ fn parse_command(rest: &[String]) -> Result<Command, CliError> {
                 path: (*path).clone(),
             })
         }
+        "obs" => match positional.as_slice() {
+            [sub, path] if sub.as_str() == "trace" => Ok(Command::ObsTrace {
+                path: (*path).clone(),
+                out: flag_of("--out")
+                    .cloned()
+                    .unwrap_or_else(|| "trace.json".into()),
+            }),
+            [sub, path] if sub.as_str() == "lint" => Ok(Command::ObsLint {
+                path: (*path).clone(),
+            }),
+            _ => Err(bad(
+                "obs needs a subcommand: trace <trace.jsonl> [--out <path>] \
+                 or lint <metrics.prom>"
+                    .into(),
+            )),
+        },
         "chaos" => {
             if !positional.is_empty() {
                 return Err(bad("chaos takes only --plans and --seed flags".into()));
@@ -1140,6 +1202,50 @@ mod tests {
     }
 
     #[test]
+    fn obs_subcommands_parse_trace_and_lint() {
+        let cli = parse_args(&args("obs trace trace.jsonl")).unwrap();
+        assert_eq!(
+            cli.command,
+            Command::ObsTrace {
+                path: "trace.jsonl".into(),
+                out: "trace.json".into(),
+            }
+        );
+        let cli = parse_args(&args("obs trace trace.jsonl --out chrome.json")).unwrap();
+        assert_eq!(
+            cli.command,
+            Command::ObsTrace {
+                path: "trace.jsonl".into(),
+                out: "chrome.json".into(),
+            }
+        );
+        let cli = parse_args(&args("obs lint metrics.prom")).unwrap();
+        assert_eq!(
+            cli.command,
+            Command::ObsLint {
+                path: "metrics.prom".into(),
+            }
+        );
+        assert!(matches!(parse_args(&args("obs")), Err(CliError::Bad(_))));
+        assert!(matches!(
+            parse_args(&args("obs frobnicate x")),
+            Err(CliError::Bad(_))
+        ));
+    }
+
+    #[test]
+    fn command_names_label_traces() {
+        assert_eq!(
+            parse_args(&args("route Sprint 0 5")).unwrap().command.name(),
+            "route"
+        );
+        assert_eq!(
+            parse_args(&args("obs lint m.prom")).unwrap().command.name(),
+            "obs-lint"
+        );
+    }
+
+    #[test]
     fn serve_defaults_and_flags() {
         let cli = parse_args(&args("serve")).unwrap();
         assert_eq!(
@@ -1213,6 +1319,8 @@ mod tests {
         assert!(USAGE.contains("--trace-out"));
         assert!(USAGE.contains("--progress"));
         assert!(USAGE.contains("obs-summary"));
+        assert!(USAGE.contains("obs trace"));
+        assert!(USAGE.contains("obs lint"));
     }
 
     #[test]

@@ -1349,21 +1349,80 @@ pub fn chaos(plans: usize, seed: u64) -> Result<String, CliError> {
 /// `riskroute obs-summary <trace.jsonl>`
 ///
 /// Reads a `--trace-out` JSONL file and prints a per-span latency table
-/// (count, total, p50, p99), sorted by total time.
+/// (count, total, p50, p99, p999) sorted by total time, a per-trace
+/// attribution table when the trace carries request scopes, and a warning
+/// when the capture ring buffer dropped span events.
 pub fn obs_summary(path: &str) -> Result<String, CliError> {
     let text = std::fs::read_to_string(path)
         .map_err(|e| CliError::Io(format!("cannot read trace {path}: {e}")))?;
     let lines = riskroute_obs::export::parse_jsonl(&text)
         .map_err(|e| CliError::Core(riskroute::Error::Json(e)))?;
+    let dropped: u64 = lines
+        .iter()
+        .map(|l| match l {
+            riskroute_obs::export::ObsLine::Meta { dropped_events } => *dropped_events,
+            _ => 0,
+        })
+        .sum();
+    let warning = if dropped > 0 {
+        format!(
+            "warning: {dropped} span events were dropped at capture (ring \
+             buffer full) — span totals undercount\n"
+        )
+    } else {
+        String::new()
+    };
     let rows = riskroute_obs::summary::summarize_lines(&lines);
     if rows.is_empty() {
         return Ok(format!(
-            "{path}: no span events (was the run traced with --trace-out?)\n"
+            "{warning}{path}: no span events (was the run traced with --trace-out?)\n"
         ));
     }
-    let mut out = format!("{path}: spans by total time\n\n");
+    let mut out = warning;
+    let _ = write!(out, "{path}: spans by total time\n\n");
     out.push_str(&riskroute_obs::summary::render_table(&rows));
+    let traces = riskroute_obs::summary::summarize_traces(&lines);
+    if !traces.is_empty() {
+        out.push_str("\nper-trace attribution\n\n");
+        out.push_str(&riskroute_obs::summary::render_trace_table(&traces));
+    }
     Ok(out)
+}
+
+/// `riskroute obs trace <trace.jsonl> [--out <path>]`
+///
+/// Converts a `--trace-out` JSONL file to Chrome trace-event JSON (load it
+/// in `chrome://tracing` or Perfetto). The output is written atomically.
+pub fn obs_trace(path: &str, out: &str) -> Result<String, CliError> {
+    let text = std::fs::read_to_string(path)
+        .map_err(|e| CliError::Io(format!("cannot read trace {path}: {e}")))?;
+    let lines = riskroute_obs::export::parse_jsonl(&text)
+        .map_err(|e| CliError::Core(riskroute::Error::Json(e)))?;
+    let snap = riskroute_obs::export::snapshot_from_lines(&lines);
+    let rendered = riskroute_obs::export::to_chrome_trace(&snap);
+    riskroute_obs::export::write_atomic(out, &rendered)
+        .map_err(|e| CliError::Io(format!("cannot write {out}: {e}")))?;
+    Ok(format!(
+        "{out}: {} span events across {} traces (open in chrome://tracing)\n",
+        snap.spans.len(),
+        snap.traces.len(),
+    ))
+}
+
+/// `riskroute obs lint <metrics.prom>`
+///
+/// Parses every line of a Prometheus text-exposition file, rejecting
+/// malformed metric names, labels, values, and histogram `_bucket` series
+/// that are missing `+Inf`, non-cumulative, or inconsistent with `_count`.
+pub fn obs_lint(path: &str) -> Result<String, CliError> {
+    let text = std::fs::read_to_string(path)
+        .map_err(|e| CliError::Io(format!("cannot read exposition {path}: {e}")))?;
+    let samples = riskroute_obs::export::lint_prometheus(&text).map_err(|e| {
+        CliError::Core(riskroute::Error::Json(riskroute_json::JsonError::Shape(
+            format!("{path}: {e}"),
+        )))
+    })?;
+    Ok(format!("{path}: {samples} samples, exposition format ok\n"))
 }
 
 #[cfg(test)]
@@ -1471,6 +1530,77 @@ mod tests {
         std::fs::write(&path, "").unwrap();
         let out = obs_summary(&path.display().to_string()).unwrap();
         assert!(out.contains("no span events"), "{out}");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn obs_summary_warns_on_drops_and_attributes_traces() {
+        let dir = tmp_dir("riskroute-cli-obs-drops");
+        let path = dir.join("trace.jsonl");
+        std::fs::write(
+            &path,
+            "{\"type\":\"meta\",\"dropped_events\":3}\n\
+             {\"type\":\"span\",\"name\":\"replay_tick\",\"id\":2,\"parent\":0,\
+             \"trace\":1,\"thread\":1,\"depth\":0,\"start_us\":0,\"dur_us\":100,\
+             \"fields\":[]}\n\
+             {\"type\":\"trace\",\"id\":1,\"label\":\"replay\",\
+             \"counters\":[[\"risk_sssp_runs\",7]]}\n",
+        )
+        .unwrap();
+        let out = obs_summary(&path.display().to_string()).unwrap();
+        assert!(out.contains("warning: 3 span events were dropped"), "{out}");
+        assert!(out.contains("per-trace attribution"), "{out}");
+        assert!(out.contains("replay"), "{out}");
+        assert!(out.contains("risk_sssp_runs"), "{out}");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn obs_trace_converts_to_chrome_trace_events() {
+        let dir = tmp_dir("riskroute-cli-obs-trace");
+        let src = dir.join("trace.jsonl");
+        std::fs::write(
+            &src,
+            "{\"type\":\"span\",\"name\":\"sssp\",\"id\":2,\"parent\":0,\
+             \"trace\":1,\"thread\":1,\"depth\":0,\"start_us\":5,\"dur_us\":40,\
+             \"fields\":[]}\n\
+             {\"type\":\"trace\",\"id\":1,\"label\":\"route\",\"counters\":[]}\n",
+        )
+        .unwrap();
+        let out = dir.join("trace.json");
+        let out_s = out.display().to_string();
+        let msg = obs_trace(&src.display().to_string(), &out_s).unwrap();
+        assert!(msg.contains("1 span events across 1 traces"), "{msg}");
+        let body = std::fs::read_to_string(&out).unwrap();
+        let doc = riskroute_json::parse(&body).unwrap();
+        let events = doc.field("traceEvents").unwrap().as_arr().unwrap();
+        assert_eq!(events.len(), 2, "{body}"); // process_name meta + span
+        let missing = obs_trace("/no/such/trace.jsonl", &out_s).unwrap_err();
+        assert_eq!(missing.exit_code(), 4);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn obs_lint_accepts_good_and_rejects_bad_expositions() {
+        let dir = tmp_dir("riskroute-cli-obs-lint");
+        let good = dir.join("good.prom");
+        std::fs::write(
+            &good,
+            "# TYPE riskroute_pops counter\nriskroute_pops 5\n",
+        )
+        .unwrap();
+        let out = obs_lint(&good.display().to_string()).unwrap();
+        assert!(out.contains("1 samples, exposition format ok"), "{out}");
+        // A bucket series with no +Inf bound is malformed.
+        let bad = dir.join("bad.prom");
+        std::fs::write(
+            &bad,
+            "riskroute_h_bucket{le=\"1\"} 2\nriskroute_h_count 2\n",
+        )
+        .unwrap();
+        let err = obs_lint(&bad.display().to_string()).unwrap_err();
+        assert_eq!(err.exit_code(), 5, "{err:?}");
+        assert!(err.to_string().contains("+Inf"), "{err}");
         let _ = std::fs::remove_dir_all(&dir);
     }
 

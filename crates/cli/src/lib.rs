@@ -197,7 +197,13 @@ pub fn run(cli: &Cli) -> Result<String, CliError> {
     }
     riskroute_obs::reset();
     riskroute_obs::enable();
-    let result = run_command(cli);
+    // One trace per invocation, labeled with the command name, so the
+    // exported JSONL attributes every counter and span to this run.
+    let scope = riskroute_obs::ObsScope::begin(cli.command.name());
+    let result = {
+        let _obs = scope.enter();
+        run_command(cli)
+    };
     riskroute_obs::disable();
     let snap = riskroute_obs::snapshot();
     let mut export_error: Option<CliError> = None;
@@ -227,6 +233,12 @@ fn run_command(cli: &Cli) -> Result<String, CliError> {
     }
     if let Command::ObsSummary { path } = &cli.command {
         return commands::obs_summary(path);
+    }
+    if let Command::ObsTrace { path, out } = &cli.command {
+        return commands::obs_trace(path, out);
+    }
+    if let Command::ObsLint { path } = &cli.command {
+        return commands::obs_lint(path);
     }
     let mut ctx = CliContext::build(&cli.graphml)?;
     ctx.parallelism = cli.threads;
@@ -313,7 +325,10 @@ fn run_command(cli: &Cli) -> Result<String, CliError> {
             format,
             out,
         } => commands::export(&ctx, network, format, out.as_deref()),
-        Command::Chaos { .. } | Command::ObsSummary { .. } => {
+        Command::Chaos { .. }
+        | Command::ObsSummary { .. }
+        | Command::ObsTrace { .. }
+        | Command::ObsLint { .. } => {
             unreachable!("dispatched before context build")
         }
     }

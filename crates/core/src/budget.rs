@@ -109,6 +109,7 @@ pub struct WorkBudget {
     max_work: Option<u64>,
     work_done: AtomicU64,
     cancel: Arc<AtomicBool>,
+    scope: riskroute_obs::ObsScope,
 }
 
 impl Default for WorkBudget {
@@ -126,6 +127,10 @@ impl WorkBudget {
             max_work: None,
             work_done: AtomicU64::new(0),
             cancel: Arc::new(AtomicBool::new(false)),
+            // Budgets are built on the requesting thread (the serve worker
+            // or the CLI main thread), so the scope installed there is the
+            // trace this budget's work belongs to.
+            scope: riskroute_obs::ObsScope::current(),
         }
     }
 
@@ -190,6 +195,14 @@ impl WorkBudget {
     /// every unit, would have stopped.
     pub fn work_remaining(&self) -> Option<u64> {
         self.max_work.map(|max| max.saturating_sub(self.work_done()))
+    }
+
+    /// The attribution scope captured when this budget was built. Budgeted
+    /// drivers re-enter it at their top so work charged against the budget
+    /// reports to the owning request's trace even when the driver runs on
+    /// a different thread than the one that created the budget.
+    pub fn scope(&self) -> riskroute_obs::ObsScope {
+        self.scope
     }
 
     /// Whether any limit has been hit, and which. Checks are ordered

@@ -161,6 +161,7 @@ pub fn score_candidates_budgeted(
     candidates: &[(PopId, PopId, f64)],
     budget: &WorkBudget,
 ) -> Vec<CandidateLink> {
+    let _obs = budget.scope().enter();
     budget.charge(candidates.len() as u64);
     riskroute_obs::counter_add("provision_candidates_scored", candidates.len() as u64);
     let n = network.pop_count();
@@ -420,6 +421,9 @@ pub fn greedy_links_resume(
     budget: &WorkBudget,
     mut on_iteration: impl FnMut(&GreedyLinks),
 ) -> Budgeted<GreedyLinks, ProvisionResume> {
+    // Attribute the whole run to the budget owner's trace, wherever this
+    // driver actually executes (serve worker threads included).
+    let _obs = budget.scope().enter();
     let mut current_net = base_network.clone();
     for link in &prior.added {
         current_net = with_extra_link(&current_net, link.a, link.b);

@@ -244,6 +244,8 @@ pub fn replay_raw_advisories_budgeted(
     budget: &WorkBudget,
     mut on_batch: impl FnMut(&DisasterReplay, usize),
 ) -> Result<Budgeted<DisasterReplay, ReplayResume>> {
+    // Attribute the whole replay to the budget owner's trace.
+    let _obs = budget.scope().enter();
     check_locations(locations, base)?;
     if prior_ticks.len() > raws.len() {
         return Err(Error::InvalidArgument {

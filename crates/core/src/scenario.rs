@@ -861,6 +861,8 @@ pub fn run_sweep_budgeted(
     budget: &WorkBudget,
     mut on_batch: impl FnMut(&SweepOutcome, usize),
 ) -> Result<Budgeted<SweepOutcome, SweepResume>> {
+    // Attribute the whole sweep to the budget owner's trace.
+    let _obs = budget.scope().enter();
     if network.pop_count() != base.pop_count() {
         return Err(Error::InvalidArgument {
             context: "network".into(),

@@ -51,6 +51,12 @@ impl Histogram {
         Histogram::log_spaced(256.0, 4.0, 12)
     }
 
+    /// Latency buckets for values recorded in **microseconds** rather than
+    /// seconds: powers of two from 1 µs to ~8 s.
+    pub fn micros_default() -> Histogram {
+        Histogram::log_spaced(1.0, 2.0, 24)
+    }
+
     /// The bucket `v` falls into: the first bound with `v <= bound`, or
     /// the overflow index `bounds.len()`.
     pub fn bucket_index(&self, v: f64) -> usize {
@@ -176,5 +182,8 @@ mod tests {
         assert!(lat.bounds().last().copied().unwrap() >= 1.0);
         let bytes = Histogram::bytes_default();
         assert!(bytes.bounds().last().copied().unwrap() >= 1e9);
+        let micros = Histogram::micros_default();
+        assert!(micros.bounds().first().copied().unwrap() <= 1.0);
+        assert!(micros.bounds().last().copied().unwrap() >= 1e6);
     }
 }

@@ -51,10 +51,12 @@
 pub mod export;
 mod histogram;
 pub mod progress;
+pub mod scope;
 pub mod summary;
 
 pub use histogram::Histogram;
 pub use progress::Heartbeat;
+pub use scope::{trace_counters, ObsScope, ScopeGuard, TraceStats};
 pub use summary::SpanSummary;
 
 use std::borrow::Cow;
@@ -131,6 +133,16 @@ impl From<String> for FieldValue {
 pub struct SpanRecord {
     /// Span name.
     pub name: String,
+    /// Process-unique span ID (for parent/child links; 0 never assigned).
+    pub id: u64,
+    /// ID of the enclosing span when this span opened (0 = root). Parents
+    /// link across threads: a worker inherits the dispatching span via
+    /// [`ObsScope`].
+    pub parent: u64,
+    /// Trace this span is attributed to (0 = no active trace).
+    pub trace: u64,
+    /// Stable small ordinal of the recording thread (1-based).
+    pub thread: u64,
     /// Nesting depth on the recording thread (0 = top level).
     pub depth: u32,
     /// Start time in microseconds since the collector epoch.
@@ -164,11 +176,14 @@ pub struct MetricsSnapshot {
     pub span_stats: BTreeMap<String, SpanStat>,
     /// Buffered span events (capped at [`MAX_EVENTS`]).
     pub spans: Vec<SpanRecord>,
+    /// Per-trace attribution tables keyed by trace ID (capped at
+    /// [`scope::MAX_TRACES`], oldest evicted).
+    pub traces: BTreeMap<u64, TraceStats>,
     /// Span events discarded because the buffer was full.
     pub dropped_events: u64,
 }
 
-fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+pub(crate) fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
     // Metric state stays usable even if a panicking thread poisoned it:
     // everything here is a plain value update with no invariants to break.
     m.lock().unwrap_or_else(PoisonError::into_inner)
@@ -200,6 +215,7 @@ pub fn reset() {
     lock(&GAUGES).clear();
     lock(&HISTOGRAMS).clear();
     lock(&SPAN_STATS).clear();
+    scope::reset_traces();
     DROPPED.store(0, Ordering::Relaxed);
 }
 
@@ -208,17 +224,21 @@ pub fn now_us() -> u64 {
     EPOCH.get_or_init(Instant::now).elapsed().as_micros() as u64
 }
 
-/// Add `n` to the named counter.
+/// Add `n` to the named counter. While an [`ObsScope`] is installed on
+/// this thread, the delta is also attributed to its trace.
 pub fn counter_add(name: &str, n: u64) {
     if !is_enabled() {
         return;
     }
-    let mut map = lock(&COUNTERS);
-    if let Some(v) = map.get_mut(name) {
-        *v += n;
-    } else {
-        map.insert(name.to_string(), n);
+    {
+        let mut map = lock(&COUNTERS);
+        if let Some(v) = map.get_mut(name) {
+            *v += n;
+        } else {
+            map.insert(name.to_string(), n);
+        }
     }
+    scope::attribute_counter(name, n);
 }
 
 /// Current value of the named counter (0 when never touched).
@@ -289,12 +309,16 @@ pub fn snapshot() -> MetricsSnapshot {
         histograms: lock(&HISTOGRAMS).clone(),
         span_stats: lock(&SPAN_STATS).clone(),
         spans: lock(&EVENTS).clone(),
+        traces: scope::traces_snapshot(),
         dropped_events: DROPPED.load(Ordering::Relaxed),
     }
 }
 
 struct ActiveSpan {
     name: Cow<'static, str>,
+    id: u64,
+    parent: u64,
+    trace: u64,
     start: Instant,
     start_us: u64,
     depth: u32,
@@ -318,9 +342,14 @@ impl Span {
             d.set(depth + 1);
             depth
         });
+        let id = scope::next_span_id();
+        let (trace, parent) = scope::push_span(id);
         Span {
             inner: Some(ActiveSpan {
                 name: name.into(),
+                id,
+                parent,
+                trace,
                 start: Instant::now(),
                 start_us: now_us(),
                 depth,
@@ -349,6 +378,7 @@ impl Drop for Span {
         };
         let duration_us = inner.start.elapsed().as_micros() as u64;
         DEPTH.with(|d| d.set(inner.depth));
+        scope::pop_span(inner.trace, inner.parent);
         {
             let mut stats = lock(&SPAN_STATS);
             if let Some(s) = stats.get_mut(inner.name.as_ref()) {
@@ -364,10 +394,15 @@ impl Drop for Span {
                 );
             }
         }
+        let thread = scope::thread_ordinal();
         let mut events = lock(&EVENTS);
         if events.len() < MAX_EVENTS {
             events.push(SpanRecord {
                 name: inner.name.into_owned(),
+                id: inner.id,
+                parent: inner.parent,
+                trace: inner.trace,
+                thread,
                 depth: inner.depth,
                 start_us: inner.start_us,
                 duration_us,
@@ -497,6 +532,10 @@ mod tests {
         with_collector(|| {
             lock(&EVENTS).extend((0..MAX_EVENTS).map(|_| SpanRecord {
                 name: "filler".into(),
+                id: 0,
+                parent: 0,
+                trace: 0,
+                thread: 0,
                 depth: 0,
                 start_us: 0,
                 duration_us: 0,

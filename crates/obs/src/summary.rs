@@ -1,4 +1,5 @@
-//! Per-span latency summaries over recorded trace events.
+//! Per-span latency summaries and per-trace attribution tables over
+//! recorded trace events.
 
 use crate::export::ObsLine;
 use std::collections::BTreeMap;
@@ -17,6 +18,25 @@ pub struct SpanSummary {
     pub p50_us: u64,
     /// 99th-percentile duration (nearest-rank) in microseconds.
     pub p99_us: u64,
+    /// 99.9th-percentile duration (nearest-rank) in microseconds.
+    pub p999_us: u64,
+}
+
+/// Work attributed to one trace: its label, the span events recorded
+/// under it, and the counter deltas from its attribution table.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TraceSummary {
+    /// Trace ID.
+    pub id: u64,
+    /// Label given to [`crate::ObsScope::begin`].
+    pub label: String,
+    /// Span events attributed to this trace.
+    pub spans: u64,
+    /// Summed span duration in microseconds (nested spans double-count,
+    /// as in [`SpanSummary`]).
+    pub span_us: u64,
+    /// Counter deltas attributed to this trace.
+    pub counters: BTreeMap<String, u64>,
 }
 
 /// Nearest-rank percentile of an ascending-sorted sample: the value at
@@ -46,6 +66,7 @@ pub fn summarize(samples: impl IntoIterator<Item = (String, u64)>) -> Vec<SpanSu
                 total_us: durs.iter().sum(),
                 p50_us: nearest_rank(&durs, 0.50),
                 p99_us: nearest_rank(&durs, 0.99),
+                p999_us: nearest_rank(&durs, 0.999),
             }
         })
         .collect();
@@ -61,28 +82,55 @@ pub fn summarize_lines(lines: &[ObsLine]) -> Vec<SpanSummary> {
     }))
 }
 
-/// Render summaries as an aligned plain-text table:
-/// span · count · total ms · p50 µs · p99 µs.
-pub fn render_table(rows: &[SpanSummary]) -> String {
-    let header = ["span", "count", "total_ms", "p50_us", "p99_us"];
-    let mut cells: Vec<[String; 5]> = vec![header.map(String::from)];
-    for r in rows {
-        cells.push([
-            r.name.clone(),
-            r.count.to_string(),
-            format!("{:.3}", r.total_us as f64 / 1e3),
-            r.p50_us.to_string(),
-            r.p99_us.to_string(),
-        ]);
+/// Build per-trace attribution summaries from a parsed JSONL export:
+/// one row per `trace` line (label + counters), with span counts/time
+/// folded in from the span events carrying that trace ID. Sorted by ID.
+pub fn summarize_traces(lines: &[ObsLine]) -> Vec<TraceSummary> {
+    let mut by_id: BTreeMap<u64, TraceSummary> = BTreeMap::new();
+    for line in lines {
+        if let ObsLine::Trace { id, label, counters } = line {
+            by_id.insert(
+                *id,
+                TraceSummary {
+                    id: *id,
+                    label: label.clone(),
+                    spans: 0,
+                    span_us: 0,
+                    counters: counters.clone(),
+                },
+            );
+        }
     }
-    let mut widths = [0usize; 5];
-    for row in &cells {
+    for line in lines {
+        let ObsLine::Span(s) = line else { continue };
+        if s.trace == 0 {
+            continue;
+        }
+        let entry = by_id.entry(s.trace).or_insert_with(|| TraceSummary {
+            id: s.trace,
+            label: "?".to_string(),
+            spans: 0,
+            span_us: 0,
+            counters: BTreeMap::new(),
+        });
+        entry.spans += 1;
+        entry.span_us += s.duration_us;
+    }
+    by_id.into_values().collect()
+}
+
+/// Align `cells` (first row = header) into a plain-text table: first
+/// column left-aligned, the rest right-aligned, two-space gutters.
+fn render_aligned(cells: &[Vec<String>]) -> String {
+    let columns = cells.first().map(Vec::len).unwrap_or(0);
+    let mut widths = vec![0usize; columns];
+    for row in cells {
         for (w, c) in widths.iter_mut().zip(row) {
             *w = (*w).max(c.len());
         }
     }
     let mut out = String::new();
-    for row in &cells {
+    for row in cells {
         let mut line = String::new();
         for (i, (c, w)) in row.iter().zip(&widths).enumerate() {
             if i > 0 {
@@ -100,10 +148,73 @@ pub fn render_table(rows: &[SpanSummary]) -> String {
     out
 }
 
+/// Render summaries as an aligned plain-text table:
+/// span · count · total ms · p50 µs · p99 µs · p999 µs.
+pub fn render_table(rows: &[SpanSummary]) -> String {
+    let header = ["span", "count", "total_ms", "p50_us", "p99_us", "p999_us"];
+    let mut cells: Vec<Vec<String>> = vec![header.map(String::from).to_vec()];
+    for r in rows {
+        cells.push(vec![
+            r.name.clone(),
+            r.count.to_string(),
+            format!("{:.3}", r.total_us as f64 / 1e3),
+            r.p50_us.to_string(),
+            r.p99_us.to_string(),
+            r.p999_us.to_string(),
+        ]);
+    }
+    render_aligned(&cells)
+}
+
+/// How many counter columns [`render_trace_table`] keeps (the biggest
+/// totals win; the rest are dropped from the table, not the data).
+pub const TRACE_TABLE_COUNTERS: usize = 6;
+
+/// Render per-trace attribution as an aligned table: trace · label ·
+/// spans · span_ms, then up to [`TRACE_TABLE_COUNTERS`] counter columns
+/// chosen by total value across traces (descending, name-ascending ties).
+pub fn render_trace_table(rows: &[TraceSummary]) -> String {
+    let mut totals: BTreeMap<&str, u64> = BTreeMap::new();
+    for r in rows {
+        for (name, &v) in &r.counters {
+            *totals.entry(name.as_str()).or_default() += v;
+        }
+    }
+    let mut picked: Vec<(&str, u64)> = totals.into_iter().collect();
+    picked.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(b.0)));
+    picked.truncate(TRACE_TABLE_COUNTERS);
+    let counter_names: Vec<&str> = picked.into_iter().map(|(n, _)| n).collect();
+
+    let mut header = vec![
+        "trace".to_string(),
+        "label".to_string(),
+        "spans".to_string(),
+        "span_ms".to_string(),
+    ];
+    header.extend(counter_names.iter().map(|n| n.to_string()));
+    let mut cells = vec![header];
+    for r in rows {
+        let mut row = vec![
+            r.id.to_string(),
+            r.label.clone(),
+            r.spans.to_string(),
+            format!("{:.3}", r.span_us as f64 / 1e3),
+        ];
+        row.extend(
+            counter_names
+                .iter()
+                .map(|n| r.counters.get(*n).copied().unwrap_or(0).to_string()),
+        );
+        cells.push(row);
+    }
+    render_aligned(&cells)
+}
+
 #[cfg(test)]
 mod tests {
     #![allow(clippy::unwrap_used, clippy::expect_used)]
     use super::*;
+    use crate::SpanRecord;
 
     #[test]
     fn nearest_rank_percentiles_are_exact() {
@@ -113,6 +224,22 @@ mod tests {
         assert_eq!(nearest_rank(&[7], 0.50), 7);
         assert_eq!(nearest_rank(&[7], 0.99), 7);
         assert_eq!(nearest_rank(&[], 0.5), 0);
+    }
+
+    #[test]
+    fn nearest_rank_p999_and_single_sample() {
+        // 1000 samples: p999 is the 999th value; only the max sits above.
+        let durs: Vec<u64> = (1..=1000).collect();
+        assert_eq!(nearest_rank(&durs, 0.999), 999);
+        assert_eq!(nearest_rank(&durs, 1.0), 1000);
+        // 100 samples: ceil(99.9) = 100 — p999 is the max, not clamped out.
+        let durs: Vec<u64> = (1..=100).collect();
+        assert_eq!(nearest_rank(&durs, 0.999), 100);
+        // Single sample: every quantile is that sample.
+        assert_eq!(nearest_rank(&[42], 0.999), 42);
+        assert_eq!(nearest_rank(&[42], 0.001), 42);
+        let rows = summarize([("once".to_string(), 42)]);
+        assert_eq!((rows[0].p50_us, rows[0].p99_us, rows[0].p999_us), (42, 42, 42));
     }
 
     #[test]
@@ -138,8 +265,54 @@ mod tests {
         let header = lines.next().unwrap();
         assert!(header.starts_with("span"));
         assert!(header.contains("p99_us"));
+        assert!(header.contains("p999_us"));
         let row = lines.next().unwrap();
         assert!(row.starts_with("work"));
         assert!(row.contains("4.000"), "total 4000 µs renders as 4.000 ms: {row}");
+    }
+
+    fn span(name: &str, trace: u64, dur: u64) -> ObsLine {
+        ObsLine::Span(SpanRecord {
+            name: name.into(),
+            id: 0,
+            parent: 0,
+            trace,
+            thread: 1,
+            depth: 0,
+            start_us: 0,
+            duration_us: dur,
+            fields: Vec::new(),
+        })
+    }
+
+    #[test]
+    fn trace_summaries_fold_spans_into_attribution_rows() {
+        let lines = vec![
+            ObsLine::Trace {
+                id: 1,
+                label: "route".into(),
+                counters: [("risk_sssp_runs".to_string(), 3)].into_iter().collect(),
+            },
+            ObsLine::Trace {
+                id: 2,
+                label: "ratio".into(),
+                counters: [("risk_sssp_runs".to_string(), 10)].into_iter().collect(),
+            },
+            span("risk_route", 1, 500),
+            span("risk_route", 1, 700),
+            span("pair_sweep", 2, 9000),
+            span("untraced", 0, 123),
+        ];
+        let rows = summarize_traces(&lines);
+        assert_eq!(rows.len(), 2);
+        assert_eq!((rows[0].id, rows[0].spans, rows[0].span_us), (1, 2, 1200));
+        assert_eq!(rows[0].counters["risk_sssp_runs"], 3);
+        assert_eq!((rows[1].id, rows[1].spans, rows[1].span_us), (2, 1, 9000));
+        let table = render_trace_table(&rows);
+        let header = table.lines().next().unwrap();
+        assert!(header.starts_with("trace"));
+        assert!(header.contains("risk_sssp_runs"));
+        assert!(table.contains("route"));
+        assert!(table.contains("9.000"));
     }
 }

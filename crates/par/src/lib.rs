@@ -219,10 +219,15 @@ where
     let poisoned = AtomicUsize::new(0);
     let mut outcomes: Vec<WorkerOutcome<R>> = Vec::with_capacity(workers);
     let mut lost = 0usize;
+    // Capture the dispatching thread's attribution scope so every worker
+    // reports counters and spans to the same trace (one load + branch
+    // when collection is disabled: the scope is NONE and enter() no-ops).
+    let obs_scope = riskroute_obs::ObsScope::current();
     std::thread::scope(|scope| {
         let mut handles = Vec::with_capacity(workers);
         for _ in 0..workers {
             handles.push(scope.spawn(|| {
+                let _obs = obs_scope.enter();
                 let mut results: Vec<(usize, R)> = Vec::new();
                 let mut tasks = 0u64;
                 let mut steals = 0u64;
@@ -533,5 +538,23 @@ mod tests {
         let _ = par_map_collect(Parallelism::Threads(2), &items, |_, &x| x);
         let after = riskroute_obs::counter_value("par_tasks_executed");
         assert!(after >= before + 100, "before {before}, after {after}");
+    }
+
+    #[test]
+    fn workers_inherit_the_dispatching_scope() {
+        riskroute_obs::enable();
+        let scope = riskroute_obs::ObsScope::begin("pool-test");
+        let _g = scope.enter();
+        let items: Vec<u32> = (0..64).collect();
+        let _ = par_map_collect(Parallelism::Threads(4), &items, |_, &x| {
+            riskroute_obs::counter_add("pool_scope_probe", 1);
+            x
+        });
+        drop(_g);
+        let attributed = riskroute_obs::trace_counters(scope.trace_id());
+        assert_eq!(attributed.get("pool_scope_probe"), Some(&64));
+        // The drain-time pool counters land on the same trace: the pool
+        // drains on the dispatching thread while the scope is installed.
+        assert!(attributed.get("par_tasks_executed").copied().unwrap_or(0) >= 64);
     }
 }

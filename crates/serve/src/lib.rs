@@ -25,7 +25,20 @@
 //! (admission refused; `retry_after_ms` hints when to retry), or
 //! `draining` (shutdown acknowledged). A first line starting with `GET `
 //! is answered as HTTP: `GET /metrics` serves the obs registry in
-//! Prometheus text exposition and closes.
+//! Prometheus text exposition, `GET /slow` serves the slow-query log as
+//! JSON (newest SLO breach first), and either closes.
+//!
+//! ## Tracing and attribution
+//!
+//! Every admitted request runs under its own [`riskroute_obs::ObsScope`]
+//! trace: engine counters the handler touches (SSSP runs, route-cache
+//! traffic, adopted trees) are attributed to that request, per-op latency
+//! and queue-wait histograms (`serve_request_us_*`,
+//! `serve_queue_wait_us_*`) are recorded in microseconds, and requests
+//! slower than their per-op objective count as `obs_slo_bad_<op>` and land
+//! in the ring-buffer slow-query log ([`SlowLog`]). Trace IDs never appear
+//! in reply bytes, so responses stay byte-identical with tracing on or
+//! off.
 //!
 //! ## Robustness contract
 //!
@@ -43,6 +56,8 @@
 
 pub mod protocol;
 pub mod server;
+pub mod slowlog;
 
 pub use protocol::{FrameError, Reply, Request};
 pub use server::{DrainReport, QueryCx, QueryHandler, ServeConfig, Server, ShutdownHandle, SpawnedServer};
+pub use slowlog::{SlowLog, SlowQuery};

@@ -4,6 +4,7 @@
 use crate::protocol::{
     parse_request, render_draining, render_overloaded, render_reply, Reply, Request,
 };
+use crate::slowlog::{SlowLog, SlowQuery};
 use riskroute_json::ParseLimits;
 use std::io::{self, Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
@@ -47,6 +48,13 @@ pub struct ServeConfig {
     /// Ops that get per-endpoint counters and latency histograms; unknown
     /// ops are counted under `other` to bound metric cardinality.
     pub metric_ops: &'static [&'static str],
+    /// Ring-buffer capacity of the slow-query log served by `GET /slow`.
+    pub slow_log_capacity: usize,
+    /// Per-op latency objectives in microseconds. A request slower than
+    /// its op's objective counts as `obs_slo_bad_<op>` (otherwise
+    /// `obs_slo_good_<op>`) and lands in the slow-query log. Ops without
+    /// an entry fall back to the `"other"` row.
+    pub slo_us: &'static [(&'static str, u64)],
 }
 
 impl Default for ServeConfig {
@@ -61,7 +69,30 @@ impl Default for ServeConfig {
             drain_ms: 2_000,
             retry_after_ms: 100,
             metric_ops: &["ping", "route", "ratio", "provision", "replay", "sweep", "corpus"],
+            slow_log_capacity: 128,
+            slo_us: &[
+                ("ping", 1_000),
+                ("corpus", 50_000),
+                ("route", 250_000),
+                ("ratio", 2_000_000),
+                ("provision", 30_000_000),
+                ("replay", 30_000_000),
+                ("sweep", 30_000_000),
+                ("other", 1_000_000),
+            ],
         }
+    }
+}
+
+impl ServeConfig {
+    /// The latency objective for `op` in microseconds: the op's row in
+    /// [`slo_us`](ServeConfig::slo_us), else the `"other"` row, else 1 s.
+    pub fn slo_for(&self, op: &str) -> u64 {
+        self.slo_us
+            .iter()
+            .find(|(o, _)| *o == op)
+            .or_else(|| self.slo_us.iter().find(|(o, _)| *o == "other"))
+            .map_or(1_000_000, |&(_, us)| us)
     }
 }
 
@@ -231,6 +262,7 @@ struct Shared {
     state: Arc<State>,
     handler: Arc<dyn QueryHandler>,
     config: ServeConfig,
+    slow_log: SlowLog,
 }
 
 /// The daemon. Bind, then [`run`](Server::run) on the current thread or
@@ -254,12 +286,14 @@ impl Server {
     ) -> io::Result<Server> {
         let listener = TcpListener::bind(addr)?;
         let addr = listener.local_addr().ok();
+        register_latency_histograms(&config);
         Ok(Server {
             listener: Listener::Tcp(listener),
             addr,
             shared: Arc::new(Shared {
                 state: Arc::new(State::new()),
                 handler,
+                slow_log: SlowLog::new(config.slow_log_capacity),
                 config,
             }),
         })
@@ -278,12 +312,14 @@ impl Server {
     ) -> io::Result<Server> {
         let _ = std::fs::remove_file(path);
         let listener = UnixListener::bind(path)?;
+        register_latency_histograms(&config);
         Ok(Server {
             listener: Listener::Unix(listener),
             addr: None,
             shared: Arc::new(Shared {
                 state: Arc::new(State::new()),
                 handler,
+                slow_log: SlowLog::new(config.slow_log_capacity),
                 config,
             }),
         })
@@ -378,6 +414,20 @@ fn counter(name: &str) {
     riskroute_obs::counter_add(name, 1);
 }
 
+/// Pre-register the µs-scaled request and queue-wait histograms so a
+/// scrape before the first admitted request still exports complete
+/// zero-observation series with sensible bucket bounds. No-op while the
+/// collector is disabled (the embedding binary enables it before binding).
+fn register_latency_histograms(config: &ServeConfig) {
+    use riskroute_obs::Histogram;
+    for family in ["serve_request_us", "serve_queue_wait_us"] {
+        riskroute_obs::histogram_register(family, Histogram::micros_default());
+        for op in config.metric_ops.iter().chain(std::iter::once(&"other")) {
+            riskroute_obs::histogram_register(&format!("{family}_{op}"), Histogram::micros_default());
+        }
+    }
+}
+
 fn accept_connection(conn: Conn, shared: &Arc<Shared>) {
     let state = &shared.state;
     state.connections_total.fetch_add(1, Ordering::Relaxed);
@@ -449,6 +499,9 @@ fn connection_loop(mut conn: Conn, shared: &Arc<Shared>) {
     let mut idle = Duration::ZERO;
     let mut first_frame = true;
     let mut chunk = [0u8; 4096];
+    // Stamped at the read that completed each frame, so a pipelined frame's
+    // queue wait includes the time it sat buffered behind its predecessors.
+    let mut received = Instant::now();
     loop {
         // Drain complete frames already buffered.
         while let Some(nl) = buf.iter().position(|&b| b == b'\n') {
@@ -458,14 +511,14 @@ fn connection_loop(mut conn: Conn, shared: &Arc<Shared>) {
                 line.pop();
             }
             if first_frame && line.starts_with(b"GET ") {
-                serve_http(&mut conn, &line);
+                serve_http(&mut conn, &line, shared);
                 return;
             }
             first_frame = false;
             if line.is_empty() {
                 continue;
             }
-            if !handle_frame(&mut conn, &line, shared) {
+            if !handle_frame(&mut conn, &line, shared, received) {
                 return;
             }
         }
@@ -502,6 +555,7 @@ fn connection_loop(mut conn: Conn, shared: &Arc<Shared>) {
             }
             Ok(n) => {
                 idle = Duration::ZERO;
+                received = Instant::now();
                 buf.extend_from_slice(&chunk[..n]);
             }
             Err(e)
@@ -526,7 +580,7 @@ fn connection_loop(mut conn: Conn, shared: &Arc<Shared>) {
 }
 
 /// Handle one complete frame; returns false when the connection must close.
-fn handle_frame(conn: &mut Conn, line: &[u8], shared: &Arc<Shared>) -> bool {
+fn handle_frame(conn: &mut Conn, line: &[u8], shared: &Arc<Shared>, received: Instant) -> bool {
     let config = &shared.config;
     let state = &shared.state;
     let text = match std::str::from_utf8(line) {
@@ -573,29 +627,24 @@ fn handle_frame(conn: &mut Conn, line: &[u8], shared: &Arc<Shared>) -> bool {
         }
     };
     match request.op.as_str() {
-        "ping" => write_line(
-            conn,
-            &render_reply(
-                request.id,
-                &Reply::Ok {
-                    output: "pong".to_string(),
-                },
-            ),
-            state,
-        ),
         "shutdown" => {
             counter("serve_shutdown_requests");
             state.draining.store(true, Ordering::SeqCst);
             write_line(conn, &render_draining(request.id), state);
             false
         }
-        _ => execute(conn, &request, shared),
+        _ => execute(conn, &request, shared, received),
     }
 }
 
 /// Admission-check, execute, and answer one query; returns false when the
 /// connection must close.
-fn execute(conn: &mut Conn, request: &Request, shared: &Arc<Shared>) -> bool {
+///
+/// Each admitted request runs under its own [`riskroute_obs::ObsScope`]
+/// trace, so engine counters (SSSP runs, cache traffic, adopted trees) are
+/// attributed per request. Trace IDs never appear in reply bytes —
+/// responses stay byte-identical with tracing on or off.
+fn execute(conn: &mut Conn, request: &Request, shared: &Arc<Shared>, received: Instant) -> bool {
     let config = &shared.config;
     let state = &shared.state;
     let admitted = state
@@ -621,15 +670,31 @@ fn execute(conn: &mut Conn, request: &Request, shared: &Arc<Shared>) -> bool {
         "other"
     };
     riskroute_obs::counter_add(&format!("serve_op_{op_metric}"), 1);
+    let queue_us = received.elapsed().as_micros() as u64;
+    riskroute_obs::histogram_observe("serve_queue_wait_us", queue_us as f64);
+    riskroute_obs::histogram_observe(&format!("serve_queue_wait_us_{op_metric}"), queue_us as f64);
     let cx = QueryCx {
         cancel: Arc::clone(&state.shed),
     };
+    let scope = riskroute_obs::ObsScope::begin(op_metric);
     let start = Instant::now();
-    let outcome = catch_unwind(AssertUnwindSafe(|| shared.handler.handle(request, &cx)));
-    let elapsed_us = start.elapsed().as_micros() as f64;
-    riskroute_obs::histogram_observe("serve_request_us", elapsed_us);
-    riskroute_obs::histogram_observe(&format!("serve_request_us_{op_metric}"), elapsed_us);
-    let reply = match outcome {
+    let outcome = {
+        let _obs = scope.enter();
+        // `ping` is answered here, not by the handler — it is a protocol
+        // liveness probe, but it still rides the full accounting path
+        // (admission, queue wait, latency histograms, SLO counters).
+        if request.op.as_str() == "ping" {
+            Ok(Reply::Ok {
+                output: "pong".to_string(),
+            })
+        } else {
+            catch_unwind(AssertUnwindSafe(|| shared.handler.handle(request, &cx)))
+        }
+    };
+    let wall_us = start.elapsed().as_micros() as u64;
+    riskroute_obs::histogram_observe("serve_request_us", wall_us as f64);
+    riskroute_obs::histogram_observe(&format!("serve_request_us_{op_metric}"), wall_us as f64);
+    let (reply, stop) = match outcome {
         Ok(reply) => {
             let class = match &reply {
                 Reply::Ok { .. } => "serve_requests_ok",
@@ -637,18 +702,52 @@ fn execute(conn: &mut Conn, request: &Request, shared: &Arc<Shared>) -> bool {
                 Reply::Err { .. } => "serve_requests_error",
             };
             counter(class);
-            reply
+            let stop = match &reply {
+                Reply::Ok { .. } => "-".to_string(),
+                Reply::Partial { stopped, .. } => stopped.clone(),
+                Reply::Err { kind, .. } => format!("error:{kind}"),
+            };
+            (reply, stop)
         }
         Err(_) => {
             counter("serve_requests_panicked");
-            Reply::Err {
-                kind: "panic".to_string(),
-                exit_code: 7,
-                message: "worker panicked while answering this request".to_string(),
-            }
+            (
+                Reply::Err {
+                    kind: "panic".to_string(),
+                    exit_code: 7,
+                    message: "worker panicked while answering this request".to_string(),
+                },
+                "error:panic".to_string(),
+            )
         }
     };
-    write_line(conn, &render_reply(request.id, &reply), state)
+    let line = render_reply(request.id, &reply);
+    let slo_us = config.slo_for(op_metric);
+    if wall_us <= slo_us {
+        riskroute_obs::counter_add(&format!("obs_slo_good_{op_metric}"), 1);
+    } else {
+        riskroute_obs::counter_add(&format!("obs_slo_bad_{op_metric}"), 1);
+        // The slow log is the daemon's own accounting — it works even with
+        // the obs collector disabled (per-trace counters are then zero).
+        let traced = riskroute_obs::trace_counters(scope.trace_id());
+        let attributed = |name: &str| traced.get(name).copied().unwrap_or(0);
+        shared.slow_log.push(SlowQuery {
+            trace_id: scope.trace_id(),
+            op: op_metric.to_string(),
+            lambda_h: request.body.field("lambda_h").ok().and_then(|v| v.as_f64().ok()),
+            lambda_f: request.body.field("lambda_f").ok().and_then(|v| v.as_f64().ok()),
+            wall_us,
+            queue_us,
+            slo_us,
+            sssp_runs: attributed("risk_sssp_runs"),
+            cache_hits: attributed("route_cache_hits"),
+            cache_misses: attributed("route_cache_misses"),
+            trees_adopted: attributed("scenario_trees_adopted"),
+            bytes: line.len() as u64 + 1,
+            stop,
+        });
+    }
+    write_line(conn, &line, state)
 }
 
 /// Write one response line; returns false (close connection) on failure.
@@ -672,22 +771,35 @@ fn write_line(conn: &mut Conn, line: &str, _state: &Arc<State>) -> bool {
 }
 
 /// Answer a `GET` first line as HTTP: `/metrics` scrapes the obs registry
-/// in Prometheus text exposition; anything else is 404. The connection
-/// closes after the response (HTTP/1.0 semantics).
-fn serve_http(conn: &mut Conn, request_line: &[u8]) {
+/// in Prometheus text exposition, `/slow` serves the slow-query log as
+/// JSON (newest breach first); anything else is 404. The connection closes
+/// after the response (HTTP/1.0 semantics).
+fn serve_http(conn: &mut Conn, request_line: &[u8], shared: &Arc<Shared>) {
     counter("serve_scrapes_total");
     let path = std::str::from_utf8(request_line)
         .ok()
         .and_then(|l| l.split_whitespace().nth(1))
         .unwrap_or("/");
-    let (status, body) = if path == "/metrics" {
+    let (status, content_type, body) = if path == "/metrics" {
         let snap = riskroute_obs::snapshot();
-        ("200 OK", riskroute_obs::export::to_prometheus(&snap))
+        (
+            "200 OK",
+            "text/plain; version=0.0.4",
+            riskroute_obs::export::to_prometheus(&snap),
+        )
+    } else if path == "/slow" {
+        let mut body = shared.slow_log.render_json();
+        body.push('\n');
+        ("200 OK", "application/json", body)
     } else {
-        ("404 Not Found", String::from("not found\n"))
+        (
+            "404 Not Found",
+            "text/plain; version=0.0.4",
+            String::from("not found\n"),
+        )
     };
     let response = format!(
-        "HTTP/1.0 {status}\r\nContent-Type: text/plain; version=0.0.4\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{body}",
+        "HTTP/1.0 {status}\r\nContent-Type: {content_type}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{body}",
         body.len()
     );
     let _ = conn.write_all(response.as_bytes());
@@ -745,6 +857,10 @@ mod tests {
                     Reply::Ok {
                         output: "slow done".to_string(),
                     }
+                }
+                "slowboom" => {
+                    thread::sleep(Duration::from_millis(60));
+                    panic!("induced slow worker panic")
                 }
                 other => Reply::Ok {
                     output: format!("echo:{other}"),
@@ -869,6 +985,52 @@ mod tests {
             let mut out = String::new();
             BufReader::new(s).read_line(&mut out).unwrap_or(0) == 0
         });
+    }
+
+    #[test]
+    fn slo_breaches_feed_the_slow_log_endpoint() {
+        riskroute_obs::enable();
+        let config = ServeConfig {
+            slo_us: &[("ping", 1_000), ("other", 10_000)],
+            slow_log_capacity: 4,
+            ..fast_config()
+        };
+        let server =
+            Server::bind_tcp("127.0.0.1:0", Arc::new(EchoHandler), config).expect("bind");
+        let addr = server.local_addr().expect("tcp addr");
+        let server = server.spawn();
+        let bad_before = riskroute_obs::counter_value("obs_slo_bad_other");
+        let line = roundtrip(addr, r#"{"id":1,"op":"slow","lambda_h":250000.0}"#);
+        assert!(line.contains("slow done"), "{line}");
+        let line = roundtrip(addr, r#"{"id":2,"op":"slowboom"}"#);
+        assert!(line.contains("panic"), "{line}");
+        assert!(
+            riskroute_obs::counter_value("obs_slo_bad_other") >= bad_before + 2,
+            "both breaches must count against the objective"
+        );
+        let mut stream = TcpStream::connect(addr).unwrap();
+        stream.write_all(b"GET /slow HTTP/1.0\r\n\r\n").unwrap();
+        let mut body = String::new();
+        BufReader::new(stream).read_to_string(&mut body).unwrap();
+        assert!(body.starts_with("HTTP/1.0 200 OK"), "{body}");
+        assert!(body.contains("application/json"), "{body}");
+        let json = body.split("\r\n\r\n").nth(1).unwrap().trim();
+        let doc = riskroute_json::parse(json).unwrap();
+        let rows = doc.field("slow_queries").unwrap().as_arr().unwrap();
+        assert_eq!(rows.len(), 2, "{json}");
+        // Newest breach first: the panicked request, then the slow one.
+        assert_eq!(
+            rows[0].field("stop").unwrap().as_str().unwrap(),
+            "error:panic"
+        );
+        assert_eq!(rows[1].field("stop").unwrap().as_str().unwrap(), "-");
+        assert_eq!(rows[1].field("op").unwrap().as_str().unwrap(), "other");
+        let lh = rows[1].field("lambda_h").unwrap().as_f64().unwrap();
+        assert!((lh - 250_000.0).abs() < 1e-9, "{lh}");
+        assert!(rows[1].field("trace_id").unwrap().as_usize().unwrap() > 0);
+        assert!(rows[1].field("wall_us").unwrap().as_usize().unwrap() > 10_000);
+        assert!(rows[1].field("bytes").unwrap().as_usize().unwrap() > 0);
+        server.drain_and_join();
     }
 
     #[test]

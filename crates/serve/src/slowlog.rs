@@ -1,0 +1,175 @@
+//! Ring-buffer slow-query log: the last N requests that blew their
+//! per-op latency objective, with enough attribution (trace ID, per-trace
+//! engine counters, bytes, stop reason) to answer "which query burned the
+//! budget" without re-running anything. Served as JSON by `GET /slow`.
+
+use riskroute_json::Json;
+use std::collections::VecDeque;
+use std::sync::{Mutex, PoisonError};
+
+/// One request that exceeded its latency objective.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SlowQuery {
+    /// Trace ID assigned by the daemon (0 when collection was disabled).
+    pub trace_id: u64,
+    /// Normalized op (unknown ops appear as `other`).
+    pub op: String,
+    /// Request-level λ_h override, when the request carried one.
+    pub lambda_h: Option<f64>,
+    /// Request-level λ_f override, when the request carried one.
+    pub lambda_f: Option<f64>,
+    /// Handler wall time in microseconds.
+    pub wall_us: u64,
+    /// Time between frame completion and handler dispatch in microseconds.
+    pub queue_us: u64,
+    /// The latency objective the request was judged against.
+    pub slo_us: u64,
+    /// β-scaled SSSP runs attributed to this request's trace.
+    pub sssp_runs: u64,
+    /// Route-tree cache hits attributed to this request's trace.
+    pub cache_hits: u64,
+    /// Route-tree cache misses attributed to this request's trace.
+    pub cache_misses: u64,
+    /// Scenario-fork route trees adopted under this request's trace.
+    pub trees_adopted: u64,
+    /// Response size in bytes (rendered line + newline).
+    pub bytes: u64,
+    /// `-` for a clean completion, the budget stop reason for partials,
+    /// `error:<kind>` for typed failures (including `error:panic`).
+    pub stop: String,
+}
+
+fn opt_num(v: Option<f64>) -> Json {
+    match v {
+        Some(x) => Json::Num(x),
+        None => Json::Null,
+    }
+}
+
+impl SlowQuery {
+    /// The entry as one JSON object (the `GET /slow` row shape).
+    pub fn to_json(&self) -> Json {
+        Json::obj([
+            ("trace_id", Json::Num(self.trace_id as f64)),
+            ("op", Json::Str(self.op.clone())),
+            ("lambda_h", opt_num(self.lambda_h)),
+            ("lambda_f", opt_num(self.lambda_f)),
+            ("wall_us", Json::Num(self.wall_us as f64)),
+            ("queue_us", Json::Num(self.queue_us as f64)),
+            ("slo_us", Json::Num(self.slo_us as f64)),
+            ("sssp_runs", Json::Num(self.sssp_runs as f64)),
+            ("cache_hits", Json::Num(self.cache_hits as f64)),
+            ("cache_misses", Json::Num(self.cache_misses as f64)),
+            ("trees_adopted", Json::Num(self.trees_adopted as f64)),
+            ("bytes", Json::Num(self.bytes as f64)),
+            ("stop", Json::Str(self.stop.clone())),
+        ])
+    }
+}
+
+/// Fixed-capacity ring buffer of [`SlowQuery`] entries; pushing past
+/// capacity evicts the oldest. Independent of the obs collector's enabled
+/// flag — the daemon's own latency accounting always works.
+#[derive(Debug)]
+pub struct SlowLog {
+    capacity: usize,
+    evicted: Mutex<u64>,
+    entries: Mutex<VecDeque<SlowQuery>>,
+}
+
+impl SlowLog {
+    /// An empty log holding at most `capacity` entries (minimum 1).
+    pub fn new(capacity: usize) -> SlowLog {
+        SlowLog {
+            capacity: capacity.max(1),
+            evicted: Mutex::new(0),
+            entries: Mutex::new(VecDeque::new()),
+        }
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, VecDeque<SlowQuery>> {
+        self.entries.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    /// Record one slow query, evicting the oldest entry when full.
+    pub fn push(&self, entry: SlowQuery) {
+        let mut entries = self.lock();
+        while entries.len() >= self.capacity {
+            entries.pop_front();
+            *self.evicted.lock().unwrap_or_else(PoisonError::into_inner) += 1;
+        }
+        entries.push_back(entry);
+    }
+
+    /// Entries currently held.
+    pub fn len(&self) -> usize {
+        self.lock().len()
+    }
+
+    /// Whether the log is empty.
+    pub fn is_empty(&self) -> bool {
+        self.lock().is_empty()
+    }
+
+    /// Render the whole log as one JSON document, newest entry first:
+    /// `{"capacity":N,"evicted":M,"slow_queries":[...]}`.
+    pub fn render_json(&self) -> String {
+        let rows: Vec<Json> = self.lock().iter().rev().map(SlowQuery::to_json).collect();
+        let evicted = *self.evicted.lock().unwrap_or_else(PoisonError::into_inner);
+        Json::obj([
+            ("capacity", Json::Num(self.capacity as f64)),
+            ("evicted", Json::Num(evicted as f64)),
+            ("slow_queries", Json::Arr(rows)),
+        ])
+        .to_string_compact()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    #![allow(clippy::unwrap_used, clippy::expect_used)]
+    use super::*;
+
+    fn entry(trace: u64, op: &str) -> SlowQuery {
+        SlowQuery {
+            trace_id: trace,
+            op: op.to_string(),
+            lambda_h: trace.is_multiple_of(2).then_some(1e5),
+            lambda_f: None,
+            wall_us: 10 * trace,
+            queue_us: trace,
+            slo_us: 5,
+            sssp_runs: 3,
+            cache_hits: 2,
+            cache_misses: 1,
+            trees_adopted: 0,
+            bytes: 128,
+            stop: "-".to_string(),
+        }
+    }
+
+    #[test]
+    fn ring_evicts_oldest_and_renders_newest_first() {
+        let log = SlowLog::new(3);
+        assert!(log.is_empty());
+        for i in 1..=5 {
+            log.push(entry(i, "route"));
+        }
+        assert_eq!(log.len(), 3);
+        let doc = riskroute_json::parse(&log.render_json()).unwrap();
+        assert_eq!(doc.field("capacity").unwrap().as_usize().unwrap(), 3);
+        assert_eq!(doc.field("evicted").unwrap().as_usize().unwrap(), 2);
+        let rows = doc.field("slow_queries").unwrap().as_arr().unwrap();
+        let ids: Vec<usize> = rows
+            .iter()
+            .map(|r| r.field("trace_id").unwrap().as_usize().unwrap())
+            .collect();
+        assert_eq!(ids, vec![5, 4, 3]);
+        // Null λ override survives the JSON round trip as null.
+        assert!(matches!(
+            rows[0].field("lambda_f").unwrap(),
+            riskroute_json::Json::Null
+        ));
+        assert_eq!(rows[0].field("stop").unwrap().as_str().unwrap(), "-");
+    }
+}

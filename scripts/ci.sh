@@ -40,10 +40,25 @@ echo "disabled ${off_ms} ms, enabled ${on_ms} ms"
 # The exports must actually have been produced with real content.
 grep -q 'riskroute_provision_rounds' "$OBS_TMP/metrics.prom"
 grep -q '"type":"span"' "$OBS_TMP/trace.jsonl"
+# The traced run carries request-scoped attribution: a trace line labeled
+# with the command, and span events tagged with its trace ID.
+grep -q '"type":"trace"' "$OBS_TMP/trace.jsonl"
+grep -q '"label":"provision"' "$OBS_TMP/trace.jsonl"
 if [ $(( on_ms * 10 )) -gt $(( off_ms * 11 )) ]; then
   echo "FAIL: enabled-collector overhead exceeds 10% (${off_ms} ms -> ${on_ms} ms)"
   exit 1
 fi
+
+echo "== obs: exposition lint + chrome trace export =="
+# Every line the Prometheus exporter writes must survive the in-tree
+# exposition lint (names, labels, cumulative buckets, +Inf, _count).
+target/release/riskroute obs lint "$OBS_TMP/metrics.prom"
+# The JSONL trace converts to Chrome trace-event JSON with real events.
+target/release/riskroute obs trace "$OBS_TMP/trace.jsonl" --out "$OBS_TMP/trace.json"
+grep -q '"traceEvents"' "$OBS_TMP/trace.json"
+grep -q '"ph":"X"' "$OBS_TMP/trace.json"
+# And the summary renders the per-trace attribution table from it.
+target/release/riskroute obs-summary "$OBS_TMP/trace.jsonl" | grep -q 'per-trace attribution'
 
 echo "== parallel: sequential/threaded equivalence suite =="
 cargo test --release -q --test parallel_equivalence --test pool_properties
@@ -82,6 +97,17 @@ diff "$OBS_TMP/replay-t1.txt" "$OBS_TMP/replay-nc1.txt"
 target/release/riskroute replay Telepak katrina --stride 4 --threads 4 --no-route-cache > "$OBS_TMP/replay-nc4.txt"
 diff "$OBS_TMP/replay-t4.txt" "$OBS_TMP/replay-nc4.txt"
 echo "cache-off outputs are byte-identical"
+
+echo "== obs: tracing-on vs tracing-off byte-for-byte =="
+# Request-scoped tracing must not move a byte of output, including under
+# the parallel pool (worker threads inherit the dispatching scope).
+target/release/riskroute provision Level3 -k 2 --threads 4 \
+  --trace-out "$OBS_TMP/prov-trace.jsonl" > "$OBS_TMP/prov-traced.txt"
+diff "$OBS_TMP/prov-t4.txt" "$OBS_TMP/prov-traced.txt"
+target/release/riskroute replay Telepak katrina --stride 4 --threads 4 \
+  --trace-out "$OBS_TMP/replay-trace.jsonl" > "$OBS_TMP/replay-traced.txt"
+diff "$OBS_TMP/replay-t4.txt" "$OBS_TMP/replay-traced.txt"
+echo "traced outputs are byte-identical"
 
 echo "== sssp engine: sssp_runs regression guard =="
 # The fixture provisioning workload is deterministic, so its SSSP-run count

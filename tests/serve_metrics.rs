@@ -1,0 +1,203 @@
+//! `/metrics` exposition correctness under fire: after the seeded
+//! connection-fault suite runs against a live daemon, the scrape must lint
+//! clean (metric-name charset, label syntax, cumulative `le` buckets with
+//! `+Inf` and a matching `_count`) and carry a nonzero counter for every
+//! connection-fault kind that just fired.
+//!
+//! One `#[test]` on purpose: the obs collector is process-global, and the
+//! counter assertions here need exclusive ownership of it.
+
+use riskroute::chaos::{ConnFault, ConnFaultPlan, CHAOS_FRAME_CAP, CHAOS_WIRE_DEPTH};
+use riskroute_cli::commands::ServeHandler;
+use riskroute_cli::{parse_args, CliContext};
+use riskroute_serve::{ServeConfig, Server};
+use std::io::{BufRead, BufReader, Read as _, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+const READ_TIMEOUT_MS: u64 = 150;
+
+fn counter(name: &str) -> u64 {
+    riskroute_obs::counter_value(name)
+}
+
+/// Poll until `name` exceeds `before` (fault counters fire from detached
+/// connection threads).
+fn wait_counter_above(name: &str, before: u64) -> bool {
+    let deadline = Instant::now() + Duration::from_secs(30);
+    while Instant::now() < deadline {
+        if counter(name) > before {
+            return true;
+        }
+        std::thread::sleep(Duration::from_millis(10));
+    }
+    false
+}
+
+/// Wait until every admitted request has been answered so a later plan's
+/// well-formed request is never shed by admission (masking its counter).
+fn wait_settled() {
+    let deadline = Instant::now() + Duration::from_secs(120);
+    while Instant::now() < deadline {
+        let total = counter("serve_requests_total");
+        let done = counter("serve_requests_ok")
+            + counter("serve_requests_partial")
+            + counter("serve_requests_error")
+            + counter("serve_requests_panicked");
+        if done >= total {
+            return;
+        }
+        std::thread::sleep(Duration::from_millis(20));
+    }
+    panic!("in-flight requests never settled");
+}
+
+/// Replay one adversarial client script against the daemon.
+fn drive(addr: SocketAddr, plan: &ConnFaultPlan) {
+    let mut stream = TcpStream::connect(addr).expect("connect");
+    stream.write_all(&plan.payload).expect("write payload");
+    let _ = stream.flush();
+    if plan.fault == ConnFault::StalledWriter {
+        std::thread::sleep(Duration::from_millis(READ_TIMEOUT_MS * 3));
+    } else if plan.reads_response {
+        let _ = stream.set_read_timeout(Some(Duration::from_secs(30)));
+        let mut line = String::new();
+        let _ = BufReader::new(&stream).read_line(&mut line);
+    }
+}
+
+fn roundtrip(addr: SocketAddr, line: &str) -> String {
+    let mut stream = TcpStream::connect(addr).expect("connect");
+    stream.write_all(line.as_bytes()).expect("write");
+    stream.write_all(b"\n").expect("write newline");
+    let mut reader = BufReader::new(stream);
+    let mut out = String::new();
+    reader.read_line(&mut out).expect("read");
+    out.trim_end().to_string()
+}
+
+/// Scrape `path` over HTTP and return the body after the header block.
+fn scrape(addr: SocketAddr, path: &str) -> String {
+    let mut stream = TcpStream::connect(addr).expect("connect");
+    stream
+        .write_all(format!("GET {path} HTTP/1.0\r\n\r\n").as_bytes())
+        .expect("write scrape");
+    let mut response = String::new();
+    BufReader::new(stream)
+        .read_to_string(&mut response)
+        .expect("read scrape");
+    assert!(response.starts_with("HTTP/1.0 200 OK"), "{response}");
+    response
+        .split_once("\r\n\r\n")
+        .map(|(_, body)| body.to_string())
+        .expect("header/body split")
+}
+
+#[test]
+fn metrics_exposition_stays_well_formed_after_the_fault_suite() {
+    riskroute_obs::reset();
+    riskroute_obs::enable();
+
+    let ctx = CliContext::build(&[]).expect("context");
+    let cli = parse_args(&["corpus".to_string()]).expect("parse");
+    let handler = Arc::new(ServeHandler::new(ctx, cli.weights(), None));
+    let config = ServeConfig {
+        frame_cap_bytes: CHAOS_FRAME_CAP,
+        max_depth: CHAOS_WIRE_DEPTH,
+        read_timeout_ms: READ_TIMEOUT_MS,
+        write_timeout_ms: 500,
+        drain_ms: 1_000,
+        ..ServeConfig::default()
+    };
+    let server = Server::bind_tcp("127.0.0.1:0", handler, config).expect("bind");
+    let addr = server.local_addr().expect("tcp addr");
+    let server = server.spawn();
+
+    // Fire the whole fault suite so every fault-kind counter is nonzero.
+    let plans = ConnFaultPlan::suite(5, 17);
+    let kinds: Vec<ConnFault> = plans.iter().map(|p| p.fault).collect();
+    for fault in riskroute::chaos::ALL_CONN_FAULTS {
+        assert!(kinds.contains(fault), "suite must cover {}", fault.name());
+    }
+    for plan in &plans {
+        let name = plan.fault.expected_counter();
+        let before = counter(name);
+        drive(addr, plan);
+        assert!(
+            wait_counter_above(name, before),
+            "fault did not drive {name}: {}",
+            plan.summary_line()
+        );
+        wait_settled();
+    }
+    // One clean request so the per-op latency histograms have observations.
+    assert!(roundtrip(addr, r#"{"op":"ping"}"#).contains("pong"));
+
+    let body = scrape(addr, "/metrics");
+
+    // The whole exposition parses under the in-tree lint: names, labels,
+    // values, and histogram bucket invariants (cumulative, +Inf, _count).
+    let samples = riskroute_obs::export::lint_prometheus(&body)
+        .unwrap_or_else(|e| panic!("exposition lint failed: {e}\n{body}"));
+    assert!(samples > 20, "suspiciously small scrape: {samples} samples");
+
+    // Every sample series carries the sanitized riskroute_ prefix.
+    for line in body.lines() {
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        assert!(line.starts_with("riskroute_"), "unprefixed series: {line}");
+    }
+
+    // The request-latency histogram exports cumulative le buckets ending
+    // in +Inf, and its _count matches the +Inf bucket.
+    let mut buckets: Vec<(f64, u64)> = Vec::new();
+    for line in body.lines() {
+        if let Some(rest) = line.strip_prefix("riskroute_serve_request_us_bucket{le=\"") {
+            let (le, value) = rest.split_once("\"} ").expect("bucket shape");
+            let le = if le == "+Inf" {
+                f64::INFINITY
+            } else {
+                le.parse::<f64>().expect("le parses")
+            };
+            buckets.push((le, value.trim().parse::<u64>().expect("count parses")));
+        }
+    }
+    assert!(buckets.len() > 2, "missing request histogram:\n{body}");
+    assert!(
+        buckets.last().is_some_and(|(le, _)| le.is_infinite()),
+        "+Inf bucket must close the series"
+    );
+    assert!(
+        buckets.windows(2).all(|w| w[0].1 <= w[1].1),
+        "buckets must be cumulative: {buckets:?}"
+    );
+    let inf_count = buckets.last().map(|(_, c)| *c).expect("inf bucket");
+    let count_line = body
+        .lines()
+        .find_map(|l| l.strip_prefix("riskroute_serve_request_us_count "))
+        .expect("histogram _count line");
+    assert_eq!(count_line.trim().parse::<u64>().expect("count"), inf_count);
+
+    // Every connection-fault kind fired and is visible in the scrape with
+    // a nonzero counter.
+    for fault in riskroute::chaos::ALL_CONN_FAULTS {
+        let series = format!("riskroute_{} ", fault.expected_counter());
+        let value = body
+            .lines()
+            .find_map(|l| l.strip_prefix(series.as_str()))
+            .and_then(|v| v.trim().parse::<f64>().ok())
+            .unwrap_or(0.0);
+        assert!(
+            value > 0.0,
+            "no nonzero counter for {} ({series}):\n{body}",
+            fault.name()
+        );
+    }
+
+    let report = server.drain_and_join();
+    assert!(!report.forced, "{report:?}");
+    riskroute_obs::disable();
+}

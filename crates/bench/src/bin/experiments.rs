@@ -43,6 +43,7 @@ ids:
   ssspscale   SSSP-engine cache/arena scaling (sweep + 5-round greedy)
   forkscale   scenario-fork N-1 sweep vs naive per-scenario rebuild
   obsscale    enabled-tracing overhead on the fig11 sweep + serve path
+  deltascale  delta-invalidation replay scaling vs blanket invalidation
   tables      table1 table2 table3
   figures     fig1..fig13
   ablations   ablation1..ablation5
@@ -96,6 +97,7 @@ fn main() {
                 "ssspscale",
                 "forkscale",
                 "obsscale",
+                "deltascale",
             ]),
             other => ids.push(other),
         }
@@ -131,6 +133,7 @@ fn main() {
     let mut sssp_curve: Option<String> = None;
     let mut fork_curve: Option<String> = None;
     let mut obs_curve: Option<String> = None;
+    let mut delta_curve: Option<String> = None;
     for id in ids {
         // A fresh registry per experiment makes every row a self-contained
         // delta; the experiment id names the enclosing span.
@@ -162,6 +165,7 @@ fn main() {
             "ssspscale" => sssp_curve = Some(ssspscale::run(&ctx)),
             "forkscale" => fork_curve = Some(forkscale::run(&ctx)),
             "obsscale" => obs_curve = Some(obsscale::run(&ctx)),
+            "deltascale" => delta_curve = Some(deltascale::run(&ctx)),
             unknown => {
                 eprintln!("unknown experiment id {unknown:?}\n{USAGE}");
                 std::process::exit(2);
@@ -205,6 +209,10 @@ fn main() {
     }
     if let Some(curve) = obs_curve {
         timings_out.push_str("\ntracing overhead\n");
+        timings_out.push_str(&curve);
+    }
+    if let Some(curve) = delta_curve {
+        timings_out.push_str("\ndelta scaling\n");
         timings_out.push_str(&curve);
     }
     emit("timings", &timings_out);

@@ -21,6 +21,12 @@ pub struct Cli {
     /// route-tree cache. A debugging knob — outputs are byte-identical
     /// either way; disabling only costs wall-clock.
     pub route_cache: bool,
+    /// `--no-delta-invalidation` clears this (default `true`): fall back to
+    /// blanket cache invalidation on any cost change instead of the
+    /// changed-edge log + incremental SSSP repair. A debugging knob —
+    /// outputs are byte-identical either way; disabling only costs
+    /// wall-clock.
+    pub delta_invalidation: bool,
     /// Observability flags (metrics/trace export, progress heartbeat).
     pub obs: ObsArgs,
     /// The subcommand.
@@ -154,6 +160,10 @@ pub enum Command {
         storm: String,
         /// Advisory stride.
         stride: usize,
+        /// `--stream`: ignore the recorded advisory series and instead
+        /// consume NDJSON advisories from stdin continuously against the
+        /// warm engine, emitting one NDJSON tick line each.
+        stream: bool,
         /// Budget and checkpoint flags.
         budget: BudgetArgs,
     },
@@ -412,7 +422,10 @@ COMMANDS:
   backup <net> <src> <dst> [-k N]    ranked backup paths (default k = 3)
   provision <net> [-k N] [BUDGET]    best new links (default k = 5)
   replay <net> <storm> [--stride N]  hurricane replay (default stride 8);
-          [BUDGET]                   accepts BUDGET flags
+          [--stream] [BUDGET]        accepts BUDGET flags. --stream reads
+                                     NDJSON advisories from stdin against the
+                                     warm engine (one NDJSON tick line each)
+                                     instead of the recorded series
   sweep <net> [--mode M] [--samples N] deterministic resilience sweep: full
         [--seed S] [BUDGET]          N-1 (default), sampled N-2, or a seeded
                                      hazard ensemble; ranked criticality
@@ -476,6 +489,11 @@ GLOBALS:
   --no-route-cache                   disable the exact route-tree cache
                                      (debugging; output is byte-identical,
                                      runs just recompute every tree)
+  --no-delta-invalidation            blanket cache invalidation on any cost
+                                     change instead of the changed-edge log +
+                                     incremental SSSP repair (debugging;
+                                     output is byte-identical, forecast ticks
+                                     just rerun Dijkstra from scratch)
   -h, --help                         this text
 
 OBSERVABILITY (any command):
@@ -506,6 +524,7 @@ pub fn parse_args(args: &[String]) -> Result<Cli, CliError> {
     let mut lambda_f = 1e3;
     let mut threads = Parallelism::Sequential;
     let mut route_cache = true;
+    let mut delta_invalidation = true;
     let mut obs = ObsArgs::default();
     let mut rest: Vec<String> = Vec::new();
     let mut i = 0;
@@ -564,6 +583,10 @@ pub fn parse_args(args: &[String]) -> Result<Cli, CliError> {
                 route_cache = false;
                 i += 1;
             }
+            "--no-delta-invalidation" => {
+                delta_invalidation = false;
+                i += 1;
+            }
             _ => {
                 rest.push(args[i].clone());
                 i += 1;
@@ -581,6 +604,7 @@ pub fn parse_args(args: &[String]) -> Result<Cli, CliError> {
         lambda_f,
         threads,
         route_cache,
+        delta_invalidation,
         obs,
         command,
     })
@@ -699,6 +723,7 @@ fn parse_command(rest: &[String]) -> Result<Command, CliError> {
                     Some(v) => parse_usize(Some(v), "--stride")?,
                     None => 8,
                 },
+                stream: rest.iter().any(|a| a == "--stream"),
                 budget: budget_flags()?,
             })
         }
@@ -1187,6 +1212,24 @@ mod tests {
     }
 
     #[test]
+    fn delta_invalidation_flag_defaults_on_and_parses() {
+        let cli = parse_args(&args("corpus")).unwrap();
+        assert!(cli.delta_invalidation, "delta invalidation is on by default");
+        let cli = parse_args(&args("--no-delta-invalidation corpus")).unwrap();
+        assert!(!cli.delta_invalidation);
+        let cli = parse_args(&args("replay Telepak katrina --no-delta-invalidation")).unwrap();
+        assert!(!cli.delta_invalidation, "valid after the command too");
+    }
+
+    #[test]
+    fn replay_stream_flag_parses() {
+        let cli = parse_args(&args("replay Telepak katrina")).unwrap();
+        assert!(matches!(cli.command, Command::Replay { stream: false, .. }));
+        let cli = parse_args(&args("replay Telepak katrina --stream")).unwrap();
+        assert!(matches!(cli.command, Command::Replay { stream: true, .. }));
+    }
+
+    #[test]
     fn obs_summary_takes_a_path() {
         let cli = parse_args(&args("obs-summary trace.jsonl")).unwrap();
         assert_eq!(
@@ -1315,6 +1358,8 @@ mod tests {
         assert!(USAGE.contains("ratio <net>"));
         assert!(USAGE.contains("--threads"));
         assert!(USAGE.contains("--no-route-cache"));
+        assert!(USAGE.contains("--no-delta-invalidation"));
+        assert!(USAGE.contains("--stream"));
         assert!(USAGE.contains("--metrics-out"));
         assert!(USAGE.contains("--trace-out"));
         assert!(USAGE.contains("--progress"));

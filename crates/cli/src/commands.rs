@@ -8,7 +8,8 @@ use riskroute::failure::{criticality_ranking, storm_failure};
 use riskroute::prelude::*;
 use riskroute::provisioning::{greedy_links_budgeted, greedy_links_resume, GreedyLinks};
 use riskroute::replay::{
-    raw_advisories, replay_raw_advisories_budgeted, DisasterReplay, ReplayTick,
+    raw_advisories, replay_raw_advisories_budgeted, DisasterReplay, RawAdvisory, ReplaySession,
+    ReplayTick,
 };
 use riskroute::scenario::{
     run_sweep_budgeted, scenario_specs, FailElement, SweepOutcome, SweepPrior,
@@ -430,6 +431,94 @@ fn replay_under_budget(
         return Err(CliError::Io(msg));
     }
     Ok(format!("{notice}{}", render_replay(&result, stride)))
+}
+
+/// `riskroute replay <net> <storm> --stream`: read NDJSON advisories from
+/// stdin and answer each with one NDJSON tick line computed against the warm
+/// engine. Unlike the recorded replay, the planner persists across ticks, so
+/// consecutive forecasts flow through the delta-aware cost stamps and only
+/// the affected route trees are repaired.
+pub fn replay_stream(
+    ctx: &CliContext,
+    network: &str,
+    weights: RiskWeights,
+) -> Result<String, CliError> {
+    let net = ctx.network(network)?;
+    let planner = ctx.planner(net, weights);
+    let locations: Vec<_> = net.pops().iter().map(|p| p.location).collect();
+    let stdin = std::io::stdin();
+    replay_stream_from(&planner, &locations, stdin.lock())
+}
+
+/// Testable core of [`replay_stream`]: one NDJSON advisory object
+/// (`{"number":N,"label":"...","text":"..."}`) per input line, one NDJSON
+/// tick object per output line, then a trailing summary object. Blank lines
+/// are skipped; a malformed line aborts the stream with its line number.
+fn replay_stream_from(
+    planner: &Planner,
+    locations: &[riskroute_geo::GeoPoint],
+    input: impl std::io::BufRead,
+) -> Result<String, CliError> {
+    use riskroute_json::Json;
+    let mut session = ReplaySession::all_pairs(planner, locations).map_err(CliError::Core)?;
+    let mut out = String::new();
+    for (lineno, line) in input.lines().enumerate() {
+        let line = line.map_err(|e| CliError::Io(format!("stdin read failed: {e}")))?;
+        if line.trim().is_empty() {
+            continue;
+        }
+        let bad = |e: riskroute_json::JsonError| {
+            CliError::Bad(format!("stdin line {}: {e}", lineno + 1))
+        };
+        let doc = riskroute_json::parse(&line).map_err(bad)?;
+        let raw = RawAdvisory {
+            number: doc.field("number").and_then(Json::as_usize).map_err(bad)?,
+            label: doc
+                .field("label")
+                .and_then(Json::as_str)
+                .map_err(bad)?
+                .to_string(),
+            text: doc
+                .field("text")
+                .and_then(Json::as_str)
+                .map_err(bad)?
+                .to_string(),
+        };
+        let tick = session.tick(&raw);
+        let obj = Json::obj([
+            ("advisory", Json::Num(tick.advisory as f64)),
+            ("label", Json::Str(tick.label.clone())),
+            ("pops_in_scope", Json::Num(tick.pops_in_scope as f64)),
+            (
+                "pops_in_hurricane_winds",
+                Json::Num(tick.pops_in_hurricane_winds as f64),
+            ),
+            (
+                "risk_reduction_ratio",
+                Json::Num(tick.report.risk_reduction_ratio),
+            ),
+            (
+                "distance_increase_ratio",
+                Json::Num(tick.report.distance_increase_ratio),
+            ),
+            ("pairs", Json::Num(tick.report.pairs as f64)),
+            ("stranded_pairs", Json::Num(tick.report.stranded_pairs as f64)),
+            ("degraded", Json::Bool(tick.degraded)),
+        ]);
+        out.push_str(&obj.to_string_compact());
+        out.push('\n');
+    }
+    let summary = Json::obj([
+        ("summary", Json::Bool(true)),
+        ("ticks", Json::Num(session.ticks_processed() as f64)),
+        (
+            "degraded_ticks",
+            Json::Num(session.degraded_ticks() as f64),
+        ),
+    ]);
+    out.push_str(&summary.to_string_compact());
+    out.push('\n');
+    Ok(out)
 }
 
 fn element_name(net: &Network, e: &FailElement) -> String {
@@ -1647,6 +1736,82 @@ mod tests {
         assert!(out.contains("KATRINA"));
         assert!(out.contains("rr "));
         assert!(out.contains("peak risk-reduction"));
+    }
+
+    #[test]
+    fn replay_stream_emits_one_ndjson_tick_per_advisory() {
+        use riskroute_json::Json;
+        let ctx = ctx();
+        let net = ctx.network("Telepak").unwrap();
+        let planner = ctx.planner(net, RiskWeights::PAPER);
+        let locations: Vec<_> = net.pops().iter().map(|p| p.location).collect();
+        let raws = raw_advisories(Storm::Katrina, 20).unwrap();
+        assert!(raws.len() >= 2, "need at least two advisories");
+        let mut input = String::new();
+        for raw in &raws {
+            let obj = Json::obj([
+                ("number", Json::Num(raw.number as f64)),
+                ("label", Json::Str(raw.label.clone())),
+                ("text", Json::Str(raw.text.clone())),
+            ]);
+            input.push_str(&obj.to_string_compact());
+            input.push('\n');
+        }
+        // A blank line anywhere in the stream is skipped, not an error.
+        input.push('\n');
+        let out = replay_stream_from(&planner, &locations, input.as_bytes()).unwrap();
+        let lines: Vec<&str> = out.lines().collect();
+        assert_eq!(lines.len(), raws.len() + 1, "{out}");
+        for (raw, line) in raws.iter().zip(&lines) {
+            let doc = riskroute_json::parse(line).unwrap();
+            assert_eq!(doc.field("advisory").unwrap().as_usize().unwrap(), raw.number);
+            assert_eq!(doc.field("label").unwrap().as_str().unwrap(), raw.label);
+            assert!(doc.field("risk_reduction_ratio").unwrap().as_f64().is_ok());
+            assert!(!doc.field("degraded").unwrap().as_bool().unwrap());
+        }
+        let summary = riskroute_json::parse(lines[lines.len() - 1]).unwrap();
+        assert!(summary.field("summary").unwrap().as_bool().unwrap());
+        assert_eq!(
+            summary.field("ticks").unwrap().as_usize().unwrap(),
+            raws.len()
+        );
+        assert_eq!(summary.field("degraded_ticks").unwrap().as_usize().unwrap(), 0);
+        // The streamed ratios are bit-identical to the recorded replay at the
+        // same stride: the warm engine's delta repairs change nothing.
+        let recorded = replay(
+            &ctx,
+            "Telepak",
+            "katrina",
+            20,
+            RiskWeights::PAPER,
+            &BudgetArgs::default(),
+            false,
+        )
+        .unwrap();
+        let first = riskroute_json::parse(lines[0]).unwrap();
+        let rr = first
+            .field("risk_reduction_ratio")
+            .unwrap()
+            .as_f64()
+            .unwrap();
+        assert!(
+            recorded.contains(&format!("rr {rr:>6.3}")),
+            "streamed rr {rr} missing from recorded report:\n{recorded}"
+        );
+    }
+
+    #[test]
+    fn replay_stream_rejects_malformed_lines_with_line_numbers() {
+        let ctx = ctx();
+        let net = ctx.network("Telepak").unwrap();
+        let planner = ctx.planner(net, RiskWeights::PAPER);
+        let locations: Vec<_> = net.pops().iter().map(|p| p.location).collect();
+        let err =
+            replay_stream_from(&planner, &locations, "{\"number\":1}\n".as_bytes()).unwrap_err();
+        let CliError::Bad(msg) = err else {
+            panic!("expected usage error, got {err:?}");
+        };
+        assert!(msg.contains("stdin line 1"), "{msg}");
     }
 
     fn tmp_dir(name: &str) -> std::path::PathBuf {

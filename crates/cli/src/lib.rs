@@ -53,6 +53,11 @@ pub struct CliContext {
     /// Route-tree cache knob applied to every planner the context hands
     /// out (`--no-route-cache` clears it; byte-identical output either way).
     pub route_cache: bool,
+    /// Delta-invalidation knob applied to every planner the context hands
+    /// out (`--no-delta-invalidation` clears it; byte-identical output
+    /// either way). On by default: cost mutations record a changed-edge log
+    /// and cache misses repair parent-state trees incrementally.
+    pub delta_invalidation: bool,
     /// Warm engine pool keyed by `(network, weights)`. One-shot commands
     /// build at most one entry; the `serve` daemon reuses entries across
     /// requests, which is its whole point.
@@ -81,6 +86,7 @@ impl CliContext {
             hazards: HistoricalRisk::standard(CLI_SEED, Some(CLI_EVENT_CAP)),
             parallelism: Parallelism::Sequential,
             route_cache: true,
+            delta_invalidation: true,
             pool: PlannerPool::new(),
         })
     }
@@ -120,6 +126,7 @@ impl CliContext {
             })
             .with_parallelism(self.parallelism)
             .with_route_cache(self.route_cache)
+            .with_delta_invalidation(self.delta_invalidation)
     }
 }
 
@@ -243,6 +250,7 @@ fn run_command(cli: &Cli) -> Result<String, CliError> {
     let mut ctx = CliContext::build(&cli.graphml)?;
     ctx.parallelism = cli.threads;
     ctx.route_cache = cli.route_cache;
+    ctx.delta_invalidation = cli.delta_invalidation;
     match &cli.command {
         Command::Corpus => Ok(commands::corpus(&ctx)),
         Command::Route { network, src, dst } => {
@@ -261,16 +269,23 @@ fn run_command(cli: &Cli) -> Result<String, CliError> {
             network,
             storm,
             stride,
+            stream,
             budget,
-        } => commands::replay(
-            &ctx,
-            network,
-            storm,
-            *stride,
-            cli.weights(),
-            budget,
-            cli.obs.progress,
-        ),
+        } => {
+            if *stream {
+                commands::replay_stream(&ctx, network, cli.weights())
+            } else {
+                commands::replay(
+                    &ctx,
+                    network,
+                    storm,
+                    *stride,
+                    cli.weights(),
+                    budget,
+                    cli.obs.progress,
+                )
+            }
+        }
         Command::Sweep {
             network,
             mode,

@@ -144,6 +144,14 @@ impl CsrGraph {
         self.targets.len()
     }
 
+    /// Number of directed edges leaving `u`. The snapshot is symmetric
+    /// (every undirected link contributes both directions), so this is also
+    /// the number of directed edges *entering* `u` — the count the
+    /// `changed_edges` delta counter reports per changed-cost node.
+    pub(crate) fn out_degree(&self, u: usize) -> usize {
+        (self.offsets[u + 1] - self.offsets[u]) as usize
+    }
+
     #[inline]
     fn edge_range(&self, u: usize) -> std::ops::Range<usize> {
         self.offsets[u] as usize..self.offsets[u + 1] as usize
@@ -327,6 +335,254 @@ fn run(arena: &mut SsspArena, csr: &CsrGraph, source: usize, beta: f64, rho: &[f
     RiskTree::from_parts(source, dist, pred, rho_sum)
 }
 
+/// Outcome of carrying one cached route tree across a cost delta (a set of
+/// nodes whose λ-combined risk ρ changed bitwise while the topology stayed
+/// fixed). Every variant preserves the byte-identical contract: a carried
+/// tree is bit-for-bit the tree a from-scratch [`sssp`] run under the new
+/// costs would produce, or the caller is told to run that scratch pass.
+#[derive(Debug)]
+pub(crate) enum RepairOutcome {
+    /// The delta provably cannot touch this tree — dist, pred, *and* the
+    /// ρ-sum channel are bitwise unaffected, so the old tree is valid
+    /// as-is under the new cost state.
+    Survived,
+    /// The tree was repaired incrementally; the payload is bitwise equal
+    /// to a from-scratch run under the new costs.
+    Repaired(RiskTree),
+    /// The repair would be ambiguous (a cost tie whose winner depends on
+    /// relaxation order) or the affected cone is too large for repair to
+    /// beat a scratch run — recompute from scratch.
+    Fallback,
+}
+
+/// Per-node dirty state during [`repair_tree`]'s cone marking.
+const TAINT_UNKNOWN: u8 = 0;
+const TAINT_CLEAN: u8 = 1;
+const TAINT_DIRTY: u8 = 2;
+
+/// Recompute the β-independent ρ-sum channel of a β = 0 tree under a new ρ
+/// vector. Bitwise-identical to what a scratch run records at settle time:
+/// both evaluate the same recurrence `sum[v] = sum[pred[v]] + ρ(v)` (source
+/// 0, unreachable ∞), and each value depends only on its parent's, so the
+/// evaluation order cannot change a bit.
+fn recompute_rho_sums(tree: &RiskTree, rho: &[f64]) -> Vec<f64> {
+    let dist = tree.dist_slice();
+    let pred = tree.pred_slice();
+    let n = dist.len();
+    let source = tree.source();
+    let mut out = vec![0.0f64; n];
+    let mut done = vec![false; n];
+    done[source] = true;
+    let mut chain: Vec<usize> = Vec::new();
+    for v in 0..n {
+        if done[v] {
+            continue;
+        }
+        if !dist[v].is_finite() {
+            out[v] = f64::INFINITY;
+            done[v] = true;
+            continue;
+        }
+        let mut cur = v;
+        while !done[cur] {
+            chain.push(cur);
+            cur = pred[cur] as usize;
+        }
+        while let Some(y) = chain.pop() {
+            out[y] = out[pred[y] as usize] + rho[y];
+            done[y] = true;
+        }
+    }
+    out
+}
+
+/// Attempt to carry `tree` (computed over `csr` with metric β under
+/// `old_rho`) across a cost delta to `new_rho`, where `changed` lists every
+/// node whose ρ differs bitwise. The topology must be the one the tree was
+/// computed over — callers record deltas only across pure cost mutations.
+///
+/// The decision tree (see DESIGN.md "Incremental SSSP and edge-scoped
+/// stamps" for the full correctness argument):
+///
+/// * **β = 0** — dist/pred never read ρ (the engine uses a literal zero
+///   entry cost), so only the ρ-sum channel is at stake. If no changed node
+///   other than the source is reachable, nothing references a changed ρ and
+///   the tree [`Survived`](RepairOutcome::Survived); otherwise the ρ-sums
+///   are recomputed along the unchanged parent chains.
+///
+/// * **β ≠ 0** — a changed node matters only when its *sanitized β-scaled
+///   entry cost* changed bitwise (λ-shifts can cancel under the multiply,
+///   and ∞ is canonical). A cost change at `v ≠ source` is provably
+///   harmless when `v` is unreachable in the tree and its old cost was
+///   finite: unreachability was then topological (any reachable node with
+///   an edge into a finite-cost node would have relaxed it), and changing
+///   `c(v)` cannot open a path. Every other effective change seeds an
+///   incremental re-run: the seed nodes plus all their tree descendants
+///   (whose dists embed the ancestors' entry costs) form the dirty cone,
+///   which is reset and re-settled by a Dijkstra seeded from every
+///   clean→dirty edge. Relaxations use the engine's exact arithmetic and
+///   heap order; any *finite cost tie* observed along the way aborts to
+///   [`Fallback`](RepairOutcome::Fallback), because the winner of a tie is
+///   an artifact of scratch-run relaxation order that the repair cannot
+///   reproduce in general. Tie-free repairs are therefore bit-exact: every
+///   final (dist, pred) is the unique strict minimum over offers, the same
+///   optimum the scratch run settles on.
+pub(crate) fn repair_tree(
+    csr: &CsrGraph,
+    tree: &RiskTree,
+    beta: f64,
+    old_rho: &[f64],
+    new_rho: &[f64],
+    changed: &[u32],
+) -> RepairOutcome {
+    let n = csr.node_count();
+    let source = tree.source();
+    if beta == 0.0 {
+        let touched = changed
+            .iter()
+            .any(|&v| (v as usize) != source && tree.dist(v as usize).is_finite());
+        if !touched {
+            return RepairOutcome::Survived;
+        }
+        return RepairOutcome::Repaired(RiskTree::from_parts(
+            source,
+            tree.dist_slice().to_vec(),
+            tree.pred_slice().to_vec(),
+            recompute_rho_sums(tree, new_rho),
+        ));
+    }
+
+    // Effective changes: nodes whose sanitized β-scaled entry cost moved.
+    let mut seeds: Vec<usize> = Vec::new();
+    for &v in changed {
+        let v = v as usize;
+        if v == source {
+            // The source settles before any edge can relax into it, so its
+            // entry cost is never charged.
+            continue;
+        }
+        let old_c = sanitize_cost(beta * old_rho[v]);
+        let new_c = sanitize_cost(beta * new_rho[v]);
+        if old_c.to_bits() == new_c.to_bits() {
+            continue;
+        }
+        if tree.dist(v).is_finite() || old_c == f64::INFINITY {
+            // Reachable (its dist embeds the old cost), or a cost-blocked
+            // node that may now be routable.
+            seeds.push(v);
+        }
+        // Unreachable with a finite old cost: topologically cut off —
+        // changing its entry cost cannot create a path.
+    }
+    if seeds.is_empty() {
+        return RepairOutcome::Survived;
+    }
+
+    // Dirty cone: seeds plus every tree descendant of a seed (a descendant's
+    // dist embeds each ancestor's entry cost). Memoized pred-chain walk.
+    let dist_old = tree.dist_slice();
+    let pred_old = tree.pred_slice();
+    let mut taint = vec![TAINT_UNKNOWN; n];
+    taint[source] = TAINT_CLEAN;
+    let mut dirty_count = 0usize;
+    for &v in &seeds {
+        taint[v] = TAINT_DIRTY;
+        dirty_count += 1;
+    }
+    let mut chain: Vec<usize> = Vec::new();
+    for v in 0..n {
+        if taint[v] != TAINT_UNKNOWN {
+            continue;
+        }
+        if !dist_old[v].is_finite() {
+            taint[v] = TAINT_CLEAN;
+            continue;
+        }
+        let mut cur = v;
+        while taint[cur] == TAINT_UNKNOWN {
+            chain.push(cur);
+            cur = pred_old[cur] as usize;
+        }
+        let verdict = taint[cur];
+        while let Some(y) = chain.pop() {
+            taint[y] = verdict;
+            if verdict == TAINT_DIRTY {
+                dirty_count += 1;
+            }
+        }
+    }
+    if dirty_count * 2 > n {
+        return RepairOutcome::Fallback;
+    }
+
+    // Reset the cone and re-settle it with the engine's exact arithmetic and
+    // heap order. Clean nodes keep their old (dist, pred) — their old paths
+    // are all-clean, hence still optimal unless the repaired region opens a
+    // strictly better one, which the cascade relaxations below apply.
+    let costs: Vec<f64> = new_rho.iter().map(|&r| sanitize_cost(beta * r)).collect();
+    let mut dist = dist_old.to_vec();
+    let mut pred = pred_old.to_vec();
+    for v in 0..n {
+        if taint[v] == TAINT_DIRTY {
+            dist[v] = f64::INFINITY;
+            pred[v] = NO_PRED;
+        }
+    }
+    let mut heap: BinaryHeap<Entry> = BinaryHeap::new();
+    // Seed every clean→dirty edge; the offer uses the clean node's final
+    // dist. Order does not matter because only strict improvements are
+    // applied and any finite tie aborts the repair.
+    for u in 0..n {
+        if taint[u] != TAINT_CLEAN || !dist[u].is_finite() {
+            continue;
+        }
+        for e in csr.edge_range(u) {
+            let v = csr.targets[e] as usize;
+            if taint[v] != TAINT_DIRTY {
+                continue;
+            }
+            let next = dist[u] + csr.weights[e] + costs[v];
+            if next < dist[v] {
+                dist[v] = next;
+                pred[v] = u as u32;
+                heap.push(Entry { cost: next, node: v });
+            } else if next == dist[v] && next.is_finite() {
+                return RepairOutcome::Fallback;
+            }
+        }
+    }
+    let mut settled = vec![false; n];
+    let mut repairs: u64 = 0;
+    while let Some(Entry { cost, node }) = heap.pop() {
+        if settled[node] {
+            continue;
+        }
+        settled[node] = true;
+        repairs += 1;
+        for e in csr.edge_range(node) {
+            let v = csr.targets[e] as usize;
+            if settled[v] {
+                // An offer into a repair-settled node is ≥ its final dist;
+                // on equality the scratch run's strict `<` (or its
+                // settled-skip) rejects it too, so skipping loses nothing.
+                continue;
+            }
+            let next = cost + csr.weights[e] + costs[v];
+            if next < dist[v] {
+                dist[v] = next;
+                pred[v] = node as u32;
+                heap.push(Entry { cost: next, node: v });
+            } else if next == dist[v] && next.is_finite() {
+                return RepairOutcome::Fallback;
+            }
+        }
+    }
+    if riskroute_obs::is_enabled() {
+        riskroute_obs::counter_add("risk_sssp_repair_settles", repairs);
+    }
+    RepairOutcome::Repaired(RiskTree::from_parts(source, dist, pred, Vec::new()))
+}
+
 /// Key of one cached route tree: the SSSP root, the exact β bits (the cost
 /// function is linear in β, so distinct bit patterns are distinct
 /// metrics), and the planner cost-state stamp the tree was computed under.
@@ -378,6 +634,14 @@ impl RouteTreeCache {
         // Nothing inside the critical sections can panic; recover from
         // poisoning defensively rather than propagating an unwrap.
         self.inner.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
+    }
+
+    /// Look up a tree without touching the hit/miss counters — the
+    /// delta-repair path probes for *parent-stamp* trees this way, so the
+    /// pinned `route_cache_hits`/`route_cache_misses` series keep counting
+    /// only current-state lookups.
+    pub(crate) fn peek(&self, key: &TreeKey) -> Option<Arc<RiskTree>> {
+        self.lock().map.get(key).cloned()
     }
 
     /// Look up a tree, counting the hit or miss.
@@ -541,6 +805,163 @@ mod tests {
                 }
             }
         }
+    }
+
+    /// Line 0-1-2-…-7, 10 miles per hop: unique paths, so no cost ties.
+    fn line8() -> Adjacency {
+        Adjacency::from_links(8, (0..7).map(|u| (u, u + 1, 10.0)))
+    }
+
+    fn assert_trees_bit_equal(a: &RiskTree, b: &RiskTree) {
+        assert_eq!(a.source(), b.source());
+        let n = a.dist_slice().len();
+        for t in 0..n {
+            assert_eq!(a.dist(t).to_bits(), b.dist(t).to_bits(), "dist[{t}]");
+            assert_eq!(a.pred_slice()[t], b.pred_slice()[t], "pred[{t}]");
+        }
+        assert_eq!(a.rho_sum_slice().len(), b.rho_sum_slice().len());
+        for t in 0..a.rho_sum_slice().len() {
+            assert_eq!(
+                a.rho_sum_slice()[t].to_bits(),
+                b.rho_sum_slice()[t].to_bits(),
+                "rho_sum[{t}]"
+            );
+        }
+    }
+
+    #[test]
+    fn repair_beta_zero_survives_source_and_unreachable_changes() {
+        let adj = Adjacency::from_links(4, vec![(0, 1, 5.0), (1, 2, 5.0)]);
+        let csr = CsrGraph::from_adjacency(&adj);
+        let old_rho = [1.0, 2.0, 3.0, 4.0];
+        let tree = sssp(&csr, 0, 0.0, &old_rho);
+        // Changing ρ at the source (never summed) and at the isolated node 3
+        // (unreachable → ρ-sum stays ∞) cannot touch the ρ-sum channel.
+        let new_rho = [9.0, 2.0, 3.0, 7.0];
+        match repair_tree(&csr, &tree, 0.0, &old_rho, &new_rho, &[0, 3]) {
+            RepairOutcome::Survived => {}
+            other => panic!("expected Survived, got {other:?}"),
+        }
+        assert_trees_bit_equal(&tree, &sssp(&csr, 0, 0.0, &new_rho));
+    }
+
+    #[test]
+    fn repair_beta_zero_recomputes_rho_sums_bit_for_bit() {
+        let adj = square();
+        let csr = CsrGraph::from_adjacency(&adj);
+        let old_rho = [1.0, 0.3, 7.0, 0.1];
+        let tree = sssp(&csr, 0, 0.0, &old_rho);
+        let new_rho = [1.0, 2.75, 7.0, 0.1];
+        match repair_tree(&csr, &tree, 0.0, &old_rho, &new_rho, &[1]) {
+            RepairOutcome::Repaired(fixed) => {
+                assert_trees_bit_equal(&fixed, &sssp(&csr, 0, 0.0, &new_rho));
+            }
+            other => panic!("expected Repaired, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn repair_beta_nonzero_matches_scratch_on_tie_free_graph() {
+        let adj = line8();
+        let csr = CsrGraph::from_adjacency(&adj);
+        let old_rho = [0.0, 1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0];
+        for source in [0usize, 3] {
+            for beta in [1.0, 2.5] {
+                let tree = sssp(&csr, source, beta, &old_rho);
+                // Perturb a tail node: the dirty cone is its descendant
+                // chain, well under the n/2 fallback threshold.
+                let mut new_rho = old_rho;
+                new_rho[6] = 0.25;
+                match repair_tree(&csr, &tree, beta, &old_rho, &new_rho, &[6]) {
+                    RepairOutcome::Repaired(fixed) => {
+                        assert_trees_bit_equal(&fixed, &sssp(&csr, source, beta, &new_rho));
+                    }
+                    other => panic!("source {source} β {beta}: expected Repaired, got {other:?}"),
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn repair_beta_nonzero_survives_ineffective_and_blocked_changes() {
+        let adj = Adjacency::from_links(4, vec![(0, 1, 5.0), (1, 2, 5.0)]);
+        let csr = CsrGraph::from_adjacency(&adj);
+        // Node 3 is topologically unreachable with a *finite* old cost, so
+        // its ρ change is provably harmless; node 2's ρ change keeps the
+        // sanitized cost at ∞ (negative either way), also harmless.
+        let old_rho = [0.0, 1.0, -1.0, 2.0];
+        let tree = sssp(&csr, 0, 1.0, &old_rho);
+        assert!(!tree.reachable(2) && !tree.reachable(3));
+        let new_rho = [0.0, 1.0, -5.0, 9.0];
+        match repair_tree(&csr, &tree, 1.0, &old_rho, &new_rho, &[2, 3]) {
+            RepairOutcome::Survived => {}
+            other => panic!("expected Survived, got {other:?}"),
+        }
+        assert_trees_bit_equal(&tree, &sssp(&csr, 0, 1.0, &new_rho));
+    }
+
+    #[test]
+    fn repair_reopens_cost_blocked_node() {
+        let adj = line8();
+        let csr = CsrGraph::from_adjacency(&adj);
+        // Node 7's negative ρ sanitizes to an ∞ entry cost: unroutable.
+        let old_rho = [0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0, -1.0];
+        let tree = sssp(&csr, 0, 1.0, &old_rho);
+        assert!(!tree.reachable(7));
+        let new_rho = [0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 2.5];
+        match repair_tree(&csr, &tree, 1.0, &old_rho, &new_rho, &[7]) {
+            RepairOutcome::Repaired(fixed) => {
+                assert!(fixed.reachable(7));
+                assert_trees_bit_equal(&fixed, &sssp(&csr, 0, 1.0, &new_rho));
+            }
+            other => panic!("expected Repaired, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn repair_falls_back_on_cost_tie() {
+        // In the square, 0→2 ties via 1 and via 3: repairing a ρ change at
+        // node 2 sees two equal clean→dirty offers — the winner is a
+        // relaxation-order artifact, so the repair must refuse.
+        let adj = square();
+        let csr = CsrGraph::from_adjacency(&adj);
+        let old_rho = [0.0, 0.0, 1.0, 0.0];
+        let tree = sssp(&csr, 0, 1.0, &old_rho);
+        let new_rho = [0.0, 0.0, 0.5, 0.0];
+        match repair_tree(&csr, &tree, 1.0, &old_rho, &new_rho, &[2]) {
+            RepairOutcome::Fallback => {}
+            other => panic!("expected Fallback, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn repair_falls_back_when_cone_exceeds_half_the_graph() {
+        let adj = line8();
+        let csr = CsrGraph::from_adjacency(&adj);
+        let old_rho = [0.0; 8];
+        let tree = sssp(&csr, 0, 1.0, &old_rho);
+        // Dirtying node 1 taints its whole descendant chain (nodes 1..8).
+        let new_rho = [0.0, 3.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0];
+        match repair_tree(&csr, &tree, 1.0, &old_rho, &new_rho, &[1]) {
+            RepairOutcome::Fallback => {}
+            other => panic!("expected Fallback, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn cache_peek_does_not_count() {
+        let cache = RouteTreeCache::with_budget(4);
+        let adj = square();
+        let csr = CsrGraph::from_adjacency(&adj);
+        let tree = Arc::new(sssp(&csr, 0, 0.0, &[0.0; 4]));
+        let key = TreeKey {
+            root: 0,
+            beta_bits: 0,
+            stamp: next_stamp(),
+        };
+        assert!(cache.peek(&key).is_none());
+        cache.insert(key, Arc::clone(&tree));
+        assert!(cache.peek(&key).is_some());
     }
 
     #[test]

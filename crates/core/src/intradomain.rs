@@ -1,7 +1,7 @@
 //! Intradomain RiskRoute (§6.1): minimum bit-risk-mile routing within one
 //! provider and the aggregate trade-off against shortest-path routing.
 
-use crate::engine::{self, CsrGraph, RouteTreeCache, TreeKey};
+use crate::engine::{self, CsrGraph, RepairOutcome, RouteTreeCache, TreeKey};
 use crate::error::Error;
 use crate::metric::{ImpactModel, NodeRisk, RiskWeights};
 use crate::ratios::{PairOutcome, RatioReport};
@@ -37,6 +37,21 @@ pub(crate) fn unordered_pairs(n: usize) -> Vec<(usize, usize)> {
 /// unchanged.
 fn compute_rho(risk: &NodeRisk, weights: RiskWeights) -> Vec<f64> {
     (0..risk.len()).map(|v| risk.scaled(v, weights)).collect()
+}
+
+/// The changed-edge log between two consecutive cost states of one
+/// topology: the stamp of the previous state, its ρ vector, and the
+/// ascending list of nodes whose ρ changed bitwise. Single-level by design
+/// — only trees computed under `parent_stamp` can be carried forward, so a
+/// second mutation retires the log along with the parent trees.
+#[derive(Debug, Clone)]
+struct CostDelta {
+    /// Stamp of the cost state the delta starts from.
+    parent_stamp: u64,
+    /// ρ under the parent state (shared with any clones holding the log).
+    old_rho: Arc<Vec<f64>>,
+    /// Nodes whose ρ changed bitwise, ascending.
+    changed: Arc<Vec<u32>>,
 }
 
 /// The result of a degraded-mode pair sweep: the outcomes that routed plus
@@ -77,8 +92,17 @@ pub struct Planner {
     /// Cost-state stamp naming the (topology, ρ) state all cached trees
     /// were computed under (see [`engine::next_stamp`]).
     stamp: u64,
+    /// Changed-edge log from the previous cost state of this topology, when
+    /// delta invalidation is on and exactly one cost mutation separates the
+    /// states (see [`CostDelta`]).
+    delta: Option<CostDelta>,
+    /// A read-only parent cache to probe after the own cache misses
+    /// (forecast-override scenario forks adopt base trees through it, both
+    /// same-stamp and via delta repair). Never written to.
+    parent_cache: Option<Arc<RouteTreeCache>>,
     cache: Arc<RouteTreeCache>,
     route_cache: bool,
+    delta_invalidation: bool,
 }
 
 impl Planner {
@@ -110,8 +134,11 @@ impl Planner {
             parallelism: Parallelism::Sequential,
             rho,
             stamp: engine::next_stamp(),
+            delta: None,
+            parent_cache: None,
             cache,
             route_cache: true,
+            delta_invalidation: true,
         }
     }
 
@@ -232,17 +259,75 @@ impl Planner {
         self.route_cache
     }
 
+    /// Enable or disable edge-delta-aware cache invalidation (the CLI's
+    /// `--no-delta-invalidation` debug flag). When on (the default), a cost
+    /// mutation records the changed-edge log between the old and new state
+    /// instead of only minting a fresh stamp, and cache misses first try to
+    /// carry the parent-state tree across the delta — reusing it outright
+    /// when provably untouched, repairing it incrementally otherwise (see
+    /// [`engine::repair_tree`]). Both paths are exact, so this knob — like
+    /// [`Self::with_route_cache`] — never changes any output bit, only how
+    /// often SSSP runs from scratch.
+    #[must_use]
+    pub fn with_delta_invalidation(mut self, enabled: bool) -> Self {
+        self.delta_invalidation = enabled;
+        if !enabled {
+            self.delta = None;
+        }
+        self
+    }
+
+    /// Whether delta-aware invalidation (and incremental SSSP repair) is on.
+    pub fn delta_invalidation(&self) -> bool {
+        self.delta_invalidation
+    }
+
     /// The precomputed λ-combined per-PoP risk vector ρ under the current
     /// cost state (provisioning's O(1) via-pricing reads it).
     pub(crate) fn rho(&self) -> &[f64] {
         &self.rho
     }
 
-    /// Rebuild ρ and mint a fresh cost-state stamp after a risk or weight
-    /// mutation; cached trees under the old stamp can no longer be
-    /// returned to this planner.
+    /// Rebuild ρ after a risk or weight mutation and advance the cost
+    /// state.
+    ///
+    /// With delta invalidation on, the changed-node set is computed by
+    /// bitwise comparison of the old and new ρ vectors. An empty set means
+    /// the cost function is bitwise unchanged — the stamp (and any pending
+    /// delta) is kept and every cached tree stays valid as-is, so e.g. a
+    /// forecast change under `λ_f = 0` invalidates nothing. A non-empty set
+    /// mints a fresh stamp but records the changed-edge log, letting cache
+    /// misses under the new stamp repair parent-state trees incrementally
+    /// instead of rerunning Dijkstra from scratch. With the knob off, any
+    /// mutation falls back to blanket invalidation (fresh stamp, no log).
     fn refresh_cost_state(&mut self) {
-        self.rho = Arc::new(compute_rho(&self.risk, self.weights));
+        let new_rho = Arc::new(compute_rho(&self.risk, self.weights));
+        if self.delta_invalidation {
+            let changed: Vec<u32> = self
+                .rho
+                .iter()
+                .zip(new_rho.iter())
+                .enumerate()
+                .filter(|(_, (a, b))| a.to_bits() != b.to_bits())
+                .map(|(v, _)| v as u32)
+                .collect();
+            if changed.is_empty() {
+                return;
+            }
+            if riskroute_obs::is_enabled() {
+                let edges: usize = changed
+                    .iter()
+                    .map(|&v| self.csr.out_degree(v as usize))
+                    .sum();
+                riskroute_obs::counter_add("changed_edges", edges as u64);
+            }
+            self.delta = Some(CostDelta {
+                parent_stamp: self.stamp,
+                old_rho: Arc::clone(&self.rho),
+                changed: Arc::new(changed),
+            });
+        }
+        self.rho = new_rho;
         self.stamp = engine::next_stamp();
     }
 
@@ -339,12 +424,69 @@ impl Planner {
             if let Some(tree) = self.cache.get(&key) {
                 return tree;
             }
+            if let Some(parent) = &self.parent_cache {
+                // Same stamp in the parent cache: interchangeable
+                // bit-for-bit (forecast forks whose override left ρ
+                // bitwise unchanged share the base stamp).
+                if let Some(tree) = parent.peek(&key) {
+                    self.cache.insert(key, Arc::clone(&tree));
+                    return tree;
+                }
+            }
+            if let Some(tree) = self.delta_repair(&key, root, beta) {
+                return tree;
+            }
         }
         let tree = Arc::new(engine::sssp(&self.csr, root, beta, &self.rho));
         if self.route_cache {
             self.cache.insert(key, Arc::clone(&tree));
         }
         tree
+    }
+
+    /// Try to serve a cache miss by carrying the parent-state tree across
+    /// the recorded changed-edge log: reuse it outright when the delta
+    /// provably cannot touch it (counted as `trees_survived_delta`), repair
+    /// it incrementally otherwise (counted as `sssp_repairs`). `None` falls
+    /// through to a scratch SSSP run — either there is no log, no parent
+    /// tree to carry, or the repair declined (cost tie or oversized cone).
+    fn delta_repair(&self, key: &TreeKey, root: usize, beta: f64) -> Option<Arc<RiskTree>> {
+        let delta = self.delta.as_ref()?;
+        let parent_key = TreeKey {
+            stamp: delta.parent_stamp,
+            ..*key
+        };
+        let parent = self.cache.peek(&parent_key).or_else(|| {
+            self.parent_cache
+                .as_ref()
+                .and_then(|cache| cache.peek(&parent_key))
+        })?;
+        debug_assert_eq!(parent.source(), root);
+        match engine::repair_tree(
+            &self.csr,
+            &parent,
+            beta,
+            &delta.old_rho,
+            &self.rho,
+            &delta.changed,
+        ) {
+            RepairOutcome::Survived => {
+                if riskroute_obs::is_enabled() {
+                    riskroute_obs::counter_add("trees_survived_delta", 1);
+                }
+                self.cache.insert(*key, Arc::clone(&parent));
+                Some(parent)
+            }
+            RepairOutcome::Repaired(tree) => {
+                if riskroute_obs::is_enabled() {
+                    riskroute_obs::counter_add("sssp_repairs", 1);
+                }
+                let tree = Arc::new(tree);
+                self.cache.insert(*key, Arc::clone(&tree));
+                Some(tree)
+            }
+            RepairOutcome::Fallback => None,
+        }
     }
 
     /// Pure bit-mile SSSP tree from `root` (the shortest-path baseline and
@@ -540,9 +682,35 @@ impl Planner {
             parallelism: self.parallelism,
             rho,
             stamp: engine::next_stamp(),
+            // The masked topology is a different graph: no delta log from
+            // the base state can be carried across it.
+            delta: None,
+            parent_cache: None,
             cache,
             route_cache: self.route_cache,
+            delta_invalidation: self.delta_invalidation,
         }
+    }
+
+    /// Copy-on-write fork for a *forecast-only* scenario override: same
+    /// topology (the CSR snapshot stays shared), new forecast channel. The
+    /// fork gets a private insert cache — same eviction rationale as
+    /// [`Self::fork_masked`] — but keeps the base cache as a read-only
+    /// parent to probe, and applying the override through
+    /// [`Self::set_forecast`] records the changed-edge log against the base
+    /// stamp. A fork whose override leaves ρ bitwise unchanged therefore
+    /// shares the base stamp outright, and any other fork repairs base
+    /// trees incrementally instead of recomputing them from scratch.
+    ///
+    /// # Panics
+    /// Panics when the override has the wrong length or invalid values
+    /// (same contract as [`Self::set_forecast`]).
+    pub(crate) fn fork_forecast(&self, forecast: &[f64]) -> Planner {
+        let mut fork = self.clone();
+        fork.cache = Arc::new(RouteTreeCache::with_budget(self.pop_count()));
+        fork.parent_cache = Some(Arc::clone(&self.cache));
+        fork.set_forecast(forecast.to_vec());
+        fork
     }
 
     /// The cached β = 0 distance tree rooted at `root` under the current

@@ -368,6 +368,85 @@ pub fn replay_storm(
     replay_storm_over_pairs(base, network.name(), &locations, storm, stride, &all, &all)
 }
 
+/// A continuously fed replay against one warm planner — the engine behind
+/// `riskroute replay --stream`, which parses NDJSON advisories as they
+/// arrive and evaluates each against the warm engine.
+///
+/// Unlike the batch replays, a session has no advisory list up front: feed
+/// [`tick`](Self::tick) one [`RawAdvisory`] at a time and it returns the
+/// finished [`ReplayTick`]. The session owns a single planner clone and
+/// mutates its forecast in place, so consecutive advisories chain
+/// cost-state deltas — with delta invalidation on, each tick repairs the
+/// previous tick's route trees instead of recomputing them, and a tick
+/// whose forecast is bitwise-unchanged (or ρ-invisible) recomputes nothing
+/// at all. Ticks are evaluated exactly like the sequential batch loop, so
+/// streaming a recorded advisory series reproduces
+/// [`replay_raw_advisories`] byte for byte.
+#[derive(Debug)]
+pub struct ReplaySession {
+    planner: Planner,
+    locations: Vec<GeoPoint>,
+    sources: Vec<usize>,
+    dests: Vec<usize>,
+    ticks: usize,
+    degraded: usize,
+}
+
+impl ReplaySession {
+    /// Open a session over all PoP pairs of the planner's network.
+    ///
+    /// # Errors
+    /// [`Error::InvalidArgument`] when `locations` does not match the
+    /// planner's PoP count.
+    pub fn all_pairs(base: &Planner, locations: &[GeoPoint]) -> Result<ReplaySession> {
+        check_locations(locations, base)?;
+        let all: Vec<usize> = (0..base.pop_count()).collect();
+        Ok(ReplaySession {
+            planner: base.clone(),
+            locations: locations.to_vec(),
+            sources: all.clone(),
+            dests: all,
+            ticks: 0,
+            degraded: 0,
+        })
+    }
+
+    /// Evaluate one advisory against the warm engine and return the tick.
+    pub fn tick(&mut self, raw: &RawAdvisory) -> ReplayTick {
+        let mut tick_span = riskroute_obs::span!("replay_tick");
+        let tick = tick_for_raw(
+            &mut self.planner,
+            raw,
+            &self.locations,
+            &self.sources,
+            &self.dests,
+        );
+        if tick_span.is_active() {
+            tick_span.field("advisory", tick.advisory);
+            tick_span.field("degraded", u64::from(tick.degraded));
+            riskroute_obs::counter_add("replay_ticks", 1);
+            if tick.degraded {
+                riskroute_obs::counter_add("replay_degraded_ticks", 1);
+            }
+        }
+        self.ticks += 1;
+        if tick.degraded {
+            self.degraded += 1;
+        }
+        tick
+    }
+
+    /// Number of advisories evaluated so far.
+    pub fn ticks_processed(&self) -> usize {
+        self.ticks
+    }
+
+    /// Number of degraded (unparseable-advisory) ticks so far.
+    pub fn degraded_ticks(&self) -> usize {
+        self.degraded
+    }
+}
+
 fn tick_for_raw(
     planner: &mut Planner,
     raw: &RawAdvisory,

@@ -219,11 +219,17 @@ impl ScenarioFork {
     /// the base forecast) returns a plain clone of the base planner —
     /// same CSR `Arc`, same cost-state stamp, same shared route-tree
     /// cache — so fork(∅) is byte-identical to the un-forked engine
-    /// including its cache hits. Any real delta masks the snapshot and
-    /// mints a fresh stamp plus a **private** cache: the stamp guarantees
-    /// no fork tree is ever returned to the base (or vice versa), and the
-    /// private cache keeps fork churn from evicting base entries at
-    /// capacity.
+    /// including its cache hits. A *forecast-only* delta (no deactivations,
+    /// override differs bitwise) keeps the shared CSR snapshot and, when
+    /// the base has delta invalidation on, records the changed-edge log
+    /// against the base stamp instead of minting a blanket fresh one: base
+    /// trees are carried across the log lazily at query time — reused
+    /// outright when provably untouched, repaired incrementally otherwise
+    /// (see [`Planner::fork_forecast`]). Any structural delta masks the
+    /// snapshot and mints a fresh stamp plus a **private** cache: the stamp
+    /// guarantees no fork tree is ever returned to the base (or vice
+    /// versa), and the private cache keeps fork churn from evicting base
+    /// entries at capacity.
     ///
     /// **Tree adoption.** A base β = 0 tree rooted at `r` is adopted when
     /// every node in `r`'s surviving component keeps its base predecessor
@@ -270,6 +276,30 @@ impl ScenarioFork {
                 delta,
                 node_off: vec![false; n],
                 base_alias: true,
+            };
+        }
+
+        if let Some(forecast) = delta
+            .forecast()
+            .filter(|_| !structural && base.delta_invalidation())
+        {
+            // Forecast-only override with the changed-edge log available:
+            // the topology is untouched, so skip the masked-CSR copy and
+            // let the fork adopt base trees lazily across the recorded
+            // delta (probing the base cache read-only).
+            let planner = base.fork_forecast(forecast);
+            if riskroute_obs::is_enabled() {
+                riskroute_obs::counter_add("forks_created", 1);
+                riskroute_obs::counter_add("forks_forecast_delta", 1);
+                if base.route_cache() {
+                    riskroute_obs::counter_add("forks_reused_cache", 1);
+                }
+            }
+            return ScenarioFork {
+                planner,
+                delta,
+                node_off: vec![false; n],
+                base_alias: false,
             };
         }
 

@@ -98,6 +98,18 @@ target/release/riskroute replay Telepak katrina --stride 4 --threads 4 --no-rout
 diff "$OBS_TMP/replay-t4.txt" "$OBS_TMP/replay-nc4.txt"
 echo "cache-off outputs are byte-identical"
 
+echo "== sssp engine: delta vs --no-delta-invalidation byte-for-byte =="
+# Edge-delta-aware stamps and incremental tree repair are exact: disabling
+# them must not change a single byte of replay output, at any worker count.
+target/release/riskroute replay Telepak katrina --stride 4 --threads 1 --no-delta-invalidation > "$OBS_TMP/replay-nd1.txt"
+diff "$OBS_TMP/replay-t1.txt" "$OBS_TMP/replay-nd1.txt"
+target/release/riskroute replay Telepak katrina --stride 4 --threads 4 --no-delta-invalidation > "$OBS_TMP/replay-nd4.txt"
+diff "$OBS_TMP/replay-t4.txt" "$OBS_TMP/replay-nd4.txt"
+echo "delta-off outputs are byte-identical"
+
+echo "== sssp engine: delta-on/delta-off equivalence suite =="
+cargo test --release -q --test delta_invalidation_equivalence --test incremental_sssp_properties
+
 echo "== obs: tracing-on vs tracing-off byte-for-byte =="
 # Request-scoped tracing must not move a byte of output, including under
 # the parallel pool (worker threads inherit the dispatching scope).

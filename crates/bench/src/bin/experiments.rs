@@ -44,6 +44,7 @@ ids:
   forkscale   scenario-fork N-1 sweep vs naive per-scenario rebuild
   obsscale    enabled-tracing overhead on the fig11 sweep + serve path
   deltascale  delta-invalidation replay scaling vs blanket invalidation
+  scale       continental-scale curve: synth topologies, bucket-queue sweep, binned KDE
   tables      table1 table2 table3
   figures     fig1..fig13
   ablations   ablation1..ablation5
@@ -98,6 +99,7 @@ fn main() {
                 "forkscale",
                 "obsscale",
                 "deltascale",
+                "scale",
             ]),
             other => ids.push(other),
         }
@@ -134,6 +136,7 @@ fn main() {
     let mut fork_curve: Option<String> = None;
     let mut obs_curve: Option<String> = None;
     let mut delta_curve: Option<String> = None;
+    let mut scale_curve: Option<String> = None;
     for id in ids {
         // A fresh registry per experiment makes every row a self-contained
         // delta; the experiment id names the enclosing span.
@@ -166,6 +169,7 @@ fn main() {
             "forkscale" => fork_curve = Some(forkscale::run(&ctx)),
             "obsscale" => obs_curve = Some(obsscale::run(&ctx)),
             "deltascale" => delta_curve = Some(deltascale::run(&ctx)),
+            "scale" => scale_curve = Some(scale::run(&ctx)),
             unknown => {
                 eprintln!("unknown experiment id {unknown:?}\n{USAGE}");
                 std::process::exit(2);
@@ -215,6 +219,17 @@ fn main() {
         timings_out.push_str("\ndelta scaling\n");
         timings_out.push_str(&curve);
     }
-    emit("timings", &timings_out);
+    if let Some(curve) = scale_curve {
+        timings_out.push_str("\nscale curve\n");
+        timings_out.push_str(&curve);
+    }
+    // Merge instead of clobber: partial runs (`experiments fig7`) update
+    // their own rows and leave every other experiment's row and section
+    // intact.
+    let previous = std::fs::read_to_string(
+        std::path::Path::new(riskroute_bench::RESULTS_DIR).join("timings.txt"),
+    )
+    .unwrap_or_default();
+    emit("timings", &riskroute_bench::merge_timings(&previous, &timings_out));
     eprintln!("total: {:.1} ms", total_us as f64 / 1e3);
 }

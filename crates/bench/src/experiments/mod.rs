@@ -16,6 +16,7 @@ pub mod figs_maps;
 pub mod figs_provisioning;
 pub mod forkscale;
 pub mod obsscale;
+pub mod scale;
 pub mod ssspscale;
 pub mod table1_bandwidths;
 pub mod thread_scaling;

@@ -27,6 +27,11 @@ pub struct Cli {
     /// outputs are byte-identical either way; disabling only costs
     /// wall-clock.
     pub delta_invalidation: bool,
+    /// `--no-bucket-queue` clears this (default `true`): run every SSSP on
+    /// the binary-heap frontier instead of the monotone bucket queue over
+    /// quantized costs. A debugging knob — outputs are byte-identical
+    /// either way; disabling only costs wall-clock at scale.
+    pub bucket_queue: bool,
     /// Observability flags (metrics/trace export, progress heartbeat).
     pub obs: ObsArgs,
     /// The subcommand.
@@ -204,6 +209,24 @@ pub enum Command {
     Ratio {
         /// Network name.
         network: String,
+        /// `--sample <K>`: score K seeded source/destination pairs instead
+        /// of every pair — the only tractable mode on synthetic networks
+        /// with tens of thousands of PoPs.
+        sample: Option<usize>,
+        /// `--seed <S>`: pair-sampling seed (only meaningful with
+        /// `--sample`).
+        seed: u64,
+    },
+    /// Generate a deterministic synthetic continental-scale network.
+    Synth {
+        /// Number of PoPs to generate.
+        n: usize,
+        /// `--seed <S>`: generation seed.
+        seed: u64,
+        /// `--out <path>`: write the network as GraphML (atomic rename)
+        /// instead of just printing the summary; feed it back with
+        /// `--graphml <path> --name <name>`.
+        out: Option<String>,
     },
     /// Risk-aware OSPF link weights plus a fidelity evaluation.
     Ospf {
@@ -296,6 +319,7 @@ impl Command {
             Command::Critical { .. } => "critical",
             Command::Corridors { .. } => "corridors",
             Command::Ratio { .. } => "ratio",
+            Command::Synth { .. } => "synth",
             Command::Ospf { .. } => "ospf",
             Command::Serve { .. } => "serve",
             Command::Failure { .. } => "failure",
@@ -436,7 +460,14 @@ COMMANDS:
                                      survives
   critical <net>                     risk-weighted PoP criticality ranking
   corridors <net>                    link-corridor risk + shared-risk groups
-  ratio <net>                        §7 aggregate ratio report (Eq. 5 / Eq. 6)
+  ratio <net> [--sample K] [--seed S] §7 aggregate ratio report (Eq. 5 /
+                                     Eq. 6); --sample scores K seeded pairs
+                                     instead of all pairs (the tractable mode
+                                     on 10k+-PoP synthetic networks)
+  synth <n> [--seed S] [--out P]     generate a deterministic n-PoP synthetic
+                                     continental network (population-weighted
+                                     placement around the real gazetteer);
+                                     --out writes GraphML for --graphml reuse
   ospf <net>                         risk-aware OSPF weights + fidelity
   failure <net> <storm>              storm failure injection
   export <net> [--format F] [--out P] topology as json | graphml, on stdout
@@ -494,6 +525,11 @@ GLOBALS:
                                      incremental SSSP repair (debugging;
                                      output is byte-identical, forecast ticks
                                      just rerun Dijkstra from scratch)
+  --no-bucket-queue                  binary-heap SSSP frontier instead of the
+                                     monotone bucket queue over quantized
+                                     costs (debugging; output is
+                                     byte-identical, large sweeps just run
+                                     slower)
   -h, --help                         this text
 
 OBSERVABILITY (any command):
@@ -525,6 +561,7 @@ pub fn parse_args(args: &[String]) -> Result<Cli, CliError> {
     let mut threads = Parallelism::Sequential;
     let mut route_cache = true;
     let mut delta_invalidation = true;
+    let mut bucket_queue = true;
     let mut obs = ObsArgs::default();
     let mut rest: Vec<String> = Vec::new();
     let mut i = 0;
@@ -587,6 +624,10 @@ pub fn parse_args(args: &[String]) -> Result<Cli, CliError> {
                 delta_invalidation = false;
                 i += 1;
             }
+            "--no-bucket-queue" => {
+                bucket_queue = false;
+                i += 1;
+            }
             _ => {
                 rest.push(args[i].clone());
                 i += 1;
@@ -605,6 +646,7 @@ pub fn parse_args(args: &[String]) -> Result<Cli, CliError> {
         threads,
         route_cache,
         delta_invalidation,
+        bucket_queue,
         obs,
         command,
     })
@@ -782,6 +824,27 @@ fn parse_command(rest: &[String]) -> Result<Command, CliError> {
             };
             Ok(Command::Ratio {
                 network: (*network).clone(),
+                sample: match flag_of("--sample") {
+                    Some(v) => Some(parse_usize(Some(v), "--sample")?),
+                    None => None,
+                },
+                seed: match flag_of("--seed") {
+                    Some(v) => parse_u64(Some(v), "--seed")?,
+                    None => crate::CLI_SEED,
+                },
+            })
+        }
+        "synth" => {
+            let [n] = positional.as_slice() else {
+                return Err(bad("synth needs <n> (PoP count)".into()));
+            };
+            Ok(Command::Synth {
+                n: parse_usize(Some(n), "synth <n>")?,
+                seed: match flag_of("--seed") {
+                    Some(v) => parse_u64(Some(v), "--seed")?,
+                    None => crate::CLI_SEED,
+                },
+                out: flag_of("--out").cloned(),
             })
         }
         "ospf" => {
@@ -1343,10 +1406,70 @@ mod tests {
         assert_eq!(
             cli.command,
             Command::Ratio {
-                network: "Sprint".into()
+                network: "Sprint".into(),
+                sample: None,
+                seed: crate::CLI_SEED,
             }
         );
         assert!(matches!(parse_args(&args("ratio")), Err(CliError::Bad(_))));
+    }
+
+    #[test]
+    fn ratio_sample_flags_parse() {
+        let cli = parse_args(&args("ratio Sprint --sample 48 --seed 7")).unwrap();
+        assert_eq!(
+            cli.command,
+            Command::Ratio {
+                network: "Sprint".into(),
+                sample: Some(48),
+                seed: 7,
+            }
+        );
+        assert!(matches!(
+            parse_args(&args("ratio Sprint --sample 0")),
+            Err(CliError::Bad(_))
+        ));
+    }
+
+    #[test]
+    fn synth_defaults_and_flags() {
+        let cli = parse_args(&args("synth 10000")).unwrap();
+        assert_eq!(
+            cli.command,
+            Command::Synth {
+                n: 10000,
+                seed: crate::CLI_SEED,
+                out: None,
+            }
+        );
+        let cli = parse_args(&args("synth 1000 --seed 9 --out net.graphml")).unwrap();
+        assert_eq!(
+            cli.command,
+            Command::Synth {
+                n: 1000,
+                seed: 9,
+                out: Some("net.graphml".into()),
+            }
+        );
+        assert!(matches!(parse_args(&args("synth")), Err(CliError::Bad(_))));
+        assert!(matches!(
+            parse_args(&args("synth zero")),
+            Err(CliError::Bad(_))
+        ));
+        assert!(matches!(
+            parse_args(&args("synth 0")),
+            Err(CliError::Bad(_))
+        ));
+    }
+
+    #[test]
+    fn bucket_queue_flag_defaults_on_and_parses() {
+        let cli = parse_args(&args("corpus")).unwrap();
+        assert!(cli.bucket_queue, "bucket queue is on by default");
+        let cli = parse_args(&args("--no-bucket-queue corpus")).unwrap();
+        assert!(!cli.bucket_queue);
+        let cli = parse_args(&args("ratio Sprint --no-bucket-queue")).unwrap();
+        assert!(!cli.bucket_queue, "valid after the command too");
     }
 
     #[test]
@@ -1359,6 +1482,8 @@ mod tests {
         assert!(USAGE.contains("--threads"));
         assert!(USAGE.contains("--no-route-cache"));
         assert!(USAGE.contains("--no-delta-invalidation"));
+        assert!(USAGE.contains("--no-bucket-queue"));
+        assert!(USAGE.contains("synth <n>"));
         assert!(USAGE.contains("--stream"));
         assert!(USAGE.contains("--metrics-out"));
         assert!(USAGE.contains("--trace-out"));

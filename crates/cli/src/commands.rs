@@ -858,11 +858,40 @@ pub fn resume(
     }
 }
 
-/// `riskroute ratio <net>`
-pub fn ratio(ctx: &CliContext, network: &str, weights: RiskWeights) -> Result<String, CliError> {
+/// Seeded sample of `k` ordered source/destination pairs over `n` PoPs
+/// (`i ≠ j` by construction; duplicates allowed, like any bootstrap draw).
+pub fn sampled_pairs(n: usize, k: usize, seed: u64) -> Vec<(usize, usize)> {
+    let mut rng = riskroute_rng::StdRng::seed_from_u64(seed);
+    (0..k)
+        .map(|_| {
+            let i = rng.gen_range(0..n);
+            let j = rng.gen_range(0..n - 1);
+            (i, if j >= i { j + 1 } else { j })
+        })
+        .collect()
+}
+
+/// `riskroute ratio <net> [--sample K] [--seed S]`
+pub fn ratio(
+    ctx: &CliContext,
+    network: &str,
+    weights: RiskWeights,
+    sample: Option<usize>,
+    seed: u64,
+) -> Result<String, CliError> {
     let net = ctx.network(network)?;
     let planner = ctx.planner(net, weights);
-    let report = planner.ratio_report();
+    let report = match sample {
+        Some(k) => {
+            if net.pop_count() < 2 {
+                return Err(CliError::Core(riskroute::Error::NoInformativePairs));
+            }
+            let pairs = sampled_pairs(net.pop_count(), k, seed);
+            let sweep = planner.pair_list_sweep(&pairs);
+            RatioReport::aggregate_with_stranded(sweep.outcomes.iter(), sweep.stranded.len())
+        }
+        None => planner.ratio_report(),
+    };
     if !report.is_informative() {
         return Err(CliError::Core(riskroute::Error::NoInformativePairs));
     }
@@ -872,11 +901,22 @@ pub fn ratio(ctx: &CliContext, network: &str, weights: RiskWeights) -> Result<St
         weights.lambda_h,
         weights.lambda_f
     );
-    let _ = writeln!(
-        out,
-        "pairs aggregated: {} ordered PoP pairs ({} stranded)",
-        report.pairs, report.stranded_pairs
-    );
+    match sample {
+        Some(k) => {
+            let _ = writeln!(
+                out,
+                "pairs aggregated: {} of {k} sampled PoP pairs ({} stranded; seed {seed})",
+                report.pairs, report.stranded_pairs
+            );
+        }
+        None => {
+            let _ = writeln!(
+                out,
+                "pairs aggregated: {} ordered PoP pairs ({} stranded)",
+                report.pairs, report.stranded_pairs
+            );
+        }
+    }
     let _ = writeln!(
         out,
         "risk reduction ratio (Eq. 5):    {:.4}",
@@ -1022,7 +1062,13 @@ impl ServeHandler {
                 req_str(request, "dst")?,
                 weights,
             ),
-            "ratio" => ratio(&self.ctx, req_str(request, "network")?, weights),
+            "ratio" => ratio(
+                &self.ctx,
+                req_str(request, "network")?,
+                weights,
+                opt_usize(request, "sample")?,
+                opt_u64(request, "seed")?.unwrap_or(crate::CLI_SEED),
+            ),
             "provision" => {
                 let budget = self.budget_for(request, cx)?;
                 provision(
@@ -1389,6 +1435,39 @@ pub fn export(
             ))
         }
     }
+}
+
+/// `riskroute synth <n> [--seed S] [--out <path>]`
+///
+/// Generates a deterministic synthetic continental network (population-
+/// weighted placement around the real gazetteer) and prints a summary;
+/// `--out` additionally writes the network as GraphML through the atomic
+/// temp-file + rename path, ready for `--graphml <path> --name <name>`.
+pub fn synth(n: usize, seed: u64, out: Option<&str>) -> Result<String, CliError> {
+    let net = riskroute_topology::scale::synth_network(n, seed).map_err(riskroute::Error::from)?;
+    if riskroute_obs::is_enabled() {
+        riskroute_obs::counter_add("synth_pops_generated", net.pop_count() as u64);
+    }
+    let mut summary = format!(
+        "{}: {} PoPs, {} links, {:.0} footprint miles (seed {seed})\n",
+        net.name(),
+        net.pop_count(),
+        net.link_count(),
+        net.footprint_miles()
+    );
+    if let Some(path) = out {
+        let payload = riskroute_topology::import::network_to_graphml(&net);
+        checkpoint::write_atomic(path, &payload)
+            .map_err(|e| CliError::Io(format!("cannot write {path}: {e}")))?;
+        let _ = writeln!(
+            summary,
+            "wrote {path} ({} bytes, graphml; atomic temp-file + rename); \
+             query it with --graphml {path} --name {}",
+            payload.len(),
+            net.name()
+        );
+    }
+    Ok(summary)
 }
 
 /// `riskroute chaos [--plans N] [--seed S]`
@@ -2070,10 +2149,55 @@ mod tests {
 
     #[test]
     fn ratio_reports_network_wide_ratios() {
-        let out = ratio(&ctx(), "Sprint", RiskWeights::historical_only(1e5)).unwrap();
+        let out = ratio(&ctx(), "Sprint", RiskWeights::historical_only(1e5), None, 42).unwrap();
         assert!(out.contains("risk reduction ratio (Eq. 5)"), "{out}");
         assert!(out.contains("distance increase ratio (Eq. 6)"), "{out}");
         assert!(out.contains("ordered PoP pairs"), "{out}");
+    }
+
+    #[test]
+    fn ratio_sampled_mode_reports_sample_size_and_seed() {
+        let out = ratio(
+            &ctx(),
+            "Sprint",
+            RiskWeights::historical_only(1e5),
+            Some(16),
+            7,
+        )
+        .unwrap();
+        assert!(out.contains("16 sampled PoP pairs"), "{out}");
+        assert!(out.contains("seed 7"), "{out}");
+        assert!(out.contains("risk reduction ratio (Eq. 5)"), "{out}");
+    }
+
+    #[test]
+    fn sampled_pairs_are_deterministic_and_never_self_pairs() {
+        let a = sampled_pairs(50, 200, 9);
+        let b = sampled_pairs(50, 200, 9);
+        assert_eq!(a, b);
+        assert!(a.iter().all(|&(i, j)| i != j && i < 50 && j < 50));
+        let c = sampled_pairs(50, 200, 10);
+        assert_ne!(a, c, "different seeds draw different pairs");
+    }
+
+    #[test]
+    fn synth_summary_and_graphml_round_trip() {
+        let out = synth(300, 42, None).unwrap();
+        assert!(out.contains("300 PoPs"), "{out}");
+        assert!(out.contains("seed 42"), "{out}");
+        let dir = std::env::temp_dir().join("riskroute-cli-synth");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("synth.graphml");
+        let _ = synth(300, 42, Some(&path.display().to_string())).unwrap();
+        let xml = std::fs::read_to_string(&path).unwrap();
+        let net = riskroute_topology::import::network_from_graphml(
+            &xml,
+            "synth-300",
+            NetworkKind::Regional,
+        )
+        .unwrap();
+        assert_eq!(net.pop_count(), 300);
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

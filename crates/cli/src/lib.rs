@@ -58,6 +58,11 @@ pub struct CliContext {
     /// either way). On by default: cost mutations record a changed-edge log
     /// and cache misses repair parent-state trees incrementally.
     pub delta_invalidation: bool,
+    /// Bucket-queue knob applied to every planner the context hands out
+    /// (`--no-bucket-queue` clears it; byte-identical output either way).
+    /// On by default: SSSP runs on the monotone bucket queue over
+    /// quantized costs instead of the binary heap.
+    pub bucket_queue: bool,
     /// Warm engine pool keyed by `(network, weights)`. One-shot commands
     /// build at most one entry; the `serve` daemon reuses entries across
     /// requests, which is its whole point.
@@ -87,6 +92,7 @@ impl CliContext {
             parallelism: Parallelism::Sequential,
             route_cache: true,
             delta_invalidation: true,
+            bucket_queue: true,
             pool: PlannerPool::new(),
         })
     }
@@ -127,6 +133,7 @@ impl CliContext {
             .with_parallelism(self.parallelism)
             .with_route_cache(self.route_cache)
             .with_delta_invalidation(self.delta_invalidation)
+            .with_bucket_queue(self.bucket_queue)
     }
 }
 
@@ -251,6 +258,7 @@ fn run_command(cli: &Cli) -> Result<String, CliError> {
     ctx.parallelism = cli.threads;
     ctx.route_cache = cli.route_cache;
     ctx.delta_invalidation = cli.delta_invalidation;
+    ctx.bucket_queue = cli.bucket_queue;
     match &cli.command {
         Command::Corpus => Ok(commands::corpus(&ctx)),
         Command::Route { network, src, dst } => {
@@ -305,7 +313,12 @@ fn run_command(cli: &Cli) -> Result<String, CliError> {
         Command::Resume { snapshot, budget } => {
             commands::resume(&ctx, snapshot, budget, cli.obs.progress)
         }
-        Command::Ratio { network } => commands::ratio(&ctx, network, cli.weights()),
+        Command::Ratio {
+            network,
+            sample,
+            seed,
+        } => commands::ratio(&ctx, network, cli.weights(), *sample, *seed),
+        Command::Synth { n, seed, out } => commands::synth(*n, *seed, out.as_deref()),
         Command::Serve {
             listen,
             unix,

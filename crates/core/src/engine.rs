@@ -38,6 +38,7 @@
 //!    approximate: outputs are byte-identical with it on or off.
 
 use crate::routing::{Adjacency, Entry, RiskTree, NO_PRED};
+use riskroute_graph::queue::{inv_quantum_for_mean, BucketQueue};
 use std::collections::hash_map::Entry as MapEntry;
 use std::collections::{BinaryHeap, HashMap};
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -73,6 +74,29 @@ pub struct CsrGraph {
     offsets: Vec<u32>,
     targets: Vec<u32>,
     weights: Vec<f64>,
+    /// Mean of the positive finite edge weights (0.0 when none): the edge
+    /// component of the mean relaxation step in [`run_inv_quantum`], the
+    /// per-run bucket-queue quantization choice. Byte-identity of the
+    /// bucket path never depends on the derived factor — any positive
+    /// factor keys costs monotonically — it only tunes bucket occupancy.
+    mean_weight: f64,
+}
+
+/// Mean of the positive finite values in `weights` (0.0 when none).
+fn mean_positive(weights: &[f64]) -> f64 {
+    let mut sum = 0.0f64;
+    let mut n = 0u64;
+    for &w in weights {
+        if w.is_finite() && w > 0.0 {
+            sum += w;
+            n += 1;
+        }
+    }
+    if n == 0 {
+        0.0
+    } else {
+        sum / n as f64
+    }
 }
 
 impl CsrGraph {
@@ -98,10 +122,12 @@ impl CsrGraph {
             }
             offsets.push(targets.len() as u32);
         }
+        let mean_weight = mean_positive(&weights);
         CsrGraph {
             offsets,
             targets,
             weights,
+            mean_weight,
         }
     }
 
@@ -127,10 +153,12 @@ impl CsrGraph {
             }
             offsets.push(targets.len() as u32);
         }
+        let mean_weight = mean_positive(&weights);
         CsrGraph {
             offsets,
             targets,
             weights,
+            mean_weight,
         }
     }
 
@@ -172,6 +200,7 @@ pub(crate) struct SsspArena {
     settled: Vec<u32>,
     gen: u32,
     heap: BinaryHeap<Entry>,
+    bucket: BucketQueue,
 }
 
 impl SsspArena {
@@ -185,6 +214,7 @@ impl SsspArena {
             settled: Vec::new(),
             gen: 0,
             heap: BinaryHeap::new(),
+            bucket: BucketQueue::new(),
         }
     }
 
@@ -224,21 +254,107 @@ impl SsspArena {
 static ARENAS: riskroute_par::ScratchPool<SsspArena> =
     riskroute_par::ScratchPool::named("sssp_arena");
 
+/// A min-frontier the Dijkstra loop can drive generically: the classic
+/// binary heap or the monotone bucket queue. Both pop in the exact
+/// `(cost, node)` order (see [`BucketQueue`]), so the search below is
+/// bit-identical under either implementation — same settle order, same
+/// relaxations, same length peaks.
+trait Frontier {
+    fn push(&mut self, e: Entry);
+    fn pop(&mut self) -> Option<Entry>;
+    fn len(&self) -> usize;
+}
+
+impl Frontier for BinaryHeap<Entry> {
+    #[inline]
+    fn push(&mut self, e: Entry) {
+        BinaryHeap::push(self, e);
+    }
+    #[inline]
+    fn pop(&mut self) -> Option<Entry> {
+        BinaryHeap::pop(self)
+    }
+    #[inline]
+    fn len(&self) -> usize {
+        BinaryHeap::len(self)
+    }
+}
+
+impl Frontier for BucketQueue {
+    #[inline]
+    fn push(&mut self, e: Entry) {
+        BucketQueue::push(self, e);
+    }
+    #[inline]
+    fn pop(&mut self) -> Option<Entry> {
+        BucketQueue::pop(self)
+    }
+    #[inline]
+    fn len(&self) -> usize {
+        BucketQueue::len(self)
+    }
+}
+
+/// Per-run bucket-queue quantization factor. The frontier advances by
+/// edge weight *plus* the target's entry cost, so the quantum must come
+/// from the mean of that full step — quantizing on edge weights alone
+/// piles the whole frontier into a handful of buckets whenever entry
+/// costs dominate (λ-scaled risk makes them ~10× the edge miles on the
+/// paper's weights), and the per-pop bucket min-scan then loses to the
+/// binary heap. Entry costs of ∞ (sanitized unreachable markers) carry
+/// no step information and are skipped. Pop order is byte-identical for
+/// any positive factor; this only tunes bucket occupancy.
+fn run_inv_quantum(csr: &CsrGraph, entry_costs: &[f64]) -> f64 {
+    let mut sum = 0.0f64;
+    for &c in entry_costs {
+        if c.is_finite() {
+            sum += c;
+        }
+    }
+    let mean_entry = sum / entry_costs.len().max(1) as f64;
+    inv_quantum_for_mean(csr.mean_weight + mean_entry)
+}
+
+/// Hot-loop tallies of one search, published to the collector by the
+/// caller. Identical between the heap and bucket frontiers (the pop/push
+/// sequences coincide); the settle/skip channels additionally feed the
+/// bucket-path counters.
+struct SearchStats {
+    pops: u64,
+    relaxations: u64,
+    peak: usize,
+    settles: u64,
+    skipped: u64,
+}
+
 /// β-scaled SSSP from `source` over the CSR snapshot, using a pooled
 /// scratch arena. Bit-for-bit equivalent to
-/// [`risk_sssp`](crate::routing::risk_sssp) with entry cost
+/// [`crate::routing::risk_sssp`] with entry cost
 /// `v ↦ β·ρ(v)` — same relaxation order, same heap tie-breaks, same
 /// sanitization — and additionally records β-independent ρ-sums down the
 /// tree when `beta == 0` (one distance tree then serves every pair metric
 /// in O(1), see `Planner::sweep_source`).
 ///
+/// `use_bucket` selects the monotone bucket-queue frontier instead of the
+/// binary heap; the output is byte-identical either way (the bucket queue
+/// pops in the exact heap order), so the knob only trades wall-clock.
+///
 /// # Panics
 /// Panics when `source` is out of range.
-pub(crate) fn sssp(csr: &CsrGraph, source: usize, beta: f64, rho: &[f64]) -> RiskTree {
-    ARENAS.with(SsspArena::new, |arena| run(arena, csr, source, beta, rho))
+pub fn sssp(csr: &CsrGraph, source: usize, beta: f64, rho: &[f64], use_bucket: bool) -> RiskTree {
+    ARENAS.with(SsspArena::new, |arena| {
+        run(arena, csr, source, beta, rho, use_bucket)
+    })
 }
 
-fn run(arena: &mut SsspArena, csr: &CsrGraph, source: usize, beta: f64, rho: &[f64]) -> RiskTree {
+fn run(
+    arena: &mut SsspArena,
+    csr: &CsrGraph,
+    source: usize,
+    beta: f64,
+    rho: &[f64],
+    use_bucket: bool,
+) -> RiskTree {
     let n = csr.node_count();
     assert!(source < n, "source {source} out of range ({n} nodes)");
     arena.begin(n);
@@ -258,53 +374,36 @@ fn run(arena: &mut SsspArena, csr: &CsrGraph, source: usize, beta: f64, rho: &[f
     arena.touched[source] = gen;
     arena.dist[source] = 0.0;
     arena.pred[source] = NO_PRED;
-    arena.heap.push(Entry {
+    let seed = Entry {
         cost: 0.0,
         node: source,
-    });
-    // Hot loop: count into plain locals, publish once at the end.
-    let mut pops: u64 = 0;
-    let mut relaxations: u64 = 0;
-    let mut heap_peak: usize = arena.heap.len();
-    while let Some(Entry { cost, node }) = arena.heap.pop() {
-        pops += 1;
-        if arena.settled[node] == gen {
-            continue;
-        }
-        arena.settled[node] = gen;
-        if track_rho {
-            // pred[node] is final once the node settles, so the ρ-sum can
-            // accumulate in path order (matching evaluate_path's order).
-            arena.rho_sum[node] = if node == source {
-                0.0
-            } else {
-                arena.rho_sum[arena.pred[node] as usize] + rho[node]
-            };
-        }
-        for e in csr.edge_range(node) {
-            let v = csr.targets[e] as usize;
-            if arena.settled[v] == gen {
-                continue;
-            }
-            let next = cost + csr.weights[e] + arena.costs[v];
-            if next < arena.dist_of(v) {
-                arena.touched[v] = gen;
-                arena.dist[v] = next;
-                arena.pred[v] = node as u32;
-                relaxations += 1;
-                arena.heap.push(Entry {
-                    cost: next,
-                    node: v,
-                });
-                heap_peak = heap_peak.max(arena.heap.len());
-            }
-        }
-    }
+    };
+    // The frontier is moved out of the arena for the duration of the search
+    // so the generic loop can borrow the arena's flat buffers mutably
+    // alongside it (a plain field borrow would alias).
+    let stats = if use_bucket {
+        let mut q = std::mem::take(&mut arena.bucket);
+        q.reset(run_inv_quantum(csr, &arena.costs[..n]));
+        q.push(seed);
+        let stats = search(arena, csr, source, track_rho, rho, &mut q);
+        arena.bucket = q;
+        stats
+    } else {
+        let mut q = std::mem::take(&mut arena.heap);
+        q.push(seed);
+        let stats = search(arena, csr, source, track_rho, rho, &mut q);
+        arena.heap = q;
+        stats
+    };
     if riskroute_obs::is_enabled() {
         riskroute_obs::counter_add("risk_sssp_runs", 1);
-        riskroute_obs::counter_add("risk_sssp_pops", pops);
-        riskroute_obs::counter_add("risk_sssp_relaxations", relaxations);
-        riskroute_obs::gauge_max("risk_sssp_heap_peak", heap_peak as f64);
+        riskroute_obs::counter_add("risk_sssp_pops", stats.pops);
+        riskroute_obs::counter_add("risk_sssp_relaxations", stats.relaxations);
+        riskroute_obs::gauge_max("risk_sssp_heap_peak", stats.peak as f64);
+        if use_bucket {
+            riskroute_obs::counter_add("bucket_queue_settles", stats.settles);
+            riskroute_obs::counter_add("bucket_relaxations_skipped", stats.skipped);
+        }
     }
 
     // Extract the compact output tree; untouched slots read as unreachable.
@@ -333,6 +432,64 @@ fn run(arena: &mut SsspArena, csr: &CsrGraph, source: usize, beta: f64, rho: &[f
         Vec::new()
     };
     RiskTree::from_parts(source, dist, pred, rho_sum)
+}
+
+/// The Dijkstra hot loop, generic over the frontier. Monomorphized per
+/// frontier type so neither path pays a dispatch branch; the loop body is
+/// byte-for-byte the arithmetic the engine has always run.
+fn search<Q: Frontier>(
+    arena: &mut SsspArena,
+    csr: &CsrGraph,
+    source: usize,
+    track_rho: bool,
+    rho: &[f64],
+    q: &mut Q,
+) -> SearchStats {
+    let gen = arena.gen;
+    let mut stats = SearchStats {
+        pops: 0,
+        relaxations: 0,
+        peak: q.len(),
+        settles: 0,
+        skipped: 0,
+    };
+    while let Some(Entry { cost, node }) = q.pop() {
+        stats.pops += 1;
+        if arena.settled[node] == gen {
+            continue;
+        }
+        arena.settled[node] = gen;
+        stats.settles += 1;
+        if track_rho {
+            // pred[node] is final once the node settles, so the ρ-sum can
+            // accumulate in path order (matching evaluate_path's order).
+            arena.rho_sum[node] = if node == source {
+                0.0
+            } else {
+                arena.rho_sum[arena.pred[node] as usize] + rho[node]
+            };
+        }
+        for e in csr.edge_range(node) {
+            let v = csr.targets[e] as usize;
+            if arena.settled[v] == gen {
+                stats.skipped += 1;
+                continue;
+            }
+            let next = cost + csr.weights[e] + arena.costs[v];
+            if next < arena.dist_of(v) {
+                arena.touched[v] = gen;
+                arena.dist[v] = next;
+                arena.pred[v] = node as u32;
+                stats.relaxations += 1;
+                q.push(Entry {
+                    cost: next,
+                    node: v,
+                });
+                stats.peak = stats.peak.max(q.len());
+            }
+        }
+    }
+    stats
 }
 
 /// Outcome of carrying one cached route tree across a cost delta (a set of
@@ -434,6 +591,7 @@ pub(crate) fn repair_tree(
     old_rho: &[f64],
     new_rho: &[f64],
     changed: &[u32],
+    use_bucket: bool,
 ) -> RepairOutcome {
     let n = csr.node_count();
     let source = tree.source();
@@ -528,10 +686,41 @@ pub(crate) fn repair_tree(
             pred[v] = NO_PRED;
         }
     }
-    let mut heap: BinaryHeap<Entry> = BinaryHeap::new();
-    // Seed every clean→dirty edge; the offer uses the clean node's final
-    // dist. Order does not matter because only strict improvements are
-    // applied and any finite tie aborts the repair.
+    let repairs = if use_bucket {
+        let mut q = BucketQueue::new();
+        q.reset(run_inv_quantum(csr, &costs));
+        repair_cascade(csr, &costs, &taint, &mut dist, &mut pred, &mut q)
+    } else {
+        let mut q: BinaryHeap<Entry> = BinaryHeap::new();
+        repair_cascade(csr, &costs, &taint, &mut dist, &mut pred, &mut q)
+    };
+    let Some(repairs) = repairs else {
+        return RepairOutcome::Fallback;
+    };
+    if riskroute_obs::is_enabled() {
+        riskroute_obs::counter_add("risk_sssp_repair_settles", repairs);
+        if use_bucket {
+            riskroute_obs::counter_add("bucket_queue_settles", repairs);
+        }
+    }
+    RepairOutcome::Repaired(RiskTree::from_parts(source, dist, pred, Vec::new()))
+}
+
+/// Seed every clean→dirty edge and run the repair cascade over frontier
+/// `q`, applying only strict improvements. Returns the number of repair
+/// settles, or `None` when a finite cost tie makes the repair ambiguous
+/// (the winner of a tie is a scratch-run relaxation-order artifact).
+/// Seed order does not matter because only strict improvements are applied
+/// and any finite tie aborts.
+fn repair_cascade<Q: Frontier>(
+    csr: &CsrGraph,
+    costs: &[f64],
+    taint: &[u8],
+    dist: &mut [f64],
+    pred: &mut [u32],
+    q: &mut Q,
+) -> Option<u64> {
+    let n = csr.node_count();
     for u in 0..n {
         if taint[u] != TAINT_CLEAN || !dist[u].is_finite() {
             continue;
@@ -545,15 +734,15 @@ pub(crate) fn repair_tree(
             if next < dist[v] {
                 dist[v] = next;
                 pred[v] = u as u32;
-                heap.push(Entry { cost: next, node: v });
+                q.push(Entry { cost: next, node: v });
             } else if next == dist[v] && next.is_finite() {
-                return RepairOutcome::Fallback;
+                return None;
             }
         }
     }
     let mut settled = vec![false; n];
     let mut repairs: u64 = 0;
-    while let Some(Entry { cost, node }) = heap.pop() {
+    while let Some(Entry { cost, node }) = q.pop() {
         if settled[node] {
             continue;
         }
@@ -571,16 +760,13 @@ pub(crate) fn repair_tree(
             if next < dist[v] {
                 dist[v] = next;
                 pred[v] = node as u32;
-                heap.push(Entry { cost: next, node: v });
+                q.push(Entry { cost: next, node: v });
             } else if next == dist[v] && next.is_finite() {
-                return RepairOutcome::Fallback;
+                return None;
             }
         }
     }
-    if riskroute_obs::is_enabled() {
-        riskroute_obs::counter_add("risk_sssp_repair_settles", repairs);
-    }
-    RepairOutcome::Repaired(RiskTree::from_parts(source, dist, pred, Vec::new()))
+    Some(repairs)
 }
 
 /// Key of one cached route tree: the SSSP root, the exact β bits (the cost
@@ -717,6 +903,39 @@ mod tests {
     #![allow(clippy::unwrap_used, clippy::expect_used)]
     use super::*;
     use crate::routing::risk_sssp;
+
+    /// Run both frontier implementations, assert they agree bit-for-bit,
+    /// return one. Shadows `super::sssp` so every engine test doubles as a
+    /// heap-vs-bucket equivalence check.
+    fn sssp(csr: &CsrGraph, source: usize, beta: f64, rho: &[f64]) -> RiskTree {
+        let heap = super::sssp(csr, source, beta, rho, false);
+        let bucket = super::sssp(csr, source, beta, rho, true);
+        assert_trees_bit_equal(&heap, &bucket);
+        heap
+    }
+
+    /// Same double-run discipline for the repair path: both frontiers must
+    /// reach the same outcome variant with bit-equal payloads.
+    fn repair_tree(
+        csr: &CsrGraph,
+        tree: &RiskTree,
+        beta: f64,
+        old_rho: &[f64],
+        new_rho: &[f64],
+        changed: &[u32],
+    ) -> RepairOutcome {
+        let heap = super::repair_tree(csr, tree, beta, old_rho, new_rho, changed, false);
+        let bucket = super::repair_tree(csr, tree, beta, old_rho, new_rho, changed, true);
+        match (&heap, &bucket) {
+            (RepairOutcome::Survived, RepairOutcome::Survived)
+            | (RepairOutcome::Fallback, RepairOutcome::Fallback) => {}
+            (RepairOutcome::Repaired(a), RepairOutcome::Repaired(b)) => {
+                assert_trees_bit_equal(a, b);
+            }
+            (a, b) => panic!("frontier outcomes diverge: heap {a:?} vs bucket {b:?}"),
+        }
+        heap
+    }
 
     fn square() -> Adjacency {
         Adjacency::from_links(

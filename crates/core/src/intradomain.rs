@@ -103,6 +103,7 @@ pub struct Planner {
     cache: Arc<RouteTreeCache>,
     route_cache: bool,
     delta_invalidation: bool,
+    bucket_queue: bool,
 }
 
 impl Planner {
@@ -139,6 +140,7 @@ impl Planner {
             cache,
             route_cache: true,
             delta_invalidation: true,
+            bucket_queue: true,
         }
     }
 
@@ -280,6 +282,22 @@ impl Planner {
     /// Whether delta-aware invalidation (and incremental SSSP repair) is on.
     pub fn delta_invalidation(&self) -> bool {
         self.delta_invalidation
+    }
+
+    /// Enable or disable the monotone bucket-queue SSSP frontier (the
+    /// CLI's `--no-bucket-queue` debug flag). The bucket queue pops in the
+    /// exact heap order (see `riskroute_graph::queue`), so this knob — like
+    /// [`Self::with_route_cache`] — never changes any output bit, only the
+    /// constant factor of every Dijkstra run.
+    #[must_use]
+    pub fn with_bucket_queue(mut self, enabled: bool) -> Self {
+        self.bucket_queue = enabled;
+        self
+    }
+
+    /// Whether SSSP runs on the bucket-queue frontier.
+    pub fn bucket_queue(&self) -> bool {
+        self.bucket_queue
     }
 
     /// The precomputed λ-combined per-PoP risk vector ρ under the current
@@ -437,7 +455,13 @@ impl Planner {
                 return tree;
             }
         }
-        let tree = Arc::new(engine::sssp(&self.csr, root, beta, &self.rho));
+        let tree = Arc::new(engine::sssp(
+            &self.csr,
+            root,
+            beta,
+            &self.rho,
+            self.bucket_queue,
+        ));
         if self.route_cache {
             self.cache.insert(key, Arc::clone(&tree));
         }
@@ -469,6 +493,7 @@ impl Planner {
             &delta.old_rho,
             &self.rho,
             &delta.changed,
+            self.bucket_queue,
         ) {
             RepairOutcome::Survived => {
                 if riskroute_obs::is_enabled() {
@@ -571,6 +596,70 @@ impl Planner {
             riskroute_obs::counter_add("pairs_stranded", stranded.len() as u64);
             let bit_risk: f64 = outcomes.iter().map(|o| o.risk_route.bit_risk_miles).sum();
             riskroute_obs::gauge_set("pair_sweep_bit_risk_miles", bit_risk);
+        }
+        PairSweep { outcomes, stranded }
+    }
+
+    /// Route one explicit (i, j) pair: the shortest-path and RiskRoute legs
+    /// of a [`PairOutcome`], or `None` when the pair is stranded.
+    fn route_pair(&self, i: usize, j: usize) -> Option<PairOutcome> {
+        let dist_tree = self.risk_tree_distance(i);
+        let beta = self.impact(i, j);
+        let shortest = self.routed_from_distance_tree(&dist_tree, j, beta)?;
+        let risk_route = self.risk_route(i, j)?;
+        Some(PairOutcome {
+            src: i,
+            dst: j,
+            risk_route,
+            shortest,
+        })
+    }
+
+    /// Pair outcomes for an explicit `(src, dst)` pair list — the sampled
+    /// sweep behind `ratio --sample` and the scale bench, where routing all
+    /// n² pairs of a continental-scale network would be prohibitive.
+    ///
+    /// Outcomes and stranded pairs come back in pair-list order regardless
+    /// of the parallelism knob (per-pair results are folded in list order,
+    /// exactly like [`Self::pair_sweep`]'s per-source concatenation), so
+    /// results are bit-identical at any worker count. Pairs with
+    /// `src == dst` are skipped.
+    pub fn pair_list_sweep(&self, pairs: &[(usize, usize)]) -> PairSweep {
+        let span = riskroute_obs::span!("pair_list_sweep");
+        let mut outcomes = Vec::with_capacity(pairs.len());
+        let mut stranded = Vec::new();
+        match self.parallelism {
+            Parallelism::Sequential => {
+                for &(i, j) in pairs {
+                    if i == j {
+                        continue;
+                    }
+                    match self.route_pair(i, j) {
+                        Some(o) => outcomes.push(o),
+                        None => stranded.push((i, j)),
+                    }
+                }
+            }
+            par => {
+                for wave in pairs.chunks(PAIR_WAVE) {
+                    let vals = riskroute_par::par_map_collect(par, wave, |_, &(i, j)| {
+                        (i != j).then(|| self.route_pair(i, j).ok_or((i, j)))
+                    });
+                    for v in vals.into_iter().flatten() {
+                        match v {
+                            Ok(o) => outcomes.push(o),
+                            Err(p) => stranded.push(p),
+                        }
+                    }
+                }
+            }
+        }
+        let mut span = span;
+        if span.is_active() {
+            span.field("pairs_routed", outcomes.len());
+            span.field("pairs_stranded", stranded.len());
+            riskroute_obs::counter_add("pairs_routed", outcomes.len() as u64);
+            riskroute_obs::counter_add("pairs_stranded", stranded.len() as u64);
         }
         PairSweep { outcomes, stranded }
     }
@@ -689,6 +778,7 @@ impl Planner {
             cache,
             route_cache: self.route_cache,
             delta_invalidation: self.delta_invalidation,
+            bucket_queue: self.bucket_queue,
         }
     }
 

@@ -8,7 +8,6 @@
 //! for Eq. 3).
 
 use crate::error::Error;
-use std::cmp::Ordering;
 use std::collections::BinaryHeap;
 
 /// Adjacency built once per topology: `adj[u] = [(v, miles), …]` for both
@@ -172,30 +171,11 @@ impl RiskTree {
     }
 }
 
-#[derive(PartialEq)]
-pub(crate) struct Entry {
-    pub(crate) cost: f64,
-    pub(crate) node: usize,
-}
-
-impl Eq for Entry {}
-
-impl Ord for Entry {
-    fn cmp(&self, other: &Self) -> Ordering {
-        // total_cmp keeps the heap totally ordered even if a NaN cost ever
-        // slips in (it sorts past infinity instead of aborting the search).
-        other
-            .cost
-            .total_cmp(&self.cost)
-            .then_with(|| other.node.cmp(&self.node))
-    }
-}
-
-impl PartialOrd for Entry {
-    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
-        Some(self.cmp(other))
-    }
-}
+// The frontier entry lives in `riskroute-graph` now so every shortest-path
+// call site in the workspace shares one comparator (cost via `total_cmp`,
+// lowest-node-index tie-break) — bit-identical to the struct this module
+// used to define.
+pub(crate) use riskroute_graph::queue::CostEntry as Entry;
 
 /// Dijkstra from `source` with edge weight
 /// `w(u→v) = miles(u,v) + entry_cost(v)`.

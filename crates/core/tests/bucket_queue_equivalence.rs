@@ -1,0 +1,164 @@
+//! Property test: the bucket-queue SSSP frontier is output-identical to
+//! the binary-heap frontier — for any graph, any weights (zero-weight and
+//! near-equal-cost edges included), any source, and any worker count.
+//!
+//! Two layers are crossed:
+//!
+//! 1. `engine::sssp` directly: per-source trees must agree bit-for-bit on
+//!    distances and node-for-node on extracted paths.
+//! 2. The `Planner` sweep at parallelism 1, 2, and 8: full pair outcomes
+//!    (paths and all three metric components) must be equal with the
+//!    bucket queue off and on.
+
+use riskroute::engine::{sssp, CsrGraph};
+use riskroute::routing::Adjacency;
+use riskroute::{NodeRisk, Parallelism, Planner, RiskWeights};
+use riskroute_geo::GeoPoint;
+use riskroute_population::PopShares;
+use riskroute_rng::StdRng;
+use riskroute_topology::{Network, NetworkKind, Pop};
+
+const GRAPH_CASES: usize = 60;
+const PLANNER_CASES: usize = 12;
+
+/// A random weighted graph with adversarial weight populations: exact
+/// zeros, duplicated weights (equal-cost path ties), near-equal weights a
+/// few ulps apart, and magnitude mixtures spanning many buckets.
+fn random_adjacency(rng: &mut StdRng) -> Adjacency {
+    let n = rng.gen_range(2..40usize);
+    let mut links: Vec<(usize, usize, f64)> = Vec::new();
+    // Spanning path for reachability, then random extras.
+    let base_weights = [0.0, 1.0, 1.0, 1.0 + f64::EPSILON, 0.125, 3.7, 4000.0];
+    let weight = |rng: &mut StdRng| match rng.next_u64() % 4 {
+        0 => base_weights[(rng.next_u64() % base_weights.len() as u64) as usize],
+        1 => rng.gen_f64() * 10.0,
+        2 => rng.gen_f64() * 1e-6,
+        _ => 100.0 + rng.gen_f64() * 1e4,
+    };
+    for i in 1..n {
+        let w = weight(rng);
+        links.push((i - 1, i, w));
+    }
+    for _ in 0..rng.gen_range(0..2 * n) {
+        let a = rng.gen_range(0..n);
+        let b = rng.gen_range(0..n);
+        if a != b {
+            links.push((a, b, weight(rng)));
+        }
+    }
+    Adjacency::from_links(n, links)
+}
+
+#[test]
+fn engine_sssp_bucket_matches_heap_bit_for_bit() {
+    let mut rng = StdRng::seed_from_u64(0x5ca1e);
+    for case in 0..GRAPH_CASES {
+        let adj = random_adjacency(&mut rng);
+        let csr = CsrGraph::from_adjacency(&adj);
+        let n = adj.node_count();
+        // Entry costs with zeros mixed in — zero-weight edges and zero-ρ
+        // nodes both collapse many frontier entries into one cost class,
+        // the worst case for tie-breaking.
+        let rho: Vec<f64> = (0..n)
+            .map(|_| {
+                if rng.next_u64().is_multiple_of(3) {
+                    0.0
+                } else {
+                    rng.gen_f64() * 5.0
+                }
+            })
+            .collect();
+        for beta in [0.0, 0.7] {
+            for source in 0..n {
+                let heap = sssp(&csr, source, beta, &rho, false);
+                let bucket = sssp(&csr, source, beta, &rho, true);
+                for t in 0..n {
+                    assert_eq!(
+                        heap.dist(t).to_bits(),
+                        bucket.dist(t).to_bits(),
+                        "case {case} beta {beta} source {source} node {t}: dist"
+                    );
+                    assert_eq!(
+                        heap.path_to(t),
+                        bucket.path_to(t),
+                        "case {case} beta {beta} source {source} node {t}: path"
+                    );
+                }
+            }
+        }
+    }
+}
+
+/// A random connected geometric network for the planner layer.
+fn random_network(rng: &mut StdRng) -> (Network, Vec<f64>, Vec<f64>) {
+    let n = rng.gen_range(4..14usize);
+    let pops: Vec<Pop> = (0..n)
+        .map(|i| Pop {
+            name: format!("P{i}"),
+            location: GeoPoint::new(
+                rng.gen_range(30.0..45.0),
+                rng.gen_range(-120.0..-75.0) + i as f64 * 1e-4,
+            )
+            .expect("in range"),
+        })
+        .collect();
+    let mut links: Vec<(usize, usize)> = (1..n).map(|i| (i - 1, i)).collect();
+    for _ in 0..rng.gen_range(0..n) {
+        let a = rng.gen_range(0..n);
+        let b = rng.gen_range(0..n);
+        let key = (a.min(b), a.max(b));
+        if a != b && !links.contains(&key) {
+            links.push(key);
+        }
+    }
+    let network = Network::new("prop", NetworkKind::Regional, pops, links).expect("valid");
+    let risk: Vec<f64> = (0..n)
+        .map(|_| {
+            if rng.next_u64().is_multiple_of(4) {
+                0.0
+            } else {
+                rng.gen_f64() * 0.3
+            }
+        })
+        .collect();
+    let raw: Vec<f64> = (0..n).map(|_| rng.gen_range(0.01..1.0)).collect();
+    let total: f64 = raw.iter().sum();
+    (network, risk, raw.iter().map(|s| s / total).collect())
+}
+
+#[test]
+fn planner_sweeps_identical_across_workers_and_frontiers() {
+    let mut rng = StdRng::seed_from_u64(0xb0c4e7);
+    for case in 0..PLANNER_CASES {
+        let (network, risk, shares) = random_network(&mut rng);
+        let n = network.pop_count();
+        let base = Planner::new(
+            &network,
+            NodeRisk::new(risk.clone(), vec![0.0; n]),
+            PopShares::from_shares(shares.clone()),
+            RiskWeights::PAPER,
+        );
+        let sources: Vec<usize> = (0..n).collect();
+        let reference = base
+            .clone()
+            .with_bucket_queue(false)
+            .pair_sweep(&sources, &sources);
+        for workers in [1usize, 2, 8] {
+            for bucket in [false, true] {
+                let planner = base
+                    .clone()
+                    .with_bucket_queue(bucket)
+                    .with_parallelism(Parallelism::from_worker_count(workers));
+                let sweep = planner.pair_sweep(&sources, &sources);
+                assert_eq!(
+                    reference.outcomes, sweep.outcomes,
+                    "case {case}: outcomes diverge at workers={workers} bucket={bucket}"
+                );
+                assert_eq!(
+                    reference.stranded, sweep.stranded,
+                    "case {case}: stranded diverge at workers={workers} bucket={bucket}"
+                );
+            }
+        }
+    }
+}

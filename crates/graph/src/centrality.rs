@@ -6,6 +6,7 @@
 //! single point of failure regardless of weather. These measures drive the
 //! criticality analyses layered on top of the paper's framework.
 
+use crate::queue::CostEntry;
 use crate::{Graph, NodeId};
 
 /// Weighted betweenness centrality of every node (Brandes' algorithm over
@@ -27,21 +28,20 @@ pub fn betweenness(g: &Graph) -> Vec<f64> {
         dist[s] = 0.0;
         sigma[s] = 1.0;
         let mut heap = std::collections::BinaryHeap::new();
-        heap.push(std::cmp::Reverse((ordered_float(0.0), s)));
-        while let Some(std::cmp::Reverse((d, u))) = heap.pop() {
+        heap.push(CostEntry { cost: 0.0, node: s });
+        while let Some(CostEntry { cost: du, node: u }) = heap.pop() {
             if settled[u] {
                 continue;
             }
             settled[u] = true;
             order.push(u);
-            let du = f64::from_bits(d);
             for (v, w, _) in g.neighbors(u) {
                 let nd = du + w;
                 if nd < dist[v] - 1e-12 {
                     dist[v] = nd;
                     sigma[v] = sigma[u];
                     preds[v] = vec![u];
-                    heap.push(std::cmp::Reverse((ordered_float(nd), v)));
+                    heap.push(CostEntry { cost: nd, node: v });
                 } else if (nd - dist[v]).abs() <= 1e-12 && !settled[v] {
                     sigma[v] += sigma[u];
                     preds[v].push(u);
@@ -66,13 +66,6 @@ pub fn betweenness(g: &Graph) -> Vec<f64> {
         *c /= 2.0;
     }
     centrality
-}
-
-/// Non-negative finite f64 as orderable bits (monotone for non-negative
-/// values).
-fn ordered_float(v: f64) -> u64 {
-    debug_assert!(v.is_finite() && v >= 0.0);
-    v.to_bits()
 }
 
 /// Articulation points: nodes whose removal disconnects their component

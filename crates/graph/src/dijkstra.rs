@@ -4,8 +4,8 @@
 //! non-negative scaled risk), so Dijkstra is exact for the RiskRoute
 //! optimization of Eq. 3 in the paper.
 
+use crate::queue::CostEntry;
 use crate::{Graph, NodeId};
-use std::cmp::Ordering;
 use std::collections::BinaryHeap;
 
 /// A single-source shortest-path tree.
@@ -57,34 +57,6 @@ impl ShortestPathTree {
     }
 }
 
-/// Min-heap entry ordered by cost (reversed for `BinaryHeap`'s max semantics).
-#[derive(Debug, PartialEq)]
-struct HeapEntry {
-    cost: f64,
-    node: NodeId,
-}
-
-impl Eq for HeapEntry {}
-
-impl Ord for HeapEntry {
-    fn cmp(&self, other: &Self) -> Ordering {
-        // Reverse: smaller cost = greater priority. total_cmp keeps the heap
-        // totally ordered even if a NaN cost ever slips in (it sorts past
-        // infinity instead of aborting the search); tie-break on node id for
-        // determinism.
-        other
-            .cost
-            .total_cmp(&self.cost)
-            .then_with(|| other.node.cmp(&self.node))
-    }
-}
-
-impl PartialOrd for HeapEntry {
-    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
-        Some(self.cmp(other))
-    }
-}
-
 /// Grow the full shortest-path tree from `source`.
 ///
 /// # Panics
@@ -124,7 +96,7 @@ fn sssp_with_target(g: &Graph, source: NodeId, target: Option<NodeId>) -> Shorte
     let mut settled = vec![false; n];
     let mut heap = BinaryHeap::new();
     dist[source] = 0.0;
-    heap.push(HeapEntry {
+    heap.push(CostEntry {
         cost: 0.0,
         node: source,
     });
@@ -135,7 +107,7 @@ fn sssp_with_target(g: &Graph, source: NodeId, target: Option<NodeId>) -> Shorte
     let mut relaxations: u64 = 0;
     let mut heap_peak: usize = heap.len();
 
-    while let Some(HeapEntry { cost, node }) = heap.pop() {
+    while let Some(CostEntry { cost, node }) = heap.pop() {
         pops += 1;
         if settled[node] {
             continue;
@@ -153,7 +125,7 @@ fn sssp_with_target(g: &Graph, source: NodeId, target: Option<NodeId>) -> Shorte
                 dist[v] = next;
                 pred[v] = Some(node);
                 relaxations += 1;
-                heap.push(HeapEntry {
+                heap.push(CostEntry {
                     cost: next,
                     node: v,
                 });

@@ -19,6 +19,8 @@
 //! - [`gabriel`] — Gabriel-graph construction over metric point sets (used to
 //!   synthesize realistic sparse PoP meshes).
 //! - [`unionfind`] — the disjoint-set forest backing Kruskal and components.
+//! - [`queue`] — the shared frontier comparator ([`CostEntry`]) and the
+//!   monotone [`BucketQueue`] used by the continental-scale SSSP fast path.
 //!
 //! Weights must be non-negative and finite; [`Graph::add_edge`] enforces this
 //! at the boundary so the algorithms never need defensive checks.
@@ -49,7 +51,9 @@ pub mod dijkstra;
 pub mod gabriel;
 pub mod graph;
 pub mod mst;
+pub mod queue;
 pub mod unionfind;
 pub mod yen;
 
 pub use graph::{EdgeId, Graph, GraphError, NodeId};
+pub use queue::{inv_quantum_for, BucketQueue, CostEntry};

@@ -120,28 +120,8 @@ fn masked_shortest_path(
     banned_edges: &[(NodeId, NodeId)],
     banned_nodes: &[NodeId],
 ) -> Option<(f64, Vec<NodeId>)> {
-    use std::cmp::Ordering;
+    use crate::queue::CostEntry;
     use std::collections::BinaryHeap;
-
-    #[derive(PartialEq)]
-    struct Entry {
-        cost: f64,
-        node: NodeId,
-    }
-    impl Eq for Entry {}
-    impl Ord for Entry {
-        fn cmp(&self, other: &Self) -> Ordering {
-            other
-                .cost
-                .total_cmp(&self.cost)
-                .then_with(|| other.node.cmp(&self.node))
-        }
-    }
-    impl PartialOrd for Entry {
-        fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
-            Some(self.cmp(other))
-        }
-    }
 
     let n = g.node_count();
     let mut banned_node_mask = vec![false; n];
@@ -156,8 +136,8 @@ fn masked_shortest_path(
     let mut settled = vec![false; n];
     let mut heap = BinaryHeap::new();
     dist[s] = 0.0;
-    heap.push(Entry { cost: 0.0, node: s });
-    while let Some(Entry { cost, node }) = heap.pop() {
+    heap.push(CostEntry { cost: 0.0, node: s });
+    while let Some(CostEntry { cost, node }) = heap.pop() {
         if settled[node] {
             continue;
         }
@@ -177,7 +157,7 @@ fn masked_shortest_path(
             if next < dist[v] {
                 dist[v] = next;
                 pred[v] = Some(node);
-                heap.push(Entry {
+                heap.push(CostEntry {
                     cost: next,
                     node: v,
                 });

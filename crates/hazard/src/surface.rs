@@ -87,8 +87,18 @@ impl RiskSurface {
     }
 
     /// Evaluate the Eq.-2 likelihood over a grid (Figure 4 rendering).
-    pub fn likelihood_grid(&self, mut grid: GeoGrid) -> GeoGrid {
-        grid.fill_with(|p| self.likelihood(p));
+    ///
+    /// Rides [`GeoKde::evaluate_grid`]'s binned fast path, then scales the
+    /// densities by σ to get Eq.-2 likelihoods; large corpora render maps
+    /// in `O(cells · kernel_width)` instead of `O(cells · events)`.
+    pub fn likelihood_grid(&self, grid: GeoGrid) -> GeoGrid {
+        let mut grid = self.kde.evaluate_grid(grid);
+        let s = self.kde.bandwidth_miles();
+        for row in 0..grid.rows() {
+            for col in 0..grid.cols() {
+                grid.set(row, col, grid.get(row, col) * s);
+            }
+        }
         grid
     }
 }

@@ -6,7 +6,10 @@
 //! i and j is `β(i,j) = c_i + c_j`.
 
 use crate::blocks::PopulationModel;
+use riskroute_geo::distance::great_circle_miles;
+use riskroute_geo::GeoPoint;
 use riskroute_topology::{Network, PopId};
+use std::cmp::Ordering;
 
 /// Per-PoP population shares for one network.
 #[derive(Debug, Clone, PartialEq)]
@@ -52,6 +55,7 @@ impl PopShares {
         if n == 0 {
             return PopShares { shares: totals };
         }
+        let index = LatBandIndex::build(network);
         let mut in_scope = 0.0;
         for b in model.blocks() {
             if let Some(states) = state_filter {
@@ -60,7 +64,7 @@ impl PopShares {
                 }
             }
             // `n == 0` returned early above, so a nearest PoP always exists.
-            let Some((pop, _)) = network.nearest_pop(b.location) else {
+            let Some((pop, _)) = index.nearest(network, b.location) else {
                 debug_assert!(false, "nearest_pop on a non-empty network");
                 continue;
             };
@@ -94,6 +98,97 @@ impl PopShares {
     /// Panics when either PoP is out of range.
     pub fn impact(&self, i: PopId, j: PopId) -> f64 {
         self.shares[i] + self.shares[j]
+    }
+}
+
+/// Miles per degree of latitude used as a *lower bound* on great-circle
+/// distance. Deliberately below the true ≈69.09 mi/° so that floating-point
+/// error in the haversine can never let the bound prune a candidate whose
+/// exact distance ties the current best — pruned PoPs are strictly farther,
+/// and the index returns the same `(distance, index)` minimum as
+/// [`Network::nearest_pop`]'s linear scan, bit for bit.
+const LAT_BAND_LOWER_BOUND_MI_PER_DEG: f64 = 69.0;
+
+/// Latitude-sorted nearest-PoP index.
+///
+/// [`PopShares::assign`] calls nearest-PoP once per census block; on
+/// continental-scale synthetic networks (10k–100k PoPs, see
+/// `riskroute synth`) the linear scan turns assignment into a
+/// blocks × PoPs quadratic pass. This index sorts PoPs by latitude once
+/// and answers each query by expanding outward from the query latitude,
+/// stopping as soon as the latitude separation alone exceeds the best
+/// distance found — `O(log n + k)` per query with `k` the PoPs inside the
+/// winning latitude band.
+struct LatBandIndex {
+    /// `(latitude, PoP id)`, sorted ascending.
+    by_lat: Vec<(f64, PopId)>,
+}
+
+impl LatBandIndex {
+    fn build(network: &Network) -> Self {
+        let mut by_lat: Vec<(f64, PopId)> = network
+            .pops()
+            .iter()
+            .enumerate()
+            .map(|(i, p)| (p.location.lat(), i))
+            .collect();
+        by_lat.sort_by(|a, b| a.0.total_cmp(&b.0).then(a.1.cmp(&b.1)));
+        LatBandIndex { by_lat }
+    }
+
+    /// Nearest PoP to `q` with the exact tie semantics of
+    /// [`Network::nearest_pop`]: minimal `(distance, PoP id)` under
+    /// `total_cmp`.
+    fn nearest(&self, network: &Network, q: GeoPoint) -> Option<(PopId, f64)> {
+        let pops = network.pops();
+        let start = self.by_lat.partition_point(|&(lat, _)| lat < q.lat());
+        let mut lo = start.checked_sub(1);
+        let mut hi = (start < self.by_lat.len()).then_some(start);
+        let mut best: Option<(f64, PopId)> = None;
+        loop {
+            // Visit whichever unexplored side is nearer in latitude; once
+            // its latitude bound exceeds the best distance, the other side's
+            // bound does too and the search is complete.
+            let lo_gap = lo.map(|i| q.lat() - self.by_lat[i].0);
+            let hi_gap = hi.map(|i| self.by_lat[i].0 - q.lat());
+            let (at, gap, from_lo) = match (lo, hi) {
+                (None, None) => break,
+                (Some(i), None) => (i, lo_gap.unwrap_or(0.0), true),
+                (None, Some(i)) => (i, hi_gap.unwrap_or(0.0), false),
+                (Some(li), Some(hi_i)) => {
+                    let lg = lo_gap.unwrap_or(0.0);
+                    let hg = hi_gap.unwrap_or(0.0);
+                    if lg <= hg {
+                        (li, lg, true)
+                    } else {
+                        (hi_i, hg, false)
+                    }
+                }
+            };
+            if let Some((best_d, _)) = best {
+                if gap * LAT_BAND_LOWER_BOUND_MI_PER_DEG > best_d {
+                    break;
+                }
+            }
+            let id = self.by_lat[at].1;
+            let d = great_circle_miles(q, pops[id].location);
+            best = Some(match best {
+                None => (d, id),
+                Some(b) => {
+                    if d.total_cmp(&b.0).then(id.cmp(&b.1)) == Ordering::Less {
+                        (d, id)
+                    } else {
+                        b
+                    }
+                }
+            });
+            if from_lo {
+                lo = at.checked_sub(1);
+            } else {
+                hi = (at + 1 < self.by_lat.len()).then_some(at + 1);
+            }
+        }
+        best.map(|(d, i)| (i, d))
     }
 }
 
@@ -192,6 +287,56 @@ mod tests {
         .unwrap();
         let shares = PopShares::assign(&model, &net, None);
         assert!((shares.share(0) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn lat_band_index_matches_linear_scan_exactly() {
+        // Random PoP clouds — including exact duplicate locations, which
+        // force the (distance, index) tie-break — must agree with
+        // Network::nearest_pop bit for bit at every query point.
+        let mut rng = riskroute_rng::StdRng::seed_from_u64(9);
+        for trial in 0..5u64 {
+            let n = 3 + (trial as usize) * 17;
+            let mut pops = Vec::with_capacity(n);
+            for i in 0..n {
+                let lat = 25.0 + rng.gen_f64() * 24.0;
+                let lon = -124.0 + rng.gen_f64() * 57.0;
+                pops.push(Pop {
+                    name: format!("p{i}"),
+                    location: GeoPoint::new(lat, lon).unwrap(),
+                });
+            }
+            // Duplicate an existing location under a higher index.
+            let dup = pops[trial as usize % n].location;
+            pops.push(Pop {
+                name: "dup".into(),
+                location: dup,
+            });
+            let net = Network::new("cloud", NetworkKind::Tier1, pops, vec![]).unwrap();
+            let index = LatBandIndex::build(&net);
+            for _ in 0..200 {
+                let q = GeoPoint::new(
+                    24.6 + rng.gen_f64() * 24.8,
+                    -124.9 + rng.gen_f64() * 58.0,
+                )
+                .unwrap();
+                let fast = index.nearest(&net, q);
+                let slow = net.nearest_pop(q);
+                match (fast, slow) {
+                    (Some((fi, fd)), Some((si, sd))) => {
+                        assert_eq!(fi, si, "trial {trial}");
+                        assert_eq!(fd.to_bits(), sd.to_bits(), "trial {trial}");
+                    }
+                    other => panic!("trial {trial}: mismatch {other:?}"),
+                }
+            }
+            // PoP locations themselves are zero-distance queries.
+            for (i, p) in net.pops().iter().enumerate() {
+                let fast = index.nearest(&net, p.location);
+                let slow = net.nearest_pop(p.location);
+                assert_eq!(fast, slow, "trial {trial} pop {i}");
+            }
+        }
     }
 
     #[test]

@@ -12,9 +12,18 @@
 //! scale the flat-metric Gaussian over geodesic distance is the standard
 //! approximation (the same one the paper's kernel heat maps imply).
 
+use crate::binned::TRUNCATION_SIGMAS;
 use riskroute_geo::distance::great_circle_miles;
-use riskroute_geo::{GeoGrid, GeoPoint};
+use riskroute_geo::{GeoGrid, GeoPoint, EARTH_RADIUS_MILES};
 use std::f64::consts::TAU;
+
+/// Miles per degree of latitude on the model sphere (`2πR/360`), so the
+/// binned fast path and the haversine agree in the small-distance limit.
+const MILES_PER_DEG_LAT: f64 = TAU * EARTH_RADIUS_MILES / 360.0;
+
+/// Latitudes are clamped to this magnitude before taking cosines for the
+/// longitude kernel, so grid margins that poke past the poles stay finite.
+const MAX_KERNEL_LAT_DEG: f64 = 89.0;
 
 /// A fitted 2-D Gaussian kernel density estimate over geographic events.
 #[derive(Debug, Clone)]
@@ -91,9 +100,144 @@ impl GeoKde {
 
     /// Evaluate the density at every cell center of `grid`, overwriting its
     /// values. Returns the grid for chaining.
-    pub fn evaluate_grid(&self, mut grid: GeoGrid) -> GeoGrid {
+    ///
+    /// This is the binned fast path: events are histogrammed onto the grid
+    /// with linear (bilinear) binning, then convolved with a separable
+    /// truncated Gaussian — one longitude pass per row (with that row's
+    /// `cos(latitude)` metric) and one shared latitude pass. Cost is
+    /// `O(cells · kernel_width)` instead of the exact path's
+    /// `O(cells · events)`, which is what makes 100k-event corpora and
+    /// continental grids tractable.
+    ///
+    /// Approximation error versus [`evaluate_grid_exact`](Self::evaluate_grid_exact):
+    ///
+    /// - **Truncation**: the kernel is cut at [`TRUNCATION_SIGMAS`]·σ,
+    ///   discarding `exp(−½·5²) ≈ 3.7·10⁻⁶` of each event's peak value.
+    /// - **Linear binning**: second-order in the cell size,
+    ///   `O((cell_miles/σ)²)` relative; mass is conserved exactly.
+    /// - **Metric**: equirectangular distance with per-row cosine instead of
+    ///   the haversine — sub-percent at CONUS scale for the bandwidths in
+    ///   play.
+    ///
+    /// When the kernel half-width explodes relative to the grid (tiny grids
+    /// or huge bandwidths, where binning would cost more than it saves),
+    /// this falls back to the exact path, so callers always get a sensible
+    /// answer.
+    pub fn evaluate_grid(&self, grid: GeoGrid) -> GeoGrid {
+        match self.evaluate_grid_binned(grid) {
+            Ok(done) => done,
+            Err(grid) => self.evaluate_grid_exact(grid),
+        }
+    }
+
+    /// Exact per-cell evaluation: [`density`](Self::density) at every cell
+    /// center (`O(cells · events)`). The reference for the binned fast path's
+    /// tolerance tests, and the fallback when binning is not worthwhile.
+    pub fn evaluate_grid_exact(&self, mut grid: GeoGrid) -> GeoGrid {
         grid.fill_with(|p| self.density(p));
         grid
+    }
+
+    /// Binned separable evaluation; `Err(grid)` hands the untouched grid
+    /// back when the kernel margins are out of proportion to the grid.
+    fn evaluate_grid_binned(&self, mut grid: GeoGrid) -> Result<GeoGrid, GeoGrid> {
+        let (rows, cols) = (grid.rows(), grid.cols());
+        let (lat_step, lon_step) = (grid.lat_step(), grid.lon_step());
+        let s = self.bandwidth_miles;
+        let support = TRUNCATION_SIGMAS * s;
+
+        // Kernel half-widths in cells. The latitude metric is uniform; the
+        // longitude metric shrinks with cos(lat), so its worst case is the
+        // extended row nearest a pole.
+        let lat_step_miles = lat_step * MILES_PER_DEG_LAT;
+        let m_lat = (support / lat_step_miles).ceil() as usize;
+        if m_lat > 4 * rows.max(64) {
+            return Err(grid);
+        }
+        let south = grid.bounds().south();
+        let ext_lat = |er: usize| -> f64 {
+            let lat = south + (er as f64 - m_lat as f64 + 0.5) * lat_step;
+            lat.clamp(-MAX_KERNEL_LAT_DEG, MAX_KERNEL_LAT_DEG)
+        };
+        let rows_ext = rows + 2 * m_lat;
+        let cos_min = (0..rows_ext)
+            .map(|er| ext_lat(er).to_radians().cos())
+            .fold(f64::INFINITY, f64::min);
+        let m_lon = (support / (lon_step * MILES_PER_DEG_LAT * cos_min)).ceil() as usize;
+        if m_lon > 4 * cols.max(64) {
+            return Err(grid);
+        }
+        let cols_ext = cols + 2 * m_lon;
+
+        // Linear binning: each event splits its unit mass bilinearly over
+        // the four surrounding cell centers of the extended raster. Events
+        // beyond the margins contribute less than the truncation tail to any
+        // grid cell, so they are dropped (the normalization still counts
+        // them, exactly as the truncated kernel would).
+        let west = grid.bounds().west();
+        let mut hist = vec![0.0_f64; rows_ext * cols_ext];
+        for e in &self.events {
+            let er = (e.lat() - south) / lat_step - 0.5 + m_lat as f64;
+            let ec = (e.lon() - west) / lon_step - 0.5 + m_lon as f64;
+            let (r0, c0) = (er.floor(), ec.floor());
+            let (fr, fc) = (er - r0, ec - c0);
+            for (dr, wr) in [(0_i64, 1.0 - fr), (1, fr)] {
+                for (dc, wc) in [(0_i64, 1.0 - fc), (1, fc)] {
+                    let (r, c) = (r0 as i64 + dr, c0 as i64 + dc);
+                    if (0..rows_ext as i64).contains(&r) && (0..cols_ext as i64).contains(&c) {
+                        hist[r as usize * cols_ext + c as usize] += wr * wc;
+                    }
+                }
+            }
+        }
+
+        // Pass 1 — longitude smear within each extended row, using that
+        // row's cos(latitude) metric (the events in the row sit at
+        // approximately its latitude, matching the haversine's cosine term).
+        let mut smeared = vec![0.0_f64; rows_ext * cols];
+        let mut klon: Vec<f64> = Vec::with_capacity(m_lon + 1);
+        for er in 0..rows_ext {
+            let lon_step_miles = lon_step * MILES_PER_DEG_LAT * ext_lat(er).to_radians().cos();
+            let m_row = ((support / lon_step_miles).ceil() as usize).min(m_lon);
+            klon.clear();
+            klon.extend((0..=m_row).map(|j| {
+                let z = j as f64 * lon_step_miles / s;
+                (-0.5 * z * z).exp()
+            }));
+            let row = &hist[er * cols_ext..(er + 1) * cols_ext];
+            for (col, out) in smeared[er * cols..(er + 1) * cols].iter_mut().enumerate() {
+                let center = col + m_lon;
+                let mut acc = row[center] * klon[0];
+                for (j, &k) in klon.iter().enumerate().skip(1) {
+                    acc += (row[center - j] + row[center + j]) * k;
+                }
+                *out = acc;
+            }
+        }
+
+        // Pass 2 — latitude smear across rows with one shared kernel.
+        let klat: Vec<f64> = (0..=m_lat)
+            .map(|i| {
+                let z = i as f64 * lat_step_miles / s;
+                (-0.5 * z * z).exp()
+            })
+            .collect();
+        let norm = 1.0 / (TAU * s * s * self.events.len() as f64);
+        for row in 0..rows {
+            let center = row + m_lat;
+            for col in 0..cols {
+                let mut acc = smeared[center * cols + col] * klat[0];
+                for (i, &k) in klat.iter().enumerate().skip(1) {
+                    acc += (smeared[(center - i) * cols + col] + smeared[(center + i) * cols + col])
+                        * k;
+                }
+                grid.set(row, col, acc * norm);
+            }
+        }
+        if riskroute_obs::is_enabled() {
+            riskroute_obs::counter_add("kde_binned_evals", 1);
+        }
+        Ok(grid)
     }
 }
 
@@ -180,6 +324,70 @@ mod tests {
             let _ = row;
         }
         assert!((mass - 1.0).abs() < 0.05, "integrated mass {mass}");
+    }
+
+    /// Deterministic seeded corpus scattered over the south-central US.
+    fn seeded_corpus(seed: u64, n: usize) -> Vec<GeoPoint> {
+        let mut rng = riskroute_rng::StdRng::seed_from_u64(seed);
+        (0..n)
+            .map(|_| {
+                let lat = 28.0 + rng.gen_f64() * 14.0;
+                let lon = -105.0 + rng.gen_f64() * 20.0;
+                pt(lat, lon)
+            })
+            .collect()
+    }
+
+    #[test]
+    fn binned_grid_matches_exact_within_tolerance() {
+        for (seed, n, bw) in [(7_u64, 300_usize, 60.0_f64), (11, 80, 45.0), (13, 500, 90.0)] {
+            let kde = GeoKde::fit(seeded_corpus(seed, n), bw);
+            // Fine enough that cell/σ ≤ ~0.25 for the narrowest bandwidth:
+            // the linear-binning error is O((cell/σ)²), so the tolerances
+            // below are meaningful only when the raster resolves the kernel.
+            let binned = kde.evaluate_grid(GeoGrid::new(CONUS, 160, 320).unwrap());
+            let exact = kde.evaluate_grid_exact(GeoGrid::new(CONUS, 160, 320).unwrap());
+            let peak = exact
+                .iter_cells()
+                .map(|(_, _, _, v)| v)
+                .fold(0.0_f64, f64::max);
+            let mut l1_num = 0.0;
+            let mut l1_den = 0.0;
+            for (row, col, _, e) in exact.iter_cells() {
+                let b = binned.get(row, col);
+                l1_num += (b - e).abs();
+                l1_den += e;
+                // Pointwise bounds track the O((cell/σ)²) linear-binning
+                // error: tight where the surface carries real mass, looser
+                // in the faint tails where the relative curvature blows up.
+                let tol = if e > 0.05 * peak { 0.05 } else { 0.10 };
+                if e > 0.01 * peak {
+                    assert!(
+                        (b - e).abs() / e < tol,
+                        "seed {seed}: cell ({row},{col}) binned {b} vs exact {e}"
+                    );
+                }
+            }
+            assert!(
+                l1_num / l1_den < 0.02,
+                "seed {seed}: relative L1 error {}",
+                l1_num / l1_den
+            );
+        }
+    }
+
+    #[test]
+    fn binned_grid_falls_back_to_exact_for_disproportionate_kernels() {
+        // A 1°×1° patch with a 2000-mile bandwidth: the truncated kernel is
+        // thousands of cells wide, so the fast path must defer to the exact
+        // one — bit-for-bit.
+        let bounds = riskroute_geo::BoundingBox::new(35.0, -100.0, 36.0, -99.0).unwrap();
+        let kde = GeoKde::fit(seeded_corpus(3, 20), 2000.0);
+        let fast = kde.evaluate_grid(GeoGrid::new(bounds, 8, 8).unwrap());
+        let exact = kde.evaluate_grid_exact(GeoGrid::new(bounds, 8, 8).unwrap());
+        for (row, col, _, v) in exact.iter_cells() {
+            assert_eq!(fast.get(row, col), v);
+        }
     }
 
     #[test]

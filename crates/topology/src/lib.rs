@@ -20,6 +20,8 @@
 //! - [`colocation`] — candidate-peer discovery for the Figure 11 experiment.
 //! - [`import`] — Topology Zoo GraphML import, for running the framework on
 //!   the real published maps.
+//! - [`scale`] — continental-scale synthetic topologies (1k–100k PoPs) for
+//!   the `riskroute synth` command and the scale benchmarks.
 //!
 //! Synthesis is fully deterministic: the same seed always regenerates the
 //! same 23 networks, so every experiment in the harness is reproducible.
@@ -35,6 +37,7 @@ pub mod metrics;
 pub mod model;
 pub mod peering;
 pub mod regional;
+pub mod scale;
 pub mod tier1;
 
 pub use gazetteer::{City, CITIES};

@@ -110,6 +110,43 @@ echo "delta-off outputs are byte-identical"
 echo "== sssp engine: delta-on/delta-off equivalence suite =="
 cargo test --release -q --test delta_invalidation_equivalence --test incremental_sssp_properties
 
+echo "== sssp engine: bucket queue vs --no-bucket-queue byte-for-byte =="
+# The monotone bucket-queue frontier is exact: pops replay the binary
+# heap's (cost, node) order, so disabling it must not change a single
+# byte of output, at any worker count.
+target/release/riskroute provision Level3 -k 2 --threads 1 --no-bucket-queue > "$OBS_TMP/prov-nb1.txt"
+diff "$OBS_TMP/prov-t1.txt" "$OBS_TMP/prov-nb1.txt"
+target/release/riskroute provision Level3 -k 2 --threads 4 --no-bucket-queue > "$OBS_TMP/prov-nb4.txt"
+diff "$OBS_TMP/prov-t4.txt" "$OBS_TMP/prov-nb4.txt"
+target/release/riskroute replay Telepak katrina --stride 4 --threads 1 --no-bucket-queue > "$OBS_TMP/replay-nb1.txt"
+diff "$OBS_TMP/replay-t1.txt" "$OBS_TMP/replay-nb1.txt"
+target/release/riskroute replay Telepak katrina --stride 4 --threads 4 --no-bucket-queue > "$OBS_TMP/replay-nb4.txt"
+diff "$OBS_TMP/replay-t4.txt" "$OBS_TMP/replay-nb4.txt"
+echo "bucket-queue-off outputs are byte-identical"
+
+echo "== sssp engine: bucket-queue equivalence suite =="
+cargo test --release -p riskroute -q --test bucket_queue_equivalence
+
+echo "== scale: seeded 10k-PoP synth smoke gate =="
+# Generate a 10k-PoP synthetic network, then route on it and evaluate a
+# sampled ratio report — the whole sequence must finish inside a wall
+# budget generous enough for CI machines but tight enough to catch an
+# accidental return to quadratic/naive paths.
+scale_s=$(date +%s%N)
+target/release/riskroute synth 10000 --seed 42 --out "$OBS_TMP/synth10k.graphml" \
+  | grep -q '10000 PoPs'
+target/release/riskroute --graphml "$OBS_TMP/synth10k.graphml" --name big \
+  route big 0 9999 >/dev/null
+target/release/riskroute --graphml "$OBS_TMP/synth10k.graphml" --name big \
+  ratio big --sample 32 --seed 7 >/dev/null
+scale_e=$(date +%s%N)
+scale_ms=$(( (scale_e - scale_s) / 1000000 ))
+echo "10k synth + route + sampled ratio in ${scale_ms} ms"
+if [ "$scale_ms" -gt 120000 ]; then
+  echo "FAIL: 10k-PoP smoke gate took ${scale_ms} ms (budget 120000 ms)"
+  exit 1
+fi
+
 echo "== obs: tracing-on vs tracing-off byte-for-byte =="
 # Request-scoped tracing must not move a byte of output, including under
 # the parallel pool (worker threads inherit the dispatching scope).
